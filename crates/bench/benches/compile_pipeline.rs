@@ -1,0 +1,32 @@
+//! Compiler-side benchmark: throughput of the link + openmp-opt pipeline
+//! itself (not in the paper's evaluation, but the practical cost of the
+//! co-designed optimizations — they run "multiple times at optimization
+//! level O1 or higher", §IV).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nzomp::BuildConfig;
+use nzomp_proxies::{build_for_config, Proxy};
+
+fn bench(c: &mut Criterion) {
+    let proxies: [Box<dyn Proxy>; 2] = [
+        Box::new(nzomp_proxies::xsbench::XSBench::small()),
+        Box::new(nzomp_proxies::minifmm::MiniFmm::small()),
+    ];
+    let mut g = c.benchmark_group("compile_pipeline");
+    g.sample_size(10);
+    for p in &proxies {
+        for cfg in [BuildConfig::NewRtNightly, BuildConfig::NewRtNoAssumptions] {
+            let app = build_for_config(p.as_ref(), cfg);
+            g.bench_function(format!("{} / {}", p.name(), cfg.label()), |b| {
+                b.iter(|| {
+                    let out = nzomp::compile(app.clone(), cfg);
+                    criterion::black_box(out.module.live_inst_count())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

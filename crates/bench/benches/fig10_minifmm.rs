@@ -1,0 +1,20 @@
+//! Fig. 10d — MiniFMM kernel across build configurations.
+//!
+//! Criterion measures host wall time of the simulated kernel, which tracks
+//! the dynamic instruction count; the simulated-cycle figures (the paper's
+//! actual metric) come from `cargo run -p nzomp-bench --bin figures`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nzomp::BuildConfig;
+use nzomp_bench::bench_proxy_config;
+use nzomp_proxies::minifmm;
+
+fn bench(c: &mut Criterion) {
+    let proxy = minifmm::MiniFmm::small();
+    for cfg in BuildConfig::ALL {
+        bench_proxy_config(c, "fig10_minifmm", &proxy, cfg);
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

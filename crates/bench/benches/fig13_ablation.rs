@@ -1,0 +1,45 @@
+//! Fig. 13 — ablation benchmark: the full §IV pipeline vs. the pipeline
+//! with one optimization disabled, on GridMini, XSBench and MiniFMM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nzomp::opt::{Ablation, PassOptions};
+use nzomp::pipeline::compile_with;
+use nzomp::BuildConfig;
+use nzomp_bench::eval_device;
+use nzomp_proxies::{build_for_config, Proxy};
+use nzomp_vgpu::Device;
+
+fn bench_variant(c: &mut Criterion, p: &dyn Proxy, label: &str, opts: PassOptions) {
+    let cfg = BuildConfig::NewRtNoAssumptions;
+    let out = compile_with(build_for_config(p, cfg), cfg, cfg.rt_config(), opts);
+    let mut dev = Device::load(out.module, eval_device());
+    let prep = p.prepare(&mut dev);
+    let mut g = c.benchmark_group(format!("fig13_{}", p.name()));
+    g.sample_size(10);
+    g.bench_function(label, |b| {
+        b.iter(|| {
+            let metrics = dev
+                .launch(p.kernel_name(), prep.launch, &prep.args)
+                .expect("launch");
+            criterion::black_box(metrics.cycles)
+        })
+    });
+    g.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    let proxies: [Box<dyn Proxy>; 3] = [
+        Box::new(nzomp_proxies::gridmini::GridMini::small()),
+        Box::new(nzomp_proxies::xsbench::XSBench::small()),
+        Box::new(nzomp_proxies::minifmm::MiniFmm::small()),
+    ];
+    for p in &proxies {
+        bench_variant(c, p.as_ref(), "full pipeline", PassOptions::full());
+        for ab in Ablation::ALL {
+            bench_variant(c, p.as_ref(), ab.label(), PassOptions::full_without(ab));
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

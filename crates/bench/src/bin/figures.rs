@@ -1,0 +1,192 @@
+//! `figures` — regenerate every evaluation table and figure of the paper
+//! on the virtual GPU.
+//!
+//! ```text
+//! cargo run -p nzomp-bench --bin figures --release            # everything
+//! cargo run -p nzomp-bench --bin figures --release -- fig10   # one figure
+//! cargo run -p nzomp-bench --bin figures --release -- --large # bench sizes
+//! ```
+//!
+//! Absolute numbers are simulated cycles, not A100 silicon; the claims to
+//! compare against the paper are the *shapes*: which configuration wins,
+//! by roughly what factor, and where state/barriers/registers disappear
+//! (see EXPERIMENTS.md for the side-by-side record).
+
+use nzomp::pipeline::compile_with;
+use nzomp::report::ConfigRow;
+use nzomp::BuildConfig;
+use nzomp_bench::{eval_device, print_fig10_block, print_fig11_block, run_all_configs};
+use nzomp::opt::{Ablation, PassOptions};
+use nzomp_proxies::gridmini::GridMini;
+use nzomp_proxies::minifmm::MiniFmm;
+use nzomp_proxies::rsbench::RSBench;
+use nzomp_proxies::testsnap::TestSnap;
+use nzomp_proxies::xsbench::XSBench;
+use nzomp_proxies::{build_for_config, verify_output, Proxy};
+use nzomp_vgpu::Device;
+
+struct Suite {
+    xsbench: XSBench,
+    rsbench: RSBench,
+    gridmini: GridMini,
+    testsnap: TestSnap,
+    minifmm: MiniFmm,
+}
+
+impl Suite {
+    fn new(large: bool) -> Suite {
+        if large {
+            Suite {
+                xsbench: XSBench::large(),
+                rsbench: RSBench::large(),
+                gridmini: GridMini::large(),
+                testsnap: TestSnap::large(),
+                minifmm: MiniFmm::large(),
+            }
+        } else {
+            Suite {
+                xsbench: XSBench::small(),
+                rsbench: RSBench::small(),
+                gridmini: GridMini::small(),
+                testsnap: TestSnap::small(),
+                minifmm: MiniFmm::small(),
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let large = args.iter().any(|a| a == "--large");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let all = which.is_empty();
+    let suite = Suite::new(large);
+
+    if all || which.contains(&"fig10") {
+        fig10(&suite);
+    }
+    if all || which.contains(&"fig11") {
+        fig11(&suite);
+    }
+    if all || which.contains(&"fig12") {
+        fig12(&suite);
+    }
+    if all || which.contains(&"fig13") {
+        fig13(&suite);
+    }
+    if all || which.contains(&"oversub") {
+        oversub(&suite);
+    }
+}
+
+/// Fig. 10: relative performance of the four benchmark apps across builds.
+fn fig10(s: &Suite) {
+    println!("\n==============================================================");
+    println!("Fig. 10 — relative performance across configurations");
+    println!("==============================================================");
+    let proxies: [&dyn Proxy; 4] = [&s.xsbench, &s.rsbench, &s.testsnap, &s.minifmm];
+    for p in proxies {
+        let rows = run_all_configs(p);
+        print_fig10_block(p, &rows);
+    }
+}
+
+/// Fig. 11: kernel time / register / shared-memory table for every app.
+fn fig11(s: &Suite) {
+    println!("\n==============================================================");
+    println!("Fig. 11 — kernel time, registers and shared memory per build");
+    println!("==============================================================");
+    let proxies: [&dyn Proxy; 5] = [&s.xsbench, &s.rsbench, &s.gridmini, &s.testsnap, &s.minifmm];
+    for p in proxies {
+        let rows = run_all_configs(p);
+        print_fig11_block(p, &rows);
+    }
+    println!("\n  (paper reference points: Old RT SMem 2,336 B — 8,288 B with");
+    println!("   data sharing; New RT (Nightly) SMem 11,304 B; optimized New RT 0 B)");
+}
+
+/// Fig. 12: GridMini GFlops.
+fn fig12(s: &Suite) {
+    println!("\n==============================================================");
+    println!("Fig. 12 — GridMini GFlops across configurations");
+    println!("==============================================================");
+    let rows = run_all_configs(&s.gridmini);
+    for (cfg, row) in &rows {
+        match row {
+            Some(r) => println!(
+                "  {:<26} {:>8.3} GFlops  {}",
+                cfg.label(),
+                r.metrics.gflops(),
+                nzomp::report::bar(r.metrics.gflops(), 2.0)
+            ),
+            None => println!("  {:<26}      n/a", cfg.label()),
+        }
+    }
+}
+
+/// Fig. 13: one §IV optimization disabled at a time, relative to the full
+/// pipeline (1.0 = no impact; smaller = the optimization mattered).
+fn fig13(s: &Suite) {
+    println!("\n==============================================================");
+    println!("Fig. 13 — effect of disabling one optimization at a time");
+    println!("         (relative performance vs the full pipeline)");
+    println!("==============================================================");
+    let proxies: [&dyn Proxy; 3] = [&s.gridmini, &s.xsbench, &s.minifmm];
+    let cfg = BuildConfig::NewRtNoAssumptions;
+    for p in proxies {
+        println!("\n--- {} ---", p.name());
+        let full_cycles = run_ablation(p, cfg, PassOptions::full());
+        println!("  {:<44} {:>6.3}x", "full pipeline", 1.0);
+        for ab in Ablation::ALL {
+            let cycles = run_ablation(p, cfg, PassOptions::full_without(ab));
+            let rel = full_cycles as f64 / cycles as f64;
+            println!("  {:<44} {:>6.3}x  {}", ab.label(), rel, nzomp::report::bar(rel, 30.0));
+        }
+    }
+}
+
+fn run_ablation(p: &dyn Proxy, cfg: BuildConfig, opts: PassOptions) -> u64 {
+    let app = build_for_config(p, cfg);
+    let out = compile_with(app, cfg, cfg.rt_config(), opts);
+    let mut dev = Device::load(out.module, eval_device());
+    let prep = p.prepare(&mut dev);
+    let metrics = dev
+        .launch(p.kernel_name(), prep.launch, &prep.args)
+        .expect("ablation run");
+    verify_output(&dev, &prep).expect("ablation verifies");
+    metrics.cycles
+}
+
+/// §V-B oversubscription paragraph: register and time effect of the
+/// assumption flags on XSBench.
+fn oversub(s: &Suite) {
+    println!("\n==============================================================");
+    println!("§V-B — loop oversubscription assumptions (XSBench)");
+    println!("==============================================================");
+    let without = run_one(&s.xsbench, BuildConfig::NewRtNoAssumptions);
+    let with = run_one(&s.xsbench, BuildConfig::NewRt);
+    let dreg = without.metrics.regs_per_thread as i64 - with.metrics.regs_per_thread as i64;
+    let dtime = (without.metrics.time_ms - with.metrics.time_ms) / without.metrics.time_ms * 100.0;
+    println!(
+        "  without assumptions: {:>3} regs, {:.3} ms",
+        without.metrics.regs_per_thread, without.metrics.time_ms
+    );
+    println!(
+        "  with assumptions:    {:>3} regs, {:.3} ms",
+        with.metrics.regs_per_thread, with.metrics.time_ms
+    );
+    println!("  delta: -{dreg} registers, -{dtime:.1}% kernel time");
+    println!("  (paper: -14 registers, -5.6% kernel time on the A100)");
+}
+
+fn run_one(p: &dyn Proxy, cfg: BuildConfig) -> ConfigRow {
+    let r = nzomp_proxies::run_config(p, cfg, &eval_device()).expect("run");
+    ConfigRow {
+        config: cfg,
+        metrics: r.metrics,
+    }
+}

@@ -1,0 +1,54 @@
+//! The compile pipeline: application module → runtime link → optimization.
+//!
+//! Mirrors §II-B: "the GPU runtime library is first linked into the user
+//! code as an LLVM bytecode library and then optimized together with the
+//! user application", followed by loading the result onto the (virtual)
+//! device.
+
+use nzomp_ir::Module;
+use nzomp_opt::{optimize_module, PassOptions, Remarks};
+use nzomp_rt::{build_runtime, RtConfig};
+
+use crate::config::BuildConfig;
+
+/// Result of compiling an application module under a configuration.
+pub struct CompileOutput {
+    /// The linked, optimized device image.
+    pub module: Module,
+    /// Optimization remarks (`-Rpass[-missed]=openmp-opt`).
+    pub remarks: Remarks,
+}
+
+/// Compile `app` under `config` (release mode, no debug features).
+pub fn compile(app: Module, config: BuildConfig) -> CompileOutput {
+    compile_with(app, config, config.rt_config(), config.pass_options())
+}
+
+/// Compile with explicit runtime configuration and pass options (used for
+/// debug builds and the Fig. 13 ablations).
+pub fn compile_with(
+    mut app: Module,
+    config: BuildConfig,
+    rt_cfg: RtConfig,
+    mut opts: PassOptions,
+) -> CompileOutput {
+    if let Some(flavor) = config.runtime() {
+        // Kernels that globalize variables under the legacy runtime get the
+        // data-sharing stack reserved (the Old-RT SMem delta of Fig. 11).
+        let needs_ds = app
+            .find_func(nzomp_rt::abi::OLD_DATA_SHARING_PUSH)
+            .is_some();
+        let rt = build_runtime(flavor, &rt_cfg, needs_ds);
+        nzomp_ir::link::link(&mut app, rt).expect("runtime links");
+    }
+    // Debug builds must keep assumptions (they are runtime-checked, §III-G).
+    if rt_cfg.debug_kind != 0 {
+        opts.drop_assumes = false;
+    }
+    let remarks = optimize_module(&mut app, &opts);
+    nzomp_ir::verify_module(&app).expect("optimized module verifies");
+    CompileOutput {
+        module: app,
+        remarks,
+    }
+}

@@ -1,0 +1,52 @@
+//! Capture packing: outlined regions receive their captured variables
+//! through an argument structure (one 8-byte slot per capture), exactly as
+//! Clang lowers OpenMP outlining. Whether the structure lives in
+//! thread-local or shareable memory is the globalization decision (§IV-A2):
+//! regions executed by other threads (team-wide parallel) must globalize;
+//! SPMD loop bodies run on the capturing thread and may use the local stack.
+
+use nzomp_ir::{FuncBuilder, Operand, Ty};
+
+use crate::Capture;
+
+/// Store `captures` into the slots of `args` (8 bytes each).
+pub fn store_captures(b: &mut FuncBuilder, args: Operand, captures: &[Capture]) {
+    for (i, (val, ty)) in captures.iter().enumerate() {
+        let slot = if i == 0 {
+            args
+        } else {
+            b.ptr_add(args, Operand::i64((i * 8) as i64))
+        };
+        // All slots are 8 bytes; narrower ints are stored widened.
+        let store_ty = widen(*ty);
+        b.store(store_ty, slot, *val);
+    }
+}
+
+/// Load captures back out of `args` inside the outlined function.
+pub fn load_captures(b: &mut FuncBuilder, args: Operand, types: &[Ty]) -> Vec<Operand> {
+    types
+        .iter()
+        .enumerate()
+        .map(|(i, ty)| {
+            let slot = if i == 0 {
+                args
+            } else {
+                b.ptr_add(args, Operand::i64((i * 8) as i64))
+            };
+            b.load(widen(*ty), slot)
+        })
+        .collect()
+}
+
+/// Bytes needed for the args structure.
+pub fn args_size(captures: &[Capture]) -> u64 {
+    (captures.len().max(1) * 8) as u64
+}
+
+fn widen(ty: Ty) -> Ty {
+    match ty {
+        Ty::I1 | Ty::I8 | Ty::I32 | Ty::I64 => Ty::I64,
+        other => other,
+    }
+}

@@ -1,0 +1,219 @@
+//! Lowering of generic-mode `target` regions: sequential main-thread code
+//! with explicit `parallel` / `parallel for` regions inside, driven by the
+//! worker state machine (paper §II-C).
+
+use nzomp_ir::module::FuncRef;
+use nzomp_ir::{ExecMode, FuncBuilder, Module, Operand, Ty};
+use nzomp_rt::{abi, RuntimeFlavor};
+
+use crate::capture::{args_size, load_captures, store_captures};
+use crate::{outlined_name, rt_fn, Capture};
+
+/// Context handed to the `main` closure of [`generic_kernel`]: sequential
+/// main-thread code goes through [`GenericCtx::b`]; directives through the
+/// `parallel*` methods.
+pub struct GenericCtx<'m> {
+    pub m: &'m mut Module,
+    pub kb: FuncBuilder,
+    flavor: RuntimeFlavor,
+    kernel_name: String,
+}
+
+impl<'m> GenericCtx<'m> {
+    /// The underlying builder (sequential main-thread code).
+    pub fn b(&mut self) -> &mut FuncBuilder {
+        &mut self.kb
+    }
+
+    /// `#pragma omp parallel` — outline `body`, globalize the captures
+    /// (workers must see them — §IV-A2), fork through the runtime.
+    ///
+    /// Returns the outlined function for tests/inspection.
+    pub fn parallel(
+        &mut self,
+        captures: &[Capture],
+        body: impl FnOnce(&mut Module, &mut FuncBuilder, &[Operand]),
+    ) -> FuncRef {
+        let types: Vec<Ty> = captures.iter().map(|c| c.1).collect();
+        let body_name = outlined_name(self.m, &self.kernel_name, "parallel");
+        let mut bb = FuncBuilder::new(&body_name, vec![Ty::Ptr], None);
+        bb.set_linkage(nzomp_ir::Linkage::Internal);
+        let args = bb.param(0);
+        let vals = load_captures(&mut bb, args, &types);
+        body(self.m, &mut bb, &vals);
+        bb.ret(None);
+        let body_fn = self.m.add_function(bb.finish());
+
+        let size = Operand::i64(args_size(captures) as i64);
+        match self.flavor {
+            RuntimeFlavor::Modern => {
+                let alloc = rt_fn(self.m, abi::ALLOC_SHARED);
+                let freesh = rt_fn(self.m, abi::FREE_SHARED);
+                let par = rt_fn(self.m, abi::PARALLEL_51);
+                let args = self
+                    .kb
+                    .call(Operand::Func(alloc), vec![size], Some(Ty::Ptr))
+                    .unwrap();
+                store_captures(&mut self.kb, args, captures);
+                self.kb
+                    .call(Operand::Func(par), vec![Operand::Func(body_fn), args], None);
+                self.kb.call(Operand::Func(freesh), vec![args, size], None);
+            }
+            RuntimeFlavor::Legacy => {
+                let push = rt_fn(self.m, abi::OLD_DATA_SHARING_PUSH);
+                let pop = rt_fn(self.m, abi::OLD_DATA_SHARING_POP);
+                let prep = rt_fn(self.m, abi::OLD_PARALLEL_PREPARE);
+                let endp = rt_fn(self.m, abi::OLD_PARALLEL_END);
+                let bar = rt_fn(self.m, abi::OLD_BARRIER);
+                let args = self
+                    .kb
+                    .call(Operand::Func(push), vec![size], Some(Ty::Ptr))
+                    .unwrap();
+                store_captures(&mut self.kb, args, captures);
+                self.kb
+                    .call(Operand::Func(prep), vec![Operand::Func(body_fn), args], None);
+                self.kb.call(Operand::Func(bar), vec![], None);
+                self.kb
+                    .call(Operand::Func(body_fn), vec![args], None);
+                self.kb.call(Operand::Func(bar), vec![], None);
+                self.kb.call(Operand::Func(endp), vec![], None);
+                self.kb.call(Operand::Func(pop), vec![args, size], None);
+            }
+        }
+        body_fn
+    }
+
+    /// `#pragma omp parallel for` — a parallel region whose body is a
+    /// worksharing loop over `niters` iterations (an i64 value computed in
+    /// the sequential part).
+    pub fn parallel_for(
+        &mut self,
+        captures: &[Capture],
+        niters: Operand,
+        body: impl FnOnce(&mut Module, &mut FuncBuilder, Operand, &[Operand]),
+    ) {
+        let types: Vec<Ty> = captures.iter().map(|c| c.1).collect();
+        // The loop body sees the original captures (niters travels as an
+        // extra trailing capture to reach the region function).
+        let loop_name = outlined_name(self.m, &self.kernel_name, "wsloop");
+        let mut lb = FuncBuilder::new(&loop_name, vec![Ty::I64, Ty::Ptr], None);
+        lb.set_linkage(nzomp_ir::Linkage::Internal);
+        let iv = lb.param(0);
+        let args = lb.param(1);
+        let vals = load_captures(&mut lb, args, &types);
+        body(self.m, &mut lb, iv, &vals);
+        lb.ret(None);
+        let loop_fn = self.m.add_function(lb.finish());
+
+        let flavor = self.flavor;
+        let mut region_caps: Vec<Capture> = captures.to_vec();
+        region_caps.push((niters, Ty::I64));
+        let n_idx = region_caps.len() - 1;
+        self.parallel(&region_caps, |m, rb, vals| {
+            let n = vals[n_idx];
+            match flavor {
+                RuntimeFlavor::Modern => {
+                    let ws = rt_fn(m, abi::FOR_STATIC_LOOP);
+                    // Rebuild the inner args struct from this region's view
+                    // (same layout: the loop body reads the leading slots).
+                    let inner: Vec<Capture> = vals[..n_idx]
+                        .iter()
+                        .copied()
+                        .zip(types.iter().copied())
+                        .collect();
+                    let args = rb.alloca(args_size(&inner));
+                    store_captures(rb, args, &inner);
+                    rb.call(
+                        Operand::Func(ws),
+                        vec![Operand::Func(loop_fn), args, n, Operand::i64(0)],
+                        None,
+                    );
+                }
+                RuntimeFlavor::Legacy => {
+                    let fsi = rt_fn(m, abi::OLD_FOR_STATIC_INIT);
+                    let fini = rt_fn(m, abi::OLD_FOR_STATIC_FINI);
+                    let inner: Vec<Capture> = vals[..n_idx]
+                        .iter()
+                        .copied()
+                        .zip(types.iter().copied())
+                        .collect();
+                    let args = rb.alloca(args_size(&inner));
+                    store_captures(rb, args, &inner);
+                    let lo_p = rb.alloca(8);
+                    let hi_p = rb.alloca(8);
+                    let st_p = rb.alloca(8);
+                    rb.call(Operand::Func(fsi), vec![lo_p, hi_p, st_p, n], None);
+                    let lo = rb.load(Ty::I64, lo_p);
+                    let hi = rb.load(Ty::I64, hi_p);
+                    nzomp_ir::builder::build_counted_loop(rb, lo, hi, Operand::i64(1), |rb, i| {
+                        rb.call(Operand::Func(loop_fn), vec![i, args], None);
+                    });
+                    rb.call(Operand::Func(fini), vec![], None);
+                }
+            }
+        });
+    }
+}
+
+/// Emit a generic-mode `target` kernel. The `main` closure builds the
+/// sequential main-thread region through the [`GenericCtx`]; worker threads
+/// run the state machine inside `__kmpc_target_init` and jump straight to
+/// the exit when the kernel terminates.
+pub fn generic_kernel(
+    m: &mut Module,
+    flavor: RuntimeFlavor,
+    name: &str,
+    params: &[Ty],
+    main: impl FnOnce(&mut GenericCtx, &[Operand]),
+) -> FuncRef {
+    let init = rt_fn(
+        m,
+        match flavor {
+            RuntimeFlavor::Modern => abi::TARGET_INIT,
+            RuntimeFlavor::Legacy => abi::OLD_TARGET_INIT,
+        },
+    );
+    let deinit = rt_fn(
+        m,
+        match flavor {
+            RuntimeFlavor::Modern => abi::TARGET_DEINIT,
+            RuntimeFlavor::Legacy => abi::OLD_TARGET_DEINIT,
+        },
+    );
+
+    let mut kb = FuncBuilder::new(name, params.to_vec(), None);
+    let ec = kb
+        .call(
+            Operand::Func(init),
+            vec![Operand::i64(abi::MODE_GENERIC)],
+            Some(Ty::I64),
+        )
+        .unwrap();
+    let is_worker = kb.icmp_ne(ec, Operand::i64(0));
+    let main_bb = kb.new_block();
+    let exit_bb = kb.new_block();
+    kb.cond_br(is_worker, exit_bb, main_bb);
+    kb.switch_to(main_bb);
+
+    let param_vals: Vec<Operand> = (0..params.len() as u32).map(Operand::Param).collect();
+    let mut ctx = GenericCtx {
+        m,
+        kb,
+        flavor,
+        kernel_name: name.to_string(),
+    };
+    main(&mut ctx, &param_vals);
+    let GenericCtx { m, mut kb, .. } = ctx;
+
+    kb.call(
+        Operand::Func(deinit),
+        vec![Operand::i64(abi::MODE_GENERIC)],
+        None,
+    );
+    kb.br(exit_bb);
+    kb.switch_to(exit_bb);
+    kb.ret(None);
+    let k = m.add_function(kb.finish());
+    m.add_kernel(k, ExecMode::Generic);
+    k
+}

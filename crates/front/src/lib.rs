@@ -1,0 +1,121 @@
+//! `nzomp-front` — OpenMP directive lowering to nzomp IR.
+//!
+//! Plays the role LLVM/Clang plays in the paper (§II-B): it turns directive
+//! structures into kernels that call the device runtime, outlines parallel
+//! regions and loop bodies into functions, packs captured variables into
+//! argument structures, and performs *globalization* of variables that must
+//! be visible across threads (§IV-A2).
+//!
+//! Two lowering flavors exist, matching the two runtimes:
+//!
+//! * [`RuntimeFlavor::Modern`]: combined `distribute parallel for` loops
+//!   lower to one callback-based runtime call (the Fig. 5 `noChunkImpl`
+//!   scheme); parallel regions lower to `__kmpc_parallel_51`.
+//! * [`RuntimeFlavor::Legacy`]: worksharing bounds travel through memory
+//!   (`for_static_init`-style) and parallel regions drive the old state
+//!   machine explicitly.
+//!
+//! The entry points mirror the directives the paper's proxy apps use:
+//! [`spmd_kernel_for`] (`target teams distribute parallel for`),
+//! [`generic_kernel`] (`target` with explicit `parallel` regions inside),
+//! and [`cuda::grid_stride_kernel`] for the native-CUDA baselines.
+
+pub mod capture;
+pub mod cuda;
+pub mod generic;
+pub mod spmd;
+
+pub use generic::{generic_kernel, GenericCtx};
+pub use nzomp_rt::RuntimeFlavor;
+pub use spmd::spmd_kernel_for;
+
+use nzomp_ir::module::FuncRef;
+use nzomp_ir::{Module, Operand, Ty};
+
+/// A captured variable: its value in the enclosing scope and its type.
+pub type Capture = (Operand, Ty);
+
+/// Monotonic counter for unique outlined-function names.
+pub(crate) fn outlined_name(m: &Module, base: &str, kind: &str) -> String {
+    let mut i = m.funcs.len();
+    loop {
+        let name = format!("{base}.omp_outlined.{kind}.{i}");
+        if m.find_func(&name).is_none() {
+            return name;
+        }
+        i += 1;
+    }
+}
+
+/// Declare (or find) a runtime API function in the app module.
+pub(crate) fn rt_fn(m: &mut Module, name: &str) -> FuncRef {
+    nzomp_rt::declare_api(m, name)
+}
+
+/// Convenience: emit `omp_get_thread_num()` in user code.
+pub fn omp_thread_num(m: &mut Module, b: &mut nzomp_ir::FuncBuilder) -> Operand {
+    let f = rt_fn(m, nzomp_rt::abi::OMP_GET_THREAD_NUM);
+    b.call(Operand::Func(f), vec![], Some(Ty::I64)).unwrap()
+}
+
+/// Convenience: emit `omp_get_num_threads()` in user code.
+pub fn omp_num_threads(m: &mut Module, b: &mut nzomp_ir::FuncBuilder) -> Operand {
+    let f = rt_fn(m, nzomp_rt::abi::OMP_GET_NUM_THREADS);
+    b.call(Operand::Func(f), vec![], Some(Ty::I64)).unwrap()
+}
+
+/// Convenience: emit `omp_get_team_num()` in user code.
+pub fn omp_team_num(m: &mut Module, b: &mut nzomp_ir::FuncBuilder) -> Operand {
+    let f = rt_fn(m, nzomp_rt::abi::OMP_GET_TEAM_NUM);
+    b.call(Operand::Func(f), vec![], Some(Ty::I64)).unwrap()
+}
+
+/// A local buffer the OpenMP frontend must conservatively *globalize*
+/// (§IV-A2): other threads may legally observe a thread's locals in OpenMP,
+/// so the frontend allocates from shareable memory — the modern runtime's
+/// shared stack, or the legacy data-sharing stack. CUDA code just uses the
+/// thread-private stack. The globalization-elimination pass demotes the
+/// modern form back to a stack slot when the buffer provably stays private;
+/// the legacy form is opaque to it (part of why Old-RT kernels keep their
+/// shared-memory footprint in Fig. 11).
+pub fn globalized_local(
+    m: &mut Module,
+    b: &mut nzomp_ir::FuncBuilder,
+    flavor: Option<RuntimeFlavor>,
+    size: u64,
+) -> Operand {
+    match flavor {
+        None => b.alloca(size),
+        Some(RuntimeFlavor::Modern) => {
+            let f = rt_fn(m, nzomp_rt::abi::ALLOC_SHARED);
+            b.call(Operand::Func(f), vec![Operand::i64(size as i64)], Some(Ty::Ptr))
+                .unwrap()
+        }
+        Some(RuntimeFlavor::Legacy) => {
+            let f = rt_fn(m, nzomp_rt::abi::OLD_DATA_SHARING_PUSH);
+            b.call(Operand::Func(f), vec![Operand::i64(size as i64)], Some(Ty::Ptr))
+                .unwrap()
+        }
+    }
+}
+
+/// Release a [`globalized_local`] buffer.
+pub fn free_globalized(
+    m: &mut Module,
+    b: &mut nzomp_ir::FuncBuilder,
+    flavor: Option<RuntimeFlavor>,
+    ptr: Operand,
+    size: u64,
+) {
+    match flavor {
+        None => {}
+        Some(RuntimeFlavor::Modern) => {
+            let f = rt_fn(m, nzomp_rt::abi::FREE_SHARED);
+            b.call(Operand::Func(f), vec![ptr, Operand::i64(size as i64)], None);
+        }
+        Some(RuntimeFlavor::Legacy) => {
+            let f = rt_fn(m, nzomp_rt::abi::OLD_DATA_SHARING_POP);
+            b.call(Operand::Func(f), vec![ptr, Operand::i64(size as i64)], None);
+        }
+    }
+}

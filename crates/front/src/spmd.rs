@@ -1,0 +1,122 @@
+//! Lowering of the combined `#pragma omp target teams distribute parallel
+//! for` directive — the common case the paper drives to near-zero overhead.
+
+use nzomp_ir::module::FuncRef;
+use nzomp_ir::{ExecMode, FuncBuilder, Module, Operand, Ty};
+use nzomp_rt::{abi, RuntimeFlavor};
+
+use crate::capture::{load_captures, store_captures};
+use crate::{outlined_name, rt_fn, Capture};
+
+/// Emit a combined-directive kernel named `name` with parameters `params`.
+///
+/// * `trip_count` computes the loop trip count from the kernel parameters
+///   (it runs in the kernel entry, so passing a bound *by value* — the
+///   GridMini fix of §VII — is just using the parameter directly).
+/// * `body` receives `(module, builder, iv, params)` and emits one loop
+///   iteration. `params` are the kernel parameters re-loaded from the
+///   argument structure (by-reference aggregate semantics, §VII).
+///
+/// Modern flavor: `__kmpc_target_init(SPMD)` + one `noChunkImpl` runtime
+/// call (Fig. 5). Legacy flavor: `distribute`/`for` bounds through memory
+/// plus the trailing worksharing barrier.
+pub fn spmd_kernel_for(
+    m: &mut Module,
+    flavor: RuntimeFlavor,
+    name: &str,
+    params: &[Ty],
+    trip_count: impl FnOnce(&mut FuncBuilder, &[Operand]) -> Operand,
+    body: impl FnOnce(&mut Module, &mut FuncBuilder, Operand, &[Operand]),
+) -> FuncRef {
+    // ---- outlined loop body ----------------------------------------------
+    let body_name = outlined_name(m, name, "body");
+    let mut bb = FuncBuilder::new(&body_name, vec![Ty::I64, Ty::Ptr], None);
+    bb.set_linkage(nzomp_ir::Linkage::Internal);
+    let iv = bb.param(0);
+    let args = bb.param(1);
+    let vals = load_captures(&mut bb, args, params);
+    body(m, &mut bb, iv, &vals);
+    bb.ret(None);
+    let body_fn = m.add_function(bb.finish());
+
+    // ---- kernel ------------------------------------------------------------
+    let mut kb = FuncBuilder::new(name, params.to_vec(), None);
+    let param_vals: Vec<Operand> = (0..params.len() as u32).map(Operand::Param).collect();
+    let captures: Vec<Capture> = param_vals
+        .iter()
+        .copied()
+        .zip(params.iter().copied())
+        .collect();
+
+    match flavor {
+        RuntimeFlavor::Modern => {
+            let init = rt_fn(m, abi::TARGET_INIT);
+            let deinit = rt_fn(m, abi::TARGET_DEINIT);
+            let loop_fn = rt_fn(m, abi::DIST_PAR_FOR_LOOP);
+            kb.call(
+                Operand::Func(init),
+                vec![Operand::i64(abi::MODE_SPMD)],
+                Some(Ty::I64),
+            );
+            let n = trip_count(&mut kb, &param_vals);
+            // SPMD: the body runs on the capturing thread; locals suffice.
+            let args = kb.alloca(crate::capture::args_size(&captures));
+            store_captures(&mut kb, args, &captures);
+            kb.call(
+                Operand::Func(loop_fn),
+                vec![Operand::Func(body_fn), args, n],
+                None,
+            );
+            kb.call(
+                Operand::Func(deinit),
+                vec![Operand::i64(abi::MODE_SPMD)],
+                None,
+            );
+            kb.ret(None);
+        }
+        RuntimeFlavor::Legacy => {
+            let init = rt_fn(m, abi::OLD_TARGET_INIT);
+            let deinit = rt_fn(m, abi::OLD_TARGET_DEINIT);
+            let dist = rt_fn(m, abi::OLD_DISTRIBUTE_INIT);
+            let fsi = rt_fn(m, abi::OLD_FOR_STATIC_INIT);
+            let fini = rt_fn(m, abi::OLD_FOR_STATIC_FINI);
+            kb.call(
+                Operand::Func(init),
+                vec![Operand::i64(abi::MODE_SPMD)],
+                Some(Ty::I64),
+            );
+            let n = trip_count(&mut kb, &param_vals);
+            // Memory-carried bounds (host-runtime-compatible API).
+            let lb = kb.alloca(8);
+            let ub = kb.alloca(8);
+            let st = kb.alloca(8);
+            kb.call(Operand::Func(dist), vec![lb, ub, st, n], None);
+            let tlo = kb.load(Ty::I64, lb);
+            let thi = kb.load(Ty::I64, ub);
+            let span = kb.sub(thi, tlo);
+            let lb2 = kb.alloca(8);
+            let ub2 = kb.alloca(8);
+            let st2 = kb.alloca(8);
+            kb.call(Operand::Func(fsi), vec![lb2, ub2, st2, span], None);
+            let lo_rel = kb.load(Ty::I64, lb2);
+            let hi_rel = kb.load(Ty::I64, ub2);
+            let lo = kb.add(tlo, lo_rel);
+            let hi = kb.add(tlo, hi_rel);
+            let args = kb.alloca(crate::capture::args_size(&captures));
+            store_captures(&mut kb, args, &captures);
+            nzomp_ir::builder::build_counted_loop(&mut kb, lo, hi, Operand::i64(1), |kb, i| {
+                kb.call(Operand::Func(body_fn), vec![i, args], None);
+            });
+            kb.call(Operand::Func(fini), vec![], None);
+            kb.call(
+                Operand::Func(deinit),
+                vec![Operand::i64(abi::MODE_SPMD)],
+                None,
+            );
+            kb.ret(None);
+        }
+    }
+    let k = m.add_function(kb.finish());
+    m.add_kernel(k, ExecMode::Spmd);
+    k
+}

@@ -1,0 +1,90 @@
+//! Control-flow-graph helpers: predecessors, reachability, orderings.
+
+use crate::func::{BlockId, Function};
+
+/// Predecessor lists indexed by block.
+pub fn predecessors(f: &Function) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); f.blocks.len()];
+    for (bid, block) in f.iter_blocks() {
+        for succ in block.term.succs() {
+            let list = &mut preds[succ.index()];
+            if !list.contains(&bid) {
+                list.push(bid);
+            }
+        }
+    }
+    preds
+}
+
+/// Blocks reachable from entry, as a bitset-like bool vec.
+pub fn reachable(f: &Function) -> Vec<bool> {
+    let mut seen = vec![false; f.blocks.len()];
+    if f.blocks.is_empty() {
+        return seen;
+    }
+    let mut stack = vec![BlockId::ENTRY];
+    seen[BlockId::ENTRY.index()] = true;
+    while let Some(b) = stack.pop() {
+        for s in f.block(b).term.succs() {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Reverse post-order of the reachable CFG (entry first).
+pub fn reverse_post_order(f: &Function) -> Vec<BlockId> {
+    let mut post = Vec::with_capacity(f.blocks.len());
+    let mut state = vec![0u8; f.blocks.len()]; // 0 unseen, 1 open, 2 done
+    if f.blocks.is_empty() {
+        return post;
+    }
+    // Iterative DFS with explicit successor cursor to get true post-order.
+    let mut stack: Vec<(BlockId, usize)> = vec![(BlockId::ENTRY, 0)];
+    state[BlockId::ENTRY.index()] = 1;
+    while let Some(top) = stack.last_mut() {
+        let b = top.0;
+        let succs = f.block(b).term.succs();
+        if top.1 < succs.len() {
+            let s = succs[top.1];
+            top.1 += 1;
+            if state[s.index()] == 0 {
+                state[s.index()] = 1;
+                stack.push((s, 0));
+            }
+        } else {
+            state[b.index()] = 2;
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Can execution starting at block `from` reach block `to`? (Trivially true
+/// when `from == to` only if `to` is in a cycle or equals `from` — here we
+/// use the inclusive convention: `from == to` returns true.)
+pub fn block_reaches(f: &Function, from: BlockId, to: BlockId) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut seen = vec![false; f.blocks.len()];
+    let mut stack = vec![from];
+    seen[from.index()] = true;
+    while let Some(b) = stack.pop() {
+        for s in f.block(b).term.succs() {
+            if s == to {
+                return true;
+            }
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    false
+}

@@ -1,0 +1,422 @@
+//! Instructions and block terminators.
+
+use crate::func::BlockId;
+use crate::types::Ty;
+use crate::value::{Operand, PhiIncoming};
+
+/// Dense index of an instruction within its function's arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub u32);
+
+impl InstId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Integer / float binary operators. Integer semantics are 64-bit wrapping
+/// two's complement regardless of the nominal type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    SDiv,
+    SRem,
+    UDiv,
+    URem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    LShr,
+    AShr,
+    SMin,
+    SMax,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FMin,
+    FMax,
+}
+
+impl BinOp {
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv | BinOp::FMin | BinOp::FMax
+        )
+    }
+
+    /// Commutative operators, used by the folder to canonicalize.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::SMin
+                | BinOp::SMax
+                | BinOp::FAdd
+                | BinOp::FMul
+                | BinOp::FMin
+                | BinOp::FMax
+        )
+    }
+}
+
+/// Unary operators (transcendentals are intrinsic-like but modeled as unops
+/// since they are pure).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+    FNeg,
+    FAbs,
+    Sqrt,
+    Sin,
+    Cos,
+    Exp,
+    Log,
+}
+
+/// Cast kinds between the scalar types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CastKind {
+    /// Integer-to-integer resize (sign-extends when widening from a signed
+    /// narrower value; truncates when narrowing).
+    IntCast,
+    /// Zero-extending integer resize.
+    ZExtCast,
+    /// Signed int -> f64.
+    SiToFp,
+    /// f64 -> signed int (round toward zero).
+    FpToSi,
+    /// Reinterpret pointer as i64 or back.
+    PtrCast,
+}
+
+/// Comparison predicates. Apply to ints, floats, or pointers depending on
+/// the operand type recorded on the instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pred {
+    Eq,
+    Ne,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+}
+
+/// Read-modify-write atomic operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AtomicOp {
+    Add,
+    Max,
+    Min,
+    Exchange,
+}
+
+/// GPU / runtime intrinsics. These are the only operations with
+/// target-specific semantics; everything the paper's optimizations reason
+/// about (barrier alignment, thread identity, assumptions) is explicit here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// Hardware thread id within the team (i64).
+    ThreadId,
+    /// Team (block) id within the grid (i64).
+    BlockId,
+    /// Number of threads per team (i64).
+    BlockDim,
+    /// Number of teams in the grid (i64).
+    GridDim,
+    /// Team-wide barrier that every thread of the team is guaranteed to
+    /// reach (paper §III-G / Fig. 6: `ext_aligned_barrier`). Removable by
+    /// the aligned-barrier-elimination pass (§IV-D).
+    AlignedBarrier,
+    /// Team-wide barrier that may be reached from divergent control flow
+    /// (e.g. the generic-mode state machine). Never removed.
+    Barrier,
+    /// Compiler assumption: the i1 operand is true (paper §III-G). In debug
+    /// builds the vGPU verifies it; in release it is free.
+    Assume(()),
+    /// Abort kernel execution with an assertion failure.
+    AssertFail,
+    /// Device-side heap allocation (fallback of the shared-memory stack).
+    Malloc,
+    /// Device-side heap free.
+    Free,
+}
+
+/// One instruction. Instructions that produce a value have a well-defined
+/// result type (see [`Inst::result_ty`]); the rest are `void`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Inst {
+    Bin {
+        op: BinOp,
+        ty: Ty,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    Un {
+        op: UnOp,
+        ty: Ty,
+        arg: Operand,
+    },
+    Cast {
+        kind: CastKind,
+        to: Ty,
+        arg: Operand,
+    },
+    Cmp {
+        pred: Pred,
+        ty: Ty,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    Select {
+        ty: Ty,
+        cond: Operand,
+        if_true: Operand,
+        if_false: Operand,
+    },
+    /// Load `ty.size()` bytes from `ptr`.
+    Load {
+        ty: Ty,
+        ptr: Operand,
+    },
+    /// Store `ty.size()` bytes of `value` to `ptr`.
+    Store {
+        ty: Ty,
+        ptr: Operand,
+        value: Operand,
+    },
+    /// `base + offset` in bytes (the GEP of this IR).
+    PtrAdd {
+        base: Operand,
+        offset: Operand,
+    },
+    /// Reserve `size` bytes of per-thread local memory. Always in the entry
+    /// block (the builder enforces this).
+    Alloca {
+        size: u64,
+    },
+    /// Direct or indirect call. `callee` is `Operand::Func` for direct
+    /// calls; anything else is an indirect call through a function pointer.
+    Call {
+        callee: Operand,
+        args: Vec<Operand>,
+        ret: Option<Ty>,
+    },
+    /// Atomic read-modify-write; returns the previous value.
+    Atomic {
+        op: AtomicOp,
+        ty: Ty,
+        ptr: Operand,
+        value: Operand,
+    },
+    /// Atomic compare-and-swap; returns the previous value.
+    Cas {
+        ty: Ty,
+        ptr: Operand,
+        expected: Operand,
+        new: Operand,
+    },
+    Intr {
+        intr: Intrinsic,
+        args: Vec<Operand>,
+    },
+    Phi {
+        ty: Ty,
+        incomings: Vec<PhiIncoming>,
+    },
+}
+
+impl Inst {
+    /// Result type, or `None` for void instructions.
+    pub fn result_ty(&self) -> Option<Ty> {
+        match self {
+            Inst::Bin { ty, .. } | Inst::Un { ty, .. } => Some(*ty),
+            Inst::Cast { to, .. } => Some(*to),
+            Inst::Cmp { .. } => Some(Ty::I1),
+            Inst::Select { ty, .. } => Some(*ty),
+            Inst::Load { ty, .. } => Some(*ty),
+            Inst::Store { .. } => None,
+            Inst::PtrAdd { .. } | Inst::Alloca { .. } => Some(Ty::Ptr),
+            Inst::Call { ret, .. } => *ret,
+            Inst::Atomic { ty, .. } | Inst::Cas { ty, .. } => Some(*ty),
+            Inst::Intr { intr, .. } => match intr {
+                Intrinsic::ThreadId
+                | Intrinsic::BlockId
+                | Intrinsic::BlockDim
+                | Intrinsic::GridDim => Some(Ty::I64),
+                Intrinsic::Malloc => Some(Ty::Ptr),
+                _ => None,
+            },
+            Inst::Phi { ty, .. } => Some(*ty),
+        }
+    }
+
+    /// Does executing this instruction read or write memory, synchronize, or
+    /// otherwise have an effect beyond producing its result? Loads count:
+    /// they observe shared state (this is the conservative side used by the
+    /// barrier-elimination pass).
+    pub fn has_side_effects(&self) -> bool {
+        match self {
+            Inst::Load { .. }
+            | Inst::Store { .. }
+            | Inst::Call { .. }
+            | Inst::Atomic { .. }
+            | Inst::Cas { .. } => true,
+            Inst::Intr { intr, .. } => !matches!(
+                intr,
+                Intrinsic::ThreadId
+                    | Intrinsic::BlockId
+                    | Intrinsic::BlockDim
+                    | Intrinsic::GridDim
+                    | Intrinsic::Assume(())
+            ),
+            _ => false,
+        }
+    }
+
+    /// Iterate over all operand uses (not including phi predecessors).
+    pub fn operands(&self) -> Vec<Operand> {
+        match self {
+            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Inst::Un { arg, .. } | Inst::Cast { arg, .. } => vec![*arg],
+            Inst::Select {
+                cond,
+                if_true,
+                if_false,
+                ..
+            } => vec![*cond, *if_true, *if_false],
+            Inst::Load { ptr, .. } => vec![*ptr],
+            Inst::Store { ptr, value, .. } => vec![*ptr, *value],
+            Inst::PtrAdd { base, offset } => vec![*base, *offset],
+            Inst::Alloca { .. } => vec![],
+            Inst::Call { callee, args, .. } => {
+                let mut v = vec![*callee];
+                v.extend_from_slice(args);
+                v
+            }
+            Inst::Atomic { ptr, value, .. } => vec![*ptr, *value],
+            Inst::Cas {
+                ptr, expected, new, ..
+            } => vec![*ptr, *expected, *new],
+            Inst::Intr { args, .. } => args.clone(),
+            Inst::Phi { incomings, .. } => incomings.iter().map(|i| i.value).collect(),
+        }
+    }
+
+    /// Apply `f` to every operand use in place (including phi incomings).
+    pub fn map_operands(&mut self, mut f: impl FnMut(Operand) -> Operand) {
+        match self {
+            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                *lhs = f(*lhs);
+                *rhs = f(*rhs);
+            }
+            Inst::Un { arg, .. } | Inst::Cast { arg, .. } => *arg = f(*arg),
+            Inst::Select {
+                cond,
+                if_true,
+                if_false,
+                ..
+            } => {
+                *cond = f(*cond);
+                *if_true = f(*if_true);
+                *if_false = f(*if_false);
+            }
+            Inst::Load { ptr, .. } => *ptr = f(*ptr),
+            Inst::Store { ptr, value, .. } => {
+                *ptr = f(*ptr);
+                *value = f(*value);
+            }
+            Inst::PtrAdd { base, offset } => {
+                *base = f(*base);
+                *offset = f(*offset);
+            }
+            Inst::Alloca { .. } => {}
+            Inst::Call { callee, args, .. } => {
+                *callee = f(*callee);
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            Inst::Atomic { ptr, value, .. } => {
+                *ptr = f(*ptr);
+                *value = f(*value);
+            }
+            Inst::Cas {
+                ptr, expected, new, ..
+            } => {
+                *ptr = f(*ptr);
+                *expected = f(*expected);
+                *new = f(*new);
+            }
+            Inst::Intr { args, .. } => {
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            Inst::Phi { incomings, .. } => {
+                for inc in incomings {
+                    inc.value = f(inc.value);
+                }
+            }
+        }
+    }
+
+    pub fn is_phi(&self) -> bool {
+        matches!(self, Inst::Phi { .. })
+    }
+}
+
+/// Block terminators.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Term {
+    Br(BlockId),
+    CondBr {
+        cond: Operand,
+        if_true: BlockId,
+        if_false: BlockId,
+    },
+    Ret(Option<Operand>),
+    Unreachable,
+}
+
+impl Term {
+    /// Successor blocks in order.
+    pub fn succs(&self) -> Vec<BlockId> {
+        match self {
+            Term::Br(b) => vec![*b],
+            Term::CondBr {
+                if_true, if_false, ..
+            } => vec![*if_true, *if_false],
+            Term::Ret(_) | Term::Unreachable => vec![],
+        }
+    }
+
+    pub fn operands(&self) -> Vec<Operand> {
+        match self {
+            Term::CondBr { cond, .. } => vec![*cond],
+            Term::Ret(Some(v)) => vec![*v],
+            _ => vec![],
+        }
+    }
+
+    pub fn map_operands(&mut self, mut f: impl FnMut(Operand) -> Operand) {
+        match self {
+            Term::CondBr { cond, .. } => *cond = f(*cond),
+            Term::Ret(Some(v)) => *v = f(*v),
+            _ => {}
+        }
+    }
+}

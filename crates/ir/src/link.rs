@@ -1,0 +1,119 @@
+//! Module linking: merge the device runtime (an IR library, ref. §II-B:
+//! "the GPU runtime library is first linked into the user code as an LLVM
+//! bytecode library and then optimized together with the user application")
+//! into the application module, resolving declarations to definitions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::global::GlobalId;
+use crate::module::{FuncRef, Module};
+use crate::value::Operand;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkError {
+    DuplicateFunction(String),
+    DuplicateGlobal(String),
+    SignatureMismatch(String),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::DuplicateFunction(n) => write!(f, "duplicate definition of function @{n}"),
+            LinkError::DuplicateGlobal(n) => write!(f, "duplicate definition of global @{n}"),
+            LinkError::SignatureMismatch(n) => {
+                write!(f, "declaration/definition signature mismatch for @{n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Link `src` into `dst`. Declarations in either module are resolved against
+/// definitions in the other; remaining unresolved declarations are allowed
+/// (they fail at execution time if actually called).
+pub fn link(dst: &mut Module, src: Module) -> Result<(), LinkError> {
+    // --- globals: names must be unique across modules -------------------
+    let mut global_map: HashMap<GlobalId, GlobalId> = HashMap::new();
+    for (i, g) in src.globals.iter().enumerate() {
+        if dst.find_global(&g.name).is_some() {
+            return Err(LinkError::DuplicateGlobal(g.name.clone()));
+        }
+        let new_id = dst.add_global(g.clone());
+        global_map.insert(GlobalId(i as u32), new_id);
+    }
+
+    // --- functions -------------------------------------------------------
+    // First decide, for every src function, which dst slot it maps to.
+    let mut func_map: HashMap<FuncRef, FuncRef> = HashMap::new();
+    let mut to_install: Vec<(FuncRef, FuncRef)> = Vec::new(); // (dst slot, src idx)
+    for (i, sf) in src.funcs.iter().enumerate() {
+        let src_ref = FuncRef(i as u32);
+        match dst.find_func(&sf.name) {
+            Some(existing) => {
+                let df = dst.func(existing);
+                if df.params != sf.params || df.ret != sf.ret {
+                    return Err(LinkError::SignatureMismatch(sf.name.clone()));
+                }
+                match (df.is_declaration(), sf.is_declaration()) {
+                    (true, false) => {
+                        // dst declared, src defines: install src body later.
+                        to_install.push((existing, src_ref));
+                        func_map.insert(src_ref, existing);
+                    }
+                    (_, true) => {
+                        // src only declares; resolve to dst's slot.
+                        func_map.insert(src_ref, existing);
+                    }
+                    (false, false) => {
+                        return Err(LinkError::DuplicateFunction(sf.name.clone()));
+                    }
+                }
+            }
+            None => {
+                let new_ref = dst.add_function(sf.clone());
+                func_map.insert(src_ref, new_ref);
+                if !sf.is_declaration() {
+                    to_install.push((new_ref, src_ref));
+                }
+            }
+        }
+    }
+
+    // Install bodies for replaced declarations.
+    for &(dst_ref, src_ref) in &to_install {
+        let sf = &src.funcs[src_ref.index()];
+        let d = dst.func_mut(dst_ref);
+        d.blocks = sf.blocks.clone();
+        d.insts = sf.insts.clone();
+        d.attrs = sf.attrs.clone();
+        d.linkage = sf.linkage;
+    }
+
+    // Remap Func/Global operands in every function we pulled from src.
+    let remap = |op: Operand| -> Operand {
+        match op {
+            Operand::Func(fr) => Operand::Func(*func_map.get(&fr).unwrap_or(&fr)),
+            Operand::Global(g) => Operand::Global(*global_map.get(&g).unwrap_or(&g)),
+            other => other,
+        }
+    };
+    for &(dst_ref, _) in &to_install {
+        let f = dst.func_mut(dst_ref);
+        for inst in &mut f.insts {
+            inst.map_operands(remap);
+        }
+        for block in &mut f.blocks {
+            block.term.map_operands(remap);
+        }
+    }
+
+    // Kernels from src (rare, but allowed).
+    for k in &src.kernels {
+        let func = *func_map.get(&k.func).expect("kernel func mapped");
+        dst.add_kernel(func, k.exec_mode);
+    }
+    Ok(())
+}

@@ -1,0 +1,930 @@
+//! Parser for the textual IR format produced by [`crate::printer`].
+//!
+//! Round-trip property: for any module `m`, `parse(print(m))` is
+//! semantically equivalent to `m` (instruction ids are renumbered densely,
+//! so the *text* re-normalizes after one round trip). Useful for file-based
+//! test cases, debugging dumps, and diffing optimizer stages.
+
+use std::collections::HashMap;
+
+use crate::func::{Block, BlockId, FnAttrs, Function, Linkage};
+use crate::global::{Global, Init};
+use crate::inst::{AtomicOp, BinOp, CastKind, Inst, InstId, Intrinsic, Pred, Term, UnOp};
+use crate::module::{ExecMode, FuncRef, Module};
+use crate::types::{Space, Ty};
+use crate::value::{Operand, PhiIncoming};
+
+/// Parse error with line context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+fn err<T>(line: usize, message: impl Into<String>) -> PResult<T> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_ty(s: &str, line: usize) -> PResult<Ty> {
+    match s {
+        "i1" => Ok(Ty::I1),
+        "i8" => Ok(Ty::I8),
+        "i32" => Ok(Ty::I32),
+        "i64" => Ok(Ty::I64),
+        "f64" => Ok(Ty::F64),
+        "ptr" => Ok(Ty::Ptr),
+        other => err(line, format!("unknown type {other:?}")),
+    }
+}
+
+fn parse_space(s: &str, line: usize) -> PResult<Space> {
+    match s {
+        "global" => Ok(Space::Global),
+        "shared" => Ok(Space::Shared),
+        "local" => Ok(Space::Local),
+        "constant" => Ok(Space::Constant),
+        other => err(line, format!("unknown space {other:?}")),
+    }
+}
+
+fn parse_bin_op(s: &str) -> Option<BinOp> {
+    Some(match s {
+        "Add" => BinOp::Add,
+        "Sub" => BinOp::Sub,
+        "Mul" => BinOp::Mul,
+        "SDiv" => BinOp::SDiv,
+        "SRem" => BinOp::SRem,
+        "UDiv" => BinOp::UDiv,
+        "URem" => BinOp::URem,
+        "And" => BinOp::And,
+        "Or" => BinOp::Or,
+        "Xor" => BinOp::Xor,
+        "Shl" => BinOp::Shl,
+        "LShr" => BinOp::LShr,
+        "AShr" => BinOp::AShr,
+        "SMin" => BinOp::SMin,
+        "SMax" => BinOp::SMax,
+        "FAdd" => BinOp::FAdd,
+        "FSub" => BinOp::FSub,
+        "FMul" => BinOp::FMul,
+        "FDiv" => BinOp::FDiv,
+        "FMin" => BinOp::FMin,
+        "FMax" => BinOp::FMax,
+        _ => return None,
+    })
+}
+
+fn parse_un_op(s: &str) -> Option<UnOp> {
+    Some(match s {
+        "Neg" => UnOp::Neg,
+        "Not" => UnOp::Not,
+        "FNeg" => UnOp::FNeg,
+        "FAbs" => UnOp::FAbs,
+        "Sqrt" => UnOp::Sqrt,
+        "Sin" => UnOp::Sin,
+        "Cos" => UnOp::Cos,
+        "Exp" => UnOp::Exp,
+        "Log" => UnOp::Log,
+        _ => return None,
+    })
+}
+
+fn parse_cast_kind(s: &str) -> Option<CastKind> {
+    Some(match s {
+        "IntCast" => CastKind::IntCast,
+        "ZExtCast" => CastKind::ZExtCast,
+        "SiToFp" => CastKind::SiToFp,
+        "FpToSi" => CastKind::FpToSi,
+        "PtrCast" => CastKind::PtrCast,
+        _ => return None,
+    })
+}
+
+fn parse_pred(s: &str) -> Option<Pred> {
+    Some(match s {
+        "Eq" => Pred::Eq,
+        "Ne" => Pred::Ne,
+        "Slt" => Pred::Slt,
+        "Sle" => Pred::Sle,
+        "Sgt" => Pred::Sgt,
+        "Sge" => Pred::Sge,
+        "Ult" => Pred::Ult,
+        "Ule" => Pred::Ule,
+        "Ugt" => Pred::Ugt,
+        "Uge" => Pred::Uge,
+        _ => return None,
+    })
+}
+
+fn parse_atomic_op(s: &str) -> Option<AtomicOp> {
+    Some(match s {
+        "Add" => AtomicOp::Add,
+        "Max" => AtomicOp::Max,
+        "Min" => AtomicOp::Min,
+        "Exchange" => AtomicOp::Exchange,
+        _ => return None,
+    })
+}
+
+const INTRINSICS: &[(&str, Intrinsic)] = &[
+    ("thread.id", Intrinsic::ThreadId),
+    ("block.id", Intrinsic::BlockId),
+    ("block.dim", Intrinsic::BlockDim),
+    ("grid.dim", Intrinsic::GridDim),
+    ("barrier.aligned", Intrinsic::AlignedBarrier),
+    ("barrier", Intrinsic::Barrier),
+    ("assume", Intrinsic::Assume(())),
+    ("assert.fail", Intrinsic::AssertFail),
+    ("malloc", Intrinsic::Malloc),
+    ("free", Intrinsic::Free),
+];
+
+/// An operand as written (resolved in a second phase).
+#[derive(Clone, Debug)]
+enum RawOp {
+    Inst(u32),
+    Param(u32),
+    ConstI(i64, Ty),
+    ConstF(f64),
+    Symbol(String),
+}
+
+/// Split a comma-separated argument list, respecting that our operands
+/// never contain commas or parens.
+fn split_args(s: &str) -> Vec<&str> {
+    let s = s.trim();
+    if s.is_empty() {
+        return vec![];
+    }
+    s.split(',').map(|a| a.trim()).collect()
+}
+
+/// Parse one operand token like `%5`, `%arg0`, `i64 -3`, `f64 2.5`, `@name`.
+fn parse_raw_op(tok: &str, line: usize) -> PResult<RawOp> {
+    let tok = tok.trim();
+    if let Some(rest) = tok.strip_prefix("%arg") {
+        return rest
+            .parse::<u32>()
+            .map(RawOp::Param)
+            .or_else(|_| err(line, format!("bad param {tok:?}")));
+    }
+    if let Some(rest) = tok.strip_prefix('%') {
+        return rest
+            .parse::<u32>()
+            .map(RawOp::Inst)
+            .or_else(|_| err(line, format!("bad value id {tok:?}")));
+    }
+    if let Some(rest) = tok.strip_prefix('@') {
+        return Ok(RawOp::Symbol(rest.to_string()));
+    }
+    if let Some((ty_s, val)) = tok.split_once(' ') {
+        let ty = parse_ty(ty_s, line)?;
+        if ty == Ty::F64 {
+            let v = parse_f64(val.trim(), line)?;
+            return Ok(RawOp::ConstF(v));
+        }
+        let v = val
+            .trim()
+            .parse::<i64>()
+            .or_else(|_| err(line, format!("bad int constant {val:?}")))?;
+        return Ok(RawOp::ConstI(v, ty));
+    }
+    err(line, format!("cannot parse operand {tok:?}"))
+}
+
+fn parse_f64(s: &str, line: usize) -> PResult<f64> {
+    match s {
+        "NaN" => Ok(f64::NAN),
+        "inf" => Ok(f64::INFINITY),
+        "-inf" => Ok(f64::NEG_INFINITY),
+        _ => s
+            .parse::<f64>()
+            .or_else(|_| err(line, format!("bad float constant {s:?}"))),
+    }
+}
+
+fn parse_block_ref(tok: &str, line: usize) -> PResult<BlockId> {
+    tok.trim()
+        .strip_prefix("bb")
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(BlockId)
+        .ok_or(ParseError {
+            line,
+            message: format!("bad block reference {tok:?}"),
+        })
+}
+
+/// A parsed instruction before operand resolution.
+struct RawInst {
+    line: usize,
+    /// Printed result id (None for void instructions).
+    result: Option<u32>,
+    body: RawBody,
+}
+
+enum RawBody {
+    Bin(BinOp, Ty, RawOp, RawOp),
+    Un(UnOp, Ty, RawOp),
+    Cast(CastKind, Ty, RawOp),
+    Cmp(Pred, Ty, RawOp, RawOp),
+    Select(Ty, RawOp, RawOp, RawOp),
+    Load(Ty, RawOp),
+    Store(Ty, RawOp, RawOp), // value, ptr
+    PtrAdd(RawOp, RawOp),
+    Alloca(u64),
+    Call(Option<Ty>, RawOp, Vec<RawOp>),
+    Atomic(AtomicOp, Ty, RawOp, RawOp),
+    Cas(Ty, RawOp, RawOp, RawOp),
+    Intr(Intrinsic, Vec<RawOp>),
+    Phi(Ty, Vec<(BlockId, RawOp)>),
+}
+
+/// Parse the right-hand side of an instruction line.
+fn parse_inst_body(s: &str, line: usize) -> PResult<RawBody> {
+    let s = s.trim();
+    // Intrinsics: `name(args)`.
+    for (name, intr) in INTRINSICS {
+        if let Some(rest) = s.strip_prefix(name) {
+            if let Some(inner) = rest.trim().strip_prefix('(').and_then(|r| r.strip_suffix(')')) {
+                let args = split_args(inner)
+                    .into_iter()
+                    .map(|a| parse_raw_op(a, line))
+                    .collect::<PResult<Vec<_>>>()?;
+                return Ok(RawBody::Intr(*intr, args));
+            }
+        }
+    }
+    if let Some(rest) = s.strip_prefix("load ") {
+        let (ty_s, ptr) = rest
+            .split_once(',')
+            .ok_or_else(|| ParseError { line, message: "load needs `ty, ptr`".into() })?;
+        return Ok(RawBody::Load(
+            parse_ty(ty_s.trim(), line)?,
+            parse_raw_op(ptr, line)?,
+        ));
+    }
+    if let Some(rest) = s.strip_prefix("store ") {
+        // `store ty VALUE, PTR` — value may itself start with a type token
+        // (constants), so split at the LAST comma.
+        let comma = rest
+            .rfind(',')
+            .ok_or_else(|| ParseError { line, message: "store needs `,`".into() })?;
+        let (head, ptr) = rest.split_at(comma);
+        let ptr = &ptr[1..];
+        let (ty_s, value) = head
+            .trim()
+            .split_once(' ')
+            .ok_or_else(|| ParseError { line, message: "store needs `ty value`".into() })?;
+        return Ok(RawBody::Store(
+            parse_ty(ty_s, line)?,
+            parse_raw_op(value, line)?,
+            parse_raw_op(ptr, line)?,
+        ));
+    }
+    if let Some(rest) = s.strip_prefix("ptradd ") {
+        let (a, b) = rest
+            .split_once(',')
+            .ok_or_else(|| ParseError { line, message: "ptradd needs 2 args".into() })?;
+        return Ok(RawBody::PtrAdd(parse_raw_op(a, line)?, parse_raw_op(b, line)?));
+    }
+    if let Some(rest) = s.strip_prefix("alloca ") {
+        let size = rest
+            .trim()
+            .parse::<u64>()
+            .or_else(|_| err(line, "bad alloca size"))?;
+        return Ok(RawBody::Alloca(size));
+    }
+    if let Some(rest) = s.strip_prefix("call ") {
+        let (retty_s, rest) = rest
+            .split_once(' ')
+            .ok_or_else(|| ParseError { line, message: "call needs ret type".into() })?;
+        let ret = if retty_s == "void" {
+            None
+        } else {
+            Some(parse_ty(retty_s, line)?)
+        };
+        let open = rest
+            .find('(')
+            .ok_or_else(|| ParseError { line, message: "call needs `(`".into() })?;
+        let callee = parse_raw_op(&rest[..open], line)?;
+        let inner = rest[open + 1..]
+            .strip_suffix(')')
+            .ok_or_else(|| ParseError { line, message: "call needs `)`".into() })?;
+        let args = split_args(inner)
+            .into_iter()
+            .map(|a| parse_raw_op(a, line))
+            .collect::<PResult<Vec<_>>>()?;
+        return Ok(RawBody::Call(ret, callee, args));
+    }
+    if let Some(rest) = s.strip_prefix("select.") {
+        let (ty_s, rest) = rest
+            .split_once(' ')
+            .ok_or_else(|| ParseError { line, message: "select needs type".into() })?;
+        let ty = parse_ty(ty_s, line)?;
+        let args = split_args(rest);
+        if args.len() != 3 {
+            return err(line, "select needs 3 operands");
+        }
+        return Ok(RawBody::Select(
+            ty,
+            parse_raw_op(args[0], line)?,
+            parse_raw_op(args[1], line)?,
+            parse_raw_op(args[2], line)?,
+        ));
+    }
+    if let Some(rest) = s.strip_prefix("cmp.") {
+        let (pred_s, rest) = rest
+            .split_once('.')
+            .ok_or_else(|| ParseError { line, message: "cmp needs pred.ty".into() })?;
+        let pred = parse_pred(pred_s)
+            .ok_or_else(|| ParseError { line, message: format!("bad predicate {pred_s:?}") })?;
+        let (ty_s, rest) = rest
+            .split_once(' ')
+            .ok_or_else(|| ParseError { line, message: "cmp needs type".into() })?;
+        let args = split_args(rest);
+        if args.len() != 2 {
+            return err(line, "cmp needs 2 operands");
+        }
+        return Ok(RawBody::Cmp(
+            pred,
+            parse_ty(ty_s, line)?,
+            parse_raw_op(args[0], line)?,
+            parse_raw_op(args[1], line)?,
+        ));
+    }
+    if let Some(rest) = s.strip_prefix("atomic.") {
+        let (op_s, rest) = rest
+            .split_once('.')
+            .ok_or_else(|| ParseError { line, message: "atomic needs op.ty".into() })?;
+        let op = parse_atomic_op(op_s)
+            .ok_or_else(|| ParseError { line, message: format!("bad atomic op {op_s:?}") })?;
+        let (ty_s, rest) = rest
+            .split_once(' ')
+            .ok_or_else(|| ParseError { line, message: "atomic needs type".into() })?;
+        let args = split_args(rest);
+        if args.len() != 2 {
+            return err(line, "atomic needs 2 operands");
+        }
+        return Ok(RawBody::Atomic(
+            op,
+            parse_ty(ty_s, line)?,
+            parse_raw_op(args[0], line)?,
+            parse_raw_op(args[1], line)?,
+        ));
+    }
+    if let Some(rest) = s.strip_prefix("cas.") {
+        let (ty_s, rest) = rest
+            .split_once(' ')
+            .ok_or_else(|| ParseError { line, message: "cas needs type".into() })?;
+        let args = split_args(rest);
+        if args.len() != 3 {
+            return err(line, "cas needs 3 operands");
+        }
+        return Ok(RawBody::Cas(
+            parse_ty(ty_s, line)?,
+            parse_raw_op(args[0], line)?,
+            parse_raw_op(args[1], line)?,
+            parse_raw_op(args[2], line)?,
+        ));
+    }
+    if let Some(rest) = s.strip_prefix("phi ") {
+        let (ty_s, rest) = rest
+            .split_once(' ')
+            .ok_or_else(|| ParseError { line, message: "phi needs type".into() })?;
+        let ty = parse_ty(ty_s, line)?;
+        let mut incomings = Vec::new();
+        for part in rest.split("],") {
+            let part = part.trim().trim_start_matches('[').trim_end_matches(']');
+            if part.is_empty() {
+                continue;
+            }
+            let (bb, val) = part
+                .split_once(':')
+                .ok_or_else(|| ParseError { line, message: "phi incoming needs `bb: val`".into() })?;
+            incomings.push((parse_block_ref(bb, line)?, parse_raw_op(val, line)?));
+        }
+        return Ok(RawBody::Phi(ty, incomings));
+    }
+    // Bin/Un/Cast: `<Op>.<ty> ...` or `<CastKind> <op> to <ty>`.
+    if let Some((head, rest)) = s.split_once(' ') {
+        if let Some(kind) = parse_cast_kind(head) {
+            let (arg, to) = rest
+                .rsplit_once(" to ")
+                .ok_or_else(|| ParseError { line, message: "cast needs `to <ty>`".into() })?;
+            return Ok(RawBody::Cast(
+                kind,
+                parse_ty(to.trim(), line)?,
+                parse_raw_op(arg, line)?,
+            ));
+        }
+        if let Some((op_s, ty_s)) = head.split_once('.') {
+            let ty = parse_ty(ty_s, line)?;
+            let args = split_args(rest);
+            if let Some(op) = parse_bin_op(op_s) {
+                if args.len() != 2 {
+                    return err(line, "binary op needs 2 operands");
+                }
+                return Ok(RawBody::Bin(
+                    op,
+                    ty,
+                    parse_raw_op(args[0], line)?,
+                    parse_raw_op(args[1], line)?,
+                ));
+            }
+            if let Some(op) = parse_un_op(op_s) {
+                if args.len() != 1 {
+                    return err(line, "unary op needs 1 operand");
+                }
+                return Ok(RawBody::Un(op, ty, parse_raw_op(args[0], line)?));
+            }
+        }
+    }
+    err(line, format!("cannot parse instruction {s:?}"))
+}
+
+enum RawTerm {
+    Br(BlockId),
+    CondBr(RawOp, BlockId, BlockId),
+    RetVoid,
+    Ret(RawOp),
+    Unreachable,
+}
+
+fn parse_term(s: &str, line: usize) -> PResult<Option<RawTerm>> {
+    let s = s.trim();
+    if s == "unreachable" {
+        return Ok(Some(RawTerm::Unreachable));
+    }
+    if s == "ret void" {
+        return Ok(Some(RawTerm::RetVoid));
+    }
+    if let Some(rest) = s.strip_prefix("ret ") {
+        return Ok(Some(RawTerm::Ret(parse_raw_op(rest, line)?)));
+    }
+    if let Some(rest) = s.strip_prefix("br ") {
+        let args = split_args(rest);
+        return match args.len() {
+            1 => Ok(Some(RawTerm::Br(parse_block_ref(args[0], line)?))),
+            3 => Ok(Some(RawTerm::CondBr(
+                parse_raw_op(args[0], line)?,
+                parse_block_ref(args[1], line)?,
+                parse_block_ref(args[2], line)?,
+            ))),
+            _ => err(line, "br needs 1 or 3 arguments"),
+        };
+    }
+    Ok(None)
+}
+
+struct RawFunc {
+    name: String,
+    params: Vec<Ty>,
+    ret: Option<Ty>,
+    attrs: FnAttrs,
+    linkage: Linkage,
+    /// Blocks: (id, instructions, terminator).
+    blocks: Vec<(BlockId, Vec<RawInst>, RawTerm)>,
+    is_decl: bool,
+}
+
+/// Parse a function header like
+/// `define internal i64 @f(i64 %arg0, ptr %arg1) [noinline] {`.
+fn parse_header(line_s: &str, line: usize, decl: bool) -> PResult<RawFunc> {
+    let mut rest = line_s.trim();
+    rest = rest
+        .strip_prefix(if decl { "declare" } else { "define" })
+        .unwrap()
+        .trim();
+    let linkage = if let Some(r) = rest.strip_prefix("internal ") {
+        rest = r;
+        Linkage::Internal
+    } else {
+        Linkage::External
+    };
+    let (ret_s, r) = rest
+        .split_once(' ')
+        .ok_or_else(|| ParseError { line, message: "missing return type".into() })?;
+    let ret = if ret_s == "void" {
+        None
+    } else {
+        Some(parse_ty(ret_s, line)?)
+    };
+    let r = r.trim();
+    let at = r
+        .strip_prefix('@')
+        .ok_or_else(|| ParseError { line, message: "missing @name".into() })?;
+    let open = at
+        .find('(')
+        .ok_or_else(|| ParseError { line, message: "missing `(`".into() })?;
+    let name = at[..open].to_string();
+    let close = at
+        .find(')')
+        .ok_or_else(|| ParseError { line, message: "missing `)`".into() })?;
+    let params = split_args(&at[open + 1..close])
+        .into_iter()
+        .map(|p| {
+            let ty_s = p.split_whitespace().next().unwrap_or(p);
+            parse_ty(ty_s, line)
+        })
+        .collect::<PResult<Vec<_>>>()?;
+    let tail = &at[close + 1..];
+    let mut attrs = FnAttrs::default();
+    if let Some(a0) = tail.find('[') {
+        if let Some(a1) = tail.find(']') {
+            for a in tail[a0 + 1..a1].split(',') {
+                match a.trim() {
+                    "aligned_barrier" => attrs.aligned_barrier = true,
+                    "no_call_asm" => attrs.no_call_asm = true,
+                    "always_inline" => attrs.always_inline = true,
+                    "noinline" => attrs.no_inline = true,
+                    "read_none" => attrs.read_none = true,
+                    other => return err(line, format!("unknown attribute {other:?}")),
+                }
+            }
+        }
+    }
+    Ok(RawFunc {
+        name,
+        params,
+        ret,
+        attrs,
+        linkage,
+        blocks: Vec::new(),
+        is_decl: decl,
+    })
+}
+
+/// Parse a full module from the printer's format.
+pub fn parse_module(text: &str) -> PResult<Module> {
+    let mut module_name = String::from("parsed");
+    let mut globals: Vec<(usize, String)> = Vec::new();
+    let mut kernels: Vec<(String, ExecMode)> = Vec::new();
+    let mut funcs: Vec<RawFunc> = Vec::new();
+    let mut cur: Option<RawFunc> = None;
+    let mut cur_block: Option<(BlockId, Vec<RawInst>)> = None;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let ln = idx + 1;
+        let line_s = raw_line.trim();
+        if line_s.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line_s.strip_prefix("; module ") {
+            module_name = rest.trim().to_string();
+            continue;
+        }
+        if let Some(rest) = line_s.strip_prefix("; kernel @") {
+            let (name, mode) = rest
+                .split_once(" mode=")
+                .ok_or_else(|| ParseError { line: ln, message: "kernel needs mode".into() })?;
+            let mode = match mode.trim() {
+                "Generic" => ExecMode::Generic,
+                "Spmd" => ExecMode::Spmd,
+                other => return err(ln, format!("unknown exec mode {other:?}")),
+            };
+            kernels.push((name.trim().to_string(), mode));
+            continue;
+        }
+        if line_s.starts_with(';') {
+            continue; // other comments
+        }
+        if line_s.starts_with('@') && cur.is_none() {
+            globals.push((ln, line_s.to_string()));
+            continue;
+        }
+        if line_s.starts_with("declare ") {
+            funcs.push(parse_header(line_s, ln, true)?);
+            continue;
+        }
+        if line_s.starts_with("define ") {
+            cur = Some(parse_header(line_s.trim_end_matches('{').trim(), ln, false)?);
+            continue;
+        }
+        if line_s == "}" {
+            let mut f = cur
+                .take()
+                .ok_or_else(|| ParseError { line: ln, message: "stray `}`".into() })?;
+            if let Some((bid, insts)) = cur_block.take() {
+                return err(
+                    ln,
+                    format!("bb{} has no terminator ({} insts)", bid.0, insts.len()),
+                );
+            }
+            f.is_decl = false;
+            funcs.push(f);
+            continue;
+        }
+        if let Some(rest) = line_s.strip_suffix(':') {
+            // Block label.
+            if let Some((bid, insts)) = cur_block.take() {
+                return err(
+                    ln,
+                    format!("bb{} not terminated before new label ({} insts)", bid.0, insts.len()),
+                );
+            }
+            cur_block = Some((parse_block_ref(rest, ln)?, Vec::new()));
+            continue;
+        }
+        // Inside a block: instruction or terminator.
+        let Some(f) = cur.as_mut() else {
+            return err(ln, format!("unexpected line outside function: {line_s:?}"));
+        };
+        let Some((bid, insts)) = cur_block.as_mut() else {
+            return err(ln, "instruction outside a block");
+        };
+        if let Some(term) = parse_term(line_s, ln)? {
+            let done = std::mem::take(insts);
+            f.blocks.push((*bid, done, term));
+            cur_block = None;
+            continue;
+        }
+        // `%N = body` or void `body`.
+        let (result, body_s) = if line_s.starts_with('%') {
+            let (lhs, rhs) = line_s
+                .split_once('=')
+                .ok_or_else(|| ParseError { line: ln, message: "expected `=`".into() })?;
+            let id = lhs
+                .trim()
+                .strip_prefix('%')
+                .and_then(|n| n.parse::<u32>().ok())
+                .ok_or_else(|| ParseError { line: ln, message: "bad result id".into() })?;
+            (Some(id), rhs.trim())
+        } else {
+            (None, line_s)
+        };
+        insts.push(RawInst {
+            line: ln,
+            result,
+            body: parse_inst_body(body_s, ln)?,
+        });
+    }
+    if cur.is_some() {
+        return err(text.lines().count(), "unterminated function");
+    }
+
+    build_module(module_name, globals, kernels, funcs)
+}
+
+fn parse_global_line(ln: usize, s: &str) -> PResult<Global> {
+    // `@name = space [N x i8] const? init=... linkage=...`
+    let rest = s.strip_prefix('@').unwrap();
+    let (name, rest) = rest
+        .split_once('=')
+        .ok_or_else(|| ParseError { line: ln, message: "global needs `=`".into() })?;
+    let toks: Vec<&str> = rest.split_whitespace().collect();
+    if toks.len() < 4 {
+        return err(ln, "malformed global");
+    }
+    let space = parse_space(toks[0], ln)?;
+    let size = toks[1]
+        .trim_start_matches('[')
+        .parse::<u64>()
+        .or_else(|_| err(ln, "bad global size"))?;
+    let mut constant = false;
+    let mut init = Init::Zero;
+    let mut linkage = Linkage::Internal;
+    for t in &toks[2..] {
+        if *t == "const" {
+            constant = true;
+        } else if let Some(v) = t.strip_prefix("init=") {
+            init = if v == "zero" {
+                Init::Zero
+            } else if let Some(n) = v.strip_prefix("i64:") {
+                Init::I64(n.parse::<i64>().or_else(|_| err(ln, "bad i64 init"))?)
+            } else if let Some(h) = v.strip_prefix("hex:") {
+                let bytes = (0..h.len() / 2)
+                    .map(|i| u8::from_str_radix(&h[2 * i..2 * i + 2], 16))
+                    .collect::<Result<Vec<u8>, _>>()
+                    .or_else(|_| err(ln, "bad hex init"))?;
+                Init::Bytes(bytes)
+            } else {
+                return err(ln, format!("bad init {v:?}"));
+            };
+        } else if let Some(l) = t.strip_prefix("linkage=") {
+            linkage = match l {
+                "internal" => Linkage::Internal,
+                "external" => Linkage::External,
+                other => return err(ln, format!("bad linkage {other:?}")),
+            };
+        }
+    }
+    Ok(Global {
+        name: name.trim().to_string(),
+        space,
+        size,
+        init,
+        constant,
+        linkage,
+    })
+}
+
+fn build_module(
+    name: String,
+    globals: Vec<(usize, String)>,
+    kernels: Vec<(String, ExecMode)>,
+    raw_funcs: Vec<RawFunc>,
+) -> PResult<Module> {
+    let mut m = Module::new(name);
+    for (ln, g) in globals {
+        let g = parse_global_line(ln, &g)?;
+        m.add_global(g);
+    }
+    // Pre-create all function shells so symbols resolve.
+    for rf in &raw_funcs {
+        m.add_function(Function {
+            name: rf.name.clone(),
+            params: rf.params.clone(),
+            ret: rf.ret,
+            blocks: Vec::new(),
+            insts: Vec::new(),
+            attrs: rf.attrs.clone(),
+            linkage: rf.linkage,
+        });
+    }
+    let func_by_name: HashMap<String, FuncRef> = m
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), FuncRef(i as u32)))
+        .collect();
+    let global_by_name: HashMap<String, crate::global::GlobalId> = m
+        .globals
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (g.name.clone(), crate::global::GlobalId(i as u32)))
+        .collect();
+
+    for (fi, rf) in raw_funcs.into_iter().enumerate() {
+        if rf.is_decl {
+            continue;
+        }
+        // Phase 1: allocate dense InstIds for every printed result id.
+        let mut id_map: HashMap<u32, InstId> = HashMap::new();
+        let mut next: u32 = 0;
+        for (_bid, insts, _t) in &rf.blocks {
+            for ri in insts {
+                if let Some(r) = ri.result {
+                    id_map.insert(r, InstId(next));
+                }
+                next += 1;
+            }
+        }
+        let resolve = |op: &RawOp, line: usize| -> PResult<Operand> {
+            Ok(match op {
+                RawOp::Inst(n) => Operand::Inst(*id_map.get(n).ok_or(ParseError {
+                    line,
+                    message: format!("unknown value %{n}"),
+                })?),
+                RawOp::Param(p) => Operand::Param(*p),
+                RawOp::ConstI(v, ty) => Operand::ConstI(*v, *ty),
+                RawOp::ConstF(v) => Operand::ConstF(*v),
+                RawOp::Symbol(s) => {
+                    if let Some(g) = global_by_name.get(s) {
+                        Operand::Global(*g)
+                    } else if let Some(f) = func_by_name.get(s) {
+                        Operand::Func(*f)
+                    } else {
+                        return err(line, format!("unknown symbol @{s}"));
+                    }
+                }
+            })
+        };
+
+        // Phase 2: build blocks. Block ids in the text may be sparse (the
+        // printer emits every block including empty unreachable ones), so
+        // size the vector to the max id.
+        let max_bid = rf.blocks.iter().map(|(b, _, _)| b.0).max().unwrap_or(0);
+        let mut blocks: Vec<Block> = (0..=max_bid).map(|_| Block::new()).collect();
+        let mut insts: Vec<Inst> = Vec::new();
+        for (bid, rinsts, rterm) in &rf.blocks {
+            let mut list = Vec::with_capacity(rinsts.len());
+            for ri in rinsts {
+                let inst = match &ri.body {
+                    RawBody::Bin(op, ty, a, b) => Inst::Bin {
+                        op: *op,
+                        ty: *ty,
+                        lhs: resolve(a, ri.line)?,
+                        rhs: resolve(b, ri.line)?,
+                    },
+                    RawBody::Un(op, ty, a) => Inst::Un {
+                        op: *op,
+                        ty: *ty,
+                        arg: resolve(a, ri.line)?,
+                    },
+                    RawBody::Cast(kind, to, a) => Inst::Cast {
+                        kind: *kind,
+                        to: *to,
+                        arg: resolve(a, ri.line)?,
+                    },
+                    RawBody::Cmp(pred, ty, a, b) => Inst::Cmp {
+                        pred: *pred,
+                        ty: *ty,
+                        lhs: resolve(a, ri.line)?,
+                        rhs: resolve(b, ri.line)?,
+                    },
+                    RawBody::Select(ty, c, t, f) => Inst::Select {
+                        ty: *ty,
+                        cond: resolve(c, ri.line)?,
+                        if_true: resolve(t, ri.line)?,
+                        if_false: resolve(f, ri.line)?,
+                    },
+                    RawBody::Load(ty, p) => Inst::Load {
+                        ty: *ty,
+                        ptr: resolve(p, ri.line)?,
+                    },
+                    RawBody::Store(ty, v, p) => Inst::Store {
+                        ty: *ty,
+                        ptr: resolve(p, ri.line)?,
+                        value: resolve(v, ri.line)?,
+                    },
+                    RawBody::PtrAdd(a, b) => Inst::PtrAdd {
+                        base: resolve(a, ri.line)?,
+                        offset: resolve(b, ri.line)?,
+                    },
+                    RawBody::Alloca(size) => Inst::Alloca { size: *size },
+                    RawBody::Call(ret, callee, args) => Inst::Call {
+                        callee: resolve(callee, ri.line)?,
+                        args: args
+                            .iter()
+                            .map(|a| resolve(a, ri.line))
+                            .collect::<PResult<Vec<_>>>()?,
+                        ret: *ret,
+                    },
+                    RawBody::Atomic(op, ty, p, v) => Inst::Atomic {
+                        op: *op,
+                        ty: *ty,
+                        ptr: resolve(p, ri.line)?,
+                        value: resolve(v, ri.line)?,
+                    },
+                    RawBody::Cas(ty, p, e, n) => Inst::Cas {
+                        ty: *ty,
+                        ptr: resolve(p, ri.line)?,
+                        expected: resolve(e, ri.line)?,
+                        new: resolve(n, ri.line)?,
+                    },
+                    RawBody::Intr(intr, args) => Inst::Intr {
+                        intr: *intr,
+                        args: args
+                            .iter()
+                            .map(|a| resolve(a, ri.line))
+                            .collect::<PResult<Vec<_>>>()?,
+                    },
+                    RawBody::Phi(ty, incs) => Inst::Phi {
+                        ty: *ty,
+                        incomings: incs
+                            .iter()
+                            .map(|(b, v)| {
+                                Ok(PhiIncoming {
+                                    pred: *b,
+                                    value: resolve(v, ri.line)?,
+                                })
+                            })
+                            .collect::<PResult<Vec<_>>>()?,
+                    },
+                };
+                let id = InstId(insts.len() as u32);
+                insts.push(inst);
+                list.push(id);
+            }
+            let term = match rterm {
+                RawTerm::Br(b) => Term::Br(*b),
+                RawTerm::CondBr(c, t, f) => Term::CondBr {
+                    cond: resolve(c, 0)?,
+                    if_true: *t,
+                    if_false: *f,
+                },
+                RawTerm::RetVoid => Term::Ret(None),
+                RawTerm::Ret(v) => Term::Ret(Some(resolve(v, 0)?)),
+                RawTerm::Unreachable => Term::Unreachable,
+            };
+            blocks[bid.index()] = Block {
+                insts: list,
+                term,
+            };
+        }
+        let f = &mut m.funcs[fi];
+        f.blocks = blocks;
+        f.insts = insts;
+    }
+
+    for (kname, mode) in kernels {
+        let fr = m
+            .find_func(&kname)
+            .ok_or_else(|| ParseError { line: 0, message: format!("kernel @{kname} not defined") })?;
+        m.add_kernel(fr, mode);
+    }
+    Ok(m)
+}

@@ -1,0 +1,221 @@
+//! Textual dump of modules/functions (for debugging, tests and remarks).
+
+use std::fmt::Write;
+
+use crate::func::{BlockId, Function};
+use crate::inst::{Inst, InstId, Intrinsic, Term};
+use crate::module::Module;
+use crate::value::Operand;
+
+fn fmt_operand(m: Option<&Module>, op: Operand) -> String {
+    match op {
+        Operand::Inst(i) => format!("%{}", i.0),
+        Operand::Param(p) => format!("%arg{p}"),
+        Operand::ConstI(v, ty) => format!("{ty} {v}"),
+        Operand::ConstF(v) => format!("f64 {v:?}"),
+        Operand::Global(g) => match m {
+            Some(m) => format!("@{}", m.global(g).name),
+            None => format!("@g{}", g.0),
+        },
+        Operand::Func(f) => match m {
+            Some(m) => format!("@{}", m.func(f).name),
+            None => format!("@f{}", f.0),
+        },
+    }
+}
+
+fn fmt_inst(m: Option<&Module>, id: InstId, inst: &Inst) -> String {
+    let lhs = if inst.result_ty().is_some() {
+        format!("%{} = ", id.0)
+    } else {
+        String::new()
+    };
+    let o = |op: Operand| fmt_operand(m, op);
+    let body = match inst {
+        Inst::Bin { op, ty, lhs, rhs } => {
+            format!("{op:?}.{ty} {}, {}", o(*lhs), o(*rhs))
+        }
+        Inst::Un { op, ty, arg } => format!("{op:?}.{ty} {}", o(*arg)),
+        Inst::Cast { kind, to, arg } => format!("{kind:?} {} to {to}", o(*arg)),
+        Inst::Cmp { pred, ty, lhs, rhs } => {
+            format!("cmp.{pred:?}.{ty} {}, {}", o(*lhs), o(*rhs))
+        }
+        Inst::Select {
+            ty,
+            cond,
+            if_true,
+            if_false,
+        } => format!(
+            "select.{ty} {}, {}, {}",
+            o(*cond),
+            o(*if_true),
+            o(*if_false)
+        ),
+        Inst::Load { ty, ptr } => format!("load {ty}, {}", o(*ptr)),
+        Inst::Store { ty, ptr, value } => format!("store {ty} {}, {}", o(*value), o(*ptr)),
+        Inst::PtrAdd { base, offset } => format!("ptradd {}, {}", o(*base), o(*offset)),
+        Inst::Alloca { size } => format!("alloca {size}"),
+        Inst::Call { callee, args, ret } => {
+            let args: Vec<String> = args.iter().map(|a| o(*a)).collect();
+            let retty = ret.map(|t| t.to_string()).unwrap_or_else(|| "void".into());
+            format!("call {retty} {}({})", o(*callee), args.join(", "))
+        }
+        Inst::Atomic { op, ty, ptr, value } => {
+            format!("atomic.{op:?}.{ty} {}, {}", o(*ptr), o(*value))
+        }
+        Inst::Cas {
+            ty,
+            ptr,
+            expected,
+            new,
+        } => format!("cas.{ty} {}, {}, {}", o(*ptr), o(*expected), o(*new)),
+        Inst::Intr { intr, args } => {
+            let args: Vec<String> = args.iter().map(|a| o(*a)).collect();
+            let name = match intr {
+                Intrinsic::ThreadId => "thread.id",
+                Intrinsic::BlockId => "block.id",
+                Intrinsic::BlockDim => "block.dim",
+                Intrinsic::GridDim => "grid.dim",
+                Intrinsic::AlignedBarrier => "barrier.aligned",
+                Intrinsic::Barrier => "barrier",
+                Intrinsic::Assume(()) => "assume",
+                Intrinsic::AssertFail => "assert.fail",
+                Intrinsic::Malloc => "malloc",
+                Intrinsic::Free => "free",
+            };
+            format!("{name}({})", args.join(", "))
+        }
+        Inst::Phi { ty, incomings } => {
+            let inc: Vec<String> = incomings
+                .iter()
+                .map(|i| format!("[bb{}: {}]", i.pred.0, o(i.value)))
+                .collect();
+            format!("phi {ty} {}", inc.join(", "))
+        }
+    };
+    format!("{lhs}{body}")
+}
+
+fn fmt_term(m: Option<&Module>, t: &Term) -> String {
+    match t {
+        Term::Br(b) => format!("br bb{}", b.0),
+        Term::CondBr {
+            cond,
+            if_true,
+            if_false,
+        } => format!(
+            "br {}, bb{}, bb{}",
+            fmt_operand(m, *cond),
+            if_true.0,
+            if_false.0
+        ),
+        Term::Ret(None) => "ret void".into(),
+        Term::Ret(Some(v)) => format!("ret {}", fmt_operand(m, *v)),
+        Term::Unreachable => "unreachable".into(),
+    }
+}
+
+/// Print a function (with module context for symbol names if available).
+pub fn print_function(m: Option<&Module>, f: &Function) -> String {
+    let mut s = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{t} %arg{i}"))
+        .collect();
+    let ret = f.ret.map(|t| t.to_string()).unwrap_or_else(|| "void".into());
+    let mut attrs = Vec::new();
+    if f.attrs.aligned_barrier {
+        attrs.push("aligned_barrier");
+    }
+    if f.attrs.no_call_asm {
+        attrs.push("no_call_asm");
+    }
+    if f.attrs.always_inline {
+        attrs.push("always_inline");
+    }
+    if f.attrs.no_inline {
+        attrs.push("noinline");
+    }
+    if f.attrs.read_none {
+        attrs.push("read_none");
+    }
+    let attrs = if attrs.is_empty() {
+        String::new()
+    } else {
+        format!(" [{}]", attrs.join(","))
+    };
+    let linkage = if f.linkage == crate::func::Linkage::Internal {
+        "internal "
+    } else {
+        ""
+    };
+    if f.is_declaration() {
+        let _ = writeln!(s, "declare {ret} @{}({}){attrs}", f.name, params.join(", "));
+        return s;
+    }
+    let _ = writeln!(
+        s,
+        "define {linkage}{ret} @{}({}){attrs} {{",
+        f.name,
+        params.join(", ")
+    );
+    for (bid, block) in f.iter_blocks() {
+        let _ = writeln!(s, "bb{}:", bid.0);
+        for &iid in &block.insts {
+            let _ = writeln!(s, "  {}", fmt_inst(m, iid, f.inst(iid)));
+        }
+        let _ = writeln!(s, "  {}", fmt_term(m, &block.term));
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Print an entire module.
+pub fn print_module(m: &Module) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "; module {}", m.name);
+    for g in &m.globals {
+        let c = if g.constant { " const" } else { "" };
+        let init = match &g.init {
+            crate::global::Init::Zero => "zero".to_string(),
+            crate::global::Init::I64(v) => format!("i64:{v}"),
+            crate::global::Init::Bytes(b) => {
+                let hex: String = b.iter().map(|x| format!("{x:02x}")).collect();
+                format!("hex:{hex}")
+            }
+        };
+        let linkage = match g.linkage {
+            crate::func::Linkage::Internal => "internal",
+            crate::func::Linkage::External => "external",
+        };
+        let _ = writeln!(
+            s,
+            "@{} = {} [{} x i8]{c} init={init} linkage={linkage}",
+            g.name, g.space, g.size
+        );
+    }
+    for k in &m.kernels {
+        let _ = writeln!(
+            s,
+            "; kernel @{} mode={:?}",
+            m.func(k.func).name,
+            k.exec_mode
+        );
+    }
+    for f in &m.funcs {
+        s.push_str(&print_function(Some(m), f));
+    }
+    s
+}
+
+/// Convenience for `{:?}`-style debugging of a single block.
+pub fn print_block(m: Option<&Module>, f: &Function, b: BlockId) -> String {
+    let mut s = format!("bb{}:\n", b.0);
+    for &iid in &f.block(b).insts {
+        let _ = writeln!(s, "  {}", fmt_inst(m, iid, f.inst(iid)));
+    }
+    let _ = writeln!(s, "  {}", fmt_term(m, &f.block(b).term));
+    s
+}

@@ -1,0 +1,81 @@
+//! SSA operands.
+
+use crate::func::BlockId;
+use crate::global::GlobalId;
+use crate::inst::InstId;
+use crate::types::Ty;
+
+/// A use of an SSA value: either the result of an instruction, a function
+/// parameter, or an immediate constant. `Operand` is `Copy` so rewriting
+/// passes can freely replace uses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Operand {
+    /// Result of instruction `InstId` in the same function.
+    Inst(InstId),
+    /// The `n`-th parameter of the enclosing function.
+    Param(u32),
+    /// Integer constant of the given type (value stored sign-extended).
+    ConstI(i64, Ty),
+    /// Floating-point constant.
+    ConstF(f64),
+    /// Address of a module global.
+    Global(GlobalId),
+    /// Address of a function (for indirect calls / outlined parallel bodies).
+    Func(crate::module::FuncRef),
+}
+
+impl Operand {
+    /// Null pointer constant.
+    pub const NULL: Operand = Operand::ConstI(0, Ty::Ptr);
+
+    /// `true` constant.
+    pub const TRUE: Operand = Operand::ConstI(1, Ty::I1);
+
+    /// `false` constant.
+    pub const FALSE: Operand = Operand::ConstI(0, Ty::I1);
+
+    pub fn i64(v: i64) -> Operand {
+        Operand::ConstI(v, Ty::I64)
+    }
+
+    pub fn i32(v: i32) -> Operand {
+        Operand::ConstI(v as i64, Ty::I32)
+    }
+
+    pub fn f64(v: f64) -> Operand {
+        Operand::ConstF(v)
+    }
+
+    pub fn bool_(v: bool) -> Operand {
+        Operand::ConstI(v as i64, Ty::I1)
+    }
+
+    /// Returns the integer value if this is an integer constant.
+    pub fn as_const_int(&self) -> Option<i64> {
+        match self {
+            Operand::ConstI(v, _) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float value if this is a float constant.
+    pub fn as_const_f64(&self) -> Option<f64> {
+        match self {
+            Operand::ConstF(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Is this any kind of constant (including globals/function addresses,
+    /// which are link-time constants)?
+    pub fn is_constant(&self) -> bool {
+        !matches!(self, Operand::Inst(_) | Operand::Param(_))
+    }
+}
+
+/// An incoming edge of a phi node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhiIncoming {
+    pub pred: BlockId,
+    pub value: Operand,
+}

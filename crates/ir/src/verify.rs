@@ -1,0 +1,289 @@
+//! Structural IR verifier. Run after construction and between passes in
+//! debug builds; catches malformed CFGs, dangling references and type
+//! mismatches early instead of deep inside the interpreter.
+
+use std::fmt;
+
+use crate::func::{BlockId, Function};
+use crate::inst::{Inst, Term};
+use crate::module::Module;
+use crate::value::Operand;
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyError {
+    pub func: String,
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify error in @{}: {}", self.func, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn err(func: &Function, message: impl Into<String>) -> VerifyError {
+    VerifyError {
+        func: func.name.clone(),
+        message: message.into(),
+    }
+}
+
+fn check_operand(f: &Function, m: Option<&Module>, op: Operand) -> Result<(), VerifyError> {
+    match op {
+        Operand::Inst(i) => {
+            if i.index() >= f.insts.len() {
+                return Err(err(f, format!("operand references missing inst %{}", i.0)));
+            }
+            if f.insts[i.index()].result_ty().is_none() {
+                return Err(err(f, format!("operand references void inst %{}", i.0)));
+            }
+        }
+        Operand::Param(p) => {
+            if p as usize >= f.params.len() {
+                return Err(err(f, format!("operand references missing param {p}")));
+            }
+        }
+        Operand::Global(g) => {
+            if let Some(m) = m {
+                if g.index() >= m.globals.len() {
+                    return Err(err(f, format!("operand references missing global {}", g.0)));
+                }
+            }
+        }
+        Operand::Func(fr) => {
+            if let Some(m) = m {
+                if fr.index() >= m.funcs.len() {
+                    return Err(err(f, format!("operand references missing func {}", fr.0)));
+                }
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Verify one function. With a module, also checks cross-references and
+/// direct-call signatures.
+pub fn verify_function(f: &Function, m: Option<&Module>) -> Result<(), VerifyError> {
+    if f.is_declaration() {
+        return Ok(());
+    }
+    if f.blocks.is_empty() {
+        return Err(err(f, "defined function with no blocks"));
+    }
+    let nblocks = f.blocks.len() as u32;
+    // No instruction may be listed in more than one block.
+    let mut seen = vec![false; f.insts.len()];
+    for (bid, block) in f.iter_blocks() {
+        let mut in_phi_prefix = true;
+        for &iid in &block.insts {
+            if iid.index() >= f.insts.len() {
+                return Err(err(f, format!("bb{} lists missing inst %{}", bid.0, iid.0)));
+            }
+            if seen[iid.index()] {
+                return Err(err(f, format!("inst %{} listed twice", iid.0)));
+            }
+            seen[iid.index()] = true;
+            let inst = f.inst(iid);
+            if inst.is_phi() {
+                if !in_phi_prefix {
+                    return Err(err(f, format!("phi %{} not at start of bb{}", iid.0, bid.0)));
+                }
+            } else {
+                in_phi_prefix = false;
+            }
+            for op in inst.operands() {
+                check_operand(f, m, op)?;
+            }
+            // Phi incomings must name existing blocks.
+            if let Inst::Phi { incomings, .. } = inst {
+                for inc in incomings {
+                    if inc.pred.0 >= nblocks {
+                        return Err(err(
+                            f,
+                            format!("phi %{} has incoming from missing bb{}", iid.0, inc.pred.0),
+                        ));
+                    }
+                }
+            }
+            // Direct calls: check arity/signature against the module.
+            if let (Inst::Call { callee, args, ret }, Some(m)) = (inst, m) {
+                if let Operand::Func(fr) = callee {
+                    let callee_f = m.func(*fr);
+                    if callee_f.params.len() != args.len() {
+                        return Err(err(
+                            f,
+                            format!(
+                                "call to @{} with {} args, expected {}",
+                                callee_f.name,
+                                args.len(),
+                                callee_f.params.len()
+                            ),
+                        ));
+                    }
+                    if callee_f.ret != *ret {
+                        return Err(err(
+                            f,
+                            format!(
+                                "call to @{} returns {:?}, call site expects {:?}",
+                                callee_f.name, callee_f.ret, ret
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        for target in block.term.succs() {
+            if target.0 >= nblocks {
+                return Err(err(f, format!("bb{} branches to missing bb{}", bid.0, target.0)));
+            }
+        }
+        for op in block.term.operands() {
+            check_operand(f, m, op)?;
+        }
+        if let Term::Ret(v) = &block.term {
+            match (v, f.ret) {
+                (Some(_), None) => return Err(err(f, "ret with value in void function")),
+                (None, Some(_)) => return Err(err(f, "ret void in non-void function")),
+                _ => {}
+            }
+        }
+    }
+    verify_ssa_dominance(f)?;
+
+    // Phi incoming edges must match actual predecessors.
+    let preds = crate::analysis::cfg::predecessors(f);
+    for (bid, block) in f.iter_blocks() {
+        for &iid in &block.insts {
+            if let Inst::Phi { incomings, .. } = f.inst(iid) {
+                let bp = &preds[bid.index()];
+                for inc in incomings {
+                    if !bp.contains(&inc.pred) {
+                        return Err(err(
+                            f,
+                            format!(
+                                "phi %{} in bb{} has incoming from non-predecessor bb{}",
+                                iid.0, bid.0, inc.pred.0
+                            ),
+                        ));
+                    }
+                }
+                for p in bp {
+                    if !incomings.iter().any(|i| i.pred == *p) {
+                        return Err(err(
+                            f,
+                            format!(
+                                "phi %{} in bb{} missing incoming for predecessor bb{}",
+                                iid.0, bid.0, p.0
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// SSA dominance: every use must be dominated by its definition. Catches
+/// the easy-to-make builder mistake of referencing a value computed later
+/// in a loop header from a phi's initial incoming.
+fn verify_ssa_dominance(f: &Function) -> Result<(), VerifyError> {
+    use crate::analysis::{cfg, dom::DomTree};
+    let dt = DomTree::compute(f);
+    let reach = cfg::reachable(f);
+    // def location per inst: (block, position). Phis count as position 0.
+    let mut def_at: Vec<Option<(BlockId, usize)>> = vec![None; f.insts.len()];
+    for (bid, block) in f.iter_blocks() {
+        for (pos, &iid) in block.insts.iter().enumerate() {
+            def_at[iid.index()] = Some((bid, pos));
+        }
+    }
+    let check_use = |op: Operand, bid: BlockId, pos: usize| -> Result<(), VerifyError> {
+        let Operand::Inst(v) = op else { return Ok(()) };
+        let Some((db, dp)) = def_at[v.index()] else {
+            return Err(err(f, format!("use of %{} which is in no block", v.0)));
+        };
+        let ok = if db == bid { dp < pos } else { dt.dominates(db, bid) };
+        if !ok {
+            return Err(err(
+                f,
+                format!("use of %{} in bb{} not dominated by its definition in bb{}", v.0, bid.0, db.0),
+            ));
+        }
+        Ok(())
+    };
+    for (bid, block) in f.iter_blocks() {
+        if !reach[bid.index()] {
+            continue;
+        }
+        for (pos, &iid) in block.insts.iter().enumerate() {
+            match f.inst(iid) {
+                Inst::Phi { incomings, .. } => {
+                    // Incomings must be available at the end of their pred.
+                    for inc in incomings {
+                        if !reach[inc.pred.index()] {
+                            continue;
+                        }
+                        if let Operand::Inst(v) = inc.value {
+                            let Some((db, _)) = def_at[v.index()] else {
+                                return Err(err(
+                                    f,
+                                    format!("phi %{} uses %{} which is in no block", iid.0, v.0),
+                                ));
+                            };
+                            if !dt.dominates(db, inc.pred) {
+                                return Err(err(
+                                    f,
+                                    format!(
+                                        "phi %{} incoming %{} from bb{} not dominated by its definition in bb{}",
+                                        iid.0, v.0, inc.pred.0, db.0
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                inst => {
+                    for op in inst.operands() {
+                        check_use(op, bid, pos)?;
+                    }
+                }
+            }
+        }
+        let end = block.insts.len();
+        for op in block.term.operands() {
+            check_use(op, bid, end)?;
+        }
+    }
+    Ok(())
+}
+
+/// Verify all functions of a module plus kernel metadata.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for f in &m.funcs {
+        verify_function(f, Some(m))?;
+    }
+    for k in &m.kernels {
+        if k.func.index() >= m.funcs.len() {
+            return Err(VerifyError {
+                func: "<module>".into(),
+                message: format!("kernel references missing func {}", k.func.0),
+            });
+        }
+        if m.func(k.func).is_declaration() {
+            return Err(VerifyError {
+                func: m.func(k.func).name.clone(),
+                message: "kernel entry is a declaration".into(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[allow(dead_code)]
+fn block_exists(f: &Function, b: BlockId) -> bool {
+    b.index() < f.blocks.len()
+}

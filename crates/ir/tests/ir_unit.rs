@@ -1,0 +1,446 @@
+//! Unit tests for the IR crate: types, builder, printer, verifier, linker
+//! and analyses.
+
+use nzomp_ir::analysis::{callgraph::CallGraph, cfg, dom::DomTree, liveness};
+use nzomp_ir::builder::build_counted_loop;
+use nzomp_ir::link::{link, LinkError};
+use nzomp_ir::printer::{print_function, print_module};
+use nzomp_ir::{
+    BlockId, ExecMode, FuncBuilder, Function, Global, Init, Module, Operand, Pred, Space, Term,
+    Ty, VerifyError,
+};
+
+// ---------------------------------------------------------------------------
+// types / operands
+// ---------------------------------------------------------------------------
+
+#[test]
+fn type_sizes() {
+    assert_eq!(Ty::I1.size(), 1);
+    assert_eq!(Ty::I8.size(), 1);
+    assert_eq!(Ty::I32.size(), 4);
+    assert_eq!(Ty::I64.size(), 8);
+    assert_eq!(Ty::F64.size(), 8);
+    assert_eq!(Ty::Ptr.size(), 8);
+}
+
+#[test]
+fn operand_constants() {
+    assert_eq!(Operand::i64(5).as_const_int(), Some(5));
+    assert_eq!(Operand::f64(2.5).as_const_f64(), Some(2.5));
+    assert_eq!(Operand::TRUE.as_const_int(), Some(1));
+    assert!(Operand::NULL.is_constant());
+    assert!(!Operand::Param(0).is_constant());
+}
+
+#[test]
+fn init_read_int() {
+    let i = Init::I64(0x1122334455667788);
+    assert_eq!(i.read_int(0, 8), 0x1122334455667788);
+    assert_eq!(i.read_int(0, 4), 0x55667788);
+    assert_eq!(i.read_int(4, 4), 0x11223344);
+    assert_eq!(Init::Zero.read_int(3, 8), 0);
+    let b = Init::Bytes(vec![1, 2, 3]);
+    assert_eq!(b.read_int(0, 1), 1);
+    assert_eq!(b.read_int(2, 4), 3); // out-of-init bytes read as zero
+}
+
+// ---------------------------------------------------------------------------
+// builder
+// ---------------------------------------------------------------------------
+
+#[test]
+fn builder_allocas_go_to_entry() {
+    let mut b = FuncBuilder::new("f", vec![], None);
+    let bb = b.new_block();
+    b.br(bb);
+    b.switch_to(bb);
+    let _a = b.alloca(16);
+    b.ret(None);
+    let f = b.finish();
+    // Alloca listed in the entry block, not bb.
+    let entry_first = f.block(BlockId::ENTRY).insts[0];
+    assert!(matches!(f.inst(entry_first), nzomp_ir::Inst::Alloca { size: 16 }));
+}
+
+#[test]
+fn builder_phis_stay_at_block_start() {
+    let mut b = FuncBuilder::new("f", vec![Ty::I64], Some(Ty::I64));
+    let entry = b.current_block();
+    let next = b.new_block();
+    b.br(next);
+    b.switch_to(next);
+    let x = b.add(b.param(0), Operand::i64(1));
+    let p = b.phi(Ty::I64, vec![(entry, Operand::i64(0))]);
+    let y = b.add(p, x);
+    b.ret(Some(y));
+    let f = b.finish();
+    let first = f.block(next).insts[0];
+    assert!(f.inst(first).is_phi());
+    nzomp_ir::verify_function(&f, None).unwrap();
+}
+
+#[test]
+fn counted_loop_covers_range() {
+    // Structure check: loop with trip count 0 never enters the body.
+    let mut b = FuncBuilder::new("f", vec![], None);
+    build_counted_loop(&mut b, Operand::i64(5), Operand::i64(5), Operand::i64(1), |_b, _iv| {});
+    b.ret(None);
+    let f = b.finish();
+    nzomp_ir::verify_function(&f, None).unwrap();
+    assert!(f.blocks.len() >= 4);
+}
+
+// ---------------------------------------------------------------------------
+// verifier
+// ---------------------------------------------------------------------------
+
+fn expect_err(f: Function, needle: &str) {
+    match nzomp_ir::verify_function(&f, None) {
+        Err(VerifyError { message, .. }) => {
+            assert!(message.contains(needle), "got: {message}");
+        }
+        Ok(()) => panic!("expected verifier error containing {needle:?}"),
+    }
+}
+
+#[test]
+fn verify_rejects_missing_param() {
+    let mut b = FuncBuilder::new("f", vec![Ty::I64], None);
+    let bogus = Operand::Param(3);
+    b.add(bogus, Operand::i64(1));
+    b.ret(None);
+    expect_err(b.finish(), "missing param");
+}
+
+#[test]
+fn verify_rejects_branch_to_missing_block() {
+    let mut b = FuncBuilder::new("f", vec![], None);
+    b.br(BlockId(99));
+    expect_err(b.finish(), "missing bb");
+}
+
+#[test]
+fn verify_rejects_ret_mismatch() {
+    let mut b = FuncBuilder::new("f", vec![], Some(Ty::I64));
+    b.ret(None);
+    expect_err(b.finish(), "ret void in non-void function");
+}
+
+#[test]
+fn verify_rejects_use_before_def() {
+    // A phi incoming that references a value defined in the header itself
+    // (the bug class caught during development).
+    let mut b = FuncBuilder::new("f", vec![Ty::I64], None);
+    let entry = b.current_block();
+    let header = b.new_block();
+    let exit = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    let late = b.add(b.param(0), Operand::i64(1));
+    let p = b.phi(Ty::I64, vec![(entry, late)]);
+    let c = b.icmp_slt(p, Operand::i64(10));
+    b.cond_br(c, header, exit);
+    b.phi_add_incoming(p, header, p);
+    b.switch_to(exit);
+    b.ret(None);
+    expect_err(b.finish(), "not dominated");
+}
+
+#[test]
+fn verify_rejects_call_arity_mismatch() {
+    let mut m = Module::new("m");
+    let callee = m.add_function(Function::declaration("g", vec![Ty::I64, Ty::I64], None));
+    let mut b = FuncBuilder::new("f", vec![], None);
+    b.call(Operand::Func(callee), vec![Operand::i64(1)], None);
+    b.ret(None);
+    let f = m.add_function(b.finish());
+    let err = nzomp_ir::verify_module(&m).unwrap_err();
+    assert!(err.message.contains("expected 2"), "{err}");
+    let _ = f;
+}
+
+#[test]
+fn verify_rejects_kernel_declaration() {
+    let mut m = Module::new("m");
+    let d = m.add_function(Function::declaration("k", vec![], None));
+    m.add_kernel(d, ExecMode::Spmd);
+    let err = nzomp_ir::verify_module(&m).unwrap_err();
+    assert!(err.message.contains("declaration"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// printer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn printer_emits_symbols_and_attrs() {
+    let mut m = Module::new("m");
+    m.add_global(Global::constant("flag", Space::Constant, 8, Init::I64(1)));
+    let mut b = FuncBuilder::new("f", vec![Ty::Ptr], Some(Ty::I64));
+    b.attrs_mut().aligned_barrier = true;
+    let g = m.find_global("flag").unwrap();
+    let v = b.load(Ty::I64, Operand::Global(g));
+    b.aligned_barrier();
+    b.ret(Some(v));
+    let fr = m.add_function(b.finish());
+    m.add_kernel(fr, ExecMode::Spmd);
+    let text = print_module(&m);
+    assert!(text.contains("@flag"), "{text}");
+    assert!(text.contains("aligned_barrier"), "{text}");
+    assert!(text.contains("barrier.aligned()"), "{text}");
+    assert!(text.contains("kernel @f mode=Spmd"), "{text}");
+    let ftext = print_function(Some(&m), m.func(fr));
+    assert!(ftext.contains("define i64 @f(ptr %arg0)"), "{ftext}");
+}
+
+// ---------------------------------------------------------------------------
+// linker
+// ---------------------------------------------------------------------------
+
+fn def_fn(name: &str) -> Function {
+    let mut b = FuncBuilder::new(name, vec![], Some(Ty::I64));
+    b.ret(Some(Operand::i64(7)));
+    b.finish()
+}
+
+#[test]
+fn link_resolves_declarations() {
+    let mut app = Module::new("app");
+    let decl = app.add_function(Function::declaration("util", vec![], Some(Ty::I64)));
+    let mut kb = FuncBuilder::new("k", vec![], Some(Ty::I64));
+    let v = kb.call(Operand::Func(decl), vec![], Some(Ty::I64)).unwrap();
+    kb.ret(Some(v));
+    app.add_function(kb.finish());
+
+    let mut lib = Module::new("lib");
+    lib.add_function(def_fn("util"));
+    link(&mut app, lib).unwrap();
+    assert!(!app.func(app.find_func("util").unwrap()).is_declaration());
+    nzomp_ir::verify_module(&app).unwrap();
+}
+
+#[test]
+fn link_rejects_duplicate_definitions() {
+    let mut a = Module::new("a");
+    a.add_function(def_fn("dup"));
+    let mut b = Module::new("b");
+    b.add_function(def_fn("dup"));
+    assert!(matches!(link(&mut a, b), Err(LinkError::DuplicateFunction(_))));
+}
+
+#[test]
+fn link_rejects_signature_mismatch() {
+    let mut a = Module::new("a");
+    a.add_function(Function::declaration("f", vec![Ty::I64], None));
+    let mut b = Module::new("b");
+    b.add_function(Function::declaration("f", vec![Ty::Ptr], None));
+    assert!(matches!(link(&mut a, b), Err(LinkError::SignatureMismatch(_))));
+}
+
+#[test]
+fn link_rejects_duplicate_globals() {
+    let mut a = Module::new("a");
+    a.add_global(Global::new("g", Space::Global, 8, Init::Zero));
+    let mut b = Module::new("b");
+    b.add_global(Global::new("g", Space::Global, 8, Init::Zero));
+    assert!(matches!(link(&mut a, b), Err(LinkError::DuplicateGlobal(_))));
+}
+
+#[test]
+fn link_remaps_global_and_func_operands() {
+    let mut app = Module::new("app");
+    app.add_global(Global::new("app_g", Space::Global, 8, Init::Zero));
+    let mut lib = Module::new("lib");
+    let lg = lib.add_global(Global::new("lib_g", Space::Shared, 8, Init::Zero));
+    let helper = lib.add_function(def_fn("helper"));
+    let mut b = FuncBuilder::new("uses", vec![], Some(Ty::I64));
+    let _l = b.load(Ty::I64, Operand::Global(lg));
+    let v = b.call(Operand::Func(helper), vec![], Some(Ty::I64)).unwrap();
+    b.ret(Some(v));
+    lib.add_function(b.finish());
+    link(&mut app, lib).unwrap();
+    nzomp_ir::verify_module(&app).unwrap();
+    // lib_g moved to index 1 in app; the load must point at it.
+    let uses = app.find_func("uses").unwrap();
+    let f = app.func(uses);
+    let found = f.blocks.iter().flat_map(|b| &b.insts).any(|&i| {
+        f.inst(i).operands().iter().any(|o| {
+            matches!(o, Operand::Global(g) if app.global(*g).name == "lib_g")
+        })
+    });
+    assert!(found);
+}
+
+// ---------------------------------------------------------------------------
+// analyses
+// ---------------------------------------------------------------------------
+
+/// Diamond CFG: entry -> (a | b) -> join.
+fn diamond() -> Function {
+    let mut fb = FuncBuilder::new("d", vec![Ty::I1], Some(Ty::I64));
+    let a = fb.new_block();
+    let b = fb.new_block();
+    let join = fb.new_block();
+    fb.cond_br(fb.param(0), a, b);
+    fb.switch_to(a);
+    fb.br(join);
+    fb.switch_to(b);
+    fb.br(join);
+    fb.switch_to(join);
+    let p = fb.phi(Ty::I64, vec![(a, Operand::i64(1)), (b, Operand::i64(2))]);
+    fb.ret(Some(p));
+    fb.finish()
+}
+
+#[test]
+fn dominators_on_diamond() {
+    let f = diamond();
+    let dt = DomTree::compute(&f);
+    let (e, a, b, j) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+    assert!(dt.dominates(e, a) && dt.dominates(e, b) && dt.dominates(e, j));
+    assert!(!dt.dominates(a, j) && !dt.dominates(b, j));
+    assert_eq!(dt.idom(j), Some(e));
+    assert_eq!(dt.idom(a), Some(e));
+    assert!(dt.dominates(j, j));
+}
+
+#[test]
+fn rpo_starts_at_entry_and_covers_reachable() {
+    let f = diamond();
+    let rpo = cfg::reverse_post_order(&f);
+    assert_eq!(rpo[0], BlockId::ENTRY);
+    assert_eq!(rpo.len(), 4);
+}
+
+#[test]
+fn reachability_queries() {
+    let f = diamond();
+    assert!(cfg::block_reaches(&f, BlockId(0), BlockId(3)));
+    assert!(!cfg::block_reaches(&f, BlockId(1), BlockId(2)));
+    let reach = cfg::reachable(&f);
+    assert!(reach.iter().all(|&r| r));
+}
+
+#[test]
+fn liveness_counts_pressure() {
+    // Ten simultaneously-live values -> max_live >= 10.
+    let mut b = FuncBuilder::new("fat", vec![Ty::I64], Some(Ty::I64));
+    let vals: Vec<Operand> = (0..10)
+        .map(|i| b.add(b.param(0), Operand::i64(i)))
+        .collect();
+    let mut acc = vals[0];
+    for v in &vals[1..] {
+        acc = b.add(acc, *v);
+    }
+    b.ret(Some(acc));
+    let f = b.finish();
+    let lv = liveness::compute(&f);
+    assert!(lv.max_live >= 10, "max_live = {}", lv.max_live);
+
+    // A chain keeps pressure tiny.
+    let mut b = FuncBuilder::new("thin", vec![Ty::I64], Some(Ty::I64));
+    let mut acc = b.param(0);
+    for i in 0..10 {
+        acc = b.add(acc, Operand::i64(i));
+    }
+    b.ret(Some(acc));
+    let thin = liveness::compute(&b.finish());
+    assert!(thin.max_live <= 3, "max_live = {}", thin.max_live);
+}
+
+#[test]
+fn callgraph_edges_and_recursion() {
+    let mut m = Module::new("cg");
+    let mut b = FuncBuilder::new("leaf", vec![], None);
+    b.ret(None);
+    let leaf = m.add_function(b.finish());
+
+    let mut b = FuncBuilder::new("rec", vec![Ty::I64], None);
+    let self_ref = nzomp_ir::module::FuncRef(1); // will be "rec" itself
+    b.call(Operand::Func(leaf), vec![], None);
+    b.call(Operand::Func(self_ref), vec![Operand::i64(0)], None);
+    b.ret(None);
+    let rec = m.add_function(b.finish());
+    assert_eq!(rec, self_ref);
+
+    let cg = CallGraph::build(&m);
+    assert!(cg.maybe_recursive(rec));
+    assert!(!cg.maybe_recursive(leaf));
+    assert!(cg.callees.get(&rec).unwrap().contains(&leaf));
+    assert!(cg.callers.get(&leaf).unwrap().contains(&rec));
+}
+
+#[test]
+fn callgraph_address_taken_reachability() {
+    let mut m = Module::new("cg2");
+    let mut b = FuncBuilder::new("target", vec![Ty::Ptr], None);
+    b.ret(None);
+    let target = m.add_function(b.finish());
+    // Kernel passes @target as a function-pointer argument to a runtime
+    // declaration, then nothing calls it directly.
+    let decl = m.add_function(Function::declaration("sink", vec![Ty::Ptr], None));
+    let mut b = FuncBuilder::new("k", vec![], None);
+    b.call(Operand::Func(decl), vec![Operand::Func(target)], None);
+    b.ret(None);
+    let k = m.add_function(b.finish());
+    m.add_kernel(k, ExecMode::Spmd);
+    let cg = CallGraph::build(&m);
+    assert!(cg.address_taken.contains(&target));
+    let live = cg.reachable_from(&m, &[k]);
+    assert!(live.contains(&target), "address-taken functions stay live");
+}
+
+// ---------------------------------------------------------------------------
+// module helpers
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shared_memory_accounting() {
+    let mut m = Module::new("m");
+    m.add_global(Global::new("a", Space::Shared, 100, Init::Zero));
+    m.add_global(Global::new("b", Space::Global, 100, Init::Zero));
+    m.add_global(Global::new("c", Space::Shared, 28, Init::Zero));
+    assert_eq!(m.shared_memory_bytes(), 128);
+}
+
+#[test]
+fn internalize_spares_kernels() {
+    let mut m = Module::new("m");
+    let f = m.add_function(def_fn("helper"));
+    let k = m.add_function(def_fn("kernel"));
+    m.add_kernel(k, ExecMode::Spmd);
+    m.internalize();
+    assert_eq!(m.func(f).linkage, nzomp_ir::Linkage::Internal);
+    assert_eq!(m.func(k).linkage, nzomp_ir::Linkage::External);
+}
+
+#[test]
+fn exec_mode_update() {
+    let mut m = Module::new("m");
+    let k = m.add_function(def_fn("k"));
+    m.add_kernel(k, ExecMode::Generic);
+    m.set_exec_mode(k, ExecMode::Spmd);
+    assert_eq!(m.kernel_of(k).unwrap().exec_mode, ExecMode::Spmd);
+}
+
+#[test]
+fn term_successors() {
+    assert_eq!(Term::Br(BlockId(3)).succs(), vec![BlockId(3)]);
+    assert_eq!(Term::Ret(None).succs(), vec![]);
+    let t = Term::CondBr {
+        cond: Operand::TRUE,
+        if_true: BlockId(1),
+        if_false: BlockId(2),
+    };
+    assert_eq!(t.succs(), vec![BlockId(1), BlockId(2)]);
+}
+
+#[test]
+fn cmp_results_are_i1() {
+    let mut b = FuncBuilder::new("f", vec![Ty::I64], Some(Ty::I1));
+    let c = b.cmp(Pred::Slt, Ty::I64, b.param(0), Operand::i64(3));
+    b.ret(Some(c));
+    let f = b.finish();
+    nzomp_ir::verify_function(&f, None).unwrap();
+}

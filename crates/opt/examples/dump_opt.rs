@@ -1,0 +1,29 @@
+//! Debug helper: print the optimized module for the saxpy SPMD kernel.
+
+use nzomp_front::{spmd_kernel_for, RuntimeFlavor};
+use nzomp_ir::{Module, Operand, Ty};
+use nzomp_opt::{optimize_module, PassOptions};
+use nzomp_rt::{build_runtime, RtConfig};
+
+fn main() {
+    let mut app = Module::new("app");
+    spmd_kernel_for(
+        &mut app,
+        RuntimeFlavor::Modern,
+        "saxpy",
+        &[Ty::Ptr, Ty::Ptr, Ty::I64],
+        |_b, p| p[2],
+        |_m, b, iv, p| {
+            let pa = b.gep(p[0], iv, 8);
+            let va = b.load(Ty::F64, pa);
+            let v = b.fmul(va, Operand::f64(2.5));
+            let po = b.gep(p[1], iv, 8);
+            b.store(Ty::F64, po, v);
+        },
+    );
+    let rt = build_runtime(RuntimeFlavor::Modern, &RtConfig::default(), true);
+    nzomp_ir::link::link(&mut app, rt).unwrap();
+    let remarks = optimize_module(&mut app, &PassOptions::full());
+    println!("{}", nzomp_ir::printer::print_module(&app));
+    println!("--- remarks ---\n{remarks}");
+}

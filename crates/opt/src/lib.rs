@@ -1,0 +1,269 @@
+//! `nzomp-opt` — the OpenMP-aware optimization pipeline (paper §IV).
+//!
+//! The pipeline mirrors LLVM's `openmp-opt` plus the passes this paper
+//! added. Each §IV feature has its own switch in [`PassOptions`] so the
+//! Fig. 13 ablation ("one optimization disabled at a time") is a first-class
+//! operation:
+//!
+//! | switch | paper | effect |
+//! |---|---|---|
+//! | `fsaa` | §IV-B1 | field-sensitive access analysis: offset/size-binned accesses, zero-init folding, dead-store elimination, state pruning |
+//! | `reach_dom` | §IV-B2 | lifetime-aware interprocedural reachability & dominance (folds across non-inlined calls) |
+//! | `assumed_content` | §IV-B3 | `assume(load(x) == k)` after broadcast barriers becomes a pseudo-write for the analysis |
+//! | `invariant_prop` | §IV-B4 | grid-dimension intrinsics and other invariant values propagate through memory |
+//! | `aligned_exec` | §IV-C | exclusive/aligned execution contexts: lets dominance reasoning cross barriers and recognizes attribute-aligned barriers |
+//! | `barrier_elim` | §IV-D | removes redundant aligned barriers (incl. implicit kernel entry/exit) |
+//!
+//! The pre-existing LLVM capabilities (§IV-A: internalization,
+//! globalization elimination, SPMDization) plus standard folding and
+//! inlining form the *baseline* pipeline — the "Nightly" columns of the
+//! evaluation run with exactly that.
+
+pub mod barrier;
+pub mod fold;
+pub mod fsaa;
+pub mod globalize;
+pub mod inline;
+pub mod prune;
+pub mod remarks;
+pub mod simplify;
+pub mod spmdize;
+
+use nzomp_ir::Module;
+pub use remarks::{Remark, RemarkKind, Remarks};
+
+/// Feature switches for the pipeline. See the crate docs for the mapping to
+/// the paper's sections.
+#[derive(Clone, Debug)]
+pub struct PassOptions {
+    // -- baseline (pre-paper LLVM) --
+    pub internalize: bool,
+    pub inline: bool,
+    pub fold_constants: bool,
+    pub simplify_cfg: bool,
+    pub globalization_elim: bool,
+    pub spmdization: bool,
+    // -- this paper (§IV-B..D) --
+    pub fsaa: bool,
+    pub reach_dom: bool,
+    pub assumed_content: bool,
+    pub invariant_prop: bool,
+    pub aligned_exec: bool,
+    pub barrier_elim: bool,
+    /// Remove shared-state globals once all their accesses folded away
+    /// (rides on `fsaa`).
+    pub state_prune: bool,
+    /// Drop `assume`s after the fixpoint (release builds) so the stores
+    /// feeding them can die. Debug builds keep them (they are checked).
+    pub drop_assumes: bool,
+    // -- tuning --
+    pub inline_budget: usize,
+    pub max_iterations: usize,
+}
+
+impl PassOptions {
+    /// No optimization at all (`-O0`).
+    pub fn none() -> PassOptions {
+        PassOptions {
+            internalize: false,
+            inline: false,
+            fold_constants: false,
+            simplify_cfg: false,
+            globalization_elim: false,
+            spmdization: false,
+            fsaa: false,
+            reach_dom: false,
+            assumed_content: false,
+            invariant_prop: false,
+            aligned_exec: false,
+            barrier_elim: false,
+            state_prune: false,
+            drop_assumes: false,
+            inline_budget: 0,
+            max_iterations: 0,
+        }
+    }
+
+    /// The pre-paper pipeline: what LLVM nightly did *before* this work's
+    /// passes landed. Used for the "Old RT (Nightly)" and "New RT (Nightly)"
+    /// configurations.
+    pub fn baseline() -> PassOptions {
+        PassOptions {
+            internalize: true,
+            inline: true,
+            fold_constants: true,
+            simplify_cfg: true,
+            globalization_elim: true,
+            spmdization: true,
+            fsaa: false,
+            reach_dom: false,
+            assumed_content: false,
+            invariant_prop: false,
+            aligned_exec: false,
+            barrier_elim: false,
+            state_prune: false,
+            drop_assumes: false,
+            inline_budget: 256,
+            max_iterations: 8,
+        }
+    }
+
+    /// The full co-designed pipeline (§IV).
+    pub fn full() -> PassOptions {
+        PassOptions {
+            fsaa: true,
+            reach_dom: true,
+            assumed_content: true,
+            invariant_prop: true,
+            aligned_exec: true,
+            barrier_elim: true,
+            state_prune: true,
+            drop_assumes: true,
+            ..PassOptions::baseline()
+        }
+    }
+
+    /// Full pipeline with one §IV feature disabled — the Fig. 13 ablation.
+    pub fn full_without(feature: Ablation) -> PassOptions {
+        let mut o = PassOptions::full();
+        match feature {
+            // §IV-B1 is the base of every §IV-B analysis: removing it
+            // removes them all (paper §V-C).
+            Ablation::Fsaa => {
+                o.fsaa = false;
+                o.reach_dom = false;
+                o.assumed_content = false;
+                o.invariant_prop = false;
+                o.state_prune = false;
+            }
+            Ablation::ReachDom => o.reach_dom = false,
+            Ablation::AssumedContent => o.assumed_content = false,
+            Ablation::InvariantProp => o.invariant_prop = false,
+            Ablation::AlignedExec => o.aligned_exec = false,
+            Ablation::BarrierElim => o.barrier_elim = false,
+        }
+        o
+    }
+}
+
+/// The §IV features that can be individually ablated (Fig. 13).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ablation {
+    Fsaa,
+    ReachDom,
+    AssumedContent,
+    InvariantProp,
+    AlignedExec,
+    BarrierElim,
+}
+
+impl Ablation {
+    pub const ALL: [Ablation; 6] = [
+        Ablation::Fsaa,
+        Ablation::ReachDom,
+        Ablation::AssumedContent,
+        Ablation::InvariantProp,
+        Ablation::AlignedExec,
+        Ablation::BarrierElim,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Ablation::Fsaa => "w/o field-sensitive access analysis (IV-B1)",
+            Ablation::ReachDom => "w/o reachability & dominance (IV-B2)",
+            Ablation::AssumedContent => "w/o assumed memory content (IV-B3)",
+            Ablation::InvariantProp => "w/o invariant value propagation (IV-B4)",
+            Ablation::AlignedExec => "w/o exclusive & aligned execution (IV-C)",
+            Ablation::BarrierElim => "w/o aligned barrier elimination (IV-D)",
+        }
+    }
+}
+
+/// Run the configured pipeline over `module` in place. Returns remarks
+/// (the `-Rpass=openmp-opt` analogue, §VII).
+pub fn optimize_module(module: &mut Module, opts: &PassOptions) -> Remarks {
+    let mut remarks = Remarks::default();
+    if opts.max_iterations == 0 {
+        return remarks;
+    }
+
+    if opts.internalize {
+        module.internalize();
+    }
+    if opts.spmdization {
+        spmdize::run(module, opts, &mut remarks);
+    }
+    prune::global_dce(module);
+
+    // Inline + local folding to expose the runtime internals to analysis.
+    for _ in 0..3 {
+        let mut changed = false;
+        if opts.inline {
+            changed |= inline::run(module, opts.inline_budget);
+        }
+        if opts.fold_constants || opts.simplify_cfg {
+            changed |= simplify::run(module, opts);
+        }
+        prune::global_dce(module);
+        if !changed {
+            break;
+        }
+    }
+
+    if opts.globalization_elim {
+        globalize::run(module, opts, &mut remarks);
+    }
+
+    // Interprocedural fixpoint: fold runtime state, kill dead stores,
+    // remove redundant barriers, repeat.
+    for _ in 0..opts.max_iterations {
+        let mut changed = false;
+        if opts.fsaa {
+            changed |= fold::run(module, opts, &mut remarks);
+        }
+        if opts.fold_constants || opts.simplify_cfg {
+            changed |= simplify::run(module, opts);
+        }
+        if opts.inline {
+            changed |= inline::run(module, opts.inline_budget);
+        }
+        if opts.barrier_elim {
+            changed |= barrier::run(module, opts, &mut remarks);
+        }
+        prune::global_dce(module);
+        if !changed {
+            break;
+        }
+    }
+
+    if opts.drop_assumes {
+        let dropped = prune::drop_assumes(module);
+        if dropped {
+            // One more round so stores feeding the assumes can die.
+            for _ in 0..opts.max_iterations {
+                let mut changed = false;
+                if opts.fsaa {
+                    changed |= fold::run(module, opts, &mut remarks);
+                }
+                if opts.fold_constants || opts.simplify_cfg {
+                    changed |= simplify::run(module, opts);
+                }
+                if opts.barrier_elim {
+                    changed |= barrier::run(module, opts, &mut remarks);
+                }
+                prune::global_dce(module);
+                if !changed {
+                    break;
+                }
+            }
+        }
+    }
+
+    if opts.state_prune {
+        prune::prune_dead_globals(module, &mut remarks);
+    }
+    prune::global_dce(module);
+
+    debug_assert_eq!(nzomp_ir::verify_module(module), Ok(()));
+    remarks
+}

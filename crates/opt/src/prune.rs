@@ -1,0 +1,136 @@
+//! Whole-module pruning: unreachable functions, post-fixpoint assumption
+//! removal, and dead-global elimination (how the optimized SPMD kernels of
+//! the paper reach **0 B** of shared memory in Fig. 11).
+
+use std::collections::HashSet;
+
+use nzomp_ir::analysis::callgraph::CallGraph;
+use nzomp_ir::global::GlobalId;
+use nzomp_ir::inst::{Inst, Intrinsic};
+use nzomp_ir::module::FuncRef;
+use nzomp_ir::{Module, Operand};
+
+use crate::remarks::Remarks;
+
+/// Strip bodies of functions unreachable from any kernel (indices stay
+/// stable; the husks become declarations and cost nothing).
+pub fn global_dce(module: &mut Module) -> bool {
+    let cg = CallGraph::build(module);
+    let roots: Vec<FuncRef> = module.kernels.iter().map(|k| k.func).collect();
+    if roots.is_empty() {
+        return false;
+    }
+    let live = cg.reachable_from(module, &roots);
+    let mut changed = false;
+    for fi in 0..module.funcs.len() {
+        let fr = FuncRef(fi as u32);
+        if live.contains(&fr) {
+            continue;
+        }
+        let f = &mut module.funcs[fi];
+        if !f.is_declaration() {
+            f.blocks.clear();
+            f.insts.clear();
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Remove all `assume` intrinsics (release builds, after the folding
+/// fixpoint): their information has been consumed; keeping them would keep
+/// the loads that feed them alive and block state death.
+pub fn drop_assumes(module: &mut Module) -> bool {
+    let mut changed = false;
+    for f in &mut module.funcs {
+        if f.is_declaration() {
+            continue;
+        }
+        for bi in 0..f.blocks.len() {
+            let before = f.blocks[bi].insts.len();
+            let ids: Vec<_> = f.blocks[bi].insts.clone();
+            let keep: Vec<_> = ids
+                .into_iter()
+                .filter(|&iid| {
+                    !matches!(
+                        f.insts[iid.index()],
+                        Inst::Intr {
+                            intr: Intrinsic::Assume(()),
+                            ..
+                        }
+                    )
+                })
+                .collect();
+            if keep.len() != before {
+                f.blocks[bi].insts = keep;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Delete globals with no remaining references in live code, remapping
+/// `Operand::Global` indices. This is the step that drives the SMem column
+/// to zero once the runtime state folded away.
+pub fn prune_dead_globals(module: &mut Module, remarks: &mut Remarks) -> bool {
+    let mut referenced: HashSet<u32> = HashSet::new();
+    for f in &module.funcs {
+        for block in &f.blocks {
+            for &iid in &block.insts {
+                for op in f.inst(iid).operands() {
+                    if let Operand::Global(g) = op {
+                        referenced.insert(g.0);
+                    }
+                }
+            }
+            for op in block.term.operands() {
+                if let Operand::Global(g) = op {
+                    referenced.insert(g.0);
+                }
+            }
+        }
+    }
+    let n = module.globals.len();
+    let dead: Vec<u32> = (0..n as u32).filter(|g| !referenced.contains(g)).collect();
+    if dead.is_empty() {
+        return false;
+    }
+    // Build the remap and shrink the table.
+    let mut remap: Vec<Option<u32>> = vec![None; n];
+    let mut new_globals = Vec::with_capacity(n - dead.len());
+    for (gi, g) in module.globals.drain(..).enumerate() {
+        if referenced.contains(&(gi as u32)) {
+            remap[gi] = Some(new_globals.len() as u32);
+            new_globals.push(g);
+        }
+    }
+    let pruned = n - new_globals.len();
+    module.globals = new_globals;
+    for f in &mut module.funcs {
+        let fix = |op: Operand| -> Operand {
+            match op {
+                // Instructions still sitting in the arena but no longer
+                // listed in any block may reference pruned globals; they are
+                // dead, so any placeholder works.
+                Operand::Global(g) => match remap[g.index()] {
+                    Some(ng) => Operand::Global(GlobalId(ng)),
+                    None => Operand::NULL,
+                },
+                other => other,
+            }
+        };
+        for inst in &mut f.insts {
+            inst.map_operands(fix);
+        }
+        for block in &mut f.blocks {
+            block.term.map_operands(fix);
+        }
+    }
+    remarks.passed(
+        "openmp-opt",
+        "<module>",
+        format!("pruned {pruned} dead global(s) (runtime state eliminated)"),
+    );
+    true
+}

@@ -1,0 +1,92 @@
+//! Optimization remarks — the reproduction of
+//! `-Rpass=openmp-opt` / `-Rpass-missed=openmp-opt` (paper §VII: "we provide
+//! compiler diagnostics for missed optimizations").
+
+use std::fmt;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemarkKind {
+    /// An optimization fired.
+    Passed,
+    /// An optimization was applicable but blocked; the message says why.
+    Missed,
+    /// Analysis note.
+    Analysis,
+}
+
+#[derive(Clone, Debug)]
+pub struct Remark {
+    pub kind: RemarkKind,
+    /// Pass name, e.g. `"spmdization"`.
+    pub pass: &'static str,
+    /// Function the remark refers to.
+    pub func: String,
+    pub message: String,
+}
+
+impl fmt::Display for Remark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            RemarkKind::Passed => "remark",
+            RemarkKind::Missed => "missed",
+            RemarkKind::Analysis => "analysis",
+        };
+        write!(f, "[{k}:{}] @{}: {}", self.pass, self.func, self.message)
+    }
+}
+
+/// Collected remarks for one pipeline run.
+#[derive(Clone, Debug, Default)]
+pub struct Remarks {
+    pub entries: Vec<Remark>,
+}
+
+impl Remarks {
+    pub fn passed(&mut self, pass: &'static str, func: &str, message: impl Into<String>) {
+        self.entries.push(Remark {
+            kind: RemarkKind::Passed,
+            pass,
+            func: func.to_string(),
+            message: message.into(),
+        });
+    }
+
+    pub fn missed(&mut self, pass: &'static str, func: &str, message: impl Into<String>) {
+        self.entries.push(Remark {
+            kind: RemarkKind::Missed,
+            pass,
+            func: func.to_string(),
+            message: message.into(),
+        });
+    }
+
+    pub fn analysis(&mut self, pass: &'static str, func: &str, message: impl Into<String>) {
+        self.entries.push(Remark {
+            kind: RemarkKind::Analysis,
+            pass,
+            func: func.to_string(),
+            message: message.into(),
+        });
+    }
+
+    /// All remarks of a kind for a pass (test helper).
+    pub fn of(&self, kind: RemarkKind, pass: &str) -> Vec<&Remark> {
+        self.entries
+            .iter()
+            .filter(|r| r.kind == kind && r.pass == pass)
+            .collect()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for Remarks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.entries {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}

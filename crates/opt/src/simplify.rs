@@ -1,0 +1,590 @@
+//! Local simplification: constant folding (including loads of constant
+//! globals — how the §III-F/G configuration flags reach the optimizer),
+//! branch folding, phi simplification, unreachable-block removal, block
+//! merging, and dead-code elimination.
+
+use std::collections::HashMap;
+
+use nzomp_ir::analysis::cfg;
+use nzomp_ir::inst::{BinOp, CastKind, Inst, InstId, Intrinsic, Pred, Term, UnOp};
+use nzomp_ir::{BlockId, Function, Module, Operand, Ty};
+
+use crate::PassOptions;
+
+/// Run simplification over every defined function. Returns whether anything
+/// changed.
+pub fn run(module: &mut Module, opts: &PassOptions) -> bool {
+    let mut changed = false;
+    // Constant-global values are read-only inputs to the folder.
+    let const_globals: HashMap<u32, (nzomp_ir::Init, u64)> = module
+        .globals
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.constant)
+        .map(|(i, g)| (i as u32, (g.init.clone(), g.size)))
+        .collect();
+    for f in &mut module.funcs {
+        if f.is_declaration() {
+            continue;
+        }
+        changed |= simplify_function(f, &const_globals, opts);
+    }
+    changed
+}
+
+/// Iterate local simplifications on one function to a (bounded) fixpoint.
+pub fn simplify_function(
+    f: &mut Function,
+    const_globals: &HashMap<u32, (nzomp_ir::Init, u64)>,
+    opts: &PassOptions,
+) -> bool {
+    let mut any = false;
+    for _ in 0..16 {
+        let mut changed = false;
+        if opts.fold_constants {
+            changed |= fold_insts(f, const_globals);
+        }
+        if opts.simplify_cfg {
+            changed |= fold_branches(f);
+            changed |= remove_unreachable(f);
+            changed |= simplify_phis(f);
+            changed |= merge_blocks(f);
+        }
+        changed |= dce(f);
+        any |= changed;
+        if !changed {
+            break;
+        }
+    }
+    any
+}
+
+// ---------------------------------------------------------------------------
+// constant folding
+// ---------------------------------------------------------------------------
+
+fn as_const(f: &Function, op: Operand) -> Option<Operand> {
+    match op {
+        Operand::ConstI(..) | Operand::ConstF(..) => Some(op),
+        _ => {
+            let _ = f;
+            None
+        }
+    }
+}
+
+fn const_i(op: Operand) -> Option<i64> {
+    op.as_const_int()
+}
+
+fn fold_insts(f: &mut Function, const_globals: &HashMap<u32, (nzomp_ir::Init, u64)>) -> bool {
+    let mut map: HashMap<InstId, Operand> = HashMap::new();
+    for block in &f.blocks {
+        for &iid in &block.insts {
+            if let Some(rep) = fold_one(f, iid, const_globals) {
+                map.insert(iid, rep);
+            }
+        }
+    }
+    if map.is_empty() {
+        return false;
+    }
+    apply_replacements(f, &map);
+    true
+}
+
+/// Try to fold instruction `iid` into an operand.
+fn fold_one(
+    f: &Function,
+    iid: InstId,
+    const_globals: &HashMap<u32, (nzomp_ir::Init, u64)>,
+) -> Option<Operand> {
+    let inst = f.inst(iid);
+    match inst {
+        Inst::Bin { op, ty, lhs, rhs } => fold_bin(f, *op, *ty, *lhs, *rhs),
+        Inst::Un { op, ty, arg } => {
+            let a = as_const(f, *arg)?;
+            fold_un(*op, *ty, a)
+        }
+        Inst::Cast { kind, to, arg } => {
+            let a = as_const(f, *arg)?;
+            fold_cast(*kind, *to, a)
+        }
+        Inst::Cmp { pred, ty, lhs, rhs } => fold_cmp(f, *pred, *ty, *lhs, *rhs),
+        Inst::Select {
+            ty,
+            cond,
+            if_true,
+            if_false,
+        } => {
+            if let Some(c) = const_i(*cond) {
+                return Some(if c != 0 { *if_true } else { *if_false });
+            }
+            if if_true == if_false {
+                return Some(*if_true);
+            }
+            let _ = ty;
+            None
+        }
+        Inst::PtrAdd { base, offset } => {
+            if const_i(*offset) == Some(0) {
+                return Some(*base);
+            }
+            None
+        }
+        Inst::Load { ty, ptr } => {
+            // Loads of constant globals fold at compile time — the
+            // mechanism behind the oversubscription/debug flag globals
+            // (§III-F: "emit constant globals that the runtime will 'read'
+            // at compile time via constant propagation").
+            let (g, off) = match ptr {
+                Operand::Global(g) => (*g, 0u64),
+                Operand::Inst(pid) => match f.inst(*pid) {
+                    Inst::PtrAdd {
+                        base: Operand::Global(g),
+                        offset,
+                    } => (*g, const_i(*offset)? as u64),
+                    _ => return None,
+                },
+                _ => return None,
+            };
+            let (init, size) = const_globals.get(&g.0)?;
+            if off + ty.size() > *size {
+                return None;
+            }
+            let bits = init.read_int(off, ty.size());
+            Some(match ty {
+                Ty::F64 => Operand::ConstF(f64::from_bits(bits as u64)),
+                _ => Operand::ConstI(bits, *ty),
+            })
+        }
+        Inst::Phi { incomings, .. } => {
+            // All incomings identical (possibly via self-reference).
+            let mut val: Option<Operand> = None;
+            for inc in incomings {
+                if inc.value == Operand::Inst(iid) {
+                    continue;
+                }
+                match val {
+                    None => val = Some(inc.value),
+                    Some(v) if v == inc.value => {}
+                    _ => return None,
+                }
+            }
+            val
+        }
+        _ => None,
+    }
+}
+
+fn fold_bin(f: &Function, op: BinOp, ty: Ty, lhs: Operand, rhs: Operand) -> Option<Operand> {
+    let cl = as_const(f, lhs);
+    let cr = as_const(f, rhs);
+    if op.is_float() {
+        if let (Some(a), Some(b)) = (
+            cl.and_then(|c| c.as_const_f64()),
+            cr.and_then(|c| c.as_const_f64()),
+        ) {
+            let v = match op {
+                BinOp::FAdd => a + b,
+                BinOp::FSub => a - b,
+                BinOp::FMul => a * b,
+                BinOp::FDiv => a / b,
+                BinOp::FMin => a.min(b),
+                BinOp::FMax => a.max(b),
+                _ => unreachable!(),
+            };
+            return Some(Operand::ConstF(v));
+        }
+        // Float identities are unsafe in general (signed zero, NaN); skip.
+        return None;
+    }
+    let il = cl.and_then(|c| c.as_const_int());
+    let ir = cr.and_then(|c| c.as_const_int());
+    if let (Some(a), Some(b)) = (il, ir) {
+        let v = match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::SDiv => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::SRem => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::UDiv => {
+                if b == 0 {
+                    return None;
+                }
+                ((a as u64) / (b as u64)) as i64
+            }
+            BinOp::URem => {
+                if b == 0 {
+                    return None;
+                }
+                ((a as u64) % (b as u64)) as i64
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+            BinOp::LShr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+            BinOp::AShr => a.wrapping_shr(b as u32 & 63),
+            BinOp::SMin => a.min(b),
+            BinOp::SMax => a.max(b),
+            _ => unreachable!(),
+        };
+        return Some(Operand::ConstI(v, ty));
+    }
+    // Identities (one constant side).
+    match (op, il, ir) {
+        (BinOp::Add, Some(0), _) => Some(rhs),
+        (BinOp::Add, _, Some(0)) | (BinOp::Sub, _, Some(0)) => Some(lhs),
+        (BinOp::Mul, Some(1), _) => Some(rhs),
+        (BinOp::Mul, _, Some(1)) | (BinOp::SDiv, _, Some(1)) => Some(lhs),
+        (BinOp::Mul, Some(0), _) | (BinOp::Mul, _, Some(0)) => Some(Operand::ConstI(0, ty)),
+        (BinOp::And, Some(0), _) | (BinOp::And, _, Some(0)) => Some(Operand::ConstI(0, ty)),
+        (BinOp::Or, Some(0), _) | (BinOp::Xor, Some(0), _) => Some(rhs),
+        (BinOp::Or, _, Some(0)) | (BinOp::Xor, _, Some(0)) => Some(lhs),
+        (BinOp::Shl, _, Some(0)) | (BinOp::LShr, _, Some(0)) | (BinOp::AShr, _, Some(0)) => {
+            Some(lhs)
+        }
+        _ => None,
+    }
+}
+
+fn fold_un(op: UnOp, ty: Ty, a: Operand) -> Option<Operand> {
+    match op {
+        UnOp::Neg => Some(Operand::ConstI(a.as_const_int()?.wrapping_neg(), ty)),
+        UnOp::Not => Some(Operand::ConstI(!a.as_const_int()?, ty)),
+        UnOp::FNeg => Some(Operand::ConstF(-a.as_const_f64()?)),
+        UnOp::FAbs => Some(Operand::ConstF(a.as_const_f64()?.abs())),
+        UnOp::Sqrt => Some(Operand::ConstF(a.as_const_f64()?.sqrt())),
+        UnOp::Sin => Some(Operand::ConstF(a.as_const_f64()?.sin())),
+        UnOp::Cos => Some(Operand::ConstF(a.as_const_f64()?.cos())),
+        UnOp::Exp => Some(Operand::ConstF(a.as_const_f64()?.exp())),
+        UnOp::Log => Some(Operand::ConstF(a.as_const_f64()?.ln())),
+    }
+}
+
+fn fold_cast(kind: CastKind, to: Ty, a: Operand) -> Option<Operand> {
+    match kind {
+        CastKind::IntCast => {
+            let v = a.as_const_int()?;
+            let v = match to {
+                Ty::I1 => v & 1,
+                Ty::I8 => v as i8 as i64,
+                Ty::I32 => v as i32 as i64,
+                _ => v,
+            };
+            Some(Operand::ConstI(v, to))
+        }
+        CastKind::ZExtCast => {
+            let v = a.as_const_int()?;
+            let v = match to {
+                Ty::I1 => v & 1,
+                Ty::I8 => v & 0xff,
+                Ty::I32 => v & 0xffff_ffff,
+                _ => v,
+            };
+            Some(Operand::ConstI(v, to))
+        }
+        CastKind::SiToFp => Some(Operand::ConstF(a.as_const_int()? as f64)),
+        CastKind::FpToSi => Some(Operand::ConstI(a.as_const_f64()? as i64, to)),
+        CastKind::PtrCast => {
+            let v = a.as_const_int()?;
+            Some(Operand::ConstI(v, to))
+        }
+    }
+}
+
+fn fold_cmp(f: &Function, pred: Pred, ty: Ty, lhs: Operand, rhs: Operand) -> Option<Operand> {
+    let cl = as_const(f, lhs);
+    let cr = as_const(f, rhs);
+    if ty.is_float() {
+        let (a, b) = (
+            cl.and_then(|c| c.as_const_f64())?,
+            cr.and_then(|c| c.as_const_f64())?,
+        );
+        let v = match pred {
+            Pred::Eq => a == b,
+            Pred::Ne => a != b,
+            Pred::Slt | Pred::Ult => a < b,
+            Pred::Sle | Pred::Ule => a <= b,
+            Pred::Sgt | Pred::Ugt => a > b,
+            Pred::Sge | Pred::Uge => a >= b,
+        };
+        return Some(Operand::bool_(v));
+    }
+    let (a, b) = (
+        cl.and_then(|c| c.as_const_int())?,
+        cr.and_then(|c| c.as_const_int())?,
+    );
+    let v = match pred {
+        Pred::Eq => a == b,
+        Pred::Ne => a != b,
+        Pred::Slt => a < b,
+        Pred::Sle => a <= b,
+        Pred::Sgt => a > b,
+        Pred::Sge => a >= b,
+        Pred::Ult => (a as u64) < (b as u64),
+        Pred::Ule => (a as u64) <= (b as u64),
+        Pred::Ugt => (a as u64) > (b as u64),
+        Pred::Uge => (a as u64) >= (b as u64),
+    };
+    Some(Operand::bool_(v))
+}
+
+/// Apply a replacement map (with chain resolution) to all uses.
+pub fn apply_replacements(f: &mut Function, map: &HashMap<InstId, Operand>) {
+    let resolve = |mut op: Operand| -> Operand {
+        let mut hops = 0;
+        while let Operand::Inst(i) = op {
+            match map.get(&i) {
+                Some(&next) if next != op => {
+                    op = next;
+                    hops += 1;
+                    if hops > 64 {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        op
+    };
+    for inst in &mut f.insts {
+        inst.map_operands(resolve);
+    }
+    for block in &mut f.blocks {
+        block.term.map_operands(resolve);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CFG simplification
+// ---------------------------------------------------------------------------
+
+fn fold_branches(f: &mut Function) -> bool {
+    let mut changed = false;
+    for bi in 0..f.blocks.len() {
+        let new_term = match &f.blocks[bi].term {
+            Term::CondBr {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                if if_true == if_false {
+                    Some(Term::Br(*if_true))
+                } else if let Some(c) = cond.as_const_int() {
+                    Some(Term::Br(if c != 0 { *if_true } else { *if_false }))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(t) = new_term {
+            // Fix phis in the no-longer-successor block.
+            let old_succs = f.blocks[bi].term.succs();
+            f.blocks[bi].term = t;
+            let new_succs = f.blocks[bi].term.succs();
+            for s in old_succs {
+                if !new_succs.contains(&s) {
+                    remove_phi_incomings(f, s, BlockId(bi as u32));
+                }
+            }
+            changed = true;
+        }
+    }
+    changed
+}
+
+fn remove_phi_incomings(f: &mut Function, block: BlockId, pred: BlockId) {
+    let insts: Vec<InstId> = f.block(block).insts.clone();
+    for iid in insts {
+        if let Inst::Phi { incomings, .. } = f.inst_mut(iid) {
+            incomings.retain(|i| i.pred != pred);
+        } else {
+            break;
+        }
+    }
+}
+
+fn remove_unreachable(f: &mut Function) -> bool {
+    let reach = cfg::reachable(f);
+    let mut changed = false;
+    for (bi, r) in reach.iter().enumerate() {
+        if *r {
+            continue;
+        }
+        if !f.blocks[bi].insts.is_empty() || f.blocks[bi].term != Term::Unreachable {
+            // Remove this block's contribution to reachable phis.
+            for (si, sr) in reach.iter().enumerate() {
+                if *sr {
+                    remove_phi_incomings(f, BlockId(si as u32), BlockId(bi as u32));
+                }
+            }
+            f.blocks[bi].insts.clear();
+            f.blocks[bi].term = Term::Unreachable;
+            changed = true;
+        }
+    }
+    changed
+}
+
+fn simplify_phis(f: &mut Function) -> bool {
+    // Align phi incomings with actual predecessors, then fold trivial phis.
+    let preds = cfg::predecessors(f);
+    let mut map: HashMap<InstId, Operand> = HashMap::new();
+    let mut changed = false;
+    for bi in 0..f.blocks.len() {
+        let insts: Vec<InstId> = f.blocks[bi].insts.clone();
+        for iid in insts {
+            let Inst::Phi { incomings, .. } = f.inst_mut(iid) else {
+                break;
+            };
+            let before = incomings.len();
+            incomings.retain(|i| preds[bi].contains(&i.pred));
+            if incomings.len() != before {
+                changed = true;
+            }
+            if incomings.len() == 1 {
+                map.insert(iid, incomings[0].value);
+            }
+        }
+    }
+    if !map.is_empty() {
+        // Chains among phis resolve transitively in apply_replacements.
+        apply_replacements(f, &map);
+        // Drop the trivial phis from their blocks.
+        for block in &mut f.blocks {
+            block.insts.retain(|i| !map.contains_key(i));
+        }
+        changed = true;
+    }
+    changed
+}
+
+fn merge_blocks(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let preds = cfg::predecessors(f);
+        let reach = cfg::reachable(f);
+        let mut merged = false;
+        for ai in 0..f.blocks.len() {
+            if !reach[ai] {
+                continue;
+            }
+            let Term::Br(b) = f.blocks[ai].term else {
+                continue;
+            };
+            let bi = b.index();
+            if bi == ai || preds[bi].len() != 1 {
+                continue;
+            }
+            // No phis in the target (trivial ones were folded already).
+            let has_phi = f.blocks[bi]
+                .insts
+                .first()
+                .map(|&i| f.inst(i).is_phi())
+                .unwrap_or(false);
+            if has_phi {
+                continue;
+            }
+            // Merge B into A.
+            let b_insts = std::mem::take(&mut f.blocks[bi].insts);
+            let b_term = std::mem::replace(&mut f.blocks[bi].term, Term::Unreachable);
+            // Phis in B's successors must re-point their incoming edge.
+            for s in b_term.succs() {
+                let insts: Vec<InstId> = f.block(s).insts.clone();
+                for iid in insts {
+                    if let Inst::Phi { incomings, .. } = f.inst_mut(iid) {
+                        for inc in incomings.iter_mut() {
+                            if inc.pred == b {
+                                inc.pred = BlockId(ai as u32);
+                            }
+                        }
+                    } else {
+                        break;
+                    }
+                }
+            }
+            f.blocks[ai].insts.extend(b_insts);
+            f.blocks[ai].term = b_term;
+            merged = true;
+            changed = true;
+            break; // recompute preds
+        }
+        if !merged {
+            break;
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// dead code elimination
+// ---------------------------------------------------------------------------
+
+/// Remove instructions whose results are unused and which have no side
+/// effects. `assume(true)` and `assume(<constant>)` are also dropped.
+pub fn dce(f: &mut Function) -> bool {
+    let n = f.insts.len();
+    let mut live = vec![false; n];
+    let mut work: Vec<InstId> = Vec::new();
+
+    let mark = |op: Operand, live: &mut Vec<bool>, work: &mut Vec<InstId>| {
+        if let Operand::Inst(i) = op {
+            if !live[i.index()] {
+                live[i.index()] = true;
+                work.push(i);
+            }
+        }
+    };
+
+    for block in &f.blocks {
+        for &iid in &block.insts {
+            let inst = f.inst(iid);
+            let rooted = match inst {
+                Inst::Intr {
+                    intr: Intrinsic::Assume(()),
+                    args,
+                } => {
+                    // Constant assumes are informationless.
+                    !matches!(args[0], Operand::ConstI(..))
+                }
+                // An unused load is removable: it observes memory but
+                // modifies nothing (dropping it only forgoes a potential
+                // trap, which dead code is allowed to do).
+                Inst::Load { .. } => false,
+                _ => inst.has_side_effects(),
+            };
+            if rooted && !live[iid.index()] {
+                live[iid.index()] = true;
+                work.push(iid);
+            }
+        }
+        for op in block.term.operands() {
+            mark(op, &mut live, &mut work);
+        }
+    }
+    while let Some(iid) = work.pop() {
+        for op in f.inst(iid).operands() {
+            mark(op, &mut live, &mut work);
+        }
+    }
+    let mut changed = false;
+    for block in &mut f.blocks {
+        let before = block.insts.len();
+        block.insts.retain(|i| live[i.index()]);
+        changed |= block.insts.len() != before;
+    }
+    changed
+}

@@ -1,0 +1,226 @@
+//! GridMini — proxy for the Grid lattice-QCD library (paper §V-A): SU(3)
+//! complex 3×3 matrix multiplication over every lattice site. The paper
+//! reports this one in GFlops (Fig. 12) and used it for the per-pass
+//! ablation (Fig. 13).
+//!
+//! As in the paper (§VII), the loop bound is passed to the target region
+//! *by value*, matching the CUDA version.
+
+use nzomp_front::{cuda, spmd_kernel_for};
+use nzomp_ir::{FuncBuilder, Module, Operand, Ty};
+use nzomp_vgpu::device::Launch;
+use nzomp_vgpu::{Device, RtVal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{KernelKind, Prepared, Proxy};
+
+/// 3x3 complex matrices: 9 entries x (re, im) = 18 doubles per site.
+const SITE_DOUBLES: usize = 18;
+
+/// Floating point operations per site: 27 complex multiplies (6 flops each)
+/// and 18 complex accumulate steps (2 flops each).
+pub const FLOPS_PER_SITE: u64 = 27 * 6 + 18 * 2;
+
+#[derive(Clone, Debug)]
+pub struct GridMini {
+    pub n_sites: usize,
+    pub threads_per_team: u32,
+    pub seed: u64,
+}
+
+impl GridMini {
+    pub fn small() -> GridMini {
+        GridMini {
+            n_sites: 256,
+            threads_per_team: 64,
+            seed: 0x5eed_0003,
+        }
+    }
+
+    pub fn large() -> GridMini {
+        GridMini {
+            n_sites: 4096,
+            threads_per_team: 128,
+            seed: 0x5eed_0003,
+        }
+    }
+
+    fn teams(&self) -> u32 {
+        (self.n_sites as u32).div_ceil(self.threads_per_team)
+    }
+
+    fn generate(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.n_sites * SITE_DOUBLES;
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        (a, b)
+    }
+
+    fn reference(&self, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut c = vec![0.0; self.n_sites * SITE_DOUBLES];
+        for s in 0..self.n_sites {
+            let base = s * SITE_DOUBLES;
+            for i in 0..3 {
+                for j in 0..3 {
+                    let mut re = 0.0f64;
+                    let mut im = 0.0f64;
+                    for k in 0..3 {
+                        let ar = a[base + (i * 3 + k) * 2];
+                        let ai = a[base + (i * 3 + k) * 2 + 1];
+                        let br = b[base + (k * 3 + j) * 2];
+                        let bi = b[base + (k * 3 + j) * 2 + 1];
+                        re += ar * br - ai * bi;
+                        im += ar * bi + ai * br;
+                    }
+                    c[base + (i * 3 + j) * 2] = re;
+                    c[base + (i * 3 + j) * 2 + 1] = im;
+                }
+            }
+        }
+        c
+    }
+}
+
+const PARAMS: [Ty; 4] = [Ty::Ptr, Ty::Ptr, Ty::Ptr, Ty::I64];
+
+/// One site: fully unrolled complex 3x3 multiply. All 36 input values are
+/// loaded up front (they stay live through the computation — this is what
+/// gives the kernel its register pressure, as in the real SU(3) kernels).
+fn emit_site(_m: &mut Module, b: &mut FuncBuilder, iv: Operand, p: &[Operand]) {
+    let (pa, pb, pc) = (p[0], p[1], p[2]);
+    let base = b.mul(iv, Operand::i64(SITE_DOUBLES as i64 * 8));
+    let sa = b.ptr_add(pa, base);
+    let sb = b.ptr_add(pb, base);
+    let sc = b.ptr_add(pc, base);
+
+    let mut av = Vec::with_capacity(SITE_DOUBLES);
+    let mut bv = Vec::with_capacity(SITE_DOUBLES);
+    for t in 0..SITE_DOUBLES as i64 {
+        let pa_t = b.ptr_add(sa, Operand::i64(t * 8));
+        av.push(b.load(Ty::F64, pa_t));
+        let pb_t = b.ptr_add(sb, Operand::i64(t * 8));
+        bv.push(b.load(Ty::F64, pb_t));
+    }
+    for i in 0..3usize {
+        for j in 0..3usize {
+            let mut re: Option<Operand> = None;
+            let mut im: Option<Operand> = None;
+            for k in 0..3usize {
+                let ar = av[(i * 3 + k) * 2];
+                let ai = av[(i * 3 + k) * 2 + 1];
+                let br = bv[(k * 3 + j) * 2];
+                let bi = bv[(k * 3 + j) * 2 + 1];
+                let rr = b.fmul(ar, br);
+                let ii = b.fmul(ai, bi);
+                let re_t = b.fsub(rr, ii);
+                let ri = b.fmul(ar, bi);
+                let ir = b.fmul(ai, br);
+                let im_t = b.fadd(ri, ir);
+                re = Some(match re {
+                    None => re_t,
+                    Some(acc) => b.fadd(acc, re_t),
+                });
+                im = Some(match im {
+                    None => im_t,
+                    Some(acc) => b.fadd(acc, im_t),
+                });
+            }
+            let po_re = b.ptr_add(sc, Operand::i64(((i * 3 + j) * 2) as i64 * 8));
+            b.store(Ty::F64, po_re, re.unwrap());
+            let po_im = b.ptr_add(sc, Operand::i64(((i * 3 + j) * 2 + 1) as i64 * 8));
+            b.store(Ty::F64, po_im, im.unwrap());
+        }
+    }
+}
+
+impl Proxy for GridMini {
+    fn name(&self) -> &'static str {
+        "GridMini"
+    }
+
+    fn kernel_name(&self) -> &'static str {
+        "su3_mult_kernel"
+    }
+
+    fn build(&self, kind: KernelKind) -> Module {
+        let mut m = Module::new("gridmini");
+        match kind {
+            KernelKind::Omp(flavor) => {
+                spmd_kernel_for(
+                    &mut m,
+                    flavor,
+                    self.kernel_name(),
+                    &PARAMS,
+                    // Loop bound by value (the §VII GridMini fix).
+                    |_b, p| p[3],
+                    |m, b, iv, p| emit_site(m, b, iv, p),
+                );
+            }
+            KernelKind::Cuda => {
+                cuda::grid_stride_kernel(
+                    &mut m,
+                    self.kernel_name(),
+                    &PARAMS,
+                    |_b, p| p[3],
+                    |m, b, iv, p| emit_site(m, b, iv, p),
+                );
+            }
+        }
+        nzomp_ir::verify_module(&m).expect("gridmini module verifies");
+        m
+    }
+
+    fn prepare(&self, dev: &mut Device) -> Prepared {
+        let (a, bb) = self.generate();
+        let expected = self.reference(&a, &bb);
+        let pa = dev.alloc_f64(&a);
+        let pb = dev.alloc_f64(&bb);
+        let pc = dev.alloc((self.n_sites * SITE_DOUBLES * 8) as u64);
+        Prepared {
+            launch: Launch::new(self.teams(), self.threads_per_team),
+            args: vec![
+                RtVal::P(pa),
+                RtVal::P(pb),
+                RtVal::P(pc),
+                RtVal::I(self.n_sites as i64),
+            ],
+            out_ptr: pc,
+            expected,
+            tol: 1e-12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{quick_device, run_config};
+    use nzomp::BuildConfig;
+
+    #[test]
+    fn gridmini_correct_under_all_configs() {
+        let p = GridMini::small();
+        for cfg in BuildConfig::ALL {
+            let r = run_config(&p, cfg, &quick_device());
+            assert!(r.is_ok(), "{cfg:?}: {:?}", r.err().map(|e| e.to_string()));
+        }
+    }
+
+    #[test]
+    fn gridmini_flop_count_matches_model() {
+        let p = GridMini::small();
+        let r = run_config(&p, BuildConfig::Cuda, &quick_device()).unwrap();
+        assert_eq!(r.metrics.flops, FLOPS_PER_SITE * p.n_sites as u64);
+    }
+
+    #[test]
+    fn gridmini_new_rt_matches_cuda_gflops_closely() {
+        let p = GridMini::small();
+        let new_rt = run_config(&p, BuildConfig::NewRtNoAssumptions, &quick_device()).unwrap();
+        let cuda = run_config(&p, BuildConfig::Cuda, &quick_device()).unwrap();
+        let ratio = new_rt.metrics.gflops() / cuda.metrics.gflops();
+        assert!(ratio > 0.9, "GFlops ratio {ratio:.3}");
+    }
+}

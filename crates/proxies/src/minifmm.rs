@@ -1,0 +1,462 @@
+//! MiniFMM — proxy for the fast-multipole dual-tree traversal (paper
+//! §V-A): irregular per-cell interaction lists, a particle-staging P2P
+//! kernel in a **non-inlined** device function (the call boundary is what
+//! makes the interprocedural analyses of §IV-B2 matter here), and the
+//! generic-mode lowering (the app's task parallelism does not map onto the
+//! combined directive), which SPMDization (§IV-A3) must rescue.
+
+use nzomp_front::{generic_kernel, omp_num_threads, omp_team_num, omp_thread_num};
+use nzomp_ir::builder::build_counted_loop;
+use nzomp_ir::module::FuncRef;
+use nzomp_ir::{ExecMode, FuncBuilder, Module, Operand, Ty, UnOp};
+use nzomp_vgpu::device::Launch;
+use nzomp_vgpu::{Device, RtVal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{KernelKind, Prepared, Proxy};
+
+#[derive(Clone, Debug)]
+pub struct MiniFmm {
+    pub n_cells: usize,
+    pub min_particles: usize,
+    pub max_particles: usize,
+    pub min_interactions: usize,
+    pub max_interactions: usize,
+    pub teams: u32,
+    pub threads_per_team: u32,
+    pub seed: u64,
+}
+
+impl MiniFmm {
+    pub fn small() -> MiniFmm {
+        MiniFmm {
+            n_cells: 48,
+            min_particles: 2,
+            max_particles: 8,
+            min_interactions: 1,
+            max_interactions: 5,
+            teams: 4,
+            threads_per_team: 16,
+            seed: 0x5eed_0005,
+        }
+    }
+
+    pub fn large() -> MiniFmm {
+        MiniFmm {
+            n_cells: 256,
+            min_particles: 4,
+            max_particles: 16,
+            min_interactions: 2,
+            max_interactions: 10,
+            teams: 8,
+            threads_per_team: 32,
+            seed: 0x5eed_0005,
+        }
+    }
+
+    fn cells_per_team(&self) -> usize {
+        self.n_cells.div_ceil(self.teams as usize)
+    }
+
+    fn generate(&self) -> Inputs {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut cell_start = vec![0i64; self.n_cells + 1];
+        for c in 0..self.n_cells {
+            let n = rng.gen_range(self.min_particles..=self.max_particles) as i64;
+            cell_start[c + 1] = cell_start[c] + n;
+        }
+        let n_particles = cell_start[self.n_cells] as usize;
+        let px: Vec<f64> = (0..n_particles).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let py: Vec<f64> = (0..n_particles).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let pz: Vec<f64> = (0..n_particles).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let w: Vec<f64> = (0..n_particles).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let mut inter_start = vec![0i64; self.n_cells + 1];
+        let mut inter_list = Vec::new();
+        for c in 0..self.n_cells {
+            let n = rng.gen_range(self.min_interactions..=self.max_interactions);
+            for _ in 0..n {
+                inter_list.push(rng.gen_range(0..self.n_cells as i64));
+            }
+            inter_start[c + 1] = inter_start[c] + n as i64;
+        }
+        Inputs {
+            cell_start,
+            inter_start,
+            inter_list,
+            px,
+            py,
+            pz,
+            w,
+        }
+    }
+
+    fn reference(&self, inp: &Inputs) -> Vec<f64> {
+        let mut pot = vec![0.0f64; self.n_cells];
+        for c in 0..self.n_cells {
+            let (t_lo, t_hi) = (inp.cell_start[c] as usize, inp.cell_start[c + 1] as usize);
+            let mut acc = 0.0f64;
+            for s_idx in inp.inter_start[c]..inp.inter_start[c + 1] {
+                let s = inp.inter_list[s_idx as usize] as usize;
+                let (s_lo, s_hi) = (inp.cell_start[s] as usize, inp.cell_start[s + 1] as usize);
+                let mut sum = 0.0f64;
+                for t in t_lo..t_hi {
+                    for j in s_lo..s_hi {
+                        let dx = inp.px[t] - inp.px[j];
+                        let dy = inp.py[t] - inp.py[j];
+                        let dz = inp.pz[t] - inp.pz[j];
+                        let r2 = dx * dx + dy * dy + dz * dz + 0.01;
+                        let inv = 1.0 / r2.sqrt();
+                        sum += inp.w[t] * (inp.w[j] * inv);
+                    }
+                }
+                acc += sum;
+            }
+            pot[c] = acc;
+        }
+        pot
+    }
+}
+
+struct Inputs {
+    cell_start: Vec<i64>,
+    inter_start: Vec<i64>,
+    inter_list: Vec<i64>,
+    px: Vec<f64>,
+    py: Vec<f64>,
+    pz: Vec<f64>,
+    w: Vec<f64>,
+}
+
+/// Kernel parameters, in order: cell_start, inter_start, inter_list,
+/// px, py, pz, w, scratch, pot, n_cells, max_particles.
+const PARAMS: [Ty; 11] = [
+    Ty::Ptr,
+    Ty::Ptr,
+    Ty::Ptr,
+    Ty::Ptr,
+    Ty::Ptr,
+    Ty::Ptr,
+    Ty::Ptr,
+    Ty::Ptr,
+    Ty::Ptr,
+    Ty::I64,
+    Ty::I64,
+];
+
+/// Build the non-inlined P2P leaf routine. It stages the source cell's
+/// particles into a per-hardware-thread scratch slice before the pairwise
+/// loop (the classic staging idiom), so it must know its global thread id —
+/// in the OpenMP variant through ICV queries whose folding requires the
+/// interprocedural machinery of §IV-B2.
+///
+/// Params: t_lo, t_hi, s_lo, s_hi, px, py, pz, w, scratch, max_particles.
+fn build_p2p_leaf(m: &mut Module, omp: bool) -> FuncRef {
+    let name = if omp { "p2p_leaf_omp" } else { "p2p_leaf_cuda" };
+    let mut b = FuncBuilder::new(
+        name,
+        vec![
+            Ty::I64,
+            Ty::I64,
+            Ty::I64,
+            Ty::I64,
+            Ty::Ptr,
+            Ty::Ptr,
+            Ty::Ptr,
+            Ty::Ptr,
+            Ty::Ptr,
+            Ty::I64,
+        ],
+        Some(Ty::F64),
+    );
+    b.attrs_mut().no_inline = true;
+    b.set_linkage(nzomp_ir::Linkage::Internal);
+    let (t_lo, t_hi, s_lo, s_hi) = (b.param(0), b.param(1), b.param(2), b.param(3));
+    let (px, py, pz, w) = (b.param(4), b.param(5), b.param(6), b.param(7));
+    let scratch = b.param(8);
+    let max_pc = b.param(9);
+
+    // Global hardware thread id for the scratch slice.
+    let gtid = if omp {
+        let team = omp_team_num(m, &mut b);
+        let nth = omp_num_threads(m, &mut b);
+        let tn = omp_thread_num(m, &mut b);
+        let base = b.mul(team, nth);
+        b.add(base, tn)
+    } else {
+        let bid = b.block_id();
+        let bdim = b.block_dim();
+        let tid = b.thread_id();
+        let base = b.mul(bid, bdim);
+        b.add(base, tid)
+    };
+    let slot_sz = b.mul(max_pc, Operand::i64(4 * 8));
+    let slice = b.mul(gtid, slot_sz);
+    let my_scratch = b.ptr_add(scratch, slice);
+
+    // Stage the source particles.
+    let ns = b.sub(s_hi, s_lo);
+    build_counted_loop(&mut b, Operand::i64(0), ns, Operand::i64(1), |b, j| {
+        let k = b.add(s_lo, j);
+        let entry = b.mul(j, Operand::i64(32));
+        let dst = b.ptr_add(my_scratch, entry);
+        for (fi, arr) in [px, py, pz, w].into_iter().enumerate() {
+            let pa = b.gep(arr, k, 8);
+            let v = b.load(Ty::F64, pa);
+            let pd = b.ptr_add(dst, Operand::i64(fi as i64 * 8));
+            b.store(Ty::F64, pd, v);
+        }
+    });
+
+    // Pairwise interactions against the staged copies.
+    let acc = b.alloca(8);
+    b.store(Ty::F64, acc, Operand::f64(0.0));
+    build_counted_loop(&mut b, t_lo, t_hi, Operand::i64(1), |b, t| {
+        let ptx = b.gep(px, t, 8);
+        let tx = b.load(Ty::F64, ptx);
+        let pty = b.gep(py, t, 8);
+        let ty = b.load(Ty::F64, pty);
+        let ptz = b.gep(pz, t, 8);
+        let tz = b.load(Ty::F64, ptz);
+        let ptw = b.gep(w, t, 8);
+        let tw = b.load(Ty::F64, ptw);
+        build_counted_loop(b, Operand::i64(0), ns, Operand::i64(1), |b, j| {
+            let entry = b.mul(j, Operand::i64(32));
+            let src = b.ptr_add(my_scratch, entry);
+            let sx = b.load(Ty::F64, src);
+            let p1 = b.ptr_add(src, Operand::i64(8));
+            let sy = b.load(Ty::F64, p1);
+            let p2 = b.ptr_add(src, Operand::i64(16));
+            let sz = b.load(Ty::F64, p2);
+            let p3 = b.ptr_add(src, Operand::i64(24));
+            let sw = b.load(Ty::F64, p3);
+            let dx = b.fsub(tx, sx);
+            let dy = b.fsub(ty, sy);
+            let dz = b.fsub(tz, sz);
+            let xx = b.fmul(dx, dx);
+            let yy = b.fmul(dy, dy);
+            let zz = b.fmul(dz, dz);
+            let t1 = b.fadd(xx, yy);
+            let t2 = b.fadd(t1, zz);
+            let r2 = b.fadd(t2, Operand::f64(0.01));
+            let root = b.un(UnOp::Sqrt, Ty::F64, r2);
+            let inv = b.fdiv(Operand::f64(1.0), root);
+            let wi = b.fmul(sw, inv);
+            let contrib = b.fmul(tw, wi);
+            let cur = b.load(Ty::F64, acc);
+            let nv = b.fadd(cur, contrib);
+            b.store(Ty::F64, acc, nv);
+        });
+    });
+    let total = b.load(Ty::F64, acc);
+    b.ret(Some(total));
+    m.add_function(b.finish())
+}
+
+/// Per-target-cell body shared by both variants.
+fn emit_cell(
+    b: &mut FuncBuilder,
+    leaf: FuncRef,
+    cell: Operand,
+    caps: &[Operand], // cell_start, inter_start, inter_list, px,py,pz,w, scratch, pot, max_pc
+) {
+    let (cell_start, inter_start, inter_list) = (caps[0], caps[1], caps[2]);
+    let (px, py, pz, w) = (caps[3], caps[4], caps[5], caps[6]);
+    let (scratch, pot, max_pc) = (caps[7], caps[8], caps[9]);
+
+    let pt = b.gep(cell_start, cell, 8);
+    let t_lo = b.load(Ty::I64, pt);
+    let cell1 = b.add(cell, Operand::i64(1));
+    let pt1 = b.gep(cell_start, cell1, 8);
+    let t_hi = b.load(Ty::I64, pt1);
+    let pi = b.gep(inter_start, cell, 8);
+    let i_lo = b.load(Ty::I64, pi);
+    let pi1 = b.gep(inter_start, cell1, 8);
+    let i_hi = b.load(Ty::I64, pi1);
+
+    let acc = b.alloca(8);
+    b.store(Ty::F64, acc, Operand::f64(0.0));
+    build_counted_loop(b, i_lo, i_hi, Operand::i64(1), |b, s_idx| {
+        let ps = b.gep(inter_list, s_idx, 8);
+        let s = b.load(Ty::I64, ps);
+        let psl = b.gep(cell_start, s, 8);
+        let s_lo = b.load(Ty::I64, psl);
+        let s1 = b.add(s, Operand::i64(1));
+        let psh = b.gep(cell_start, s1, 8);
+        let s_hi = b.load(Ty::I64, psh);
+        let part = b
+            .call(
+                Operand::Func(leaf),
+                vec![t_lo, t_hi, s_lo, s_hi, px, py, pz, w, scratch, max_pc],
+                Some(Ty::F64),
+            )
+            .unwrap();
+        let cur = b.load(Ty::F64, acc);
+        let nv = b.fadd(cur, part);
+        b.store(Ty::F64, acc, nv);
+    });
+    let total = b.load(Ty::F64, acc);
+    let po = b.gep(pot, cell, 8);
+    b.store(Ty::F64, po, total);
+}
+
+impl Proxy for MiniFmm {
+    fn name(&self) -> &'static str {
+        "MiniFMM"
+    }
+
+    fn kernel_name(&self) -> &'static str {
+        "fmm_p2p_kernel"
+    }
+
+    fn build(&self, kind: KernelKind) -> Module {
+        let mut m = Module::new("minifmm");
+        match kind {
+            KernelKind::Omp(flavor) => {
+                let leaf = build_p2p_leaf(&mut m, true);
+                generic_kernel(
+                    &mut m,
+                    flavor,
+                    self.kernel_name(),
+                    &PARAMS,
+                    |ctx, p| {
+                        // Manual distribute: each team takes a contiguous
+                        // slice of cells (the app's task decomposition).
+                        let n_cells = p[9];
+                        let team = omp_team_num(ctx.m, &mut ctx.kb);
+                        let f = nzomp::rt::declare_api(ctx.m, nzomp::rt::abi::OMP_GET_NUM_TEAMS);
+                        let nteams = ctx
+                            .kb
+                            .call(Operand::Func(f), vec![], Some(Ty::I64))
+                            .unwrap();
+                        let b = ctx.b();
+                        let ntm1 = b.add(nteams, Operand::i64(-1));
+                        let num = b.add(n_cells, ntm1);
+                        let cpt = b.sdiv(num, nteams);
+                        let lo = b.mul(team, cpt);
+                        let hi0 = b.add(lo, cpt);
+                        let hi = b.bin(nzomp_ir::BinOp::SMin, Ty::I64, hi0, n_cells);
+                        let span = b.sub(hi, lo);
+                        let mut caps: Vec<(Operand, Ty)> =
+                            p[..9].iter().map(|&o| (o, Ty::Ptr)).collect();
+                        caps.push((p[10], Ty::I64)); // max_pc
+                        caps.push((lo, Ty::I64));
+                        ctx.parallel_for(&caps, span, move |_m, b, iv, caps| {
+                            let lo = caps[10];
+                            let cell = b.add(lo, iv);
+                            emit_cell(b, leaf, cell, caps);
+                        });
+                    },
+                );
+            }
+            KernelKind::Cuda => {
+                let leaf = build_p2p_leaf(&mut m, false);
+                // CUDA: one thread per cell, grid-stride.
+                let mut kb = FuncBuilder::new(self.kernel_name(), PARAMS.to_vec(), None);
+                let p: Vec<Operand> = (0..PARAMS.len() as u32).map(Operand::Param).collect();
+                let n_cells = p[9];
+                let tid = kb.thread_id();
+                let bid = kb.block_id();
+                let bdim = kb.block_dim();
+                let gdim = kb.grid_dim();
+                let base = kb.mul(bid, bdim);
+                let start = kb.add(base, tid);
+                let stride = kb.mul(gdim, bdim);
+                build_counted_loop(&mut kb, start, n_cells, stride, |kb, cell| {
+                    let mut caps: Vec<Operand> = p[..9].to_vec();
+                    caps.push(p[10]);
+                    emit_cell(kb, leaf, cell, &caps);
+                });
+                kb.ret(None);
+                let k = m.add_function(kb.finish());
+                m.add_kernel(k, ExecMode::Spmd);
+            }
+        }
+        nzomp_ir::verify_module(&m).expect("minifmm module verifies");
+        m
+    }
+
+    fn prepare(&self, dev: &mut Device) -> Prepared {
+        let inp = self.generate();
+        let expected = self.reference(&inp);
+        let cell_start = dev.alloc_i64(&inp.cell_start);
+        let inter_start = dev.alloc_i64(&inp.inter_start);
+        let inter_list = dev.alloc_i64(&inp.inter_list);
+        let px = dev.alloc_f64(&inp.px);
+        let py = dev.alloc_f64(&inp.py);
+        let pz = dev.alloc_f64(&inp.pz);
+        let w = dev.alloc_f64(&inp.w);
+        let hw_threads = (self.teams * self.threads_per_team) as usize;
+        let scratch = dev.alloc((hw_threads * self.max_particles * 4 * 8) as u64);
+        let pot = dev.alloc((self.n_cells * 8) as u64);
+        Prepared {
+            launch: Launch::new(self.teams, self.threads_per_team),
+            args: vec![
+                RtVal::P(cell_start),
+                RtVal::P(inter_start),
+                RtVal::P(inter_list),
+                RtVal::P(px),
+                RtVal::P(py),
+                RtVal::P(pz),
+                RtVal::P(w),
+                RtVal::P(scratch),
+                RtVal::P(pot),
+                RtVal::I(self.n_cells as i64),
+                RtVal::I(self.max_particles as i64),
+            ],
+            out_ptr: pot,
+            expected,
+            tol: 1e-12,
+        }
+    }
+
+    /// The worksharing loop covers `cells_per_team` iterations per team;
+    /// the assumption only holds when a team's threads cover its slice.
+    fn supports_oversubscription(&self) -> bool {
+        self.cells_per_team() <= self.threads_per_team as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{quick_device, run_config};
+    use nzomp::BuildConfig;
+
+    #[test]
+    fn minifmm_correct_under_all_configs() {
+        let p = MiniFmm::small();
+        assert!(p.supports_oversubscription());
+        for cfg in BuildConfig::ALL {
+            let r = run_config(&p, cfg, &quick_device());
+            assert!(r.is_ok(), "{cfg:?}: {:?}", r.err().map(|e| e.to_string()));
+        }
+    }
+
+    #[test]
+    fn minifmm_needs_interprocedural_dominance() {
+        // Without §IV-B2 the ICV queries inside the non-inlined leaf cannot
+        // fold; the kernel keeps shared-state loads and runs slower.
+        use nzomp::pipeline::compile_with;
+        use nzomp::opt::{Ablation, PassOptions};
+        let p = MiniFmm::small();
+        let cfg = BuildConfig::NewRtNoAssumptions;
+        let run = |opts| {
+            let app = crate::build_for_config(&p, cfg);
+            let out = compile_with(app, cfg, cfg.rt_config(), opts);
+            let mut dev = Device::load(out.module, quick_device());
+            let prep = p.prepare(&mut dev);
+            let metrics = dev.launch(p.kernel_name(), prep.launch, &prep.args).unwrap();
+            crate::verify_output(&dev, &prep).unwrap();
+            metrics
+        };
+        let full = run(PassOptions::full());
+        let no_rd = run(PassOptions::full_without(Ablation::ReachDom));
+        assert!(
+            no_rd.cycles > full.cycles,
+            "reach-dom ablation {} !> full {}",
+            no_rd.cycles,
+            full.cycles
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! RSBench — the compute-bound multipole alternative to XSBench (paper
+//! §V-A): cross-sections are reconstructed from resonance poles with heavy
+//! floating-point arithmetic (sqrt/sin/cos per pole) and little memory
+//! traffic.
+
+use nzomp_front::{cuda, spmd_kernel_for};
+use nzomp_ir::builder::build_counted_loop;
+use nzomp_ir::{FuncBuilder, Module, Operand, Ty, UnOp};
+use nzomp_vgpu::device::Launch;
+use nzomp_vgpu::{Device, RtVal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{KernelKind, Prepared, Proxy};
+
+#[derive(Clone, Debug)]
+pub struct RSBench {
+    pub n_nuclides: usize,
+    pub n_windows: usize,
+    pub poles_per_window: usize,
+    pub n_lookups: usize,
+    pub threads_per_team: u32,
+    pub seed: u64,
+}
+
+impl RSBench {
+    pub fn small() -> RSBench {
+        RSBench {
+            n_nuclides: 8,
+            n_windows: 16,
+            poles_per_window: 4,
+            n_lookups: 256,
+            threads_per_team: 64,
+            seed: 0x5eed_0002,
+        }
+    }
+
+    pub fn large() -> RSBench {
+        RSBench {
+            n_nuclides: 16,
+            n_windows: 32,
+            poles_per_window: 6,
+            n_lookups: 2048,
+            threads_per_team: 128,
+            seed: 0x5eed_0002,
+        }
+    }
+
+    fn teams(&self) -> u32 {
+        (self.n_lookups as u32).div_ceil(self.threads_per_team)
+    }
+
+    fn generate(&self) -> Inputs {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let np = self.n_nuclides * self.n_windows * self.poles_per_window;
+        // Pole: (ea, er, ei, k) per entry.
+        let poles: Vec<f64> = (0..np * 4).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let energies: Vec<f64> = (0..self.n_lookups).map(|_| rng.gen_range(0.05..0.95)).collect();
+        Inputs { poles, energies }
+    }
+
+    fn reference(&self, inp: &Inputs) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_lookups];
+        for (li, &e) in inp.energies.iter().enumerate() {
+            let mut total = 0.0f64;
+            let w = ((e * self.n_windows as f64) as i64).rem_euclid(self.n_windows as i64) as usize;
+            let sqrt_e = e.sqrt();
+            for n in 0..self.n_nuclides {
+                let base = ((n * self.n_windows + w) * self.poles_per_window) * 4;
+                for p in 0..self.poles_per_window {
+                    let ea = inp.poles[base + p * 4];
+                    let er = inp.poles[base + p * 4 + 1];
+                    let ei = inp.poles[base + p * 4 + 2];
+                    let k = inp.poles[base + p * 4 + 3];
+                    let psi = sqrt_e - ea;
+                    let denom = psi * psi + ei * ei;
+                    let re = (er * psi + ei * k) / denom;
+                    let phase = psi.sin() * k.cos();
+                    total += re + re * phase;
+                }
+            }
+            out[li] = total;
+        }
+        out
+    }
+}
+
+struct Inputs {
+    poles: Vec<f64>,
+    energies: Vec<f64>,
+}
+
+const PARAMS: [Ty; 7] = [
+    Ty::Ptr, // poles
+    Ty::Ptr, // energies
+    Ty::Ptr, // out
+    Ty::I64, // n_lookups
+    Ty::I64, // n_nuclides
+    Ty::I64, // n_windows
+    Ty::I64, // poles_per_window
+];
+
+fn emit_lookup(_m: &mut Module, b: &mut FuncBuilder, iv: Operand, p: &[Operand]) {
+    let (poles, energies, out) = (p[0], p[1], p[2]);
+    let (n_nuc, n_win, ppw) = (p[4], p[5], p[6]);
+
+    let pe = b.gep(energies, iv, 8);
+    let e = b.load(Ty::F64, pe);
+    let nwf = b.si_to_fp(n_win);
+    let scaled = b.fmul(e, nwf);
+    let wi = b.fp_to_si(scaled);
+    let w = b.srem(wi, n_win);
+    let sqrt_e = b.sqrt(e);
+
+    // Accumulate across nuclides and poles. The accumulator lives in a
+    // thread-private slot so the loop nest mirrors the proxy's structure.
+    let acc = b.alloca(8);
+    b.store(Ty::F64, acc, Operand::f64(0.0));
+
+    let ppw4 = b.mul(ppw, Operand::i64(4));
+    build_counted_loop(b, Operand::i64(0), n_nuc, Operand::i64(1), |b, n| {
+        let row = b.mul(n, n_win);
+        let cell = b.add(row, w);
+        let base_idx = b.mul(cell, ppw4);
+        let pbase = b.gep(poles, base_idx, 8);
+        build_counted_loop(b, Operand::i64(0), ppw, Operand::i64(1), |b, pp| {
+            let off = b.mul(pp, Operand::i64(32));
+            let pp0 = b.ptr_add(pbase, off);
+            let ea = b.load(Ty::F64, pp0);
+            let pp1 = b.ptr_add(pp0, Operand::i64(8));
+            let er = b.load(Ty::F64, pp1);
+            let pp2 = b.ptr_add(pp0, Operand::i64(16));
+            let ei = b.load(Ty::F64, pp2);
+            let pp3 = b.ptr_add(pp0, Operand::i64(24));
+            let k = b.load(Ty::F64, pp3);
+            let psi = b.fsub(sqrt_e, ea);
+            let psi2 = b.fmul(psi, psi);
+            let ei2 = b.fmul(ei, ei);
+            let denom = b.fadd(psi2, ei2);
+            let t1 = b.fmul(er, psi);
+            let t2 = b.fmul(ei, k);
+            let num = b.fadd(t1, t2);
+            let re = b.fdiv(num, denom);
+            let s = b.un(UnOp::Sin, Ty::F64, psi);
+            let c = b.un(UnOp::Cos, Ty::F64, k);
+            let phase = b.fmul(s, c);
+            let rp = b.fmul(re, phase);
+            let contrib = b.fadd(re, rp);
+            let cur = b.load(Ty::F64, acc);
+            let nv = b.fadd(cur, contrib);
+            b.store(Ty::F64, acc, nv);
+        });
+    });
+
+    let total = b.load(Ty::F64, acc);
+    let po = b.gep(out, iv, 8);
+    b.store(Ty::F64, po, total);
+}
+
+impl Proxy for RSBench {
+    fn name(&self) -> &'static str {
+        "RSBench"
+    }
+
+    fn kernel_name(&self) -> &'static str {
+        "rs_lookup_kernel"
+    }
+
+    fn build(&self, kind: KernelKind) -> Module {
+        let mut m = Module::new("rsbench");
+        match kind {
+            KernelKind::Omp(flavor) => {
+                spmd_kernel_for(
+                    &mut m,
+                    flavor,
+                    self.kernel_name(),
+                    &PARAMS,
+                    |_b, p| p[3],
+                    |m, b, iv, p| emit_lookup(m, b, iv, p),
+                );
+            }
+            KernelKind::Cuda => {
+                cuda::grid_stride_kernel(
+                    &mut m,
+                    self.kernel_name(),
+                    &PARAMS,
+                    |_b, p| p[3],
+                    |m, b, iv, p| emit_lookup(m, b, iv, p),
+                );
+            }
+        }
+        nzomp_ir::verify_module(&m).expect("rsbench module verifies");
+        m
+    }
+
+    fn prepare(&self, dev: &mut Device) -> Prepared {
+        let inp = self.generate();
+        let expected = self.reference(&inp);
+        let poles = dev.alloc_f64(&inp.poles);
+        let energies = dev.alloc_f64(&inp.energies);
+        let out = dev.alloc((self.n_lookups * 8) as u64);
+        Prepared {
+            launch: Launch::new(self.teams(), self.threads_per_team),
+            args: vec![
+                RtVal::P(poles),
+                RtVal::P(energies),
+                RtVal::P(out),
+                RtVal::I(self.n_lookups as i64),
+                RtVal::I(self.n_nuclides as i64),
+                RtVal::I(self.n_windows as i64),
+                RtVal::I(self.poles_per_window as i64),
+            ],
+            out_ptr: out,
+            expected,
+            tol: 1e-12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{quick_device, run_config};
+    use nzomp::BuildConfig;
+
+    #[test]
+    fn rsbench_correct_under_all_configs() {
+        let p = RSBench::small();
+        for cfg in BuildConfig::ALL {
+            let r = run_config(&p, cfg, &quick_device());
+            assert!(r.is_ok(), "{cfg:?}: {:?}", r.err().map(|e| e.to_string()));
+        }
+    }
+
+    #[test]
+    fn rsbench_is_compute_bound() {
+        // Flops should dominate global memory accesses.
+        let p = RSBench::small();
+        let r = run_config(&p, BuildConfig::Cuda, &quick_device()).unwrap();
+        assert!(
+            r.metrics.flops > 2 * r.metrics.global_accesses,
+            "flops {} vs accesses {}",
+            r.metrics.flops,
+            r.metrics.global_accesses
+        );
+    }
+
+    /// RSBench needs no globalization: legacy SMem is the bare 2,336 bytes
+    /// (Fig. 11's Old-RT RSBench row).
+    #[test]
+    fn rsbench_legacy_smem_is_bare_state() {
+        let p = RSBench::small();
+        let r = run_config(&p, BuildConfig::OldRtNightly, &quick_device()).unwrap();
+        assert_eq!(r.metrics.smem_bytes, 2336);
+    }
+}

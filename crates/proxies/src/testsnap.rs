@@ -1,0 +1,260 @@
+//! TestSNAP — proxy for the SNAP force kernel in LAMMPS (paper §V-A): for
+//! every atom, iterate its neighbor list, evaluate a switching function and
+//! a bispectrum-style polynomial in the squared distance, and accumulate
+//! the three force components. Reports the *grind time* (ms per
+//! atom-step), the metric TestSNAP itself prints.
+
+use nzomp_front::{cuda, spmd_kernel_for};
+use nzomp_ir::builder::build_counted_loop;
+use nzomp_ir::{FuncBuilder, Module, Operand, Ty};
+use nzomp_vgpu::device::Launch;
+use nzomp_vgpu::{Device, RtVal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{KernelKind, Prepared, Proxy};
+
+#[derive(Clone, Debug)]
+pub struct TestSnap {
+    pub n_atoms: usize,
+    pub n_neighbors: usize,
+    pub n_coeffs: usize,
+    pub threads_per_team: u32,
+    pub seed: u64,
+}
+
+impl TestSnap {
+    pub fn small() -> TestSnap {
+        TestSnap {
+            n_atoms: 128,
+            n_neighbors: 12,
+            n_coeffs: 6,
+            threads_per_team: 32,
+            seed: 0x5eed_0004,
+        }
+    }
+
+    pub fn large() -> TestSnap {
+        TestSnap {
+            n_atoms: 1024,
+            n_neighbors: 20,
+            n_coeffs: 8,
+            threads_per_team: 128,
+            seed: 0x5eed_0004,
+        }
+    }
+
+    fn teams(&self) -> u32 {
+        (self.n_atoms as u32).div_ceil(self.threads_per_team)
+    }
+
+    fn generate(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Relative neighbor positions (dx, dy, dz) per (atom, neighbor).
+        let pos: Vec<f64> = (0..self.n_atoms * self.n_neighbors * 3)
+            .map(|_| rng.gen_range(-0.8..0.8))
+            .collect();
+        let coeffs: Vec<f64> = (0..self.n_coeffs).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        (pos, coeffs)
+    }
+
+    fn reference(&self, pos: &[f64], coeffs: &[f64]) -> Vec<f64> {
+        let rcut2 = 4.0f64;
+        let mut force = vec![0.0; self.n_atoms * 3];
+        for a in 0..self.n_atoms {
+            let mut f = [0.0f64; 3];
+            for nb in 0..self.n_neighbors {
+                let base = (a * self.n_neighbors + nb) * 3;
+                let dx = pos[base];
+                let dy = pos[base + 1];
+                let dz = pos[base + 2];
+                let r2 = dx * dx + dy * dy + dz * dz;
+                let x = 1.0 - r2 / rcut2;
+                let sw = x * x;
+                // Horner evaluation of the "bispectrum" polynomial in r2.
+                let mut poly = 0.0f64;
+                for c in (0..self.n_coeffs).rev() {
+                    poly = poly * r2 + coeffs[c];
+                }
+                let s = sw * poly;
+                f[0] += dx * s;
+                f[1] += dy * s;
+                f[2] += dz * s;
+            }
+            force[a * 3] = f[0];
+            force[a * 3 + 1] = f[1];
+            force[a * 3 + 2] = f[2];
+        }
+        force
+    }
+}
+
+const PARAMS: [Ty; 6] = [
+    Ty::Ptr, // neighbor positions
+    Ty::Ptr, // polynomial coefficients
+    Ty::Ptr, // force out (n_atoms x 3)
+    Ty::I64, // n_atoms
+    Ty::I64, // n_neighbors
+    Ty::I64, // n_coeffs
+];
+
+fn emit_atom(_m: &mut Module, b: &mut FuncBuilder, iv: Operand, p: &[Operand]) {
+    let (pos, coeffs, force) = (p[0], p[1], p[2]);
+    let (n_nb, n_c) = (p[4], p[5]);
+    let rcut2 = Operand::f64(4.0);
+
+    // Force accumulators in thread-private memory.
+    let facc = b.alloca(3 * 8);
+    for k in 0..3 {
+        let pk = b.ptr_add(facc, Operand::i64(k * 8));
+        b.store(Ty::F64, pk, Operand::f64(0.0));
+    }
+
+    let row = b.mul(iv, n_nb);
+    build_counted_loop(b, Operand::i64(0), n_nb, Operand::i64(1), |b, nb| {
+        let item = b.add(row, nb);
+        let base = b.mul(item, Operand::i64(3));
+        let pb = b.gep(pos, base, 8);
+        let dx = b.load(Ty::F64, pb);
+        let pb1 = b.ptr_add(pb, Operand::i64(8));
+        let dy = b.load(Ty::F64, pb1);
+        let pb2 = b.ptr_add(pb, Operand::i64(16));
+        let dz = b.load(Ty::F64, pb2);
+        let xx = b.fmul(dx, dx);
+        let yy = b.fmul(dy, dy);
+        let zz = b.fmul(dz, dz);
+        let t = b.fadd(xx, yy);
+        let r2 = b.fadd(t, zz);
+        let frac = b.fdiv(r2, rcut2);
+        let x = b.fsub(Operand::f64(1.0), frac);
+        let sw = b.fmul(x, x);
+
+        // Horner loop over coefficients, highest degree first.
+        let poly_slot = b.alloca(8);
+        b.store(Ty::F64, poly_slot, Operand::f64(0.0));
+        build_counted_loop(b, Operand::i64(0), n_c, Operand::i64(1), |b, c| {
+            // index = n_c - 1 - c
+            let ncm1 = b.sub(n_c, Operand::i64(1));
+            let idx = b.sub(ncm1, c);
+            let pc = b.gep(coeffs, idx, 8);
+            let coef = b.load(Ty::F64, pc);
+            let cur = b.load(Ty::F64, poly_slot);
+            let m = b.fmul(cur, r2);
+            let nv = b.fadd(m, coef);
+            b.store(Ty::F64, poly_slot, nv);
+        });
+        let poly = b.load(Ty::F64, poly_slot);
+        let s = b.fmul(sw, poly);
+        for (k, d) in [dx, dy, dz].into_iter().enumerate() {
+            let contrib = b.fmul(d, s);
+            let pk = b.ptr_add(facc, Operand::i64(k as i64 * 8));
+            let cur = b.load(Ty::F64, pk);
+            let nv = b.fadd(cur, contrib);
+            b.store(Ty::F64, pk, nv);
+        }
+    });
+
+    let out_base = b.mul(iv, Operand::i64(3));
+    let pout = b.gep(force, out_base, 8);
+    for k in 0..3 {
+        let pk = b.ptr_add(facc, Operand::i64(k * 8));
+        let v = b.load(Ty::F64, pk);
+        let po = b.ptr_add(pout, Operand::i64(k * 8));
+        b.store(Ty::F64, po, v);
+    }
+}
+
+impl TestSnap {
+    /// Grind time in ms/atom-step (TestSNAP's reported metric).
+    pub fn grind_time_ms(&self, kernel_time_ms: f64) -> f64 {
+        kernel_time_ms / self.n_atoms as f64
+    }
+}
+
+impl Proxy for TestSnap {
+    fn name(&self) -> &'static str {
+        "TestSNAP"
+    }
+
+    fn kernel_name(&self) -> &'static str {
+        "snap_force_kernel"
+    }
+
+    fn build(&self, kind: KernelKind) -> Module {
+        let mut m = Module::new("testsnap");
+        match kind {
+            KernelKind::Omp(flavor) => {
+                spmd_kernel_for(
+                    &mut m,
+                    flavor,
+                    self.kernel_name(),
+                    &PARAMS,
+                    |_b, p| p[3],
+                    |m, b, iv, p| emit_atom(m, b, iv, p),
+                );
+            }
+            KernelKind::Cuda => {
+                cuda::grid_stride_kernel(
+                    &mut m,
+                    self.kernel_name(),
+                    &PARAMS,
+                    |_b, p| p[3],
+                    |m, b, iv, p| emit_atom(m, b, iv, p),
+                );
+            }
+        }
+        nzomp_ir::verify_module(&m).expect("testsnap module verifies");
+        m
+    }
+
+    fn prepare(&self, dev: &mut Device) -> Prepared {
+        let (pos, coeffs) = self.generate();
+        let expected = self.reference(&pos, &coeffs);
+        let ppos = dev.alloc_f64(&pos);
+        let pcoef = dev.alloc_f64(&coeffs);
+        let pforce = dev.alloc((self.n_atoms * 3 * 8) as u64);
+        Prepared {
+            launch: Launch::new(self.teams(), self.threads_per_team),
+            args: vec![
+                RtVal::P(ppos),
+                RtVal::P(pcoef),
+                RtVal::P(pforce),
+                RtVal::I(self.n_atoms as i64),
+                RtVal::I(self.n_neighbors as i64),
+                RtVal::I(self.n_coeffs as i64),
+            ],
+            out_ptr: pforce,
+            expected,
+            tol: 1e-12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{quick_device, run_config};
+    use nzomp::BuildConfig;
+
+    #[test]
+    fn testsnap_correct_under_all_configs() {
+        let p = TestSnap::small();
+        for cfg in BuildConfig::ALL {
+            let r = run_config(&p, cfg, &quick_device());
+            assert!(r.is_ok(), "{cfg:?}: {:?}", r.err().map(|e| e.to_string()));
+        }
+    }
+
+    #[test]
+    fn testsnap_grind_time_improves_with_new_rt() {
+        let p = TestSnap::small();
+        let old = run_config(&p, BuildConfig::OldRtNightly, &quick_device()).unwrap();
+        let new = run_config(&p, BuildConfig::NewRtNoAssumptions, &quick_device()).unwrap();
+        assert!(
+            p.grind_time_ms(new.metrics.time_ms) < p.grind_time_ms(old.metrics.time_ms),
+            "new {} vs old {}",
+            new.metrics.time_ms,
+            old.metrics.time_ms
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! XSBench — proxy for OpenMC's continuous-energy macroscopic neutron
+//! cross-section lookup (paper §V-A). Memory-bound: each lookup binary
+//! searches the unionized energy grid, then gathers and interpolates five
+//! cross-sections from every nuclide's grid.
+//!
+//! The per-lookup macro-XS accumulator is a local array the OpenMP
+//! frontend conservatively globalizes — under the legacy runtime this is
+//! what pulls in the data-sharing stack (Old-RT SMem 8,288 B in Fig. 11).
+
+use nzomp_front::{cuda, globalized_local, free_globalized, spmd_kernel_for, RuntimeFlavor};
+use nzomp_ir::builder::build_counted_loop;
+use nzomp_ir::{FuncBuilder, Module, Operand, Pred, Ty};
+use nzomp_vgpu::device::Launch;
+use nzomp_vgpu::{Device, RtVal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{KernelKind, Prepared, Proxy};
+
+/// Problem sizes.
+#[derive(Clone, Debug)]
+pub struct XSBench {
+    pub n_isotopes: usize,
+    pub n_gridpoints: usize,
+    pub n_unionized: usize,
+    pub n_lookups: usize,
+    pub threads_per_team: u32,
+    pub seed: u64,
+}
+
+impl XSBench {
+    /// Quick-test size (fits interpreter budgets comfortably).
+    pub fn small() -> XSBench {
+        XSBench {
+            n_isotopes: 12,
+            n_gridpoints: 48,
+            n_unionized: 128,
+            n_lookups: 256,
+            threads_per_team: 64,
+            seed: 0x5eed_0001,
+        }
+    }
+
+    /// Benchmark size.
+    pub fn large() -> XSBench {
+        XSBench {
+            n_isotopes: 24,
+            n_gridpoints: 96,
+            n_unionized: 512,
+            n_lookups: 2048,
+            threads_per_team: 128,
+            seed: 0x5eed_0001,
+        }
+    }
+
+    fn teams(&self) -> u32 {
+        (self.n_lookups as u32).div_ceil(self.threads_per_team)
+    }
+
+    /// Synthesize the input tables.
+    fn generate(&self) -> Inputs {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let g = self.n_unionized;
+        let ni = self.n_isotopes;
+        let ng = self.n_gridpoints;
+        let mut egrid: Vec<f64> = (0..g).map(|_| rng.gen_range(0.0..1.0)).collect();
+        egrid.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let index_grid: Vec<i64> = (0..g * ni)
+            .map(|_| rng.gen_range(0..(ng as i64 - 1)))
+            .collect();
+        // Per-isotope grids: 6 doubles per point (energy + 5 XS values).
+        let nuc: Vec<f64> = (0..ni * ng * 6).map(|_| rng.gen_range(0.1..2.0)).collect();
+        let energies: Vec<f64> = (0..self.n_lookups)
+            .map(|_| rng.gen_range(egrid[0]..egrid[g - 1]))
+            .collect();
+        let densities: Vec<f64> = (0..ni).map(|_| rng.gen_range(0.01..1.0)).collect();
+        Inputs {
+            egrid,
+            index_grid,
+            nuc,
+            energies,
+            densities,
+        }
+    }
+
+    /// Host reference (mirrors the device kernel bit for bit, modulo FP
+    /// association — we keep the same association, so results are exact).
+    fn reference(&self, inp: &Inputs) -> Vec<f64> {
+        let g = self.n_unionized;
+        let ni = self.n_isotopes;
+        let ng = self.n_gridpoints;
+        let mut out = vec![0.0; self.n_lookups * 5];
+        for (li, &e) in inp.energies.iter().enumerate() {
+            // Binary search: greatest idx with egrid[idx] <= e (idx < g-1).
+            let (mut lo, mut hi) = (0usize, g - 1);
+            while hi - lo > 1 {
+                let mid = (lo + hi) / 2;
+                if inp.egrid[mid] <= e {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let idx = lo;
+            let mut macro_xs = [0.0f64; 5];
+            for iso in 0..ni {
+                let j = inp.index_grid[idx * ni + iso] as usize;
+                let base = (iso * ng + j) * 6;
+                let e0 = inp.nuc[base];
+                let e1 = inp.nuc[base + 6];
+                let f = (e - e0) / (e1 - e0);
+                for k in 0..5 {
+                    let xs = inp.nuc[base + 1 + k] * (1.0 - f) + inp.nuc[base + 7 + k] * f;
+                    macro_xs[k] += inp.densities[iso] * xs;
+                }
+            }
+            out[li * 5..li * 5 + 5].copy_from_slice(&macro_xs);
+        }
+        out
+    }
+}
+
+struct Inputs {
+    egrid: Vec<f64>,
+    index_grid: Vec<i64>,
+    nuc: Vec<f64>,
+    energies: Vec<f64>,
+    densities: Vec<f64>,
+}
+
+/// Kernel parameters, in order.
+const PARAMS: [Ty; 10] = [
+    Ty::Ptr, // egrid
+    Ty::Ptr, // index_grid
+    Ty::Ptr, // nuc grids
+    Ty::Ptr, // lookup energies
+    Ty::Ptr, // densities
+    Ty::Ptr, // out (n_lookups x 5)
+    Ty::I64, // n_lookups
+    Ty::I64, // n_unionized
+    Ty::I64, // n_isotopes
+    Ty::I64, // n_gridpoints
+];
+
+/// Emit one lookup (`iv` = lookup index). Shared between the OpenMP and
+/// CUDA variants; `flavor` decides how the macro-XS scratch is allocated.
+fn emit_lookup(
+    m: &mut Module,
+    b: &mut FuncBuilder,
+    iv: Operand,
+    p: &[Operand],
+    flavor: Option<RuntimeFlavor>,
+) {
+    let (egrid, index_grid, nuc, energies, densities, out) =
+        (p[0], p[1], p[2], p[3], p[4], p[5]);
+    let (g, ni, ng) = (p[7], p[8], p[9]);
+
+    let pe = b.gep(energies, iv, 8);
+    let e = b.load(Ty::F64, pe);
+
+    // ---- binary search over the unionized grid -------------------------
+    let g_m1 = b.sub(g, Operand::i64(1));
+    let entry = b.current_block();
+    let header = b.new_block();
+    let body = b.new_block();
+    let found = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    let lo = b.phi(Ty::I64, vec![(entry, Operand::i64(0))]);
+    let hi = b.phi(Ty::I64, vec![(entry, g_m1)]);
+    let span = b.sub(hi, lo);
+    let more = b.cmp(Pred::Sgt, Ty::I64, span, Operand::i64(1));
+    b.cond_br(more, body, found);
+    b.switch_to(body);
+    let sum = b.add(lo, hi);
+    let mid = b.sdiv(sum, Operand::i64(2));
+    let pm = b.gep(egrid, mid, 8);
+    let vm = b.load(Ty::F64, pm);
+    let le = b.cmp(Pred::Sle, Ty::F64, vm, e);
+    let lo2 = b.select(Ty::I64, le, mid, lo);
+    let hi2 = b.select(Ty::I64, le, hi, mid);
+    let latch = b.current_block();
+    b.br(header);
+    b.phi_add_incoming(lo, latch, lo2);
+    b.phi_add_incoming(hi, latch, hi2);
+    b.switch_to(found);
+    let idx = lo;
+
+    // ---- macro-XS accumulator (globalized local, §IV-A2) ----------------
+    let macro_xs = globalized_local(m, b, flavor, 5 * 8);
+    for k in 0..5 {
+        let pk = b.ptr_add(macro_xs, Operand::i64(k * 8));
+        b.store(Ty::F64, pk, Operand::f64(0.0));
+    }
+
+    // ---- gather + interpolate over all isotopes -------------------------
+    let row = b.mul(idx, ni);
+    build_counted_loop(b, Operand::i64(0), ni, Operand::i64(1), |b, iso| {
+        let slot = b.add(row, iso);
+        let pj = b.gep(index_grid, slot, 8);
+        let j = b.load(Ty::I64, pj);
+        let iso_row = b.mul(iso, ng);
+        let point = b.add(iso_row, j);
+        let base = b.mul(point, Operand::i64(6));
+        let pbase = b.gep(nuc, base, 8);
+        let e0 = b.load(Ty::F64, pbase);
+        let pnext = b.ptr_add(pbase, Operand::i64(6 * 8));
+        let e1 = b.load(Ty::F64, pnext);
+        let de = b.fsub(e1, e0);
+        let num = b.fsub(e, e0);
+        let f = b.fdiv(num, de);
+        let one_m_f = b.fsub(Operand::f64(1.0), f);
+        let pd = b.gep(densities, iso, 8);
+        let dens = b.load(Ty::F64, pd);
+        for k in 0..5i64 {
+            let plo = b.ptr_add(pbase, Operand::i64((1 + k) * 8));
+            let xs_lo = b.load(Ty::F64, plo);
+            let phi_ = b.ptr_add(pbase, Operand::i64((7 + k) * 8));
+            let xs_hi = b.load(Ty::F64, phi_);
+            let a = b.fmul(xs_lo, one_m_f);
+            let c = b.fmul(xs_hi, f);
+            let xs = b.fadd(a, c);
+            let contrib = b.fmul(dens, xs);
+            let pk = b.ptr_add(macro_xs, Operand::i64(k * 8));
+            let cur = b.load(Ty::F64, pk);
+            let nv = b.fadd(cur, contrib);
+            b.store(Ty::F64, pk, nv);
+        }
+    });
+
+    // ---- write out --------------------------------------------------------
+    let out_base = b.mul(iv, Operand::i64(5));
+    let pout = b.gep(out, out_base, 8);
+    for k in 0..5 {
+        let pk = b.ptr_add(macro_xs, Operand::i64(k * 8));
+        let v = b.load(Ty::F64, pk);
+        let po = b.ptr_add(pout, Operand::i64(k * 8));
+        b.store(Ty::F64, po, v);
+    }
+    free_globalized(m, b, flavor, macro_xs, 5 * 8);
+}
+
+impl Proxy for XSBench {
+    fn name(&self) -> &'static str {
+        "XSBench"
+    }
+
+    fn kernel_name(&self) -> &'static str {
+        "xs_lookup_kernel"
+    }
+
+    fn build(&self, kind: KernelKind) -> Module {
+        let mut m = Module::new("xsbench");
+        match kind {
+            KernelKind::Omp(flavor) => {
+                spmd_kernel_for(
+                    &mut m,
+                    flavor,
+                    self.kernel_name(),
+                    &PARAMS,
+                    |_b, p| p[6],
+                    |m, b, iv, p| emit_lookup(m, b, iv, p, Some(flavor)),
+                );
+            }
+            KernelKind::Cuda => {
+                cuda::grid_stride_kernel(
+                    &mut m,
+                    self.kernel_name(),
+                    &PARAMS,
+                    |_b, p| p[6],
+                    |m, b, iv, p| emit_lookup(m, b, iv, p, None),
+                );
+            }
+        }
+        nzomp_ir::verify_module(&m).expect("xsbench module verifies");
+        m
+    }
+
+    fn prepare(&self, dev: &mut Device) -> Prepared {
+        let inp = self.generate();
+        let expected = self.reference(&inp);
+        let egrid = dev.alloc_f64(&inp.egrid);
+        let index_grid = dev.alloc_i64(&inp.index_grid);
+        let nuc = dev.alloc_f64(&inp.nuc);
+        let energies = dev.alloc_f64(&inp.energies);
+        let densities = dev.alloc_f64(&inp.densities);
+        let out = dev.alloc((self.n_lookups * 5 * 8) as u64);
+        Prepared {
+            launch: Launch::new(self.teams(), self.threads_per_team),
+            args: vec![
+                RtVal::P(egrid),
+                RtVal::P(index_grid),
+                RtVal::P(nuc),
+                RtVal::P(energies),
+                RtVal::P(densities),
+                RtVal::P(out),
+                RtVal::I(self.n_lookups as i64),
+                RtVal::I(self.n_unionized as i64),
+                RtVal::I(self.n_isotopes as i64),
+                RtVal::I(self.n_gridpoints as i64),
+            ],
+            out_ptr: out,
+            expected,
+            tol: 1e-12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_config, quick_device};
+    use nzomp::BuildConfig;
+
+    #[test]
+    fn xsbench_correct_under_all_configs() {
+        let p = XSBench::small();
+        for cfg in BuildConfig::ALL {
+            let r = run_config(&p, cfg, &quick_device());
+            assert!(r.is_ok(), "{cfg:?}: {:?}", r.err().map(|e| e.to_string()));
+        }
+    }
+
+    #[test]
+    fn xsbench_legacy_uses_data_sharing_stack() {
+        let p = XSBench::small();
+        let r = run_config(&p, BuildConfig::OldRtNightly, &quick_device()).unwrap();
+        assert_eq!(r.metrics.smem_bytes, 8288, "old RT with data sharing");
+    }
+
+    #[test]
+    fn xsbench_new_rt_eliminates_state() {
+        let p = XSBench::small();
+        let r = run_config(&p, BuildConfig::NewRt, &quick_device()).unwrap();
+        assert_eq!(r.metrics.smem_bytes, 0);
+        assert_eq!(r.metrics.runtime_calls, 0);
+    }
+}

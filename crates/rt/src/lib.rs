@@ -1,0 +1,96 @@
+//! `nzomp-rt` — the OpenMP GPU device runtimes, built as IR libraries.
+//!
+//! Two runtimes are provided, mirroring the paper's evaluation columns:
+//!
+//! * [`modern`] — the co-designed runtime of paper §III: SPMD-mode flag in
+//!   shared memory, team ICV state, on-demand thread ICV states behind a
+//!   pointer array, a shared-memory stack with device-malloc fallback,
+//!   combined `noChunkImpl` worksharing (Fig. 5), conditional-pointer
+//!   broadcast writes with post-barrier assumptions (Fig. 7b/8b), and
+//!   zero-overhead debug machinery (§III-G).
+//! * [`legacy`] — a faithful caricature of the pre-paper runtime: per-thread
+//!   task descriptors written by every thread, memory-carried worksharing
+//!   bounds (`for_static_init`), unaligned barriers everywhere, a
+//!   data-sharing stack for globalization, and no assumptions — the design
+//!   itself defeats the compiler, which is the paper's co-design argument.
+//!
+//! Both are plain [`nzomp_ir::Module`]s: the frontend links one of them into
+//! the application module and the optimizer folds whatever the design lets
+//! it fold.
+
+pub mod abi;
+pub mod helpers;
+pub mod legacy;
+pub mod modern;
+
+pub use abi::RtConfig;
+
+/// Which device runtime to link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuntimeFlavor {
+    /// The pre-paper runtime ("Old RT").
+    Legacy,
+    /// The co-designed runtime of §III ("New RT").
+    Modern,
+}
+
+/// Build the runtime library module for `flavor`.
+///
+/// `needs_data_sharing` only matters for the legacy flavor: kernels that
+/// globalize local variables get the legacy data-sharing stack reserved in
+/// shared memory (this is why Old-RT SMem differs between XSBench and
+/// RSBench in Fig. 11).
+pub fn build_runtime(
+    flavor: RuntimeFlavor,
+    cfg: &RtConfig,
+    needs_data_sharing: bool,
+) -> nzomp_ir::Module {
+    match flavor {
+        RuntimeFlavor::Modern => modern::build(cfg),
+        RuntimeFlavor::Legacy => legacy::build(cfg, needs_data_sharing),
+    }
+}
+
+/// Signature of a public runtime entry point, for emitting declarations in
+/// application modules. `None` for unknown names.
+pub fn api_signature(name: &str) -> Option<(Vec<nzomp_ir::Ty>, Option<nzomp_ir::Ty>)> {
+    use nzomp_ir::Ty::{Ptr, I1, I64};
+    let sig = match name {
+        abi::NZOMP_TRACE => (vec![], None),
+        abi::NZOMP_ASSERT => (vec![I1], None),
+        abi::SYNCTHREADS_ALIGNED | abi::KMPC_BARRIER => (vec![], None),
+        abi::TARGET_INIT => (vec![I64], Some(I64)),
+        abi::TARGET_DEINIT => (vec![I64], None),
+        abi::OMP_GET_THREAD_NUM
+        | abi::OMP_GET_NUM_THREADS
+        | abi::OMP_GET_LEVEL
+        | abi::OMP_GET_TEAM_NUM
+        | abi::OMP_GET_NUM_TEAMS => (vec![], Some(I64)),
+        abi::ALLOC_SHARED => (vec![I64], Some(Ptr)),
+        abi::FREE_SHARED => (vec![Ptr, I64], None),
+        abi::PARALLEL_51 | "__kmpc_parallel_spmd" => (vec![Ptr, Ptr], None),
+        abi::WORKER_LOOP | abi::OLD_WORKER_LOOP => (vec![], None),
+        abi::DIST_PAR_FOR_LOOP | abi::DISTRIBUTE_STATIC_LOOP => (vec![Ptr, Ptr, I64], None),
+        abi::FOR_STATIC_LOOP => (vec![Ptr, Ptr, I64, I64], None),
+        abi::OLD_TARGET_INIT => (vec![I64], Some(I64)),
+        abi::OLD_TARGET_DEINIT => (vec![I64], None),
+        abi::OLD_PARALLEL_PREPARE => (vec![Ptr, Ptr], None),
+        abi::OLD_PARALLEL_END => (vec![], None),
+        abi::OLD_FOR_STATIC_INIT | abi::OLD_DISTRIBUTE_INIT => (vec![Ptr, Ptr, Ptr, I64], None),
+        abi::OLD_FOR_STATIC_FINI | abi::OLD_BARRIER => (vec![], None),
+        abi::OLD_DATA_SHARING_PUSH => (vec![I64], Some(Ptr)),
+        abi::OLD_DATA_SHARING_POP => (vec![Ptr, I64], None),
+        _ => return None,
+    };
+    Some(sig)
+}
+
+/// Find-or-declare a runtime entry point in an application module.
+pub fn declare_api(m: &mut nzomp_ir::Module, name: &str) -> nzomp_ir::module::FuncRef {
+    if let Some(f) = m.find_func(name) {
+        return f;
+    }
+    let (params, ret) =
+        api_signature(name).unwrap_or_else(|| panic!("unknown runtime API @{name}"));
+    m.add_function(nzomp_ir::Function::declaration(name, params, ret))
+}

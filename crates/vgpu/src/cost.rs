@@ -1,0 +1,174 @@
+//! Cost model and device configuration (occupancy).
+//!
+//! The constants are not an A100 die model; they are chosen so that the
+//! artifacts the paper's co-design eliminates — runtime calls, shared-state
+//! traffic, barriers, device malloc, register pressure — have first-order
+//! impact on the simulated kernel time, which is what makes the Fig. 10–13
+//! shapes reproducible.
+
+use crate::memory::Segment;
+
+/// Per-operation cycle charges.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Base issue cost charged for every executed instruction.
+    pub issue: u64,
+    /// Integer / pointer ALU op (on top of issue).
+    pub alu: u64,
+    /// f64 arithmetic.
+    pub fp: u64,
+    /// Transcendentals (sin/cos/exp/log/sqrt).
+    pub transcendental: u64,
+    /// Global-memory access (per load/store).
+    pub mem_global: u64,
+    /// Shared-memory access.
+    pub mem_shared: u64,
+    /// Local (per-thread) memory access.
+    pub mem_local: u64,
+    /// Constant-memory access (cached, cheap).
+    pub mem_constant: u64,
+    /// Team barrier, aligned (all threads arrive together).
+    pub barrier_aligned: u64,
+    /// Team barrier from divergent control flow (state machine).
+    pub barrier_unaligned: u64,
+    /// Atomic RMW / CAS.
+    pub atomic: u64,
+    /// Direct call / return bookkeeping.
+    pub call: u64,
+    /// Indirect call penalty (on top of `call`).
+    pub indirect_call: u64,
+    /// Device-side malloc (global heap fallback of the shared stack).
+    pub malloc: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            issue: 1,
+            alu: 0,
+            fp: 3,
+            transcendental: 19,
+            mem_global: 39,
+            mem_shared: 7,
+            mem_local: 3,
+            mem_constant: 3,
+            barrier_aligned: 29,
+            barrier_unaligned: 44,
+            atomic: 59,
+            call: 14,
+            indirect_call: 10,
+            malloc: 799,
+        }
+    }
+}
+
+impl CostModel {
+    pub fn mem(&self, seg: Segment) -> u64 {
+        match seg {
+            Segment::Global => self.mem_global,
+            Segment::Shared => self.mem_shared,
+            Segment::Local => self.mem_local,
+            Segment::Constant => self.mem_constant,
+            _ => self.mem_global,
+        }
+    }
+}
+
+/// Static device shape, used by the occupancy model.
+#[derive(Clone, Debug)]
+pub struct DeviceConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Register file size per SM (32-bit registers).
+    pub regs_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub smem_per_sm: u64,
+    /// Max resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Max resident teams per SM.
+    pub max_teams_per_sm: u32,
+    /// Clock in GHz (cycles -> time conversion for reports).
+    pub clock_ghz: f64,
+    /// Device heap size in bytes.
+    pub heap_bytes: u64,
+    /// Interpreter step budget per launch (runaway guard).
+    pub max_steps: u64,
+    /// Verify `assume` operands and run debug-only runtime paths. Mirrors
+    /// the paper's debug builds (§III-G): assumptions become assertions.
+    pub check_assumes: bool,
+    /// Latency-hiding model: the memory portion of a team's cycles is
+    /// scaled by `1 + latency_penalty / resident_teams_per_sm`. High
+    /// occupancy (many resident teams) hides memory latency; a kernel whose
+    /// shared-memory or register footprint caps residency pays exposed
+    /// latency — this is how the paper's SMem/register reductions turn into
+    /// kernel-time reductions ("most performance benefits can be traced to
+    /// reducing and/or eliminating the shared memory and register usage").
+    pub latency_penalty: f64,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> DeviceConfig {
+        DeviceConfig {
+            num_sms: 8,
+            regs_per_sm: 65_536,
+            smem_per_sm: 96 * 1024,
+            max_threads_per_sm: 2048,
+            max_teams_per_sm: 32,
+            clock_ghz: 1.4,
+            heap_bytes: 64 * 1024 * 1024,
+            max_steps: 2_000_000_000,
+            check_assumes: true,
+            latency_penalty: 8.0,
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// Memory-latency exposure factor for a given residency.
+    pub fn latency_exposure(&self, resident_teams_per_sm: u32) -> f64 {
+        1.0 + self.latency_penalty / resident_teams_per_sm.max(1) as f64
+    }
+}
+
+impl DeviceConfig {
+    /// Resident teams per SM given per-thread register demand and per-team
+    /// shared-memory demand — the occupancy calculation behind the paper's
+    /// observation that "most performance benefits can be traced to reducing
+    /// and/or eliminating the shared memory and register usage".
+    pub fn teams_per_sm(&self, regs_per_thread: u32, threads_per_team: u32, smem_per_team: u64) -> u32 {
+        let by_regs = if regs_per_thread == 0 {
+            self.max_teams_per_sm
+        } else {
+            self.regs_per_sm / (regs_per_thread * threads_per_team.max(1)).max(1)
+        };
+        let by_smem = if smem_per_team == 0 {
+            self.max_teams_per_sm
+        } else {
+            (self.smem_per_sm / smem_per_team) as u32
+        };
+        let by_threads = self.max_threads_per_sm / threads_per_team.max(1);
+        self.max_teams_per_sm
+            .min(by_regs)
+            .min(by_smem)
+            .min(by_threads)
+            .max(1) // a kernel that fits nowhere still runs, one team at a time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_limits() {
+        let cfg = DeviceConfig::default();
+        // Unconstrained: thread-count limited (2048/128 = 16).
+        assert_eq!(cfg.teams_per_sm(0, 128, 0), 16);
+        // Register limited: 65536/(255*128) = 2.
+        assert_eq!(cfg.teams_per_sm(255, 128, 0), 2);
+        // Shared-memory limited: 96K/48K = 2.
+        assert_eq!(cfg.teams_per_sm(32, 128, 48 * 1024), 2);
+        // Never zero.
+        assert_eq!(cfg.teams_per_sm(10_000, 1024, 1 << 20), 1);
+    }
+}

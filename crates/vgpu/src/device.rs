@@ -1,0 +1,350 @@
+//! The device: module loading, host-side memory management, kernel launch.
+
+use nzomp_ir::analysis::liveness;
+use nzomp_ir::{Module, Space, Ty};
+
+use crate::cost::{CostModel, DeviceConfig};
+use crate::error::{ExecError, TrapKind};
+use crate::interp::{Counters, GlobalLayout, HeapState, TeamExec};
+use crate::memory::{DevPtr, Region};
+use crate::metrics::KernelMetrics;
+use crate::value::RtVal;
+
+/// Launch parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Launch {
+    pub teams: u32,
+    pub threads_per_team: u32,
+    /// Extra dynamic shared memory per team (paper §III-D: "the runtime
+    /// also supports the use of dynamic shared memory").
+    pub dyn_smem_bytes: u64,
+}
+
+impl Launch {
+    pub fn new(teams: u32, threads_per_team: u32) -> Launch {
+        Launch {
+            teams,
+            threads_per_team,
+            dyn_smem_bytes: 0,
+        }
+    }
+}
+
+/// A loaded module plus device memory. Global memory persists across
+/// launches (like a real device), so hosts can upload inputs once and run
+/// several kernels.
+pub struct Device {
+    pub config: DeviceConfig,
+    pub cost: CostModel,
+    module: Module,
+    layout: GlobalLayout,
+    global: Region,
+    constant: Region,
+    heap: HeapState,
+}
+
+impl Device {
+    /// Load `module` onto a device with the given configuration.
+    ///
+    /// Global- and constant-space globals get their initializer images;
+    /// shared-space globals are *not* statically initialized (real shared
+    /// memory is undefined at kernel start — the runtime initializes what
+    /// it needs in `__kmpc_target_init`, exactly as in the paper §III).
+    pub fn load(module: Module, config: DeviceConfig) -> Device {
+        let mut layout = GlobalLayout {
+            addr_of: Vec::with_capacity(module.globals.len()),
+            ..GlobalLayout::default()
+        };
+        let mut global_top: u64 = 0;
+        let mut shared_top: u64 = 0;
+        let mut const_top: u64 = 0;
+        for g in &module.globals {
+            let align = 8u64;
+            match g.space {
+                Space::Global => {
+                    global_top = (global_top + align - 1) & !(align - 1);
+                    layout.addr_of.push(DevPtr::global(global_top as u32));
+                    global_top += g.size;
+                }
+                Space::Shared => {
+                    shared_top = (shared_top + align - 1) & !(align - 1);
+                    layout.addr_of.push(DevPtr::shared(shared_top as u32));
+                    shared_top += g.size;
+                }
+                Space::Constant => {
+                    const_top = (const_top + align - 1) & !(align - 1);
+                    layout.addr_of.push(DevPtr::constant(const_top as u32));
+                    const_top += g.size;
+                }
+                Space::Local => {
+                    // Local-space globals make no sense; treat as shared so
+                    // they at least have storage.
+                    shared_top = (shared_top + align - 1) & !(align - 1);
+                    layout.addr_of.push(DevPtr::shared(shared_top as u32));
+                    shared_top += g.size;
+                }
+            }
+        }
+        layout.shared_size = shared_top;
+        layout.global_static_size = global_top;
+        layout.const_size = const_top;
+
+        let mut global = Region::with_size(global_top as usize);
+        let mut constant = Region::with_size(const_top as usize);
+        for (i, g) in module.globals.iter().enumerate() {
+            let addr = layout.addr_of[i];
+            let region = match g.space {
+                Space::Global => &mut global,
+                Space::Constant => &mut constant,
+                _ => continue,
+            };
+            for off in 0..g.size {
+                region.bytes[(addr.offset() + off) as usize] = g.init.byte_at(off);
+            }
+        }
+
+        let heap = HeapState {
+            live_allocs: Default::default(),
+            limit: global_top + config.heap_bytes,
+        };
+        Device {
+            config,
+            cost: CostModel::default(),
+            module,
+            layout,
+            global,
+            constant,
+            heap,
+        }
+    }
+
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Host-side allocation in device global memory.
+    pub fn alloc(&mut self, size: u64) -> DevPtr {
+        let aligned = (size + 7) & !7;
+        let off = (self.global.len() as u64 + 7) & !7;
+        self.global.grow_to((off + aligned) as usize);
+        DevPtr::global(off as u32)
+    }
+
+    /// Allocate and upload a little-endian `f64` slice.
+    pub fn alloc_f64(&mut self, data: &[f64]) -> DevPtr {
+        let p = self.alloc((data.len() * 8) as u64);
+        self.write_f64(p, data);
+        p
+    }
+
+    pub fn alloc_i64(&mut self, data: &[i64]) -> DevPtr {
+        let p = self.alloc((data.len() * 8) as u64);
+        self.write_i64(p, data);
+        p
+    }
+
+    pub fn alloc_i32(&mut self, data: &[i32]) -> DevPtr {
+        let p = self.alloc((data.len() * 4) as u64);
+        self.write_i32(p, data);
+        p
+    }
+
+    pub fn write_f64(&mut self, ptr: DevPtr, data: &[f64]) {
+        for (i, v) in data.iter().enumerate() {
+            self.global
+                .write(ptr.offset() + (i * 8) as u64, 8, v.to_bits() as i64)
+                .expect("host write in bounds");
+        }
+    }
+
+    pub fn write_i64(&mut self, ptr: DevPtr, data: &[i64]) {
+        for (i, v) in data.iter().enumerate() {
+            self.global
+                .write(ptr.offset() + (i * 8) as u64, 8, *v)
+                .expect("host write in bounds");
+        }
+    }
+
+    pub fn write_i32(&mut self, ptr: DevPtr, data: &[i32]) {
+        for (i, v) in data.iter().enumerate() {
+            self.global
+                .write(ptr.offset() + (i * 4) as u64, 4, *v as i64)
+                .expect("host write in bounds");
+        }
+    }
+
+    pub fn write_ptr(&mut self, ptr: DevPtr, value: DevPtr) {
+        self.global
+            .write(ptr.offset(), 8, value.0 as i64)
+            .expect("host write in bounds");
+    }
+
+    pub fn read_f64(&self, ptr: DevPtr, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                let bits = self
+                    .global
+                    .read(ptr.offset() + (i * 8) as u64, 8)
+                    .expect("host read in bounds");
+                f64::from_bits(bits as u64)
+            })
+            .collect()
+    }
+
+    pub fn read_i64(&self, ptr: DevPtr, len: usize) -> Vec<i64> {
+        (0..len)
+            .map(|i| {
+                self.global
+                    .read(ptr.offset() + (i * 8) as u64, 8)
+                    .expect("host read in bounds")
+            })
+            .collect()
+    }
+
+    pub fn read_i32(&self, ptr: DevPtr, len: usize) -> Vec<i32> {
+        (0..len)
+            .map(|i| {
+                self.global
+                    .read(ptr.offset() + (i * 4) as u64, 4)
+                    .expect("host read in bounds") as i32
+            })
+            .collect()
+    }
+
+    /// Address of a named global (host access to device state).
+    pub fn global_addr(&self, name: &str) -> Option<DevPtr> {
+        self.module
+            .find_global(name)
+            .map(|g| self.layout.addr_of[g.index()])
+    }
+
+    /// Launch a kernel by name. Returns metrics on success; `ExecError` on
+    /// any device trap.
+    pub fn launch(
+        &mut self,
+        kernel: &str,
+        launch: Launch,
+        args: &[RtVal],
+    ) -> Result<KernelMetrics, ExecError> {
+        let func_ref = self.module.find_func(kernel).ok_or_else(|| ExecError {
+            kind: TrapKind::BadLaunch(format!("no kernel @{kernel}")),
+            team: 0,
+            thread: 0,
+            func: kernel.to_string(),
+        })?;
+        let func = self.module.func(func_ref);
+        if func.params.len() != args.len() {
+            return Err(ExecError {
+                kind: TrapKind::BadLaunch(format!(
+                    "kernel @{kernel} takes {} args, got {}",
+                    func.params.len(),
+                    args.len()
+                )),
+                team: 0,
+                thread: 0,
+                func: kernel.to_string(),
+            });
+        }
+        // Pointer args must not be dangling-typed; only count check above
+        // (the IR is untyped enough that the kernel will trap if wrong).
+        let _ = func.params.iter().map(|t| matches!(t, Ty::Ptr)).count();
+
+        // Registers are allocated for the whole call tree on a GPU (no real
+        // call stack): take the maximum over every function reachable from
+        // the kernel.
+        let cg = nzomp_ir::analysis::callgraph::CallGraph::build(&self.module);
+        let regs = cg
+            .reachable_from(&self.module, &[func_ref])
+            .into_iter()
+            .map(|fr| self.module.func(fr))
+            .filter(|f| !f.is_declaration())
+            .map(liveness::register_estimate)
+            .max()
+            .unwrap_or_else(|| liveness::register_estimate(func));
+        let smem = self.layout.shared_size;
+        let shared_total = smem + launch.dyn_smem_bytes;
+
+        let mut counters = Counters::default();
+        let mut fuel = self.config.max_steps;
+        let mut team_cycles = Vec::with_capacity(launch.teams as usize);
+        let mut team_mem_cycles = Vec::with_capacity(launch.teams as usize);
+        for team in 0..launch.teams {
+            let mut exec = TeamExec::new(
+                &self.module,
+                &self.cost,
+                self.config.check_assumes,
+                team,
+                launch.teams,
+                launch.threads_per_team,
+                shared_total,
+                &self.layout,
+                &mut self.global,
+                &self.constant,
+                &mut self.heap,
+                &mut counters,
+                &mut fuel,
+            );
+            match exec.run(func_ref.0, args) {
+                Ok((cycles, mem)) => {
+                    team_cycles.push(cycles);
+                    team_mem_cycles.push(mem);
+                }
+                Err((kind, thread)) => {
+                    return Err(ExecError {
+                        kind,
+                        team,
+                        thread,
+                        func: kernel.to_string(),
+                    })
+                }
+            }
+        }
+
+        // Occupancy / wave model: teams are issued in launch order, one wave
+        // at a time; each wave lasts as long as its slowest team. A team's
+        // effective duration exposes memory latency in inverse proportion
+        // to how many teams the SM can keep resident (latency hiding).
+        let tps = self
+            .config
+            .teams_per_sm(regs, launch.threads_per_team, shared_total.max(1));
+        let exposure = self.config.latency_exposure(tps);
+        let effective: Vec<u64> = team_cycles
+            .iter()
+            .zip(&team_mem_cycles)
+            .map(|(&total, &mem)| {
+                let compute = total.saturating_sub(mem);
+                compute + (mem as f64 * exposure) as u64
+            })
+            .collect();
+        let wave_size = (self.config.num_sms * tps).max(1) as usize;
+        let mut cycles_total: u64 = 0;
+        let mut waves = 0u32;
+        for chunk in effective.chunks(wave_size) {
+            cycles_total += chunk.iter().copied().max().unwrap_or(0);
+            waves += 1;
+        }
+        let time_ms = cycles_total as f64 / (self.config.clock_ghz * 1e6);
+
+        Ok(KernelMetrics {
+            kernel_name: kernel.to_string(),
+            teams: launch.teams,
+            threads_per_team: launch.threads_per_team,
+            regs_per_thread: regs,
+            smem_bytes: smem,
+            dyn_smem_bytes: launch.dyn_smem_bytes,
+            teams_per_sm: tps,
+            waves,
+            cycles: cycles_total,
+            time_ms,
+            instructions: counters.instructions,
+            barriers: counters.barriers,
+            global_accesses: counters.global_accesses,
+            shared_accesses: counters.shared_accesses,
+            local_accesses: counters.local_accesses,
+            device_mallocs: counters.device_mallocs,
+            runtime_calls: counters.runtime_calls,
+            flops: counters.flops,
+            team_cycles,
+        })
+    }
+}

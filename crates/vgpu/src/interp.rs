@@ -1,0 +1,891 @@
+//! The team interpreter: executes all threads of one team with
+//! run-to-synchronization-point scheduling.
+//!
+//! Threads run in thread-id order until they hit a barrier, finish, or
+//! trap. When every live thread waits at a barrier the barrier releases:
+//! all waiting threads' cycle counters are aligned to the maximum plus the
+//! barrier cost (a barrier is a time synchronization too). This scheduling
+//! is deterministic and, because threads only communicate through memory at
+//! synchronization points in well-formed OpenMP/CUDA programs, it preserves
+//! the semantics of the programs the paper evaluates.
+
+use std::collections::HashMap;
+
+use nzomp_ir::inst::{AtomicOp, BinOp, CastKind, Inst, InstId, Intrinsic, Pred, Term, UnOp};
+use nzomp_ir::{BlockId, Function, Module, Operand, Ty};
+
+use crate::cost::CostModel;
+use crate::error::TrapKind;
+use crate::memory::{DevPtr, Region, Segment};
+use crate::value::RtVal;
+
+/// Where each module global lives on the device.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalLayout {
+    /// Encoded base address per `GlobalId` index.
+    pub addr_of: Vec<DevPtr>,
+    /// Bytes of statically allocated shared memory per team.
+    pub shared_size: u64,
+    /// Bytes of the global segment occupied by global-space globals.
+    pub global_static_size: u64,
+    /// Bytes of the constant segment.
+    pub const_size: u64,
+}
+
+/// Device-heap allocator state (bump allocation into the global region).
+#[derive(Debug, Default)]
+pub struct HeapState {
+    pub live_allocs: HashMap<u64, u64>, // offset -> size
+    pub limit: u64,
+}
+
+/// Event counters aggregated into [`crate::KernelMetrics`].
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    pub instructions: u64,
+    pub barriers: u64,
+    pub global_accesses: u64,
+    pub shared_accesses: u64,
+    pub local_accesses: u64,
+    pub device_mallocs: u64,
+    pub runtime_calls: u64,
+    pub flops: u64,
+}
+
+/// One call frame.
+#[derive(Debug)]
+struct Frame {
+    func: u32,
+    block: BlockId,
+    inst_idx: usize,
+    regs: Vec<RtVal>,
+    args: Vec<RtVal>,
+    /// Caller instruction that receives the return value.
+    ret_dst: Option<InstId>,
+    /// Thread-local stack watermark to restore on return.
+    local_base: u64,
+}
+
+/// Thread run state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    Running,
+    AtBarrier { aligned: bool },
+    Done,
+}
+
+/// One hardware thread.
+#[derive(Debug)]
+pub struct ThreadCtx {
+    pub tid: u32,
+    frames: Vec<Frame>,
+    pub status: Status,
+    pub cycles: u64,
+    /// Cycles of actual work (never overwritten by barrier synchronization,
+    /// unlike `cycles`); denominator of the team memory fraction.
+    pub busy_cycles: u64,
+    /// Portion of the busy cycles spent on memory operations — the part
+    /// occupancy can hide (see the latency model in `Device::launch`).
+    pub mem_cycles: u64,
+    local: Region,
+    local_top: u64,
+}
+
+impl Default for ThreadCtx {
+    fn default() -> Self {
+        ThreadCtx {
+            tid: 0,
+            frames: Vec::new(),
+            status: Status::Done,
+            cycles: 0,
+            busy_cycles: 0,
+            mem_cycles: 0,
+            local: Region::default(),
+            local_top: 0,
+        }
+    }
+}
+
+/// Executes one team to completion.
+pub struct TeamExec<'a> {
+    pub module: &'a Module,
+    pub cost: &'a CostModel,
+    pub check_assumes: bool,
+    pub team_id: u32,
+    pub num_teams: u32,
+    pub nthreads: u32,
+    pub shared: Region,
+    pub layout: &'a GlobalLayout,
+    pub global: &'a mut Region,
+    pub constant: &'a Region,
+    pub heap: &'a mut HeapState,
+    pub counters: &'a mut Counters,
+    pub fuel: &'a mut u64,
+    threads: Vec<ThreadCtx>,
+}
+
+impl<'a> TeamExec<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        module: &'a Module,
+        cost: &'a CostModel,
+        check_assumes: bool,
+        team_id: u32,
+        num_teams: u32,
+        nthreads: u32,
+        shared_size: u64,
+        layout: &'a GlobalLayout,
+        global: &'a mut Region,
+        constant: &'a Region,
+        heap: &'a mut HeapState,
+        counters: &'a mut Counters,
+        fuel: &'a mut u64,
+    ) -> TeamExec<'a> {
+        TeamExec {
+            module,
+            cost,
+            check_assumes,
+            team_id,
+            num_teams,
+            nthreads,
+            shared: Region::with_size(shared_size as usize),
+            layout,
+            global,
+            constant,
+            heap,
+            counters,
+            fuel,
+            threads: Vec::new(),
+        }
+    }
+
+    /// Run the kernel function with `args` on every thread of the team.
+    /// Returns `(team_cycles, mem_cycles)`: `team_cycles` is the slowest
+    /// thread's total; `mem_cycles` is the memory share of the team's
+    /// critical path, estimated work-weighted as
+    /// `team_cycles * Σ mem_i / Σ cycles_i` (robust against irregular
+    /// per-thread work and barrier-synchronized counters).
+    pub fn run(&mut self, kernel: u32, args: &[RtVal]) -> Result<(u64, u64), (TrapKind, u32)> {
+        let func = &self.module.funcs[kernel as usize];
+        self.threads = (0..self.nthreads)
+            .map(|tid| {
+                let frame = Frame {
+                    func: kernel,
+                    block: BlockId::ENTRY,
+                    inst_idx: 0,
+                    regs: vec![RtVal::I(0); func.insts.len()],
+                    args: args.to_vec(),
+                    ret_dst: None,
+                    local_base: 0,
+                };
+                ThreadCtx {
+                    tid,
+                    frames: vec![frame],
+                    status: Status::Running,
+                    cycles: 0,
+                    busy_cycles: 0,
+                    mem_cycles: 0,
+                    local: Region::default(),
+                    local_top: 0,
+                }
+            })
+            .collect();
+
+        loop {
+            let mut progressed = false;
+            for t in 0..self.threads.len() {
+                if self.threads[t].status == Status::Running {
+                    progressed = true;
+                    let mut thread = std::mem::take(&mut self.threads[t]);
+                    let r = self.run_thread(&mut thread);
+                    let tid = thread.tid;
+                    self.threads[t] = thread;
+                    if let Err(kind) = r {
+                        return Err((kind, tid));
+                    }
+                }
+            }
+            let live: Vec<usize> = (0..self.threads.len())
+                .filter(|&t| self.threads[t].status != Status::Done)
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            let all_waiting = live
+                .iter()
+                .all(|&t| matches!(self.threads[t].status, Status::AtBarrier { .. }));
+            if all_waiting {
+                // An *aligned* barrier promises that every thread of the
+                // team reaches it; if some threads already exited, that
+                // promise is broken (miscompile or bad user code) — trap.
+                let any_done = self.threads.iter().any(|t| t.status == Status::Done);
+                let any_aligned_wait = live.iter().any(|&t| {
+                    matches!(
+                        self.threads[t].status,
+                        Status::AtBarrier { aligned: true }
+                    )
+                });
+                if any_done && any_aligned_wait {
+                    return Err((TrapKind::BarrierDeadlock, self.threads[live[0]].tid));
+                }
+                // Release the barrier: synchronize cycle counters.
+                let aligned = live.iter().all(|&t| {
+                    matches!(
+                        self.threads[t].status,
+                        Status::AtBarrier { aligned: true }
+                    )
+                });
+                let cost = if aligned {
+                    self.cost.barrier_aligned
+                } else {
+                    self.cost.barrier_unaligned
+                };
+                let max_cycles = live
+                    .iter()
+                    .map(|&t| self.threads[t].cycles)
+                    .max()
+                    .unwrap_or(0);
+                for &t in &live {
+                    self.threads[t].cycles = max_cycles + cost;
+                    self.threads[t].busy_cycles += cost;
+                    self.threads[t].status = Status::Running;
+                }
+                self.counters.barriers += 1;
+            } else if !progressed {
+                // Some threads wait forever: mismatched barrier.
+                return Err((TrapKind::BarrierDeadlock, self.threads[live[0]].tid));
+            }
+        }
+        let max_cycles = self.threads.iter().map(|t| t.cycles).max().unwrap_or(0);
+        let sum_busy: u64 = self.threads.iter().map(|t| t.busy_cycles).sum();
+        let sum_mem: u64 = self.threads.iter().map(|t| t.mem_cycles).sum();
+        let mem = if sum_busy == 0 {
+            0
+        } else {
+            (max_cycles as f64 * (sum_mem as f64 / sum_busy as f64).min(1.0)) as u64
+        };
+        Ok((max_cycles, mem))
+    }
+
+    /// Run one thread until it blocks, finishes, or traps.
+    fn run_thread(&mut self, thread: &mut ThreadCtx) -> Result<(), TrapKind> {
+        while thread.status == Status::Running {
+            if *self.fuel == 0 {
+                return Err(TrapKind::FuelExhausted);
+            }
+            *self.fuel -= 1;
+            self.step(thread)?;
+        }
+        Ok(())
+    }
+
+    fn cur_func(&self, thread: &ThreadCtx) -> &'a Function {
+        let f = thread.frames.last().expect("live thread has a frame");
+        let m: &'a Module = self.module;
+        &m.funcs[f.func as usize]
+    }
+
+    /// Execute one instruction or the block terminator.
+    fn step(&mut self, thread: &mut ThreadCtx) -> Result<(), TrapKind> {
+        let func = self.cur_func(thread);
+        let frame = thread.frames.last().unwrap();
+        let block = func.block(frame.block);
+        if frame.inst_idx >= block.insts.len() {
+            let term: &'a Term = &block.term;
+            return self.step_term(thread, term);
+        }
+        let iid = block.insts[frame.inst_idx];
+        let inst: &'a Inst = func.inst(iid);
+        self.counters.instructions += 1;
+        thread.cycles += self.cost.issue;
+        thread.busy_cycles += self.cost.issue;
+        self.exec_inst(thread, iid, inst)
+    }
+
+    fn eval(&self, thread: &ThreadCtx, op: Operand) -> RtVal {
+        let frame = thread.frames.last().unwrap();
+        match op {
+            Operand::Inst(i) => frame.regs[i.index()],
+            Operand::Param(p) => frame.args[p as usize],
+            Operand::ConstI(v, ty) => {
+                if ty == Ty::Ptr {
+                    RtVal::P(DevPtr(v as u64))
+                } else {
+                    RtVal::I(v)
+                }
+            }
+            Operand::ConstF(v) => RtVal::F(v),
+            Operand::Global(g) => RtVal::P(self.layout.addr_of[g.index()]),
+            Operand::Func(f) => RtVal::P(DevPtr::func(f.0)),
+        }
+    }
+
+    fn set_reg(&self, thread: &mut ThreadCtx, id: InstId, v: RtVal) {
+        thread.frames.last_mut().unwrap().regs[id.index()] = v;
+    }
+
+    // ---- memory ----------------------------------------------------------
+
+    fn mem_read(&mut self, thread: &ThreadCtx, ptr: DevPtr, size: u64) -> Result<i64, TrapKind> {
+        match ptr.segment() {
+            Segment::Null => Err(TrapKind::NullDeref),
+            Segment::Global => {
+                self.counters.global_accesses += 1;
+                self.global.read(ptr.offset(), size)
+            }
+            Segment::Shared => {
+                self.counters.shared_accesses += 1;
+                self.shared.read(ptr.offset(), size)
+            }
+            Segment::Local => {
+                if ptr.owner() != thread.tid {
+                    return Err(TrapKind::CrossThreadLocalAccess {
+                        owner: ptr.owner(),
+                        accessor: thread.tid,
+                    });
+                }
+                self.counters.local_accesses += 1;
+                thread.local.read(ptr.offset(), size)
+            }
+            Segment::Constant => self.constant.read(ptr.offset(), size),
+            Segment::Func => Err(TrapKind::OutOfBounds),
+        }
+    }
+
+    fn mem_write(
+        &mut self,
+        thread: &mut ThreadCtx,
+        ptr: DevPtr,
+        size: u64,
+        value: i64,
+    ) -> Result<(), TrapKind> {
+        match ptr.segment() {
+            Segment::Null => Err(TrapKind::NullDeref),
+            Segment::Global => {
+                self.counters.global_accesses += 1;
+                self.global.write(ptr.offset(), size, value)
+            }
+            Segment::Shared => {
+                self.counters.shared_accesses += 1;
+                self.shared.write(ptr.offset(), size, value)
+            }
+            Segment::Local => {
+                if ptr.owner() != thread.tid {
+                    return Err(TrapKind::CrossThreadLocalAccess {
+                        owner: ptr.owner(),
+                        accessor: thread.tid,
+                    });
+                }
+                self.counters.local_accesses += 1;
+                thread.local.write(ptr.offset(), size, value)
+            }
+            Segment::Constant => Err(TrapKind::OutOfBounds),
+            Segment::Func => Err(TrapKind::OutOfBounds),
+        }
+    }
+
+    fn load_typed(&mut self, thread: &ThreadCtx, ptr: DevPtr, ty: Ty) -> Result<RtVal, TrapKind> {
+        let bits = self.mem_read(thread, ptr, ty.size())?;
+        Ok(match ty {
+            Ty::F64 => RtVal::F(f64::from_bits(bits as u64)),
+            Ty::Ptr => RtVal::P(DevPtr(bits as u64)),
+            _ => RtVal::I(bits),
+        })
+    }
+
+    // ---- instruction dispatch ---------------------------------------------
+
+    fn exec_inst(
+        &mut self,
+        thread: &mut ThreadCtx,
+        iid: InstId,
+        inst: &Inst,
+    ) -> Result<(), TrapKind> {
+        // Advance past this instruction up-front; control transfers
+        // (calls/barriers) rely on the frame already pointing at the next
+        // instruction.
+        thread.frames.last_mut().unwrap().inst_idx += 1;
+
+        match inst {
+            Inst::Bin { op, ty, lhs, rhs } => {
+                let a = self.eval(thread, *lhs);
+                let b = self.eval(thread, *rhs);
+                let v = self.exec_bin(*op, *ty, a, b)?;
+                if op.is_float() {
+                    self.counters.flops += 1;
+                    thread.cycles += self.cost.fp;
+                    thread.busy_cycles += self.cost.fp;
+                } else {
+                    thread.cycles += self.cost.alu;
+                    thread.busy_cycles += self.cost.alu;
+                }
+                self.set_reg(thread, iid, v);
+            }
+            Inst::Un { op, ty, arg } => {
+                let a = self.eval(thread, *arg);
+                let v = exec_un(*op, *ty, a);
+                match op {
+                    UnOp::Sqrt | UnOp::Sin | UnOp::Cos | UnOp::Exp | UnOp::Log => {
+                        self.counters.flops += 1;
+                        thread.cycles += self.cost.transcendental;
+                        thread.busy_cycles += self.cost.transcendental;
+                    }
+                    UnOp::FNeg | UnOp::FAbs => {
+                        self.counters.flops += 1;
+                        thread.cycles += self.cost.fp;
+                        thread.busy_cycles += self.cost.fp;
+                    }
+                    _ => thread.cycles += self.cost.alu,
+                }
+                self.set_reg(thread, iid, v);
+            }
+            Inst::Cast { kind, to, arg } => {
+                let a = self.eval(thread, *arg);
+                let v = exec_cast(*kind, *to, a);
+                thread.cycles += self.cost.alu;
+                thread.busy_cycles += self.cost.alu;
+                self.set_reg(thread, iid, v);
+            }
+            Inst::Cmp { pred, ty, lhs, rhs } => {
+                let a = self.eval(thread, *lhs);
+                let b = self.eval(thread, *rhs);
+                let v = exec_cmp(*pred, *ty, a, b);
+                thread.cycles += self.cost.alu;
+                thread.busy_cycles += self.cost.alu;
+                self.set_reg(thread, iid, RtVal::I(v as i64));
+            }
+            Inst::Select {
+                cond,
+                if_true,
+                if_false,
+                ..
+            } => {
+                let c = self.eval(thread, *cond).as_bool();
+                let v = if c {
+                    self.eval(thread, *if_true)
+                } else {
+                    self.eval(thread, *if_false)
+                };
+                thread.cycles += self.cost.alu;
+                thread.busy_cycles += self.cost.alu;
+                self.set_reg(thread, iid, v);
+            }
+            Inst::Load { ty, ptr } => {
+                let p = self.eval(thread, *ptr).as_ptr();
+                let c = self.cost.mem(p.segment());
+                thread.cycles += c;
+                thread.busy_cycles += c;
+                thread.mem_cycles += c;
+                let v = self.load_typed(thread, p, *ty)?;
+                self.set_reg(thread, iid, v);
+            }
+            Inst::Store { ty, ptr, value } => {
+                let p = self.eval(thread, *ptr).as_ptr();
+                let v = self.eval(thread, *value);
+                let c = self.cost.mem(p.segment());
+                thread.cycles += c;
+                thread.busy_cycles += c;
+                thread.mem_cycles += c;
+                self.mem_write(thread, p, ty.size(), v.to_bits())?;
+            }
+            Inst::PtrAdd { base, offset } => {
+                let b = self.eval(thread, *base).as_ptr();
+                let o = self.eval(thread, *offset).as_i();
+                thread.cycles += self.cost.alu;
+                thread.busy_cycles += self.cost.alu;
+                self.set_reg(thread, iid, RtVal::P(b.add_bytes(o)));
+            }
+            Inst::Alloca { size } => {
+                let aligned = (*size + 7) & !7;
+                let off = thread.local_top;
+                thread.local_top += aligned;
+                thread.local.grow_to(thread.local_top as usize);
+                self.set_reg(thread, iid, RtVal::P(DevPtr::local(thread.tid, off as u32)));
+            }
+            Inst::Call { callee, args, ret } => {
+                self.exec_call(thread, iid, *callee, args, ret.is_some())?;
+            }
+            Inst::Atomic { op, ty, ptr, value } => {
+                let p = self.eval(thread, *ptr).as_ptr();
+                let v = self.eval(thread, *value);
+                thread.cycles += self.cost.atomic;
+                thread.busy_cycles += self.cost.atomic;
+                thread.mem_cycles += self.cost.atomic;
+                let old = self.load_typed(thread, p, *ty)?;
+                let new = exec_atomic(*op, *ty, old, v);
+                self.mem_write(thread, p, ty.size(), new.to_bits())?;
+                self.set_reg(thread, iid, old);
+            }
+            Inst::Cas {
+                ty,
+                ptr,
+                expected,
+                new,
+            } => {
+                let p = self.eval(thread, *ptr).as_ptr();
+                let e = self.eval(thread, *expected);
+                let n = self.eval(thread, *new);
+                thread.cycles += self.cost.atomic;
+                thread.busy_cycles += self.cost.atomic;
+                thread.mem_cycles += self.cost.atomic;
+                let old = self.load_typed(thread, p, *ty)?;
+                if old.to_bits() == e.to_bits() {
+                    self.mem_write(thread, p, ty.size(), n.to_bits())?;
+                }
+                self.set_reg(thread, iid, old);
+            }
+            Inst::Intr { intr, args } => {
+                self.exec_intr(thread, iid, *intr, args)?;
+            }
+            Inst::Phi { .. } => {
+                // Phis are materialized by terminators; stepping onto one
+                // means the frame was constructed incorrectly.
+                unreachable!("phi executed directly");
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_bin(&self, op: BinOp, ty: Ty, a: RtVal, b: RtVal) -> Result<RtVal, TrapKind> {
+        if op.is_float() {
+            let (x, y) = (a.as_f(), b.as_f());
+            let v = match op {
+                BinOp::FAdd => x + y,
+                BinOp::FSub => x - y,
+                BinOp::FMul => x * y,
+                BinOp::FDiv => x / y,
+                BinOp::FMin => x.min(y),
+                BinOp::FMax => x.max(y),
+                _ => unreachable!(),
+            };
+            return Ok(RtVal::F(v));
+        }
+        let (x, y) = (a.as_i(), b.as_i());
+        let v = match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::SDiv => {
+                if y == 0 {
+                    return Err(TrapKind::DivByZero);
+                }
+                x.wrapping_div(y)
+            }
+            BinOp::SRem => {
+                if y == 0 {
+                    return Err(TrapKind::DivByZero);
+                }
+                x.wrapping_rem(y)
+            }
+            BinOp::UDiv => {
+                if y == 0 {
+                    return Err(TrapKind::DivByZero);
+                }
+                ((x as u64) / (y as u64)) as i64
+            }
+            BinOp::URem => {
+                if y == 0 {
+                    return Err(TrapKind::DivByZero);
+                }
+                ((x as u64) % (y as u64)) as i64
+            }
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y as u32 & 63),
+            BinOp::LShr => ((x as u64).wrapping_shr(y as u32 & 63)) as i64,
+            BinOp::AShr => x.wrapping_shr(y as u32 & 63),
+            BinOp::SMin => x.min(y),
+            BinOp::SMax => x.max(y),
+            _ => unreachable!(),
+        };
+        // Pointer-typed Bin results keep pointer-ness through PtrCast only;
+        // plain int arithmetic suffices here.
+        let _ = ty;
+        Ok(RtVal::I(v))
+    }
+
+    fn exec_call(
+        &mut self,
+        thread: &mut ThreadCtx,
+        iid: InstId,
+        callee: Operand,
+        args: &[Operand],
+        has_ret: bool,
+    ) -> Result<(), TrapKind> {
+        let (target, indirect) = match callee {
+            Operand::Func(f) => (f.0, false),
+            other => {
+                let p = self.eval(thread, other).as_ptr();
+                if p.segment() != Segment::Func {
+                    return Err(TrapKind::BadIndirectCall);
+                }
+                (p.offset() as u32, true)
+            }
+        };
+        if target as usize >= self.module.funcs.len() {
+            return Err(TrapKind::BadIndirectCall);
+        }
+        let func = &self.module.funcs[target as usize];
+        if func.is_declaration() {
+            return Err(TrapKind::UnresolvedCall(func.name.clone()));
+        }
+        if func.params.len() != args.len() {
+            return Err(TrapKind::BadLaunch(format!(
+                "call of @{} with {} args (expects {})",
+                func.name,
+                args.len(),
+                func.params.len()
+            )));
+        }
+        thread.cycles += self.cost.call;
+        thread.busy_cycles += self.cost.call;
+        if indirect {
+            thread.cycles += self.cost.indirect_call;
+            thread.busy_cycles += self.cost.indirect_call;
+        }
+        if func.name.starts_with("__kmpc") || func.name.starts_with("omp_") {
+            self.counters.runtime_calls += 1;
+        }
+        let argv: Vec<RtVal> = args.iter().map(|a| self.eval(thread, *a)).collect();
+        let frame = Frame {
+            func: target,
+            block: BlockId::ENTRY,
+            inst_idx: 0,
+            regs: vec![RtVal::I(0); func.insts.len()],
+            args: argv,
+            ret_dst: has_ret.then_some(iid),
+            local_base: thread.local_top,
+        };
+        thread.frames.push(frame);
+        Ok(())
+    }
+
+    fn exec_intr(
+        &mut self,
+        thread: &mut ThreadCtx,
+        iid: InstId,
+        intr: Intrinsic,
+        args: &[Operand],
+    ) -> Result<(), TrapKind> {
+        match intr {
+            Intrinsic::ThreadId => {
+                let v = RtVal::I(thread.tid as i64);
+                self.set_reg(thread, iid, v);
+            }
+            Intrinsic::BlockId => {
+                let v = RtVal::I(self.team_id as i64);
+                self.set_reg(thread, iid, v);
+            }
+            Intrinsic::BlockDim => {
+                let v = RtVal::I(self.nthreads as i64);
+                self.set_reg(thread, iid, v);
+            }
+            Intrinsic::GridDim => {
+                let v = RtVal::I(self.num_teams as i64);
+                self.set_reg(thread, iid, v);
+            }
+            Intrinsic::AlignedBarrier => {
+                thread.status = Status::AtBarrier { aligned: true };
+            }
+            Intrinsic::Barrier => {
+                thread.status = Status::AtBarrier { aligned: false };
+            }
+            Intrinsic::Assume(()) => {
+                if self.check_assumes {
+                    let c = self.eval(thread, args[0]).as_bool();
+                    if !c {
+                        return Err(TrapKind::AssumeViolated);
+                    }
+                }
+            }
+            Intrinsic::AssertFail => return Err(TrapKind::AssertFail),
+            Intrinsic::Malloc => {
+                let size = self.eval(thread, args[0]).as_i().max(0) as u64;
+                thread.cycles += self.cost.malloc;
+                thread.busy_cycles += self.cost.malloc;
+                thread.mem_cycles += self.cost.malloc;
+                self.counters.device_mallocs += 1;
+                let aligned = (size + 7) & !7;
+                let off = self.global.len() as u64;
+                if off + aligned > self.heap.limit {
+                    return Err(TrapKind::OutOfMemory);
+                }
+                self.global.grow_to((off + aligned) as usize);
+                self.heap.live_allocs.insert(off, aligned);
+                self.set_reg(thread, iid, RtVal::P(DevPtr::global(off as u32)));
+            }
+            Intrinsic::Free => {
+                let p = self.eval(thread, args[0]).as_ptr();
+                if p.is_null() {
+                    return Ok(());
+                }
+                if self.heap.live_allocs.remove(&p.offset()).is_none() {
+                    return Err(TrapKind::BadFree);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn step_term(&mut self, thread: &mut ThreadCtx, term: &Term) -> Result<(), TrapKind> {
+        match term {
+            Term::Br(target) => self.jump(thread, *target),
+            Term::CondBr {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                let c = self.eval(thread, *cond).as_bool();
+                thread.cycles += self.cost.alu;
+                thread.busy_cycles += self.cost.alu;
+                let t = if c { *if_true } else { *if_false };
+                self.jump(thread, t)
+            }
+            Term::Ret(v) => {
+                let val = v.map(|op| self.eval(thread, op));
+                let frame = thread.frames.pop().expect("frame on ret");
+                thread.local_top = frame.local_base;
+                match thread.frames.last_mut() {
+                    None => {
+                        thread.status = Status::Done;
+                    }
+                    Some(caller) => {
+                        if let (Some(dst), Some(v)) = (frame.ret_dst, val) {
+                            caller.regs[dst.index()] = v;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Term::Unreachable => Err(TrapKind::AssertFail),
+        }
+    }
+
+    /// Transfer control to `target`, materializing its phi nodes with
+    /// parallel-copy semantics.
+    fn jump(&mut self, thread: &mut ThreadCtx, target: BlockId) -> Result<(), TrapKind> {
+        let func = self.cur_func(thread);
+        let from = thread.frames.last().unwrap().block;
+        let block = func.block(target);
+        // Evaluate all phi inputs before writing any.
+        let mut writes: Vec<(InstId, RtVal)> = Vec::new();
+        let mut phi_count = 0usize;
+        for &iid in &block.insts {
+            match func.inst(iid) {
+                Inst::Phi { incomings, .. } => {
+                    phi_count += 1;
+                    let inc = incomings
+                        .iter()
+                        .find(|i| i.pred == from)
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "phi %{} in @{} bb{} missing incoming for bb{}",
+                                iid.0, func.name, target.0, from.0
+                            )
+                        });
+                    writes.push((iid, self.eval(thread, inc.value)));
+                }
+                _ => break,
+            }
+        }
+        let frame = thread.frames.last_mut().unwrap();
+        for (iid, v) in writes {
+            frame.regs[iid.index()] = v;
+        }
+        frame.block = target;
+        frame.inst_idx = phi_count;
+        self.counters.instructions += phi_count as u64;
+        Ok(())
+    }
+
+    /// Final per-thread cycle counts (after `run`).
+    pub fn thread_cycles(&self) -> Vec<u64> {
+        self.threads.iter().map(|t| t.cycles).collect()
+    }
+}
+
+fn exec_un(op: UnOp, ty: Ty, a: RtVal) -> RtVal {
+    let _ = ty;
+    match op {
+        UnOp::Neg => RtVal::I(a.as_i().wrapping_neg()),
+        UnOp::Not => RtVal::I(!a.as_i()),
+        UnOp::FNeg => RtVal::F(-a.as_f()),
+        UnOp::FAbs => RtVal::F(a.as_f().abs()),
+        UnOp::Sqrt => RtVal::F(a.as_f().sqrt()),
+        UnOp::Sin => RtVal::F(a.as_f().sin()),
+        UnOp::Cos => RtVal::F(a.as_f().cos()),
+        UnOp::Exp => RtVal::F(a.as_f().exp()),
+        UnOp::Log => RtVal::F(a.as_f().ln()),
+    }
+}
+
+fn exec_cast(kind: CastKind, to: Ty, a: RtVal) -> RtVal {
+    match kind {
+        CastKind::IntCast => RtVal::I(match to {
+            Ty::I1 => a.as_i() & 1,
+            Ty::I8 => a.as_i() as i8 as i64,
+            Ty::I32 => a.as_i() as i32 as i64,
+            _ => a.as_i(),
+        }),
+        CastKind::ZExtCast => RtVal::I(match to {
+            Ty::I1 => a.as_i() & 1,
+            Ty::I8 => a.as_i() & 0xff,
+            Ty::I32 => a.as_i() & 0xffff_ffff,
+            _ => a.as_i(),
+        }),
+        CastKind::SiToFp => RtVal::F(a.as_i() as f64),
+        CastKind::FpToSi => RtVal::I(a.as_f() as i64),
+        CastKind::PtrCast => {
+            if to == Ty::Ptr {
+                RtVal::P(DevPtr(a.as_i() as u64))
+            } else {
+                RtVal::I(a.as_ptr().0 as i64)
+            }
+        }
+    }
+}
+
+fn exec_cmp(pred: Pred, ty: Ty, a: RtVal, b: RtVal) -> bool {
+    if ty.is_float() {
+        let (x, y) = (a.as_f(), b.as_f());
+        return match pred {
+            Pred::Eq => x == y,
+            Pred::Ne => x != y,
+            Pred::Slt | Pred::Ult => x < y,
+            Pred::Sle | Pred::Ule => x <= y,
+            Pred::Sgt | Pred::Ugt => x > y,
+            Pred::Sge | Pred::Uge => x >= y,
+        };
+    }
+    let (x, y) = (a.to_bits(), b.to_bits());
+    match pred {
+        Pred::Eq => x == y,
+        Pred::Ne => x != y,
+        Pred::Slt => x < y,
+        Pred::Sle => x <= y,
+        Pred::Sgt => x > y,
+        Pred::Sge => x >= y,
+        Pred::Ult => (x as u64) < (y as u64),
+        Pred::Ule => (x as u64) <= (y as u64),
+        Pred::Ugt => (x as u64) > (y as u64),
+        Pred::Uge => (x as u64) >= (y as u64),
+    }
+}
+
+fn exec_atomic(op: AtomicOp, ty: Ty, old: RtVal, v: RtVal) -> RtVal {
+    if ty.is_float() {
+        return match op {
+            AtomicOp::Add => RtVal::F(old.as_f() + v.as_f()),
+            AtomicOp::Max => RtVal::F(old.as_f().max(v.as_f())),
+            AtomicOp::Min => RtVal::F(old.as_f().min(v.as_f())),
+            AtomicOp::Exchange => v,
+        };
+    }
+    match op {
+        AtomicOp::Add => RtVal::I(old.as_i().wrapping_add(v.as_i())),
+        AtomicOp::Max => RtVal::I(old.as_i().max(v.as_i())),
+        AtomicOp::Min => RtVal::I(old.as_i().min(v.as_i())),
+        AtomicOp::Exchange => v,
+    }
+}

@@ -1,0 +1,35 @@
+//! `nzomp-vgpu` — a deterministic virtual GPU.
+//!
+//! Stands in for the NVIDIA A100 of the paper's evaluation. The device
+//! executes `nzomp-ir` modules with the OpenMP-on-GPU execution model of
+//! paper §II-C: a grid of *teams*, each team a set of hardware threads with
+//! team-private shared memory, thread-private local memory, and device-wide
+//! global/constant memory.
+//!
+//! Two properties make it a usable evaluation substrate:
+//!
+//! 1. **Deterministic scheduling** — threads within a team run to the next
+//!    synchronization point in thread-id order; barriers release when every
+//!    live thread arrives. Kernel results and cycle counts are exactly
+//!    reproducible.
+//! 2. **A cost model that prices what the paper optimizes** — runtime
+//!    calls, memory traffic by address space, barriers (aligned or not),
+//!    device-side malloc, and an occupancy model driven by register and
+//!    shared-memory consumption. Removing runtime state therefore moves
+//!    kernel time / #regs / SMem the same way the A100 numbers move in
+//!    Fig. 10–13.
+
+pub mod cost;
+pub mod device;
+pub mod error;
+pub mod interp;
+pub mod memory;
+pub mod metrics;
+pub mod value;
+
+pub use cost::{CostModel, DeviceConfig};
+pub use device::Device;
+pub use error::{ExecError, TrapKind};
+pub use memory::{DevPtr, Segment};
+pub use metrics::KernelMetrics;
+pub use value::RtVal;

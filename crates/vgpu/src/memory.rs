@@ -1,0 +1,200 @@
+//! Pointer encoding and memory segments.
+//!
+//! Device pointers are 64-bit values with a segment tag in the top byte:
+//!
+//! ```text
+//! [63..56] tag   [55..32] owner (local: thread index; else 0)   [31..0] offset
+//! ```
+//!
+//! `Local` pointers carry their owning thread: dereferencing another
+//! thread's local pointer traps — this is precisely the hazard the OpenMP
+//! frontend's *globalization* (paper §IV-A2) exists to avoid, so the trap
+//! gives us a hard correctness check that de-globalization is only applied
+//! when legal.
+
+use crate::error::TrapKind;
+
+/// Memory segment of a device pointer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Segment {
+    Null,
+    Global,
+    Shared,
+    Local,
+    Constant,
+    /// Encoded function pointer (offset = function index).
+    Func,
+}
+
+const TAG_NULL: u64 = 0;
+const TAG_GLOBAL: u64 = 1;
+const TAG_SHARED: u64 = 2;
+const TAG_LOCAL: u64 = 3;
+const TAG_CONST: u64 = 4;
+const TAG_FUNC: u64 = 5;
+
+/// An encoded device pointer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DevPtr(pub u64);
+
+impl DevPtr {
+    pub const NULL: DevPtr = DevPtr(0);
+
+    pub fn new(seg: Segment, owner: u32, offset: u32) -> DevPtr {
+        let tag = match seg {
+            Segment::Null => TAG_NULL,
+            Segment::Global => TAG_GLOBAL,
+            Segment::Shared => TAG_SHARED,
+            Segment::Local => TAG_LOCAL,
+            Segment::Constant => TAG_CONST,
+            Segment::Func => TAG_FUNC,
+        };
+        DevPtr((tag << 56) | ((owner as u64 & 0xff_ffff) << 32) | offset as u64)
+    }
+
+    pub fn global(offset: u32) -> DevPtr {
+        DevPtr::new(Segment::Global, 0, offset)
+    }
+
+    pub fn shared(offset: u32) -> DevPtr {
+        DevPtr::new(Segment::Shared, 0, offset)
+    }
+
+    pub fn local(owner_thread: u32, offset: u32) -> DevPtr {
+        DevPtr::new(Segment::Local, owner_thread, offset)
+    }
+
+    pub fn constant(offset: u32) -> DevPtr {
+        DevPtr::new(Segment::Constant, 0, offset)
+    }
+
+    pub fn func(index: u32) -> DevPtr {
+        DevPtr::new(Segment::Func, 0, index)
+    }
+
+    pub fn segment(self) -> Segment {
+        match self.0 >> 56 {
+            TAG_NULL => Segment::Null,
+            TAG_GLOBAL => Segment::Global,
+            TAG_SHARED => Segment::Shared,
+            TAG_LOCAL => Segment::Local,
+            TAG_CONST => Segment::Constant,
+            TAG_FUNC => Segment::Func,
+            _ => Segment::Null,
+        }
+    }
+
+    pub fn offset(self) -> u64 {
+        self.0 & 0xffff_ffff
+    }
+
+    pub fn owner(self) -> u32 {
+        ((self.0 >> 32) & 0xff_ffff) as u32
+    }
+
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Pointer arithmetic preserves tag and owner. Negative offsets wrap
+    /// within the 32-bit offset field (out-of-bounds is caught on access).
+    pub fn add_bytes(self, delta: i64) -> DevPtr {
+        let off = (self.offset() as i64).wrapping_add(delta) as u64 & 0xffff_ffff;
+        DevPtr((self.0 & !0xffff_ffffu64) | off)
+    }
+}
+
+/// A flat byte-addressable memory region with bounds checking.
+#[derive(Clone, Debug, Default)]
+pub struct Region {
+    pub bytes: Vec<u8>,
+}
+
+impl Region {
+    pub fn with_size(size: usize) -> Region {
+        Region {
+            bytes: vec![0; size],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    pub fn grow_to(&mut self, size: usize) {
+        if self.bytes.len() < size {
+            self.bytes.resize(size, 0);
+        }
+    }
+
+    pub fn read(&self, off: u64, size: u64) -> Result<i64, TrapKind> {
+        let end = off.checked_add(size).ok_or(TrapKind::OutOfBounds)?;
+        if end as usize > self.bytes.len() {
+            return Err(TrapKind::OutOfBounds);
+        }
+        let mut buf = [0u8; 8];
+        buf[..size as usize].copy_from_slice(&self.bytes[off as usize..end as usize]);
+        Ok(i64::from_le_bytes(buf))
+    }
+
+    pub fn write(&mut self, off: u64, size: u64, value: i64) -> Result<(), TrapKind> {
+        let end = off.checked_add(size).ok_or(TrapKind::OutOfBounds)?;
+        if end as usize > self.bytes.len() {
+            return Err(TrapKind::OutOfBounds);
+        }
+        let bytes = value.to_le_bytes();
+        self.bytes[off as usize..end as usize].copy_from_slice(&bytes[..size as usize]);
+        Ok(())
+    }
+}
+
+/// Sign-extend an integer loaded with `size` bytes (loads are sign-free in
+/// the IR; narrow values are kept zero-extended, casts handle signedness).
+pub fn mask_to_width(value: i64, size: u64) -> i64 {
+    match size {
+        1 => value & 0xff,
+        4 => value & 0xffff_ffff,
+        _ => value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ptr_roundtrip() {
+        let p = DevPtr::new(Segment::Local, 17, 4096);
+        assert_eq!(p.segment(), Segment::Local);
+        assert_eq!(p.owner(), 17);
+        assert_eq!(p.offset(), 4096);
+    }
+
+    #[test]
+    fn ptr_arithmetic_keeps_tag() {
+        let p = DevPtr::shared(100);
+        let q = p.add_bytes(-42);
+        assert_eq!(q.segment(), Segment::Shared);
+        assert_eq!(q.offset(), 58);
+    }
+
+    #[test]
+    fn region_bounds() {
+        let mut r = Region::with_size(8);
+        assert!(r.write(0, 8, -1).is_ok());
+        assert_eq!(r.read(0, 8).unwrap(), -1);
+        assert_eq!(r.read(4, 4).unwrap(), 0xffff_ffff);
+        assert!(r.read(5, 8).is_err());
+        assert!(r.write(8, 1, 0).is_err());
+    }
+
+    #[test]
+    fn null_is_null() {
+        assert!(DevPtr::NULL.is_null());
+        assert_eq!(DevPtr::NULL.segment(), Segment::Null);
+    }
+}

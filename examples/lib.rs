@@ -1,0 +1,7 @@
+//! Shared helpers for the example binaries.
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}

@@ -1,0 +1,98 @@
+//! Quickstart: write an OpenMP-style kernel, compile it under every
+//! evaluation configuration, run it on the virtual GPU, and watch the
+//! co-designed runtime + optimizations drive the overhead to zero.
+//!
+//! ```text
+//! cargo run -p nzomp-examples --bin quickstart
+//! ```
+
+use nzomp::report::{fig11_header, ConfigRow};
+use nzomp::{compile, BuildConfig};
+use nzomp_examples::header;
+use nzomp_front::{cuda, spmd_kernel_for};
+use nzomp_ir::{Module, Operand, Ty};
+use nzomp_proxies::quick_device;
+use nzomp_vgpu::device::Launch;
+use nzomp_vgpu::{Device, RtVal};
+
+/// Build `out[i] = a[i] * a[i] + 1` as `#pragma omp target teams distribute
+/// parallel for` (or the CUDA equivalent).
+fn build(cfg: BuildConfig) -> Module {
+    let mut m = Module::new("quickstart");
+    let body = |_m: &mut Module, b: &mut nzomp_ir::FuncBuilder, iv: Operand, p: &[Operand]| {
+        let pa = b.gep(p[0], iv, 8);
+        let v = b.load(Ty::F64, pa);
+        let sq = b.fmul(v, v);
+        let r = b.fadd(sq, Operand::f64(1.0));
+        let po = b.gep(p[1], iv, 8);
+        b.store(Ty::F64, po, r);
+    };
+    match cfg.runtime() {
+        Some(flavor) => {
+            spmd_kernel_for(
+                &mut m,
+                flavor,
+                "square_plus_one",
+                &[Ty::Ptr, Ty::Ptr, Ty::I64],
+                |_b, p| p[2],
+                body,
+            );
+        }
+        None => {
+            cuda::grid_stride_kernel(
+                &mut m,
+                "square_plus_one",
+                &[Ty::Ptr, Ty::Ptr, Ty::I64],
+                |_b, p| p[2],
+                body,
+            );
+        }
+    }
+    m
+}
+
+fn main() {
+    header("nzomp quickstart: one kernel, five build configurations");
+    println!("{}", fig11_header());
+
+    let n = 1024i64;
+    for cfg in BuildConfig::ALL {
+        // 1. Frontend: lower the directive to IR.
+        let app = build(cfg);
+        // 2. Link the device runtime and optimize (paper §II-B / §IV).
+        let out = compile(app, cfg);
+        // 3. Load onto the virtual GPU and launch.
+        let mut dev = Device::load(out.module, quick_device());
+        let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let pa = dev.alloc_f64(&a);
+        let po = dev.alloc(8 * n as u64);
+        let metrics = dev
+            .launch(
+                "square_plus_one",
+                Launch::new(8, 128),
+                &[RtVal::P(pa), RtVal::P(po), RtVal::I(n)],
+            )
+            .expect("kernel runs");
+        // 4. Verify.
+        let got = dev.read_f64(po, n as usize);
+        for i in 0..n as usize {
+            assert_eq!(got[i], (i * i) as f64 + 1.0);
+        }
+        let row = ConfigRow {
+            config: cfg,
+            metrics,
+        };
+        println!(
+            "{}   (runtime calls: {}, barriers: {})",
+            row.fig11_row(),
+            row.metrics.runtime_calls,
+            row.metrics.barriers
+        );
+    }
+
+    header("what happened");
+    println!("The `New RT` rows execute ZERO runtime calls and ZERO barriers and");
+    println!("retain ZERO bytes of runtime shared memory: the co-designed runtime");
+    println!("(nzomp-rt::modern) exposed its state to the optimizer (nzomp-opt),");
+    println!("which folded it away — the paper's near-zero-overhead result.");
+}

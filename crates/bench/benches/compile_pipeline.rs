@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
             let app = build_for_config(p.as_ref(), cfg);
             g.bench_function(format!("{} / {}", p.name(), cfg.label()), |b| {
                 b.iter(|| {
-                    let out = nzomp::compile(app.clone(), cfg);
+                    let out = nzomp::compile(app.clone(), cfg).expect("pipeline compile");
                     criterion::black_box(out.module.live_inst_count())
                 })
             });

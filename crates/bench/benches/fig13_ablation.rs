@@ -11,7 +11,7 @@ use nzomp_vgpu::Device;
 
 fn bench_variant(c: &mut Criterion, p: &dyn Proxy, label: &str, opts: PassOptions) {
     let cfg = BuildConfig::NewRtNoAssumptions;
-    let out = compile_with(build_for_config(p, cfg), cfg, cfg.rt_config(), opts);
+    let out = compile_with(build_for_config(p, cfg), cfg, cfg.rt_config(), opts).expect("ablation compile");
     let mut dev = Device::load(out.module, eval_device());
     let prep = p.prepare(&mut dev);
     let mut g = c.benchmark_group(format!("fig13_{}", p.name()));

@@ -1,0 +1,160 @@
+//! Differential fault-injection campaign.
+//!
+//! Runs every proxy under a sweep of seeded [`FaultPlan`]s (≥ 50 plans in
+//! total) and checks the robustness contract end to end:
+//!
+//! 1. **No process panics** — every faulted launch either completes or
+//!    returns a typed `ExecError`; the interpreter never aborts.
+//! 2. **Reproducibility** — re-running the same (proxy, seed) yields the
+//!    exact same outcome: same output bits, or same trap with the same
+//!    team/thread/function coordinates.
+//! 3. **No residue** — after the campaign, a clean (plan-cleared) run of
+//!    every proxy still verifies against its host reference.
+//!
+//! Exits nonzero on any violation; prints a trap census on success.
+//!
+//! ```text
+//! cargo run --release -p nzomp-bench --bin differential [SEEDS]
+//! ```
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+use nzomp::BuildConfig;
+use nzomp_proxies::{all_proxies, compile_for_config, quick_device, verify_output, Proxy};
+use nzomp_vgpu::{Device, ExecError, FaultPlan};
+
+/// Outcome of one faulted launch, in comparable form.
+#[derive(Debug, Clone, PartialEq)]
+enum Outcome {
+    /// Launch and readback succeeded; output buffer as raw bits.
+    Clean(Vec<u64>),
+    /// A typed trap (from the launch or the host readback).
+    Trap(ExecError),
+}
+
+fn run_one(proxy: &dyn Proxy, seed: u64) -> Outcome {
+    let cfg = BuildConfig::NewRtNoAssumptions;
+    let out = match compile_for_config(proxy, cfg) {
+        Ok(out) => out,
+        Err(e) => unreachable!("proxy {} failed to compile: {e}", proxy.name()),
+    };
+    let mut dev = Device::load(out.module, quick_device());
+    let prep = proxy.prepare(&mut dev);
+    dev.set_fault_plan(FaultPlan::from_seed(
+        seed,
+        prep.launch.teams,
+        prep.launch.threads_per_team,
+    ));
+    match dev.launch(proxy.kernel_name(), prep.launch, &prep.args) {
+        Err(e) => Outcome::Trap(e),
+        Ok(_) => match dev.read_f64(prep.out_ptr, prep.expected.len()) {
+            Err(e) => Outcome::Trap(e),
+            Ok(v) => Outcome::Clean(v.iter().map(|x| x.to_bits()).collect()),
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(12);
+    let proxies = all_proxies();
+    let total = seeds as usize * proxies.len();
+    println!(
+        "differential campaign: {} proxies x {} seeds = {} faulted runs",
+        proxies.len(),
+        seeds,
+        total
+    );
+
+    let mut panics = 0usize;
+    let mut mismatches = 0usize;
+    let mut clean = 0usize;
+    let mut census: BTreeMap<String, usize> = BTreeMap::new();
+
+    for seed in 1..=seeds {
+        for proxy in &proxies {
+            let name = proxy.name();
+            let first = catch_unwind(AssertUnwindSafe(|| run_one(proxy.as_ref(), seed)));
+            let second = catch_unwind(AssertUnwindSafe(|| run_one(proxy.as_ref(), seed)));
+            match (first, second) {
+                (Ok(a), Ok(b)) => {
+                    if a != b {
+                        mismatches += 1;
+                        println!("FAIL {name} seed {seed}: not reproducible\n  first:  {a:?}\n  second: {b:?}");
+                        continue;
+                    }
+                    match a {
+                        Outcome::Clean(_) => clean += 1,
+                        Outcome::Trap(e) => {
+                            *census.entry(discriminant_name(&e).to_string()).or_default() += 1;
+                        }
+                    }
+                }
+                _ => {
+                    panics += 1;
+                    println!("FAIL {name} seed {seed}: process panic escaped the device");
+                }
+            }
+        }
+    }
+
+    // No residue: a plan-free run of every proxy still verifies.
+    let mut residue = 0usize;
+    for proxy in &proxies {
+        let out = match compile_for_config(proxy.as_ref(), BuildConfig::NewRtNoAssumptions) {
+            Ok(out) => out,
+            Err(e) => unreachable!("proxy {} failed to compile: {e}", proxy.name()),
+        };
+        let mut dev = Device::load(out.module, quick_device());
+        let prep = proxy.prepare(&mut dev);
+        let ok = dev
+            .launch(proxy.kernel_name(), prep.launch, &prep.args)
+            .is_ok()
+            && verify_output(&dev, &prep).is_ok();
+        if !ok {
+            residue += 1;
+            println!("FAIL {}: clean run no longer verifies", proxy.name());
+        }
+    }
+
+    println!("\n{total} faulted runs: {clean} completed, {} trapped", total - clean);
+    println!("trap census:");
+    for (kind, n) in &census {
+        println!("  {kind:<28} {n}");
+    }
+    println!(
+        "panics: {panics}  reproducibility mismatches: {mismatches}  residue failures: {residue}"
+    );
+
+    if panics == 0 && mismatches == 0 && residue == 0 {
+        println!("OK");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Census key: the trap kind without its payload (payloads vary per seed).
+fn discriminant_name(e: &ExecError) -> &'static str {
+    use nzomp_vgpu::TrapKind::*;
+    match &e.kind {
+        OutOfBounds => "OutOfBounds",
+        NullDeref => "NullDeref",
+        CrossThreadLocalAccess { .. } => "CrossThreadLocalAccess",
+        BadIndirectCall => "BadIndirectCall",
+        UnresolvedCall(_) => "UnresolvedCall",
+        AssumeViolated => "AssumeViolated",
+        AssertFail => "AssertFail",
+        BarrierDeadlock => "BarrierDeadlock",
+        FuelExhausted => "FuelExhausted",
+        DivByZero => "DivByZero",
+        OutOfMemory => "OutOfMemory",
+        BadFree => "BadFree",
+        BadLaunch(_) => "BadLaunch",
+        MalformedIr(_) => "MalformedIr",
+    }
+}

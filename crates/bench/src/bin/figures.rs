@@ -151,7 +151,7 @@ fn fig13(s: &Suite) {
 
 fn run_ablation(p: &dyn Proxy, cfg: BuildConfig, opts: PassOptions) -> u64 {
     let app = build_for_config(p, cfg);
-    let out = compile_with(app, cfg, cfg.rt_config(), opts);
+    let out = compile_with(app, cfg, cfg.rt_config(), opts).expect("ablation compile");
     let mut dev = Device::load(out.module, eval_device());
     let prep = p.prepare(&mut dev);
     let metrics = dev

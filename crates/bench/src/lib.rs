@@ -29,7 +29,7 @@ pub fn bench_proxy_config(
     if cfg == BuildConfig::NewRt && !proxy.supports_oversubscription() {
         return; // the paper's "n/a" cell
     }
-    let out = nzomp_proxies::compile_for_config(proxy, cfg);
+    let out = nzomp_proxies::compile_for_config(proxy, cfg).expect("bench compile");
     // Load + upload once; the kernels are idempotent, so re-launching on
     // the same device measures just the simulated execution.
     let mut dev = nzomp_vgpu::Device::load(out.module, eval_device());
@@ -73,15 +73,12 @@ pub fn print_fig10_block(proxy: &dyn Proxy, rows: &[(BuildConfig, Option<ConfigR
     let present: Vec<ConfigRow> = rows.iter().filter_map(|(_, r)| r.clone()).collect();
     let rel = relative_performance(&present, BuildConfig::OldRtNightly);
     for (cfg, row) in rows {
-        match row {
-            Some(_) => {
-                let v = rel
-                    .iter()
-                    .find(|(c, _)| c == cfg)
-                    .map(|(_, v)| *v)
-                    .unwrap_or(f64::NAN);
-                println!("  {:<26} {:>6.2}x  {}", cfg.label(), v, bar(v, 20.0));
-            }
+        let speedup = row
+            .as_ref()
+            .and_then(|_| rel.iter().find(|(c, _)| c == cfg))
+            .and_then(|(_, v)| *v);
+        match speedup {
+            Some(v) => println!("  {:<26} {:>6.2}x  {}", cfg.label(), v, bar(v, 20.0)),
             None => println!("  {:<26}    n/a", cfg.label()),
         }
     }

@@ -12,13 +12,19 @@
 //! | `NewRtNoAssumptions` | modern | full §IV | co-design without user assumptions |
 //! | `NewRt` | modern | full §IV | plus oversubscription assumptions (§III-F) |
 //! | `Cuda` | none | generic folding | the native baseline |
+//!
+//! Panic-free by policy: pipeline failures are typed [`CompileError`]s,
+//! never process aborts. The lint gate below enforces it (tests exempt).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod config;
 pub mod pipeline;
 pub mod report;
 
 pub use config::BuildConfig;
-pub use pipeline::{compile, CompileOutput};
+pub use pipeline::{compile, CompileError, CompileOutput};
 pub use report::ConfigRow;
 
 pub use nzomp_front as front;

@@ -4,7 +4,15 @@
 //! code as an LLVM bytecode library and then optimized together with the
 //! user application", followed by loading the result onto the (virtual)
 //! device.
+//!
+//! Every stage reports failure as a typed [`CompileError`] rather than a
+//! process abort, so hosts (and the differential harness) can treat a bad
+//! module the same way they treat a device trap: inspect, log, continue.
 
+use std::fmt;
+
+use nzomp_ir::link::LinkError;
+use nzomp_ir::verify::VerifyError;
 use nzomp_ir::Module;
 use nzomp_opt::{optimize_module, PassOptions, Remarks};
 use nzomp_rt::{build_runtime, RtConfig};
@@ -19,8 +27,39 @@ pub struct CompileOutput {
     pub remarks: Remarks,
 }
 
+/// Why the pipeline refused to produce a device image.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Linking the runtime library into the application failed
+    /// (duplicate symbols, signature mismatches).
+    Link(LinkError),
+    /// The module failed verification — either straight after the link
+    /// (malformed input) or after optimization (a broken pass). The stage
+    /// name distinguishes the two.
+    Verify { stage: &'static str, err: VerifyError },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Link(e) => write!(f, "runtime link failed: {e}"),
+            CompileError::Verify { stage, err } => {
+                write!(f, "module failed verification after {stage}: {err}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<LinkError> for CompileError {
+    fn from(e: LinkError) -> CompileError {
+        CompileError::Link(e)
+    }
+}
+
 /// Compile `app` under `config` (release mode, no debug features).
-pub fn compile(app: Module, config: BuildConfig) -> CompileOutput {
+pub fn compile(app: Module, config: BuildConfig) -> Result<CompileOutput, CompileError> {
     compile_with(app, config, config.rt_config(), config.pass_options())
 }
 
@@ -31,7 +70,7 @@ pub fn compile_with(
     config: BuildConfig,
     rt_cfg: RtConfig,
     mut opts: PassOptions,
-) -> CompileOutput {
+) -> Result<CompileOutput, CompileError> {
     if let Some(flavor) = config.runtime() {
         // Kernels that globalize variables under the legacy runtime get the
         // data-sharing stack reserved (the Old-RT SMem delta of Fig. 11).
@@ -39,16 +78,21 @@ pub fn compile_with(
             .find_func(nzomp_rt::abi::OLD_DATA_SHARING_PUSH)
             .is_some();
         let rt = build_runtime(flavor, &rt_cfg, needs_ds);
-        nzomp_ir::link::link(&mut app, rt).expect("runtime links");
+        nzomp_ir::link::link(&mut app, rt)?;
     }
+    // Link-time verification: catch malformed input (e.g. a phi missing an
+    // incoming for one of its predecessors) before it reaches the
+    // optimizer or the device.
+    nzomp_ir::verify_module(&app).map_err(|err| CompileError::Verify { stage: "link", err })?;
     // Debug builds must keep assumptions (they are runtime-checked, §III-G).
     if rt_cfg.debug_kind != 0 {
         opts.drop_assumes = false;
     }
     let remarks = optimize_module(&mut app, &opts);
-    nzomp_ir::verify_module(&app).expect("optimized module verifies");
-    CompileOutput {
+    nzomp_ir::verify_module(&app)
+        .map_err(|err| CompileError::Verify { stage: "optimization", err })?;
+    Ok(CompileOutput {
         module: app,
         remarks,
-    }
+    })
 }

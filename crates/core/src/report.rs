@@ -35,14 +35,27 @@ pub fn fig11_header() -> String {
 
 /// Speedup of each row relative to `baseline` (higher is better) — the
 /// Fig. 10/12 bar heights.
-pub fn relative_performance(rows: &[ConfigRow], baseline: BuildConfig) -> Vec<(BuildConfig, f64)> {
+///
+/// `None` when the ratio is undefined: the baseline row is absent, its
+/// time is zero (a degenerate run), or the row's own time is zero. NaN
+/// never leaks into reports — renderers print "n/a" instead.
+pub fn relative_performance(
+    rows: &[ConfigRow],
+    baseline: BuildConfig,
+) -> Vec<(BuildConfig, Option<f64>)> {
     let base = rows
         .iter()
         .find(|r| r.config == baseline)
         .map(|r| r.metrics.time_ms)
-        .unwrap_or(f64::NAN);
+        .filter(|t| *t > 0.0);
     rows.iter()
-        .map(|r| (r.config, base / r.metrics.time_ms))
+        .map(|r| {
+            let speedup = match base {
+                Some(b) if r.metrics.time_ms > 0.0 => Some(b / r.metrics.time_ms),
+                _ => None,
+            };
+            (r.config, speedup)
+        })
         .collect()
 }
 

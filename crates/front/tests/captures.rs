@@ -46,9 +46,9 @@ fn capture_roundtrip_all_types() {
         ],
     )
     .unwrap();
-    assert_eq!(dev.read_i64(out, 1)[0], -123);
-    assert_eq!(dev.read_f64(out.add_bytes(8), 1)[0], 2.75);
-    assert_eq!(dev.read_i64(out.add_bytes(16), 1)[0], 1 << 40);
+    assert_eq!(dev.read_i64(out, 1).unwrap()[0], -123);
+    assert_eq!(dev.read_f64(out.add_bytes(8), 1).unwrap()[0], 2.75);
+    assert_eq!(dev.read_i64(out.add_bytes(16), 1).unwrap()[0], 1 << 40);
 }
 
 /// `globalized_local` lowers to the right mechanism per flavor.

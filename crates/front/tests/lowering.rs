@@ -46,7 +46,7 @@ fn spmd_combined_directive_both_flavors() {
             &[RtVal::P(pa), RtVal::P(po), RtVal::I(n)],
         )
         .unwrap();
-        let got = dev.read_i64(po, n as usize);
+        let got = dev.read_i64(po, n as usize).unwrap();
         for i in 0..n as usize {
             assert_eq!(got[i], a[i] * 3 + 1, "{flavor:?} index {i}");
         }
@@ -83,7 +83,7 @@ fn generic_parallel_for_both_flavors() {
         let po = dev.alloc(8 * (n as u64 + 1));
         dev.launch("genk", Launch::new(2, 8), &[RtVal::P(po), RtVal::I(n)])
             .unwrap();
-        let got = dev.read_i64(po, n as usize + 1);
+        let got = dev.read_i64(po, n as usize + 1).unwrap();
         for i in 0..n as usize {
             assert_eq!(got[i], i as i64 + 5, "{flavor:?} index {i}");
         }
@@ -121,7 +121,7 @@ fn generic_two_parallel_regions() {
     let po = dev.alloc(8 * n as u64);
     dev.launch("two_regions", Launch::new(1, 6), &[RtVal::P(po), RtVal::I(n)])
         .unwrap();
-    let got = dev.read_i64(po, n as usize);
+    let got = dev.read_i64(po, n as usize).unwrap();
     for i in 0..n as usize {
         assert_eq!(got[i], 10 * i as i64);
     }
@@ -155,7 +155,7 @@ fn cuda_baseline_is_runtime_free() {
     let metrics = dev
         .launch("cu", Launch::new(3, 17), &[RtVal::P(pa), RtVal::P(po), RtVal::I(n)])
         .unwrap();
-    let got = dev.read_i64(po, n as usize);
+    let got = dev.read_i64(po, n as usize).unwrap();
     for i in 0..n as usize {
         assert_eq!(got[i], a[i] * 3 + 1);
     }
@@ -199,7 +199,7 @@ fn unoptimized_openmp_costs_more_than_cuda() {
         let metrics = dev
             .launch("k", Launch::new(8, 64), &[RtVal::P(pa), RtVal::P(po), RtVal::I(n)])
             .unwrap();
-        assert_eq!(dev.read_f64(po, 1)[0], 3.0);
+        assert_eq!(dev.read_f64(po, 1).unwrap()[0], 3.0);
         metrics
     };
     let m_omp = run(omp);

@@ -181,6 +181,19 @@ pub fn verify_function(f: &Function, m: Option<&Module>) -> Result<(), VerifyErr
                         ));
                     }
                 }
+                // A predecessor may appear at most once; duplicates make
+                // the materialized value depend on list order.
+                for (i, inc) in incomings.iter().enumerate() {
+                    if incomings[..i].iter().any(|e| e.pred == inc.pred) {
+                        return Err(err(
+                            f,
+                            format!(
+                                "phi %{} in bb{} has duplicate incoming for bb{}",
+                                iid.0, bid.0, inc.pred.0
+                            ),
+                        ));
+                    }
+                }
             }
         }
     }

@@ -212,7 +212,7 @@ fn inlined_results_and_correctness() {
         let out = dev.alloc(8);
         dev.launch("k", Launch::new(1, 1), &[RtVal::P(out), RtVal::I(input)])
             .unwrap();
-        assert_eq!(dev.read_i64(out, 1)[0], expect);
+        assert_eq!(dev.read_i64(out, 1).unwrap()[0], expect);
     }
 }
 

@@ -58,7 +58,7 @@ fn run_saxpy(m: Module, check_assumes: bool) -> KernelMetrics {
             &[RtVal::P(pa), RtVal::P(po), RtVal::I(n)],
         )
         .unwrap();
-    let out = dev.read_f64(po, n as usize);
+    let out = dev.read_f64(po, n as usize).unwrap();
     for i in 0..n as usize {
         assert_eq!(out[i], i as f64 * 2.5, "index {i}");
     }
@@ -254,7 +254,7 @@ fn spmdization_removes_state_machine() {
         let metrics = dev
             .launch("genk", Launch::new(2, 16), &[RtVal::P(po), RtVal::I(n)])
             .unwrap();
-        let got = dev.read_i64(po, n as usize);
+        let got = dev.read_i64(po, n as usize).unwrap();
         for i in 0..n as usize {
             assert_eq!(got[i], 7 * i as i64);
         }
@@ -339,7 +339,7 @@ fn nested_parallel_defeats_state_elimination() {
     let metrics = dev
         .launch("nested", Launch::new(1, 4), &[RtVal::P(po), RtVal::I(n)])
         .unwrap();
-    let got = dev.read_i64(po, n as usize);
+    let got = dev.read_i64(po, n as usize).unwrap();
     for i in 0..n as usize {
         assert_eq!(got[i], 3 * i as i64);
     }

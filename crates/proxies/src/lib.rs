@@ -20,7 +20,7 @@ pub mod rsbench;
 pub mod testsnap;
 pub mod xsbench;
 
-use nzomp::{BuildConfig, CompileOutput};
+use nzomp::{BuildConfig, CompileError, CompileOutput};
 use nzomp_front::RuntimeFlavor;
 use nzomp_ir::Module;
 use nzomp_vgpu::device::Launch;
@@ -82,7 +82,10 @@ pub fn build_for_config(proxy: &dyn Proxy, cfg: BuildConfig) -> Module {
 }
 
 /// Compile the proxy under `cfg` (release).
-pub fn compile_for_config(proxy: &dyn Proxy, cfg: BuildConfig) -> CompileOutput {
+pub fn compile_for_config(
+    proxy: &dyn Proxy,
+    cfg: BuildConfig,
+) -> Result<CompileOutput, CompileError> {
     nzomp::compile(build_for_config(proxy, cfg), cfg)
 }
 
@@ -97,7 +100,7 @@ pub fn run_config(
     if cfg == BuildConfig::NewRt && !proxy.supports_oversubscription() {
         return Err(RunError::NotApplicable);
     }
-    let out = compile_for_config(proxy, cfg);
+    let out = compile_for_config(proxy, cfg).map_err(RunError::Compile)?;
     let mut dev = Device::load(out.module, dev_cfg.clone());
     let prep = proxy.prepare(&mut dev);
     let metrics = dev
@@ -112,7 +115,9 @@ pub fn run_config(
 
 /// Compare the device output buffer with the host reference.
 pub fn verify_output(dev: &Device, prep: &Prepared) -> Result<(), String> {
-    let got = dev.read_f64(prep.out_ptr, prep.expected.len());
+    let got = dev
+        .read_f64(prep.out_ptr, prep.expected.len())
+        .map_err(|e| format!("host readback failed: {e}"))?;
     for (i, (g, e)) in got.iter().zip(prep.expected.iter()).enumerate() {
         let denom = e.abs().max(1.0);
         if ((g - e).abs() / denom) > prep.tol {
@@ -126,6 +131,7 @@ pub fn verify_output(dev: &Device, prep: &Prepared) -> Result<(), String> {
 pub enum RunError {
     /// Configuration not valid for this proxy (paper's "n/a" cells).
     NotApplicable,
+    Compile(CompileError),
     Exec(ExecError),
     Verify(String),
 }
@@ -134,6 +140,7 @@ impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunError::NotApplicable => write!(f, "n/a"),
+            RunError::Compile(e) => write!(f, "compile failed: {e}"),
             RunError::Exec(e) => write!(f, "device trap: {e}"),
             RunError::Verify(m) => write!(f, "verification failed: {m}"),
         }

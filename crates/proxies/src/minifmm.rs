@@ -443,7 +443,7 @@ mod tests {
         let cfg = BuildConfig::NewRtNoAssumptions;
         let run = |opts| {
             let app = crate::build_for_config(&p, cfg);
-            let out = compile_with(app, cfg, cfg.rt_config(), opts);
+            let out = compile_with(app, cfg, cfg.rt_config(), opts).unwrap();
             let mut dev = Device::load(out.module, quick_device());
             let prep = p.prepare(&mut dev);
             let metrics = dev.launch(p.kernel_name(), prep.launch, &prep.args).unwrap();

@@ -49,7 +49,7 @@ fn icv_queries_in_spmd_mode() {
     let (teams, threads) = (3u32, 4u32);
     let buf = dev.alloc(5 * 8 * (teams * threads) as u64);
     dev.launch("k", Launch::new(teams, threads), &[RtVal::P(buf)]).unwrap();
-    let vals = dev.read_i64(buf, 5 * (teams * threads) as usize);
+    let vals = dev.read_i64(buf, 5 * (teams * threads) as usize).unwrap();
     for team in 0..teams as i64 {
         for t in 0..threads as i64 {
             let g = (team * threads as i64 + t) as usize;
@@ -86,7 +86,7 @@ fn worksharing_zero_iterations() {
     let mut dev = Device::load(m, DeviceConfig::default());
     let buf = dev.alloc(8);
     dev.launch("k", Launch::new(2, 8), &[RtVal::P(buf)]).unwrap();
-    assert_eq!(dev.read_i64(buf, 1)[0], 0);
+    assert_eq!(dev.read_i64(buf, 1).unwrap()[0], 0);
 }
 
 /// One thread, one team, many iterations: the grid-stride loop handles the
@@ -117,7 +117,7 @@ fn worksharing_single_thread_many_iters() {
     let n = 37i64;
     let buf = dev.alloc(8 * n as u64);
     dev.launch("k", Launch::new(1, 1), &[RtVal::P(buf), RtVal::I(n)]).unwrap();
-    let vals = dev.read_i64(buf, n as usize);
+    let vals = dev.read_i64(buf, n as usize).unwrap();
     for (i, v) in vals.iter().enumerate() {
         assert_eq!(*v, i as i64);
     }
@@ -149,7 +149,7 @@ fn shared_stack_is_lifo() {
     let mut dev = Device::load(m, DeviceConfig::default());
     let out = dev.alloc(8);
     dev.launch("k", Launch::new(1, 1), &[RtVal::P(out)]).unwrap();
-    assert_eq!(dev.read_i64(out, 1)[0], 1);
+    assert_eq!(dev.read_i64(out, 1).unwrap()[0], 1);
 }
 
 /// The legacy runtime without data sharing builds a smaller image and
@@ -175,7 +175,7 @@ fn legacy_without_data_sharing_uses_malloc() {
     let mut dev = Device::load(m, DeviceConfig::default());
     let out = dev.alloc(8);
     let metrics = dev.launch("k", Launch::new(1, 1), &[RtVal::P(out)]).unwrap();
-    assert_eq!(dev.read_i64(out, 1)[0], 11);
+    assert_eq!(dev.read_i64(out, 1).unwrap()[0], 11);
     assert_eq!(metrics.smem_bytes, 2336, "no DS stack reserved");
     assert_eq!(metrics.device_mallocs, 1, "push fell back to malloc");
 }
@@ -263,7 +263,7 @@ fn parsed_module_executes_identically() {
         let metrics = dev
             .launch("k", Launch::new(2, 10), &[RtVal::P(buf), RtVal::I(n)])
             .unwrap();
-        (dev.read_i64(buf, n as usize), metrics.cycles)
+        (dev.read_i64(buf, n as usize).unwrap(), metrics.cycles)
     };
     let (v1, c1) = run(app);
     let (v2, c2) = run(app2);

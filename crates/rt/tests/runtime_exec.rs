@@ -69,7 +69,7 @@ fn modern_spmd_distribute_parallel_for() {
     let metrics = dev
         .launch("kernel", Launch::new(4, 32), &[RtVal::P(out), RtVal::I(n)])
         .unwrap();
-    let got = dev.read_i64(out, n as usize);
+    let got = dev.read_i64(out, n as usize).unwrap();
     for i in 0..n as usize {
         assert_eq!(got[i], 2 * i as i64);
     }
@@ -121,7 +121,7 @@ fn modern_worksharing_covers_iteration_space() {
             &[RtVal::P(out), RtVal::I(n)],
         )
         .unwrap();
-        let got = dev.read_i64(out, n as usize);
+        let got = dev.read_i64(out, n as usize).unwrap();
         assert!(
             got.iter().all(|&c| c == 1),
             "coverage {teams}x{threads} n={n}: {got:?}"
@@ -193,7 +193,7 @@ fn modern_generic_state_machine_parallel() {
     let metrics = dev
         .launch("kernel", Launch::new(2, threads), &[RtVal::P(out)])
         .unwrap();
-    let got = dev.read_i64(out, threads as usize);
+    let got = dev.read_i64(out, threads as usize).unwrap();
     for t in 0..threads as usize {
         assert_eq!(got[t], t as i64 + 100, "thread {t}");
     }
@@ -278,7 +278,7 @@ fn modern_nested_parallel_is_serialized() {
     let out = dev.alloc(24 * threads as u64);
     dev.launch("kernel", Launch::new(1, threads), &[RtVal::P(out)])
         .unwrap();
-    let got = dev.read_i64(out, 3 * threads as usize);
+    let got = dev.read_i64(out, 3 * threads as usize).unwrap();
     for t in 0..threads as usize {
         assert_eq!(got[3 * t], 0, "nested thread_num (thread {t})");
         assert_eq!(got[3 * t + 1], 2, "nested level (thread {t})");
@@ -346,7 +346,7 @@ fn legacy_spmd_worksharing() {
     let metrics = dev
         .launch("kernel", Launch::new(3, 10), &[RtVal::P(out), RtVal::I(n)])
         .unwrap();
-    let got = dev.read_i64(out, n as usize);
+    let got = dev.read_i64(out, n as usize).unwrap();
     for i in 0..n as usize {
         assert_eq!(got[i], 3 * i as i64, "index {i}");
     }
@@ -418,7 +418,7 @@ fn legacy_generic_state_machine() {
     let out = dev.alloc(8 * threads as u64);
     dev.launch("kernel", Launch::new(1, threads), &[RtVal::P(out)])
         .unwrap();
-    let got = dev.read_i64(out, threads as usize);
+    let got = dev.read_i64(out, threads as usize).unwrap();
     for t in 0..threads as usize {
         assert_eq!(got[t], t as i64 + 7, "thread {t}");
     }
@@ -463,7 +463,7 @@ fn function_tracing_counts_runtime_entries() {
     dev.launch("kernel", Launch::new(1, 4), &[RtVal::P(out), RtVal::I(10)])
         .unwrap();
     let addr = dev.global_addr(abi::G_TRACE_COUNT).unwrap();
-    let count = dev.read_i64(addr, 1)[0];
+    let count = dev.read_i64(addr, 1).unwrap()[0];
     assert!(count > 0, "trace counter should have fired, got {count}");
 
     let m2 = link_rt(
@@ -476,7 +476,7 @@ fn function_tracing_counts_runtime_entries() {
     dev2.launch("kernel", Launch::new(1, 4), &[RtVal::P(out2), RtVal::I(10)])
         .unwrap();
     let addr2 = dev2.global_addr(abi::G_TRACE_COUNT).unwrap();
-    assert_eq!(dev2.read_i64(addr2, 1)[0], 0);
+    assert_eq!(dev2.read_i64(addr2, 1).unwrap()[0], 0);
 }
 
 /// Shared-memory stack exhaustion falls back to device malloc (§III-D).
@@ -511,6 +511,6 @@ fn alloc_shared_falls_back_to_malloc() {
     let metrics = dev
         .launch("kernel", Launch::new(1, 1), &[RtVal::P(out)])
         .unwrap();
-    assert_eq!(dev.read_i64(out, 1)[0], 77);
+    assert_eq!(dev.read_i64(out, 1).unwrap()[0], 77);
     assert_eq!(metrics.device_mallocs, 1, "fell back to device malloc");
 }

@@ -5,10 +5,23 @@ use nzomp_ir::{Module, Space, Ty};
 
 use crate::cost::{CostModel, DeviceConfig};
 use crate::error::{ExecError, TrapKind};
+use crate::faults::FaultPlan;
 use crate::interp::{Counters, GlobalLayout, HeapState, TeamExec};
 use crate::memory::{DevPtr, Region};
 use crate::metrics::KernelMetrics;
 use crate::value::RtVal;
+
+/// Host-side memcpy errors carry a synthetic function name so the one
+/// [`ExecError`] type (and its `Display`) covers both device traps and
+/// host accesses; `team`/`thread` are 0 because no device thread ran.
+fn host_oob(op: &str) -> ExecError {
+    ExecError {
+        kind: TrapKind::OutOfBounds,
+        team: 0,
+        thread: 0,
+        func: format!("<host {op}>"),
+    }
+}
 
 /// Launch parameters.
 #[derive(Clone, Copy, Debug)]
@@ -41,6 +54,10 @@ pub struct Device {
     global: Region,
     constant: Region,
     heap: HeapState,
+    /// Armed fault-injection plan applied to every subsequent launch
+    /// (`None` in production: the interpreter hot loop then performs a
+    /// single always-false compare per instruction).
+    faults: Option<FaultPlan>,
 }
 
 impl Device {
@@ -115,11 +132,27 @@ impl Device {
             global,
             constant,
             heap,
+            faults: None,
         }
     }
 
     pub fn module(&self) -> &Module {
         &self.module
+    }
+
+    /// Arm a fault-injection plan; every subsequent launch executes under
+    /// it until [`Device::clear_fault_plan`]. Empty plans disarm.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = if plan.is_empty() { None } else { Some(plan) };
+    }
+
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Host-side allocation in device global memory.
@@ -133,80 +166,92 @@ impl Device {
     /// Allocate and upload a little-endian `f64` slice.
     pub fn alloc_f64(&mut self, data: &[f64]) -> DevPtr {
         let p = self.alloc((data.len() * 8) as u64);
-        self.write_f64(p, data);
+        if self.write_f64(p, data).is_err() {
+            unreachable!("freshly allocated region is in bounds");
+        }
         p
     }
 
     pub fn alloc_i64(&mut self, data: &[i64]) -> DevPtr {
         let p = self.alloc((data.len() * 8) as u64);
-        self.write_i64(p, data);
+        if self.write_i64(p, data).is_err() {
+            unreachable!("freshly allocated region is in bounds");
+        }
         p
     }
 
     pub fn alloc_i32(&mut self, data: &[i32]) -> DevPtr {
         let p = self.alloc((data.len() * 4) as u64);
-        self.write_i32(p, data);
+        if self.write_i32(p, data).is_err() {
+            unreachable!("freshly allocated region is in bounds");
+        }
         p
     }
 
-    pub fn write_f64(&mut self, ptr: DevPtr, data: &[f64]) {
+    /// Host→device memcpy. Errors (typed, never a panic) if any part of
+    /// the destination lies outside device global memory.
+    pub fn write_f64(&mut self, ptr: DevPtr, data: &[f64]) -> Result<(), ExecError> {
         for (i, v) in data.iter().enumerate() {
             self.global
                 .write(ptr.offset() + (i * 8) as u64, 8, v.to_bits() as i64)
-                .expect("host write in bounds");
+                .map_err(|_| host_oob("write"))?;
         }
+        Ok(())
     }
 
-    pub fn write_i64(&mut self, ptr: DevPtr, data: &[i64]) {
+    pub fn write_i64(&mut self, ptr: DevPtr, data: &[i64]) -> Result<(), ExecError> {
         for (i, v) in data.iter().enumerate() {
             self.global
                 .write(ptr.offset() + (i * 8) as u64, 8, *v)
-                .expect("host write in bounds");
+                .map_err(|_| host_oob("write"))?;
         }
+        Ok(())
     }
 
-    pub fn write_i32(&mut self, ptr: DevPtr, data: &[i32]) {
+    pub fn write_i32(&mut self, ptr: DevPtr, data: &[i32]) -> Result<(), ExecError> {
         for (i, v) in data.iter().enumerate() {
             self.global
                 .write(ptr.offset() + (i * 4) as u64, 4, *v as i64)
-                .expect("host write in bounds");
+                .map_err(|_| host_oob("write"))?;
         }
+        Ok(())
     }
 
-    pub fn write_ptr(&mut self, ptr: DevPtr, value: DevPtr) {
+    pub fn write_ptr(&mut self, ptr: DevPtr, value: DevPtr) -> Result<(), ExecError> {
         self.global
             .write(ptr.offset(), 8, value.0 as i64)
-            .expect("host write in bounds");
+            .map_err(|_| host_oob("write"))
     }
 
-    pub fn read_f64(&self, ptr: DevPtr, len: usize) -> Vec<f64> {
-        (0..len)
-            .map(|i| {
-                let bits = self
-                    .global
-                    .read(ptr.offset() + (i * 8) as u64, 8)
-                    .expect("host read in bounds");
-                f64::from_bits(bits as u64)
-            })
-            .collect()
-    }
-
-    pub fn read_i64(&self, ptr: DevPtr, len: usize) -> Vec<i64> {
+    /// Device→host memcpy; typed out-of-bounds error instead of a panic.
+    pub fn read_f64(&self, ptr: DevPtr, len: usize) -> Result<Vec<f64>, ExecError> {
         (0..len)
             .map(|i| {
                 self.global
                     .read(ptr.offset() + (i * 8) as u64, 8)
-                    .expect("host read in bounds")
+                    .map(|bits| f64::from_bits(bits as u64))
+                    .map_err(|_| host_oob("read"))
             })
             .collect()
     }
 
-    pub fn read_i32(&self, ptr: DevPtr, len: usize) -> Vec<i32> {
+    pub fn read_i64(&self, ptr: DevPtr, len: usize) -> Result<Vec<i64>, ExecError> {
+        (0..len)
+            .map(|i| {
+                self.global
+                    .read(ptr.offset() + (i * 8) as u64, 8)
+                    .map_err(|_| host_oob("read"))
+            })
+            .collect()
+    }
+
+    pub fn read_i32(&self, ptr: DevPtr, len: usize) -> Result<Vec<i32>, ExecError> {
         (0..len)
             .map(|i| {
                 self.global
                     .read(ptr.offset() + (i * 4) as u64, 4)
-                    .expect("host read in bounds") as i32
+                    .map(|v| v as i32)
+                    .map_err(|_| host_oob("read"))
             })
             .collect()
     }
@@ -265,9 +310,20 @@ impl Device {
         let shared_total = smem + launch.dyn_smem_bytes;
 
         let mut counters = Counters::default();
-        let mut fuel = self.config.max_steps;
+        let plan = self.faults.as_ref();
+        // Fault plans can shrink the step budget and the device heap for
+        // this launch; the heap limit is restored afterwards (even on a
+        // trap) so one faulted launch does not poison the next.
+        let mut fuel = plan
+            .and_then(|p| p.fuel_limit)
+            .unwrap_or(self.config.max_steps);
+        let saved_heap_limit = self.heap.limit;
+        if let Some(budget) = plan.and_then(|p| p.heap_limit) {
+            self.heap.limit = (self.global.len() as u64).saturating_add(budget);
+        }
         let mut team_cycles = Vec::with_capacity(launch.teams as usize);
         let mut team_mem_cycles = Vec::with_capacity(launch.teams as usize);
+        let mut trapped: Option<ExecError> = None;
         for team in 0..launch.teams {
             let mut exec = TeamExec::new(
                 &self.module,
@@ -283,6 +339,7 @@ impl Device {
                 &mut self.heap,
                 &mut counters,
                 &mut fuel,
+                plan,
             );
             match exec.run(func_ref.0, args) {
                 Ok((cycles, mem)) => {
@@ -290,14 +347,19 @@ impl Device {
                     team_mem_cycles.push(mem);
                 }
                 Err((kind, thread)) => {
-                    return Err(ExecError {
+                    trapped = Some(ExecError {
                         kind,
                         team,
                         thread,
                         func: kernel.to_string(),
-                    })
+                    });
+                    break;
                 }
             }
+        }
+        self.heap.limit = saved_heap_limit;
+        if let Some(err) = trapped {
+            return Err(err);
         }
 
         // Occupancy / wave model: teams are issued in launch order, one wave

@@ -34,6 +34,12 @@ pub enum TrapKind {
     BadFree,
     /// Kernel argument count/type mismatch at launch.
     BadLaunch(String),
+    /// The interpreter met IR the verifier would have rejected (e.g. a phi
+    /// with no incoming for the taken edge). Well-linked modules never hit
+    /// this — `nzomp::pipeline` verifies at link time — but a hand-built
+    /// module loaded directly onto a device degrades to this typed error
+    /// instead of aborting the process.
+    MalformedIr(String),
 }
 
 impl fmt::Display for TrapKind {
@@ -55,6 +61,7 @@ impl fmt::Display for TrapKind {
             TrapKind::OutOfMemory => write!(f, "device heap exhausted"),
             TrapKind::BadFree => write!(f, "free() of unknown pointer"),
             TrapKind::BadLaunch(m) => write!(f, "bad launch: {m}"),
+            TrapKind::MalformedIr(m) => write!(f, "malformed IR reached the interpreter: {m}"),
         }
     }
 }

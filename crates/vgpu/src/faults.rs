@@ -1,0 +1,221 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! The paper's debuggability story (§III-G) relies on the runtime being
+//! exercisable in a virtual GPU where assumptions become runtime checks.
+//! This module adds the other half of that story: the ability to *make*
+//! things go wrong on purpose, deterministically, so that every error path
+//! of the stack — interpreter traps, launch failures, heap exhaustion —
+//! can be exercised by tests and by the differential execution harness.
+//!
+//! A [`FaultPlan`] names a set of [`FaultSite`]s: (team, thread, step)
+//! coordinates plus an action to perform when that thread reaches that
+//! step count. Plans are either hand-built or derived from a seed with
+//! [`FaultPlan::from_seed`]; the same seed always yields the same plan, and
+//! because the interpreter itself is deterministic, the same plan always
+//! produces the same outcome (same [`crate::TrapKind`], same team, same
+//! thread) for a given module and launch.
+//!
+//! The hook is zero-cost when disabled: each thread carries a single
+//! `next_fault_step` word (`u64::MAX` when no fault targets it), and the
+//! interpreter's hot loop performs one integer compare per instruction —
+//! the same class of check as the existing fuel decrement.
+
+/// What to do when a fault site triggers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Raise this trap directly, as if the hardware detected it.
+    Trap(crate::TrapKind),
+    /// XOR the result of the thread's next executed load with this mask
+    /// (a soft-error / bit-flip model). Execution continues.
+    CorruptLoad { xor: u64 },
+    /// Suppress the thread's next barrier arrival: the thread skips the
+    /// barrier and keeps running, which the team scheduler observes as a
+    /// barrier mismatch (deadlock trap) in well-formed kernels.
+    DropBarrierArrival,
+}
+
+/// One injected fault: a (team, thread, step) coordinate plus an action.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSite {
+    pub team: u32,
+    pub thread: u32,
+    /// Trigger when the thread is about to execute its `after_steps`-th
+    /// instruction (0 = the very first).
+    pub after_steps: u64,
+    pub action: FaultAction,
+}
+
+/// A deterministic fault-injection plan for one launch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed this plan was derived from (0 for hand-built plans); recorded
+    /// so errors can name the reproducer.
+    pub seed: u64,
+    pub sites: Vec<FaultSite>,
+    /// Override the device step budget (smaller = provoke
+    /// [`crate::TrapKind::FuelExhausted`]).
+    pub fuel_limit: Option<u64>,
+    /// Override the device heap budget in bytes (smaller = provoke
+    /// [`crate::TrapKind::OutOfMemory`] in allocating kernels).
+    pub heap_limit: Option<u64>,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True if the plan has no effect on execution.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty() && self.fuel_limit.is_none() && self.heap_limit.is_none()
+    }
+
+    /// Derive a plan from a seed for a launch of `teams × threads`.
+    ///
+    /// The derivation is a pure function of `(seed, teams, threads)`:
+    /// SplitMix64 drives every choice, so re-running with the same seed
+    /// reproduces the same sites bit-for-bit. Roughly one in four seeds
+    /// shrinks the fuel budget, one in eight shrinks the heap, and every
+    /// plan carries 1–3 sites mixing direct traps, load corruption and
+    /// dropped barrier arrivals.
+    pub fn from_seed(seed: u64, teams: u32, threads: u32) -> FaultPlan {
+        let mut s = Mix(seed ^ 0x5eed_fa17_0000_0001);
+        let teams = teams.max(1);
+        let threads = threads.max(1);
+        let nsites = 1 + (s.next() % 3) as usize;
+        let mut sites = Vec::with_capacity(nsites);
+        for _ in 0..nsites {
+            let team = (s.next() % teams as u64) as u32;
+            let thread = (s.next() % threads as u64) as u32;
+            // Bias towards early steps so faults land inside short test
+            // kernels too, with a long tail for big proxies.
+            let after_steps = match s.next() % 4 {
+                0 => s.next() % 64,
+                1 => s.next() % 1_024,
+                2 => s.next() % 65_536,
+                _ => s.next() % 1_048_576,
+            };
+            let action = match s.next() % 6 {
+                0 => FaultAction::Trap(crate::TrapKind::AssertFail),
+                1 => FaultAction::Trap(crate::TrapKind::OutOfBounds),
+                2 => FaultAction::Trap(crate::TrapKind::NullDeref),
+                3 => FaultAction::CorruptLoad {
+                    xor: s.next() | 1, // never the identity mask
+                },
+                4 => FaultAction::CorruptLoad {
+                    xor: 1 << (s.next() % 64), // single bit flip
+                },
+                _ => FaultAction::DropBarrierArrival,
+            };
+            sites.push(FaultSite {
+                team,
+                thread,
+                after_steps,
+                action,
+            });
+        }
+        let fuel_limit = if s.next() % 4 == 0 {
+            Some(1 + s.next() % 100_000)
+        } else {
+            None
+        };
+        let heap_limit = if s.next() % 8 == 0 {
+            Some(s.next() % 4_096)
+        } else {
+            None
+        };
+        FaultPlan {
+            seed,
+            sites,
+            fuel_limit,
+            heap_limit,
+        }
+    }
+
+    /// Sites aimed at `(team, thread)`, earliest trigger first.
+    pub fn sites_for(&self, team: u32, thread: u32) -> Vec<FaultSite> {
+        let mut v: Vec<FaultSite> = self
+            .sites
+            .iter()
+            .filter(|s| s.team == team && s.thread == thread)
+            .cloned()
+            .collect();
+        v.sort_by_key(|s| s.after_steps);
+        v
+    }
+}
+
+/// SplitMix64 — the same deterministic mixer used across the workspace.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        for seed in 0..200u64 {
+            let a = FaultPlan::from_seed(seed, 4, 32);
+            let b = FaultPlan::from_seed(seed, 4, 32);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            assert!(!a.is_empty());
+            for site in &a.sites {
+                assert!(site.team < 4);
+                assert!(site.thread < 32);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let distinct: std::collections::HashSet<String> = (0..64u64)
+            .map(|s| format!("{:?}", FaultPlan::from_seed(s, 2, 8).sites))
+            .collect();
+        assert!(distinct.len() > 32, "seeds collapse to too few plans");
+    }
+
+    #[test]
+    fn sites_for_filters_and_sorts() {
+        let plan = FaultPlan {
+            seed: 0,
+            sites: vec![
+                FaultSite {
+                    team: 1,
+                    thread: 2,
+                    after_steps: 50,
+                    action: FaultAction::DropBarrierArrival,
+                },
+                FaultSite {
+                    team: 1,
+                    thread: 2,
+                    after_steps: 5,
+                    action: FaultAction::Trap(crate::TrapKind::AssertFail),
+                },
+                FaultSite {
+                    team: 0,
+                    thread: 2,
+                    after_steps: 1,
+                    action: FaultAction::Trap(crate::TrapKind::NullDeref),
+                },
+            ],
+            fuel_limit: None,
+            heap_limit: None,
+        };
+        let s = plan.sites_for(1, 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].after_steps, 5);
+        assert_eq!(s[1].after_steps, 50);
+        assert!(plan.sites_for(3, 3).is_empty());
+    }
+}

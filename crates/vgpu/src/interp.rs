@@ -16,8 +16,15 @@ use nzomp_ir::{BlockId, Function, Module, Operand, Ty};
 
 use crate::cost::CostModel;
 use crate::error::TrapKind;
+use crate::faults::{FaultAction, FaultPlan, FaultSite};
 use crate::memory::{DevPtr, Region, Segment};
 use crate::value::RtVal;
+
+/// Typed error for states only reachable through IR the verifier rejects
+/// (or interpreter-invariant violations). Never a process abort.
+fn malformed(msg: impl Into<String>) -> TrapKind {
+    TrapKind::MalformedIr(msg.into())
+}
 
 /// Where each module global lives on the device.
 #[derive(Clone, Debug, Default)]
@@ -89,6 +96,19 @@ pub struct ThreadCtx {
     pub mem_cycles: u64,
     local: Region,
     local_top: u64,
+    /// Instructions this thread has executed (drives fault triggers).
+    steps: u64,
+    /// Injected faults aimed at this thread, sorted by trigger step;
+    /// `fault_idx` is the next one to fire.
+    faults: Vec<FaultSite>,
+    fault_idx: usize,
+    /// Step count at which the next fault fires (`u64::MAX` = never) —
+    /// the only word the hot loop compares when injection is disabled.
+    next_fault_step: u64,
+    /// Armed by [`FaultAction::CorruptLoad`]: XOR mask for the next load.
+    corrupt_next_load: Option<u64>,
+    /// Armed by [`FaultAction::DropBarrierArrival`]: skip the next barrier.
+    drop_next_barrier: bool,
 }
 
 impl Default for ThreadCtx {
@@ -102,6 +122,12 @@ impl Default for ThreadCtx {
             mem_cycles: 0,
             local: Region::default(),
             local_top: 0,
+            steps: 0,
+            faults: Vec::new(),
+            fault_idx: 0,
+            next_fault_step: u64::MAX,
+            corrupt_next_load: None,
+            drop_next_barrier: false,
         }
     }
 }
@@ -121,6 +147,9 @@ pub struct TeamExec<'a> {
     pub heap: &'a mut HeapState,
     pub counters: &'a mut Counters,
     pub fuel: &'a mut u64,
+    /// Active fault-injection plan (`None` in production runs; the hot
+    /// loop then degenerates to one always-false integer compare).
+    pub faults: Option<&'a FaultPlan>,
     threads: Vec<ThreadCtx>,
 }
 
@@ -140,6 +169,7 @@ impl<'a> TeamExec<'a> {
         heap: &'a mut HeapState,
         counters: &'a mut Counters,
         fuel: &'a mut u64,
+        faults: Option<&'a FaultPlan>,
     ) -> TeamExec<'a> {
         TeamExec {
             module,
@@ -155,6 +185,7 @@ impl<'a> TeamExec<'a> {
             heap,
             counters,
             fuel,
+            faults,
             threads: Vec::new(),
         }
     }
@@ -166,7 +197,9 @@ impl<'a> TeamExec<'a> {
     /// `team_cycles * Σ mem_i / Σ cycles_i` (robust against irregular
     /// per-thread work and barrier-synchronized counters).
     pub fn run(&mut self, kernel: u32, args: &[RtVal]) -> Result<(u64, u64), (TrapKind, u32)> {
-        let func = &self.module.funcs[kernel as usize];
+        let Some(func) = self.module.funcs.get(kernel as usize) else {
+            return Err((malformed(format!("kernel index {kernel} out of range")), 0));
+        };
         self.threads = (0..self.nthreads)
             .map(|tid| {
                 let frame = Frame {
@@ -178,15 +211,18 @@ impl<'a> TeamExec<'a> {
                     ret_dst: None,
                     local_base: 0,
                 };
+                let faults = self
+                    .faults
+                    .map(|p| p.sites_for(self.team_id, tid))
+                    .unwrap_or_default();
+                let next_fault_step = faults.first().map_or(u64::MAX, |s| s.after_steps);
                 ThreadCtx {
                     tid,
                     frames: vec![frame],
                     status: Status::Running,
-                    cycles: 0,
-                    busy_cycles: 0,
-                    mem_cycles: 0,
-                    local: Region::default(),
-                    local_top: 0,
+                    faults,
+                    next_fault_step,
+                    ..ThreadCtx::default()
                 }
             })
             .collect();
@@ -274,39 +310,91 @@ impl<'a> TeamExec<'a> {
                 return Err(TrapKind::FuelExhausted);
             }
             *self.fuel -= 1;
+            // Fault hook: a single compare against a sentinel when no
+            // injection targets this thread.
+            if thread.steps >= thread.next_fault_step {
+                self.trigger_faults(thread)?;
+            }
+            thread.steps += 1;
             self.step(thread)?;
         }
         Ok(())
     }
 
-    fn cur_func(&self, thread: &ThreadCtx) -> &'a Function {
-        let f = thread.frames.last().expect("live thread has a frame");
+    /// Fire every pending fault whose trigger step has been reached.
+    fn trigger_faults(&mut self, thread: &mut ThreadCtx) -> Result<(), TrapKind> {
+        while let Some(site) = thread.faults.get(thread.fault_idx) {
+            if site.after_steps > thread.steps {
+                break;
+            }
+            let action = site.action.clone();
+            thread.fault_idx += 1;
+            match action {
+                FaultAction::Trap(kind) => {
+                    thread.next_fault_step = next_trigger(thread);
+                    return Err(kind);
+                }
+                FaultAction::CorruptLoad { xor } => thread.corrupt_next_load = Some(xor),
+                FaultAction::DropBarrierArrival => thread.drop_next_barrier = true,
+            }
+        }
+        thread.next_fault_step = next_trigger(thread);
+        Ok(())
+    }
+
+    fn cur_func(&self, thread: &ThreadCtx) -> Result<&'a Function, TrapKind> {
+        let Some(f) = thread.frames.last() else {
+            return Err(malformed("live thread has no frame"));
+        };
         let m: &'a Module = self.module;
-        &m.funcs[f.func as usize]
+        m.funcs
+            .get(f.func as usize)
+            .ok_or_else(|| malformed(format!("frame references missing function {}", f.func)))
     }
 
     /// Execute one instruction or the block terminator.
     fn step(&mut self, thread: &mut ThreadCtx) -> Result<(), TrapKind> {
-        let func = self.cur_func(thread);
-        let frame = thread.frames.last().unwrap();
-        let block = func.block(frame.block);
+        let func = self.cur_func(thread)?;
+        let Some(frame) = thread.frames.last() else {
+            return Err(malformed("live thread has no frame"));
+        };
+        let Some(block) = func.blocks.get(frame.block.index()) else {
+            return Err(malformed(format!(
+                "frame in @{} references missing bb{}",
+                func.name, frame.block.0
+            )));
+        };
         if frame.inst_idx >= block.insts.len() {
             let term: &'a Term = &block.term;
             return self.step_term(thread, term);
         }
         let iid = block.insts[frame.inst_idx];
-        let inst: &'a Inst = func.inst(iid);
+        let Some(inst) = func.insts.get(iid.index()) else {
+            return Err(malformed(format!(
+                "bb{} in @{} lists missing inst %{}",
+                frame.block.0, func.name, iid.0
+            )));
+        };
+        let inst: &'a Inst = inst;
         self.counters.instructions += 1;
         thread.cycles += self.cost.issue;
         thread.busy_cycles += self.cost.issue;
         self.exec_inst(thread, iid, inst)
     }
 
-    fn eval(&self, thread: &ThreadCtx, op: Operand) -> RtVal {
-        let frame = thread.frames.last().unwrap();
-        match op {
-            Operand::Inst(i) => frame.regs[i.index()],
-            Operand::Param(p) => frame.args[p as usize],
+    fn eval(&self, thread: &ThreadCtx, op: Operand) -> Result<RtVal, TrapKind> {
+        let Some(frame) = thread.frames.last() else {
+            return Err(malformed("operand evaluated with no frame"));
+        };
+        Ok(match op {
+            Operand::Inst(i) => *frame
+                .regs
+                .get(i.index())
+                .ok_or_else(|| malformed(format!("operand references missing inst %{}", i.0)))?,
+            Operand::Param(p) => *frame
+                .args
+                .get(p as usize)
+                .ok_or_else(|| malformed(format!("operand references missing param {p}")))?,
             Operand::ConstI(v, ty) => {
                 if ty == Ty::Ptr {
                     RtVal::P(DevPtr(v as u64))
@@ -315,13 +403,22 @@ impl<'a> TeamExec<'a> {
                 }
             }
             Operand::ConstF(v) => RtVal::F(v),
-            Operand::Global(g) => RtVal::P(self.layout.addr_of[g.index()]),
+            Operand::Global(g) => RtVal::P(*self.layout.addr_of.get(g.index()).ok_or_else(
+                || malformed(format!("operand references missing global {}", g.0)),
+            )?),
             Operand::Func(f) => RtVal::P(DevPtr::func(f.0)),
-        }
+        })
     }
 
-    fn set_reg(&self, thread: &mut ThreadCtx, id: InstId, v: RtVal) {
-        thread.frames.last_mut().unwrap().regs[id.index()] = v;
+    fn set_reg(&self, thread: &mut ThreadCtx, id: InstId, v: RtVal) -> Result<(), TrapKind> {
+        let Some(frame) = thread.frames.last_mut() else {
+            return Err(malformed("register written with no frame"));
+        };
+        let Some(slot) = frame.regs.get_mut(id.index()) else {
+            return Err(malformed(format!("result register %{} out of range", id.0)));
+        };
+        *slot = v;
+        Ok(())
     }
 
     // ---- memory ----------------------------------------------------------
@@ -404,12 +501,17 @@ impl<'a> TeamExec<'a> {
         // Advance past this instruction up-front; control transfers
         // (calls/barriers) rely on the frame already pointing at the next
         // instruction.
-        thread.frames.last_mut().unwrap().inst_idx += 1;
+        {
+            let Some(frame) = thread.frames.last_mut() else {
+                return Err(malformed("instruction executed with no frame"));
+            };
+            frame.inst_idx += 1;
+        }
 
         match inst {
             Inst::Bin { op, ty, lhs, rhs } => {
-                let a = self.eval(thread, *lhs);
-                let b = self.eval(thread, *rhs);
+                let a = self.eval(thread, *lhs)?;
+                let b = self.eval(thread, *rhs)?;
                 let v = self.exec_bin(*op, *ty, a, b)?;
                 if op.is_float() {
                     self.counters.flops += 1;
@@ -419,10 +521,10 @@ impl<'a> TeamExec<'a> {
                     thread.cycles += self.cost.alu;
                     thread.busy_cycles += self.cost.alu;
                 }
-                self.set_reg(thread, iid, v);
+                self.set_reg(thread, iid, v)?;
             }
             Inst::Un { op, ty, arg } => {
-                let a = self.eval(thread, *arg);
+                let a = self.eval(thread, *arg)?;
                 let v = exec_un(*op, *ty, a);
                 match op {
                     UnOp::Sqrt | UnOp::Sin | UnOp::Cos | UnOp::Exp | UnOp::Log => {
@@ -437,22 +539,22 @@ impl<'a> TeamExec<'a> {
                     }
                     _ => thread.cycles += self.cost.alu,
                 }
-                self.set_reg(thread, iid, v);
+                self.set_reg(thread, iid, v)?;
             }
             Inst::Cast { kind, to, arg } => {
-                let a = self.eval(thread, *arg);
+                let a = self.eval(thread, *arg)?;
                 let v = exec_cast(*kind, *to, a);
                 thread.cycles += self.cost.alu;
                 thread.busy_cycles += self.cost.alu;
-                self.set_reg(thread, iid, v);
+                self.set_reg(thread, iid, v)?;
             }
             Inst::Cmp { pred, ty, lhs, rhs } => {
-                let a = self.eval(thread, *lhs);
-                let b = self.eval(thread, *rhs);
+                let a = self.eval(thread, *lhs)?;
+                let b = self.eval(thread, *rhs)?;
                 let v = exec_cmp(*pred, *ty, a, b);
                 thread.cycles += self.cost.alu;
                 thread.busy_cycles += self.cost.alu;
-                self.set_reg(thread, iid, RtVal::I(v as i64));
+                self.set_reg(thread, iid, RtVal::I(v as i64))?;
             }
             Inst::Select {
                 cond,
@@ -460,28 +562,31 @@ impl<'a> TeamExec<'a> {
                 if_false,
                 ..
             } => {
-                let c = self.eval(thread, *cond).as_bool();
+                let c = self.eval(thread, *cond)?.as_bool();
                 let v = if c {
-                    self.eval(thread, *if_true)
+                    self.eval(thread, *if_true)?
                 } else {
-                    self.eval(thread, *if_false)
+                    self.eval(thread, *if_false)?
                 };
                 thread.cycles += self.cost.alu;
                 thread.busy_cycles += self.cost.alu;
-                self.set_reg(thread, iid, v);
+                self.set_reg(thread, iid, v)?;
             }
             Inst::Load { ty, ptr } => {
-                let p = self.eval(thread, *ptr).as_ptr();
+                let p = self.eval(thread, *ptr)?.as_ptr();
                 let c = self.cost.mem(p.segment());
                 thread.cycles += c;
                 thread.busy_cycles += c;
                 thread.mem_cycles += c;
-                let v = self.load_typed(thread, p, *ty)?;
-                self.set_reg(thread, iid, v);
+                let mut v = self.load_typed(thread, p, *ty)?;
+                if let Some(xor) = thread.corrupt_next_load.take() {
+                    v = corrupt_value(v, xor, *ty);
+                }
+                self.set_reg(thread, iid, v)?;
             }
             Inst::Store { ty, ptr, value } => {
-                let p = self.eval(thread, *ptr).as_ptr();
-                let v = self.eval(thread, *value);
+                let p = self.eval(thread, *ptr)?.as_ptr();
+                let v = self.eval(thread, *value)?;
                 let c = self.cost.mem(p.segment());
                 thread.cycles += c;
                 thread.busy_cycles += c;
@@ -489,32 +594,32 @@ impl<'a> TeamExec<'a> {
                 self.mem_write(thread, p, ty.size(), v.to_bits())?;
             }
             Inst::PtrAdd { base, offset } => {
-                let b = self.eval(thread, *base).as_ptr();
-                let o = self.eval(thread, *offset).as_i();
+                let b = self.eval(thread, *base)?.as_ptr();
+                let o = self.eval(thread, *offset)?.as_i();
                 thread.cycles += self.cost.alu;
                 thread.busy_cycles += self.cost.alu;
-                self.set_reg(thread, iid, RtVal::P(b.add_bytes(o)));
+                self.set_reg(thread, iid, RtVal::P(b.add_bytes(o)))?;
             }
             Inst::Alloca { size } => {
                 let aligned = (*size + 7) & !7;
                 let off = thread.local_top;
                 thread.local_top += aligned;
                 thread.local.grow_to(thread.local_top as usize);
-                self.set_reg(thread, iid, RtVal::P(DevPtr::local(thread.tid, off as u32)));
+                self.set_reg(thread, iid, RtVal::P(DevPtr::local(thread.tid, off as u32)))?;
             }
             Inst::Call { callee, args, ret } => {
                 self.exec_call(thread, iid, *callee, args, ret.is_some())?;
             }
             Inst::Atomic { op, ty, ptr, value } => {
-                let p = self.eval(thread, *ptr).as_ptr();
-                let v = self.eval(thread, *value);
+                let p = self.eval(thread, *ptr)?.as_ptr();
+                let v = self.eval(thread, *value)?;
                 thread.cycles += self.cost.atomic;
                 thread.busy_cycles += self.cost.atomic;
                 thread.mem_cycles += self.cost.atomic;
                 let old = self.load_typed(thread, p, *ty)?;
                 let new = exec_atomic(*op, *ty, old, v);
                 self.mem_write(thread, p, ty.size(), new.to_bits())?;
-                self.set_reg(thread, iid, old);
+                self.set_reg(thread, iid, old)?;
             }
             Inst::Cas {
                 ty,
@@ -522,9 +627,9 @@ impl<'a> TeamExec<'a> {
                 expected,
                 new,
             } => {
-                let p = self.eval(thread, *ptr).as_ptr();
-                let e = self.eval(thread, *expected);
-                let n = self.eval(thread, *new);
+                let p = self.eval(thread, *ptr)?.as_ptr();
+                let e = self.eval(thread, *expected)?;
+                let n = self.eval(thread, *new)?;
                 thread.cycles += self.cost.atomic;
                 thread.busy_cycles += self.cost.atomic;
                 thread.mem_cycles += self.cost.atomic;
@@ -532,15 +637,16 @@ impl<'a> TeamExec<'a> {
                 if old.to_bits() == e.to_bits() {
                     self.mem_write(thread, p, ty.size(), n.to_bits())?;
                 }
-                self.set_reg(thread, iid, old);
+                self.set_reg(thread, iid, old)?;
             }
             Inst::Intr { intr, args } => {
                 self.exec_intr(thread, iid, *intr, args)?;
             }
             Inst::Phi { .. } => {
                 // Phis are materialized by terminators; stepping onto one
-                // means the frame was constructed incorrectly.
-                unreachable!("phi executed directly");
+                // means the block was constructed with a phi after a
+                // non-phi — a shape the verifier rejects.
+                return Err(malformed("phi executed directly (phi after non-phi)"));
             }
         }
         Ok(())
@@ -616,7 +722,7 @@ impl<'a> TeamExec<'a> {
         let (target, indirect) = match callee {
             Operand::Func(f) => (f.0, false),
             other => {
-                let p = self.eval(thread, other).as_ptr();
+                let p = self.eval(thread, other)?.as_ptr();
                 if p.segment() != Segment::Func {
                     return Err(TrapKind::BadIndirectCall);
                 }
@@ -647,7 +753,10 @@ impl<'a> TeamExec<'a> {
         if func.name.starts_with("__kmpc") || func.name.starts_with("omp_") {
             self.counters.runtime_calls += 1;
         }
-        let argv: Vec<RtVal> = args.iter().map(|a| self.eval(thread, *a)).collect();
+        let argv: Vec<RtVal> = args
+            .iter()
+            .map(|a| self.eval(thread, *a))
+            .collect::<Result<_, _>>()?;
         let frame = Frame {
             func: target,
             block: BlockId::ENTRY,
@@ -671,29 +780,43 @@ impl<'a> TeamExec<'a> {
         match intr {
             Intrinsic::ThreadId => {
                 let v = RtVal::I(thread.tid as i64);
-                self.set_reg(thread, iid, v);
+                self.set_reg(thread, iid, v)?;
             }
             Intrinsic::BlockId => {
                 let v = RtVal::I(self.team_id as i64);
-                self.set_reg(thread, iid, v);
+                self.set_reg(thread, iid, v)?;
             }
             Intrinsic::BlockDim => {
                 let v = RtVal::I(self.nthreads as i64);
-                self.set_reg(thread, iid, v);
+                self.set_reg(thread, iid, v)?;
             }
             Intrinsic::GridDim => {
                 let v = RtVal::I(self.num_teams as i64);
-                self.set_reg(thread, iid, v);
+                self.set_reg(thread, iid, v)?;
             }
             Intrinsic::AlignedBarrier => {
-                thread.status = Status::AtBarrier { aligned: true };
+                if thread.drop_next_barrier {
+                    // Injected fault: the thread sails past the barrier.
+                    // The team scheduler observes the broken promise as a
+                    // deadlock (or a divergent-arrival trap) downstream.
+                    thread.drop_next_barrier = false;
+                } else {
+                    thread.status = Status::AtBarrier { aligned: true };
+                }
             }
             Intrinsic::Barrier => {
-                thread.status = Status::AtBarrier { aligned: false };
+                if thread.drop_next_barrier {
+                    thread.drop_next_barrier = false;
+                } else {
+                    thread.status = Status::AtBarrier { aligned: false };
+                }
             }
             Intrinsic::Assume(()) => {
                 if self.check_assumes {
-                    let c = self.eval(thread, args[0]).as_bool();
+                    let Some(&cond) = args.first() else {
+                        return Err(malformed("assume intrinsic with no operand"));
+                    };
+                    let c = self.eval(thread, cond)?.as_bool();
                     if !c {
                         return Err(TrapKind::AssumeViolated);
                     }
@@ -701,7 +824,10 @@ impl<'a> TeamExec<'a> {
             }
             Intrinsic::AssertFail => return Err(TrapKind::AssertFail),
             Intrinsic::Malloc => {
-                let size = self.eval(thread, args[0]).as_i().max(0) as u64;
+                let Some(&sz) = args.first() else {
+                    return Err(malformed("malloc intrinsic with no operand"));
+                };
+                let size = self.eval(thread, sz)?.as_i().max(0) as u64;
                 thread.cycles += self.cost.malloc;
                 thread.busy_cycles += self.cost.malloc;
                 thread.mem_cycles += self.cost.malloc;
@@ -713,10 +839,13 @@ impl<'a> TeamExec<'a> {
                 }
                 self.global.grow_to((off + aligned) as usize);
                 self.heap.live_allocs.insert(off, aligned);
-                self.set_reg(thread, iid, RtVal::P(DevPtr::global(off as u32)));
+                self.set_reg(thread, iid, RtVal::P(DevPtr::global(off as u32)))?;
             }
             Intrinsic::Free => {
-                let p = self.eval(thread, args[0]).as_ptr();
+                let Some(&ptr) = args.first() else {
+                    return Err(malformed("free intrinsic with no operand"));
+                };
+                let p = self.eval(thread, ptr)?.as_ptr();
                 if p.is_null() {
                     return Ok(());
                 }
@@ -736,15 +865,20 @@ impl<'a> TeamExec<'a> {
                 if_true,
                 if_false,
             } => {
-                let c = self.eval(thread, *cond).as_bool();
+                let c = self.eval(thread, *cond)?.as_bool();
                 thread.cycles += self.cost.alu;
                 thread.busy_cycles += self.cost.alu;
                 let t = if c { *if_true } else { *if_false };
                 self.jump(thread, t)
             }
             Term::Ret(v) => {
-                let val = v.map(|op| self.eval(thread, op));
-                let frame = thread.frames.pop().expect("frame on ret");
+                let val = match v {
+                    Some(op) => Some(self.eval(thread, *op)?),
+                    None => None,
+                };
+                let Some(frame) = thread.frames.pop() else {
+                    return Err(malformed("return with no frame"));
+                };
                 thread.local_top = frame.local_base;
                 match thread.frames.last_mut() {
                     None => {
@@ -752,7 +886,13 @@ impl<'a> TeamExec<'a> {
                     }
                     Some(caller) => {
                         if let (Some(dst), Some(v)) = (frame.ret_dst, val) {
-                            caller.regs[dst.index()] = v;
+                            let Some(slot) = caller.regs.get_mut(dst.index()) else {
+                                return Err(malformed(format!(
+                                    "return destination %{} out of range",
+                                    dst.0
+                                )));
+                            };
+                            *slot = v;
                         }
                     }
                 }
@@ -765,33 +905,52 @@ impl<'a> TeamExec<'a> {
     /// Transfer control to `target`, materializing its phi nodes with
     /// parallel-copy semantics.
     fn jump(&mut self, thread: &mut ThreadCtx, target: BlockId) -> Result<(), TrapKind> {
-        let func = self.cur_func(thread);
-        let from = thread.frames.last().unwrap().block;
-        let block = func.block(target);
+        let func = self.cur_func(thread)?;
+        let Some(frame) = thread.frames.last() else {
+            return Err(malformed("branch with no frame"));
+        };
+        let from = frame.block;
+        let Some(block) = func.blocks.get(target.index()) else {
+            return Err(malformed(format!(
+                "branch in @{} targets missing bb{}",
+                func.name, target.0
+            )));
+        };
         // Evaluate all phi inputs before writing any.
         let mut writes: Vec<(InstId, RtVal)> = Vec::new();
         let mut phi_count = 0usize;
         for &iid in &block.insts {
-            match func.inst(iid) {
+            let Some(inst) = func.insts.get(iid.index()) else {
+                return Err(malformed(format!(
+                    "bb{} in @{} lists missing inst %{}",
+                    target.0, func.name, iid.0
+                )));
+            };
+            match inst {
                 Inst::Phi { incomings, .. } => {
                     phi_count += 1;
-                    let inc = incomings
-                        .iter()
-                        .find(|i| i.pred == from)
-                        .unwrap_or_else(|| {
-                            panic!(
-                                "phi %{} in @{} bb{} missing incoming for bb{}",
-                                iid.0, func.name, target.0, from.0
-                            )
-                        });
-                    writes.push((iid, self.eval(thread, inc.value)));
+                    // The verifier rejects this shape (`ir::verify`); a
+                    // hand-built module loaded straight onto a device
+                    // degrades to a typed trap instead of a process abort.
+                    let Some(inc) = incomings.iter().find(|i| i.pred == from) else {
+                        return Err(malformed(format!(
+                            "phi %{} in @{} bb{} missing incoming for bb{}",
+                            iid.0, func.name, target.0, from.0
+                        )));
+                    };
+                    writes.push((iid, self.eval(thread, inc.value)?));
                 }
                 _ => break,
             }
         }
-        let frame = thread.frames.last_mut().unwrap();
+        let Some(frame) = thread.frames.last_mut() else {
+            return Err(malformed("branch with no frame"));
+        };
         for (iid, v) in writes {
-            frame.regs[iid.index()] = v;
+            let Some(slot) = frame.regs.get_mut(iid.index()) else {
+                return Err(malformed(format!("phi result %{} out of range", iid.0)));
+            };
+            *slot = v;
         }
         frame.block = target;
         frame.inst_idx = phi_count;
@@ -802,6 +961,25 @@ impl<'a> TeamExec<'a> {
     /// Final per-thread cycle counts (after `run`).
     pub fn thread_cycles(&self) -> Vec<u64> {
         self.threads.iter().map(|t| t.cycles).collect()
+    }
+}
+
+/// Step count of the thread's next pending fault (`u64::MAX` = never).
+fn next_trigger(thread: &ThreadCtx) -> u64 {
+    thread
+        .faults
+        .get(thread.fault_idx)
+        .map_or(u64::MAX, |s| s.after_steps)
+}
+
+/// Apply a [`FaultAction::CorruptLoad`] mask, keeping the value's type
+/// (the same bit-reinterpretation rule `load_typed` uses).
+fn corrupt_value(v: RtVal, xor: u64, ty: Ty) -> RtVal {
+    let bits = (v.to_bits() as u64) ^ xor;
+    match ty {
+        Ty::F64 => RtVal::F(f64::from_bits(bits)),
+        Ty::Ptr => RtVal::P(DevPtr(bits)),
+        _ => RtVal::I(bits as i64),
     }
 }
 

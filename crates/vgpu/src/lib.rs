@@ -18,10 +18,18 @@
 //!    shared-memory consumption. Removing runtime state therefore moves
 //!    kernel time / #regs / SMem the same way the A100 numbers move in
 //!    Fig. 10–13.
+//!
+//! The crate is panic-free by policy: malformed IR, bad host accesses and
+//! injected faults all surface as typed [`ExecError`]s, never process
+//! aborts. The lint gate below enforces it (tests are exempt).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cost;
 pub mod device;
 pub mod error;
+pub mod faults;
 pub mod interp;
 pub mod memory;
 pub mod metrics;
@@ -30,6 +38,7 @@ pub mod value;
 pub use cost::{CostModel, DeviceConfig};
 pub use device::Device;
 pub use error::{ExecError, TrapKind};
+pub use faults::{FaultAction, FaultPlan, FaultSite};
 pub use memory::{DevPtr, Segment};
 pub use metrics::KernelMetrics;
 pub use value::RtVal;

@@ -20,7 +20,7 @@ fn run_i64(build: impl FnOnce(&mut FuncBuilder) -> Operand) -> i64 {
     let mut dev = Device::load(m, DeviceConfig::default());
     let out = dev.alloc(8);
     dev.launch("k", Launch::new(1, 1), &[RtVal::P(out)]).unwrap();
-    dev.read_i64(out, 1)[0]
+    dev.read_i64(out, 1).unwrap()[0]
 }
 
 fn run_f64(build: impl FnOnce(&mut FuncBuilder) -> Operand) -> f64 {
@@ -34,7 +34,7 @@ fn run_f64(build: impl FnOnce(&mut FuncBuilder) -> Operand) -> f64 {
     let mut dev = Device::load(m, DeviceConfig::default());
     let out = dev.alloc(8);
     dev.launch("k", Launch::new(1, 1), &[RtVal::P(out)]).unwrap();
-    dev.read_f64(out, 1)[0]
+    dev.read_f64(out, 1).unwrap()[0]
 }
 
 fn run_trap(build: impl FnOnce(&mut FuncBuilder)) -> TrapKind {
@@ -218,7 +218,7 @@ fn atomics_are_correct_under_contention() {
     let mut dev = Device::load(m, DeviceConfig::default());
     let buf = dev.alloc(24);
     dev.launch("k", Launch::new(2, 32), &[RtVal::P(buf)]).unwrap();
-    let vals = dev.read_i64(buf, 3);
+    let vals = dev.read_i64(buf, 3).unwrap();
     assert_eq!(vals[0], 64, "every thread incremented once");
     assert_eq!(vals[1], 1, "flag set");
     assert_eq!(vals[2], 1, "exactly one CAS winner");
@@ -245,7 +245,7 @@ fn intrinsic_ids_are_consistent() {
     let mut dev = Device::load(m, DeviceConfig::default());
     let buf = dev.alloc(8 * 12);
     dev.launch("k", Launch::new(3, 4), &[RtVal::P(buf)]).unwrap();
-    let got = dev.read_i64(buf, 12);
+    let got = dev.read_i64(buf, 12).unwrap();
     for (g, v) in got.iter().enumerate() {
         assert_eq!(*v, g as i64 * 1000 + 3);
     }
@@ -268,7 +268,7 @@ fn function_calls_and_returns() {
     let mut dev = Device::load(m, DeviceConfig::default());
     let out = dev.alloc(8);
     dev.launch("k", Launch::new(1, 1), &[RtVal::P(out)]).unwrap();
-    assert_eq!(dev.read_i64(out, 1)[0], 84);
+    assert_eq!(dev.read_i64(out, 1).unwrap()[0], 84);
 }
 
 #[test]
@@ -302,7 +302,7 @@ fn recursion_uses_per_frame_registers() {
     let mut dev = Device::load(m, DeviceConfig::default());
     let out = dev.alloc(8);
     dev.launch("k", Launch::new(1, 1), &[RtVal::P(out)]).unwrap();
-    assert_eq!(dev.read_i64(out, 1)[0], 55);
+    assert_eq!(dev.read_i64(out, 1).unwrap()[0], 55);
 }
 
 #[test]
@@ -317,12 +317,12 @@ fn metrics_counters_are_exact_for_straight_line() {
     m.add_kernel(f, ExecMode::Spmd);
     let mut dev = Device::load(m, DeviceConfig::default());
     let buf = dev.alloc(8);
-    dev.write_f64(buf, &[3.0]);
+    dev.write_f64(buf, &[3.0]).unwrap();
     let metrics = dev.launch("k", Launch::new(1, 1), &[RtVal::P(buf)]).unwrap();
     assert_eq!(metrics.instructions, 3);
     assert_eq!(metrics.flops, 1);
     assert_eq!(metrics.global_accesses, 2);
-    assert_eq!(dev.read_f64(buf, 1)[0], 9.0);
+    assert_eq!(dev.read_f64(buf, 1).unwrap()[0], 9.0);
 }
 
 #[test]

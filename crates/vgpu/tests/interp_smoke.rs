@@ -55,7 +55,7 @@ fn vecadd_runs_and_matches() {
             &[RtVal::P(pa), RtVal::P(pb), RtVal::P(po), RtVal::I(n as i64)],
         )
         .unwrap();
-    let out = dev.read_f64(po, n);
+    let out = dev.read_f64(po, n).unwrap();
     for i in 0..n {
         assert_eq!(out[i], (i + i * 2) as f64, "index {i}");
     }
@@ -113,7 +113,7 @@ fn barrier_releases_all_threads() {
     let metrics = dev
         .launch("bar", Launch::new(1, 64), &[RtVal::P(po)])
         .unwrap();
-    let out = dev.read_i64(po, 64);
+    let out = dev.read_i64(po, 64).unwrap();
     for t in 0..64 {
         assert_eq!(out[t], 63 - t as i64);
     }
@@ -200,7 +200,7 @@ fn device_malloc_roundtrip() {
     let metrics = dev
         .launch("mall", Launch::new(1, 1), &[RtVal::P(po)])
         .unwrap();
-    assert_eq!(dev.read_i64(po, 1)[0], 1234);
+    assert_eq!(dev.read_i64(po, 1).unwrap()[0], 1234);
     assert_eq!(metrics.device_mallocs, 1);
 }
 

@@ -45,7 +45,7 @@ fn run(debug_kind: i64, data: &[f64], check_assumes: bool) -> Result<(u64, i64),
         debug_kind,
         ..cfg.rt_config()
     };
-    let out = compile_with(build(), cfg, rt_cfg, cfg.pass_options());
+    let out = compile_with(build(), cfg, rt_cfg, cfg.pass_options()).expect("compile");
     let dev_cfg = DeviceConfig {
         check_assumes,
         ..DeviceConfig::default()
@@ -62,7 +62,7 @@ fn run(debug_kind: i64, data: &[f64], check_assumes: bool) -> Result<(u64, i64),
         .map_err(|e| e.to_string())?;
     let traces = dev
         .global_addr(abi::G_TRACE_COUNT)
-        .map(|a| dev.read_i64(a, 1)[0])
+        .map(|a| dev.read_i64(a, 1).unwrap()[0])
         .unwrap_or(0);
     Ok((metrics.cycles, traces))
 }

@@ -67,7 +67,7 @@ fn nested_kernel() -> Module {
 }
 
 fn run(m: Module, n: i64) -> (nzomp_vgpu::KernelMetrics, Vec<i64>) {
-    let out = compile(m, BuildConfig::NewRtNoAssumptions);
+    let out = compile(m, BuildConfig::NewRtNoAssumptions).expect("compile");
     // Show the optimizer's own account of what it could and couldn't do.
     for r in &out.remarks.entries {
         if r.kind == nzomp::opt::RemarkKind::Missed {
@@ -79,7 +79,7 @@ fn run(m: Module, n: i64) -> (nzomp_vgpu::KernelMetrics, Vec<i64>) {
     let metrics = dev
         .launch("k", Launch::new(1, 8), &[RtVal::P(po), RtVal::I(n)])
         .unwrap();
-    let vals = dev.read_i64(po, n as usize);
+    let vals = dev.read_i64(po, n as usize).unwrap();
     (metrics, vals)
 }
 

@@ -60,7 +60,7 @@ fn main() {
         // 1. Frontend: lower the directive to IR.
         let app = build(cfg);
         // 2. Link the device runtime and optimize (paper §II-B / §IV).
-        let out = compile(app, cfg);
+        let out = compile(app, cfg).expect("compile");
         // 3. Load onto the virtual GPU and launch.
         let mut dev = Device::load(out.module, quick_device());
         let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
@@ -74,7 +74,7 @@ fn main() {
             )
             .expect("kernel runs");
         // 4. Verify.
-        let got = dev.read_f64(po, n as usize);
+        let got = dev.read_f64(po, n as usize).unwrap();
         for i in 0..n as usize {
             assert_eq!(got[i], (i * i) as f64 + 1.0);
         }

@@ -17,11 +17,11 @@ fn debug_builds_match_release_results() {
     let cfg = BuildConfig::NewRtNoAssumptions;
 
     let release = {
-        let out = nzomp::compile(build_for_config(&p, cfg), cfg);
+        let out = nzomp::compile(build_for_config(&p, cfg), cfg).unwrap();
         let mut dev = Device::load(out.module, quick_device());
         let prep = p.prepare(&mut dev);
         dev.launch(p.kernel_name(), prep.launch, &prep.args).unwrap();
-        dev.read_f64(prep.out_ptr, prep.expected.len())
+        dev.read_f64(prep.out_ptr, prep.expected.len()).unwrap()
     };
 
     let debug = {
@@ -29,7 +29,7 @@ fn debug_builds_match_release_results() {
             debug_kind: abi::DEBUG_ASSERTIONS | abi::DEBUG_FUNCTION_TRACING,
             ..cfg.rt_config()
         };
-        let out = compile_with(build_for_config(&p, cfg), cfg, rt_cfg, cfg.pass_options());
+        let out = compile_with(build_for_config(&p, cfg), cfg, rt_cfg, cfg.pass_options()).unwrap();
         let dev_cfg = DeviceConfig {
             check_assumes: true,
             ..DeviceConfig::default()
@@ -42,7 +42,7 @@ fn debug_builds_match_release_results() {
         verify_output(&dev, &prep).unwrap();
         // Debug keeps the runtime state (assumes are checked, not dropped).
         assert!(metrics.smem_bytes > 0, "debug build must keep state");
-        dev.read_f64(prep.out_ptr, prep.expected.len())
+        dev.read_f64(prep.out_ptr, prep.expected.len()).unwrap()
     };
 
     assert_eq!(release, debug);
@@ -59,7 +59,7 @@ fn debug_overhead_exists_and_release_is_free() {
             debug_kind,
             ..cfg.rt_config()
         };
-        let out = compile_with(build_for_config(&p, cfg), cfg, rt_cfg, cfg.pass_options());
+        let out = compile_with(build_for_config(&p, cfg), cfg, rt_cfg, cfg.pass_options()).unwrap();
         let dev_cfg = DeviceConfig {
             check_assumes: check,
             ..DeviceConfig::default()
@@ -84,7 +84,8 @@ fn remarks_report_passes_and_misses() {
     let out = nzomp::compile(
         build_for_config(&p, BuildConfig::NewRtNoAssumptions),
         BuildConfig::NewRtNoAssumptions,
-    );
+    )
+    .unwrap();
     let passed = out.remarks.of(RemarkKind::Passed, "openmp-opt");
     assert!(
         passed.iter().any(|r| r.message.contains("folded load")),
@@ -116,7 +117,7 @@ fn remarks_report_passes_and_misses() {
             });
         },
     );
-    let out = nzomp::compile(m, BuildConfig::NewRtNoAssumptions);
+    let out = nzomp::compile(m, BuildConfig::NewRtNoAssumptions).unwrap();
     let missed = out.remarks.of(RemarkKind::Missed, "openmp-opt");
     assert!(
         missed

@@ -95,11 +95,11 @@ fn all_configs_agree_bitwise_on_xsbench() {
     let p = XSBench::small();
     let mut outputs: Vec<Vec<f64>> = Vec::new();
     for cfg in BuildConfig::ALL {
-        let out = nzomp::compile(build_for_config(&p, cfg), cfg);
+        let out = nzomp::compile(build_for_config(&p, cfg), cfg).unwrap();
         let mut dev = Device::load(out.module, quick_device());
         let prep = p.prepare(&mut dev);
         dev.launch(p.kernel_name(), prep.launch, &prep.args).unwrap();
-        outputs.push(dev.read_f64(prep.out_ptr, prep.expected.len()));
+        outputs.push(dev.read_f64(prep.out_ptr, prep.expected.len()).unwrap());
     }
     for w in outputs.windows(2) {
         assert_eq!(w[0], w[1], "configs disagree bitwise");

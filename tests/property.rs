@@ -132,7 +132,7 @@ fn run_kernel(mut m: Module, opts: Option<&PassOptions>, input: &[f64], launch: 
         &[RtVal::P(pa), RtVal::P(po), RtVal::I(input.len() as i64)],
     )
     .unwrap();
-    dev.read_f64(po, input.len())
+    dev.read_f64(po, input.len()).unwrap()
 }
 
 /// NaN-tolerant comparison (sqrt of negatives is allowed in the random

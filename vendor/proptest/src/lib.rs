@@ -1,0 +1,115 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate reimplements the subset the workspace's
+//! property tests use: the [`proptest!`] macro (with `#![proptest_config]`,
+//! `name in strategy` and `name: Type` parameter forms), range / tuple /
+//! `Just` / union / map / recursive / collection / select strategies, and
+//! the `prop_assert*` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports the
+//! generated inputs via the panic message of the failed assertion), and
+//! case generation is a deterministic function of the test's module path,
+//! name, and case index — every run explores the same inputs, which makes
+//! failures exactly reproducible in CI.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property test (no shrinking; behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Union of strategies with equal (or `weight =>` prefixed) probability.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $s:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($s)) ),+
+        ])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($s) ),+
+        ])
+    };
+}
+
+/// The `proptest!` item macro: wraps each contained `fn` in a loop over
+/// deterministically generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr; $( $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case as u64,
+                    );
+                    $crate::__proptest_bind!(__rng; $($params)*; $body);
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident; ; $body:block) => { $body };
+    ($rng:ident; $v:ident in $s:expr; $body:block) => {
+        let $v = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+        $body
+    };
+    ($rng:ident; $v:ident in $s:expr, $($rest:tt)*) => {
+        let $v = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*)
+    };
+    ($rng:ident; $v:ident : $t:ty; $body:block) => {
+        let $v = <$t as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $body
+    };
+    ($rng:ident; $v:ident : $t:ty, $($rest:tt)*) => {
+        let $v = <$t as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*)
+    };
+}

@@ -1,0 +1,22 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniformly select one of the given values.
+pub fn select<T: Clone + 'static>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select of empty vec");
+    Select { values }
+}
+
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.values.len() as u64) as usize;
+        self.values[i].clone()
+    }
+}

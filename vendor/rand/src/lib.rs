@@ -1,0 +1,186 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the real `rand` cannot
+//! be fetched. This crate implements the small, deterministic subset the
+//! workspace uses: `StdRng::seed_from_u64`, `Rng::gen_range` over integer
+//! and float ranges, and `Rng::gen` for a few primitives. The generator is
+//! SplitMix64 — not cryptographic, but high-quality enough for synthetic
+//! workload generation, and fully deterministic for a given seed (which is
+//! all the proxies and the fault-injection campaign rely on).
+//!
+//! Streams differ from upstream `rand` for the same seed; nothing in the
+//! workspace depends on the exact values, only on seed-reproducibility.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Object-safe word source (subset of `rand::RngCore`).
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform value in `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A uniformly random value of a primitive type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Seedable RNGs (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    /// Deterministic SplitMix64 generator (stand-in for `rand::rngs::StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl super::RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng { state: seed }
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` from a 64-bit word.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let u = unit_f64(rng.next_u64()) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// Primitive types with a "just take the bits" uniform distribution
+/// (subset of `rand::distributions::Standard`).
+pub trait Standard {
+    fn from_u64(word: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_u64(word: u64) -> Self {
+        word
+    }
+}
+impl Standard for i64 {
+    fn from_u64(word: u64) -> Self {
+        word as i64
+    }
+}
+impl Standard for u32 {
+    fn from_u64(word: u64) -> Self {
+        (word >> 32) as u32
+    }
+}
+impl Standard for bool {
+    fn from_u64(word: u64) -> Self {
+        word & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn from_u64(word: u64) -> Self {
+        unit_f64(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u: usize = rng.gen_range(3usize..=9);
+            assert!((3..=9).contains(&u));
+        }
+    }
+}

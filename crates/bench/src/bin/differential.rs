@@ -156,5 +156,8 @@ fn discriminant_name(e: &ExecError) -> &'static str {
         BadFree => "BadFree",
         BadLaunch(_) => "BadLaunch",
         MalformedIr(_) => "MalformedIr",
+        // Internal signal of the parallel engine; intercepted inside
+        // `Device::launch` and never observable here. Counted defensively.
+        ParallelBailout => "ParallelBailout",
     }
 }

@@ -1,0 +1,187 @@
+//! Worker-thread scaling of the parallel team engine.
+//!
+//! Runs a compute-bound RSBench instance with 64 teams at 1/2/4/8 host
+//! worker threads and reports two tables:
+//!
+//! 1. **Measured wall clock** — real host time per launch. Only
+//!    meaningful on a multi-core host; on a single-core container every
+//!    worker count serializes onto the same CPU.
+//! 2. **Modeled makespan** — the deterministic scalability model in the
+//!    repo's native currency (simulated cycles): per-team cycle counts
+//!    from [`KernelMetrics::team_cycles`] are greedily list-scheduled
+//!    onto W workers within each occupancy wave, exactly mirroring the
+//!    engine's next-free-worker team pickup. This is hardware-independent
+//!    and identical on every machine.
+//!
+//! While sweeping, the harness also re-checks the determinism contract:
+//! output bits, full metrics, and the global image must be identical at
+//! every worker count. Exits nonzero on any divergence.
+//!
+//! ```text
+//! cargo run --release -p nzomp-bench --bin parallel_scaling [REPS]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use nzomp::report::{scaling_speedups, scaling_table, ScalingRow};
+use nzomp::BuildConfig;
+use nzomp_bench::eval_device;
+use nzomp_proxies::rsbench::RSBench;
+use nzomp_proxies::{compile_for_config, Proxy};
+use nzomp_vgpu::{Device, KernelMetrics};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Compute-bound, 64 teams of 32 threads: enough independent work per
+/// wave for every worker count in the sweep.
+fn proxy() -> RSBench {
+    RSBench {
+        n_nuclides: 12,
+        n_windows: 16,
+        poles_per_window: 6,
+        n_lookups: 64 * 32,
+        threads_per_team: 32,
+        seed: 0x5eed_0002,
+    }
+}
+
+/// One sweep point: total wall for `reps` launches plus the artifacts the
+/// determinism check compares.
+struct Point {
+    wall_ns: u128,
+    out_bits: Vec<u64>,
+    metrics: KernelMetrics,
+    global: Vec<u8>,
+}
+
+fn run_point(module: &nzomp_ir::Module, p: &dyn Proxy, workers: usize, reps: u32) -> Point {
+    let mut dev = Device::load(module.clone(), eval_device());
+    dev.set_worker_threads(workers);
+    let prep = p.prepare(&mut dev);
+    // Warm-up launch: page in code paths and let lazy init settle.
+    dev.launch(p.kernel_name(), prep.launch, &prep.args)
+        .expect("warm-up launch");
+    let start = Instant::now();
+    let mut metrics = None;
+    for _ in 0..reps {
+        metrics = Some(
+            dev.launch(p.kernel_name(), prep.launch, &prep.args)
+                .expect("bench launch"),
+        );
+    }
+    let wall_ns = start.elapsed().as_nanos();
+    let out_bits = dev
+        .read_f64(prep.out_ptr, prep.expected.len())
+        .expect("readback")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    Point {
+        wall_ns,
+        out_bits,
+        metrics: metrics.expect("at least one rep"),
+        global: dev.global_bytes().to_vec(),
+    }
+}
+
+/// Greedy list schedule of per-team cycles onto `workers` within each
+/// occupancy wave — the model of what the engine's next-free-worker
+/// pickup achieves on an unloaded W-core host. Returns total cycles.
+fn modeled_makespan(team_cycles: &[u64], wave_size: usize, workers: usize) -> u64 {
+    let mut total = 0u64;
+    for wave in team_cycles.chunks(wave_size.max(1)) {
+        let mut load = vec![0u64; workers.max(1)];
+        for &c in wave {
+            // Next team goes to the worker that frees up first.
+            let w = load
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| **l)
+                .map(|(i, _)| i)
+                .expect("workers >= 1");
+            load[w] += c;
+        }
+        total += load.iter().copied().max().unwrap_or(0);
+    }
+    total
+}
+
+fn main() -> ExitCode {
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+    let p = proxy();
+    let cfg = BuildConfig::NewRtNoAssumptions;
+    let module = compile_for_config(&p, cfg).expect("compile").module;
+
+    println!(
+        "parallel_scaling: rsbench x{} lookups, {} teams of {} threads, {reps} reps, {:?}",
+        p.n_lookups,
+        p.n_lookups as u32 / p.threads_per_team,
+        p.threads_per_team,
+        cfg,
+    );
+
+    let points: Vec<(usize, Point)> = WORKER_COUNTS
+        .iter()
+        .map(|&w| (w, run_point(&module, &p, w, reps)))
+        .collect();
+
+    // Determinism cross-check: every worker count must reproduce the
+    // 1-worker run bit for bit.
+    let (_, base) = &points[0];
+    let mut ok = true;
+    for (w, pt) in &points[1..] {
+        if pt.out_bits != base.out_bits {
+            eprintln!("FAIL: output bits diverge at {w} workers");
+            ok = false;
+        }
+        if pt.metrics != base.metrics {
+            eprintln!("FAIL: metrics diverge at {w} workers");
+            ok = false;
+        }
+        if pt.global != base.global {
+            eprintln!("FAIL: global memory diverges at {w} workers");
+            ok = false;
+        }
+    }
+
+    println!("\nmeasured wall clock ({} host cores):", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let measured: Vec<ScalingRow> = points
+        .iter()
+        .map(|(w, pt)| ScalingRow { workers: *w, wall_ns: pt.wall_ns })
+        .collect();
+    print!("{}", scaling_table(&measured));
+
+    let wave_size = eval_device().wave_size(base.metrics.teams_per_sm);
+    println!(
+        "\nmodeled makespan (simulated cycles, waves of {wave_size} teams):"
+    );
+    let modeled: Vec<ScalingRow> = WORKER_COUNTS
+        .iter()
+        .map(|&w| ScalingRow {
+            workers: w,
+            wall_ns: modeled_makespan(&base.metrics.team_cycles, wave_size, w) as u128,
+        })
+        .collect();
+    print!("{}", scaling_table(&modeled));
+
+    let modeled_at_8 = scaling_speedups(&modeled)
+        .iter()
+        .find(|(w, _)| *w == 8)
+        .and_then(|(_, s)| *s)
+        .unwrap_or(0.0);
+    if modeled_at_8 < 2.0 {
+        eprintln!("FAIL: modeled speedup at 8 workers is {modeled_at_8:.2}x (< 2x)");
+        ok = false;
+    }
+
+    if ok {
+        println!("\nOK: bit-identical at every worker count; modeled 8-worker speedup {modeled_at_8:.2}x");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -59,6 +59,54 @@ pub fn relative_performance(
         .collect()
 }
 
+/// One measured point of a worker-thread scaling sweep: `workers` host
+/// threads, total wall time in nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScalingRow {
+    pub workers: usize,
+    pub wall_ns: u128,
+}
+
+/// Speedup of each row over the 1-worker row (higher is better).
+///
+/// `None` when undefined: no 1-worker baseline, a zero baseline, or a
+/// zero row time — the same NaN-free policy as [`relative_performance`].
+pub fn scaling_speedups(rows: &[ScalingRow]) -> Vec<(usize, Option<f64>)> {
+    let base = rows
+        .iter()
+        .find(|r| r.workers == 1)
+        .map(|r| r.wall_ns)
+        .filter(|&t| t > 0);
+    rows.iter()
+        .map(|r| {
+            let speedup = match base {
+                Some(b) if r.wall_ns > 0 => Some(b as f64 / r.wall_ns as f64),
+                _ => None,
+            };
+            (r.workers, speedup)
+        })
+        .collect()
+}
+
+/// Render a scaling sweep as an aligned ASCII table with speedup bars
+/// (1.0x = 10 chars), one row per worker count.
+pub fn scaling_table(rows: &[ScalingRow]) -> String {
+    let rel = scaling_speedups(rows);
+    let mut s = format!("{:>8} | {:>12} | {:>8}\n", "workers", "wall time", "speedup");
+    for (row, (_, speedup)) in rows.iter().zip(rel) {
+        let time = format_time(row.wall_ns as f64 / 1e6);
+        match speedup {
+            Some(v) => {
+                s.push_str(&format!("{:>8} | {:>12} | {:>7.2}x {}\n", row.workers, time, v, bar(v, 10.0)));
+            }
+            None => {
+                s.push_str(&format!("{:>8} | {:>12} | {:>8}\n", row.workers, time, "n/a"));
+            }
+        }
+    }
+    s
+}
+
 pub fn format_time(ms: f64) -> String {
     if ms >= 1000.0 {
         format!("{:.3} s", ms / 1000.0)
@@ -77,4 +125,54 @@ pub fn format_bytes(b: u64) -> String {
 pub fn bar(value: f64, scale: f64) -> String {
     let n = ((value * scale).round() as usize).min(80);
     "#".repeat(n.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_speedups_relative_to_one_worker() {
+        let rows = [
+            ScalingRow { workers: 1, wall_ns: 8_000 },
+            ScalingRow { workers: 2, wall_ns: 4_000 },
+            ScalingRow { workers: 8, wall_ns: 1_000 },
+        ];
+        let rel = scaling_speedups(&rows);
+        assert_eq!(rel[0], (1, Some(1.0)));
+        assert_eq!(rel[1], (2, Some(2.0)));
+        assert_eq!(rel[2], (8, Some(8.0)));
+    }
+
+    #[test]
+    fn scaling_speedups_never_divide_by_zero() {
+        // No 1-worker baseline at all.
+        assert_eq!(
+            scaling_speedups(&[ScalingRow { workers: 4, wall_ns: 5 }]),
+            vec![(4, None)]
+        );
+        // Degenerate zero timings on either side of the ratio.
+        let rows = [
+            ScalingRow { workers: 1, wall_ns: 0 },
+            ScalingRow { workers: 2, wall_ns: 7 },
+        ];
+        assert!(scaling_speedups(&rows).iter().all(|(_, s)| s.is_none()));
+        let rows = [
+            ScalingRow { workers: 1, wall_ns: 7 },
+            ScalingRow { workers: 2, wall_ns: 0 },
+        ];
+        assert_eq!(scaling_speedups(&rows)[1], (2, None));
+    }
+
+    #[test]
+    fn scaling_table_renders_every_row() {
+        let rows = [
+            ScalingRow { workers: 1, wall_ns: 2_000_000 },
+            ScalingRow { workers: 2, wall_ns: 1_000_000 },
+        ];
+        let table = scaling_table(&rows);
+        assert!(table.contains("workers"), "{table}");
+        assert!(table.contains("2.00x"), "{table}");
+        assert_eq!(table.lines().count(), 3, "{table}");
+    }
 }

@@ -40,7 +40,10 @@ pub struct Kernel {
 }
 
 /// A translation unit / linked binary image.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` is structural, and deliberately so: the printer/parser
+/// round-trip property (`parse(print(m)) == m`) is checked against it.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Module {
     pub name: String,
     pub funcs: Vec<Function>,

@@ -104,6 +104,11 @@ pub struct DeviceConfig {
     /// kernel-time reductions ("most performance benefits can be traced to
     /// reducing and/or eliminating the shared memory and register usage").
     pub latency_penalty: f64,
+    /// Host worker threads used to execute teams of a wave concurrently.
+    /// `0` defers to `NZOMP_VGPU_THREADS` (default 1); `1` runs the exact
+    /// sequential interpreter code path. Results are bit-identical at any
+    /// setting — see `docs/parallel-vgpu.md`.
+    pub worker_threads: u32,
 }
 
 impl Default for DeviceConfig {
@@ -119,6 +124,7 @@ impl Default for DeviceConfig {
             max_steps: 2_000_000_000,
             check_assumes: true,
             latency_penalty: 8.0,
+            worker_threads: 0,
         }
     }
 }
@@ -127,6 +133,13 @@ impl DeviceConfig {
     /// Memory-latency exposure factor for a given residency.
     pub fn latency_exposure(&self, resident_teams_per_sm: u32) -> f64 {
         1.0 + self.latency_penalty / resident_teams_per_sm.max(1) as f64
+    }
+
+    /// Teams issued per wave at the given residency — the chunking used by
+    /// *both* the cycle aggregation and the parallel team engine, so the
+    /// two can never disagree about wave boundaries.
+    pub fn wave_size(&self, resident_teams_per_sm: u32) -> usize {
+        (self.num_sms * resident_teams_per_sm).max(1) as usize
     }
 }
 

@@ -6,9 +6,11 @@ use nzomp_ir::{Module, Space, Ty};
 use crate::cost::{CostModel, DeviceConfig};
 use crate::error::{ExecError, TrapKind};
 use crate::faults::FaultPlan;
+use crate::gmem::{apply_effects, GlobalMem};
 use crate::interp::{Counters, GlobalLayout, HeapState, TeamExec};
 use crate::memory::{DevPtr, Region};
 use crate::metrics::KernelMetrics;
+use crate::par::{run_wave, WaveCtx};
 use crate::value::RtVal;
 
 /// Host-side memcpy errors carry a synthetic function name so the one
@@ -21,6 +23,20 @@ fn host_oob(op: &str) -> ExecError {
         thread: 0,
         func: format!("<host {op}>"),
     }
+}
+
+/// Resolve the worker-thread count: an explicit config value wins;
+/// otherwise `NZOMP_VGPU_THREADS` (>= 1) is consulted; default 1
+/// (pure sequential execution).
+fn resolve_workers(config_value: u32) -> usize {
+    if config_value > 0 {
+        return config_value as usize;
+    }
+    std::env::var("NZOMP_VGPU_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 /// Launch parameters.
@@ -58,6 +74,10 @@ pub struct Device {
     /// (`None` in production: the interpreter hot loop then performs a
     /// single always-false compare per instruction).
     faults: Option<FaultPlan>,
+    /// Host worker threads for parallel team execution (`1` = the exact
+    /// sequential code path). Resolved at load from
+    /// `DeviceConfig::worker_threads` / `NZOMP_VGPU_THREADS`.
+    workers: usize,
 }
 
 impl Device {
@@ -124,6 +144,7 @@ impl Device {
             live_allocs: Default::default(),
             limit: global_top + config.heap_bytes,
         };
+        let workers = resolve_workers(config.worker_threads);
         Device {
             config,
             cost: CostModel::default(),
@@ -133,7 +154,26 @@ impl Device {
             constant,
             heap,
             faults: None,
+            workers,
         }
+    }
+
+    /// Set the number of host worker threads used to execute the teams of
+    /// a wave concurrently. `1` runs the exact sequential interpreter code
+    /// path; any `n` produces bit-identical results (memory, metrics,
+    /// traps) — see `docs/parallel-vgpu.md` for the contract.
+    pub fn set_worker_threads(&mut self, n: usize) {
+        self.workers = n.max(1);
+    }
+
+    pub fn worker_threads(&self) -> usize {
+        self.workers
+    }
+
+    /// Raw bytes of device global memory — the determinism tests compare
+    /// the entire image bit for bit across worker counts.
+    pub fn global_bytes(&self) -> &[u8] {
+        &self.global.bytes
     }
 
     pub fn module(&self) -> &Module {
@@ -309,66 +349,48 @@ impl Device {
         let smem = self.layout.shared_size;
         let shared_total = smem + launch.dyn_smem_bytes;
 
-        let mut counters = Counters::default();
-        let plan = self.faults.as_ref();
+        // Occupancy is computed up front: the wave chunking drives *both*
+        // the parallel team engine (which wave a team runs in) and the
+        // cycle aggregation below, so they can never disagree.
+        let tps = self
+            .config
+            .teams_per_sm(regs, launch.threads_per_team, shared_total.max(1));
+        let wave_size = self.config.wave_size(tps);
+
         // Fault plans can shrink the step budget and the device heap for
         // this launch; the heap limit is restored afterwards (even on a
         // trap) so one faulted launch does not poison the next.
-        let mut fuel = plan
+        let mut fuel = self
+            .faults
+            .as_ref()
             .and_then(|p| p.fuel_limit)
             .unwrap_or(self.config.max_steps);
         let saved_heap_limit = self.heap.limit;
-        if let Some(budget) = plan.and_then(|p| p.heap_limit) {
+        if let Some(budget) = self.faults.as_ref().and_then(|p| p.heap_limit) {
             self.heap.limit = (self.global.len() as u64).saturating_add(budget);
         }
-        let mut team_cycles = Vec::with_capacity(launch.teams as usize);
-        let mut team_mem_cycles = Vec::with_capacity(launch.teams as usize);
-        let mut trapped: Option<ExecError> = None;
-        for team in 0..launch.teams {
-            let mut exec = TeamExec::new(
-                &self.module,
-                &self.cost,
-                self.config.check_assumes,
-                team,
-                launch.teams,
-                launch.threads_per_team,
-                shared_total,
-                &self.layout,
-                &mut self.global,
-                &self.constant,
-                &mut self.heap,
-                &mut counters,
-                &mut fuel,
-                plan,
-            );
-            match exec.run(func_ref.0, args) {
-                Ok((cycles, mem)) => {
-                    team_cycles.push(cycles);
-                    team_mem_cycles.push(mem);
-                }
-                Err((kind, thread)) => {
-                    trapped = Some(ExecError {
-                        kind,
-                        team,
-                        thread,
-                        func: kernel.to_string(),
-                    });
-                    break;
-                }
-            }
-        }
+        let outcome = if self.workers <= 1 || launch.teams <= 1 {
+            self.run_teams_sequential(func_ref.0, launch, shared_total, args, &mut fuel)
+        } else {
+            self.run_teams_parallel(func_ref.0, launch, shared_total, wave_size, args, &mut fuel)
+        };
         self.heap.limit = saved_heap_limit;
-        if let Some(err) = trapped {
-            return Err(err);
-        }
+        let (team_cycles, team_mem_cycles, counters) = match outcome {
+            Ok(parts) => parts,
+            Err((kind, team, thread)) => {
+                return Err(ExecError {
+                    kind,
+                    team,
+                    thread,
+                    func: kernel.to_string(),
+                })
+            }
+        };
 
         // Occupancy / wave model: teams are issued in launch order, one wave
         // at a time; each wave lasts as long as its slowest team. A team's
         // effective duration exposes memory latency in inverse proportion
         // to how many teams the SM can keep resident (latency hiding).
-        let tps = self
-            .config
-            .teams_per_sm(regs, launch.threads_per_team, shared_total.max(1));
         let exposure = self.config.latency_exposure(tps);
         let effective: Vec<u64> = team_cycles
             .iter()
@@ -378,7 +400,6 @@ impl Device {
                 compute + (mem as f64 * exposure) as u64
             })
             .collect();
-        let wave_size = (self.config.num_sms * tps).max(1) as usize;
         let mut cycles_total: u64 = 0;
         let mut waves = 0u32;
         for chunk in effective.chunks(wave_size) {
@@ -409,4 +430,153 @@ impl Device {
             team_cycles,
         })
     }
+
+    /// The sequential interpreter path: teams run one after another,
+    /// write-through to the master region, with the shared fuel budget
+    /// threaded team to team. `worker_threads == 1` takes exactly this
+    /// path — it is the semantic reference the parallel engine must match.
+    fn run_teams_sequential(
+        &mut self,
+        kernel_idx: u32,
+        launch: Launch,
+        shared_total: u64,
+        args: &[RtVal],
+        fuel: &mut u64,
+    ) -> TeamsOutcome {
+        let mut team_cycles = Vec::with_capacity(launch.teams as usize);
+        let mut team_mem_cycles = Vec::with_capacity(launch.teams as usize);
+        let mut totals = Counters::default();
+        for team in 0..launch.teams {
+            let mut exec = TeamExec::new(
+                &self.module,
+                &self.cost,
+                self.config.check_assumes,
+                team,
+                launch.teams,
+                launch.threads_per_team,
+                shared_total,
+                &self.layout,
+                GlobalMem::Direct {
+                    region: &mut self.global,
+                    heap: &mut self.heap,
+                },
+                &self.constant,
+                *fuel,
+                self.faults.as_ref(),
+            );
+            let result = exec.run(kernel_idx, args);
+            let (counters, fuel_left, _) = exec.into_outcome();
+            totals.add(&counters);
+            *fuel = fuel_left;
+            match result {
+                Ok((cycles, mem)) => {
+                    team_cycles.push(cycles);
+                    team_mem_cycles.push(mem);
+                }
+                Err((kind, thread)) => return Err((kind, team, thread)),
+            }
+        }
+        Ok((team_cycles, team_mem_cycles, totals))
+    }
+
+    /// The parallel path: teams of each occupancy wave run concurrently on
+    /// the worker pool against snapshots of global memory, then their
+    /// effect logs are replayed onto the master region in ascending team
+    /// order ("wave-ordered merge"). The merge also reconciles the shared
+    /// fuel budget and re-runs (in direct mode, with the exact remaining
+    /// budget) any team that overdrew it or bailed out on an unbufferable
+    /// operation — so memory, counters, and traps are bit-identical to
+    /// [`Device::run_teams_sequential`]. See `docs/parallel-vgpu.md`.
+    fn run_teams_parallel(
+        &mut self,
+        kernel_idx: u32,
+        launch: Launch,
+        shared_total: u64,
+        wave_size: usize,
+        args: &[RtVal],
+        fuel: &mut u64,
+    ) -> TeamsOutcome {
+        let mut team_cycles = Vec::with_capacity(launch.teams as usize);
+        let mut team_mem_cycles = Vec::with_capacity(launch.teams as usize);
+        let mut totals = Counters::default();
+        let teams: Vec<u32> = (0..launch.teams).collect();
+        for wave in teams.chunks(wave_size.max(1)) {
+            let ctx = WaveCtx {
+                module: &self.module,
+                cost: &self.cost,
+                layout: &self.layout,
+                constant: &self.constant,
+                plan: self.faults.as_ref(),
+                check_assumes: self.config.check_assumes,
+                kernel: kernel_idx,
+                args,
+                num_teams: launch.teams,
+                threads_per_team: launch.threads_per_team,
+                shared_total,
+            };
+            let runs = run_wave(&ctx, &self.global, wave, *fuel, self.workers);
+            for (run, &team) in runs.into_iter().zip(wave) {
+                // A team merges its buffered outcome only if, at its
+                // (sequential) turn, it (a) fits the remaining fuel budget
+                // — otherwise sequential execution would have trapped
+                // FuelExhausted partway through; (b) did not touch the
+                // device heap (unbufferable); and (c) every validated
+                // atomic (CAS / exchange) observed the value the master
+                // actually held, so its control flow was uncontaminated.
+                // Any failing team is re-executed in direct mode with the
+                // exact remaining budget, which reproduces the sequential
+                // outcome including partial effects.
+                let merged = if run.steps > *fuel || run.bailed() {
+                    false
+                } else {
+                    match apply_effects(&mut self.global, &run.effects) {
+                        Ok(committed) => committed,
+                        Err(kind) => return Err((kind, team, 0)),
+                    }
+                };
+                // Wave-ordered merge: a trapping team still publishes the
+                // effects it performed before the trap (direct mode wrote
+                // them through), and later teams never merge — exactly the
+                // sequential first-trap-wins behavior.
+                let (result, counters, steps) = if merged {
+                    (run.result, run.counters, run.steps)
+                } else {
+                    let mut exec = TeamExec::new(
+                        &self.module,
+                        &self.cost,
+                        self.config.check_assumes,
+                        team,
+                        launch.teams,
+                        launch.threads_per_team,
+                        shared_total,
+                        &self.layout,
+                        GlobalMem::Direct {
+                            region: &mut self.global,
+                            heap: &mut self.heap,
+                        },
+                        &self.constant,
+                        *fuel,
+                        self.faults.as_ref(),
+                    );
+                    let result = exec.run(kernel_idx, args);
+                    let (counters, fuel_left, _) = exec.into_outcome();
+                    (result, counters, *fuel - fuel_left)
+                };
+                totals.add(&counters);
+                *fuel -= steps;
+                match result {
+                    Ok((cycles, mem)) => {
+                        team_cycles.push(cycles);
+                        team_mem_cycles.push(mem);
+                    }
+                    Err((kind, thread)) => return Err((kind, team, thread)),
+                }
+            }
+        }
+        Ok((team_cycles, team_mem_cycles, totals))
+    }
 }
+
+/// `(per-team cycles, per-team mem cycles, summed counters)` on success;
+/// `(trap, team, thread)` on the first (lowest-team-index) trap.
+type TeamsOutcome = Result<(Vec<u64>, Vec<u64>, Counters), (TrapKind, u32, u32)>;

@@ -40,6 +40,12 @@ pub enum TrapKind {
     /// module loaded directly onto a device degrades to this typed error
     /// instead of aborting the process.
     MalformedIr(String),
+    /// Internal control-flow signal of the parallel engine: the team
+    /// executed an operation that cannot be buffered (device
+    /// `malloc`/`free`) and must be re-run in direct/sequential mode.
+    /// `Device::launch` always intercepts it; user code never observes it.
+    #[doc(hidden)]
+    ParallelBailout,
 }
 
 impl fmt::Display for TrapKind {
@@ -62,6 +68,9 @@ impl fmt::Display for TrapKind {
             TrapKind::BadFree => write!(f, "free() of unknown pointer"),
             TrapKind::BadLaunch(m) => write!(f, "bad launch: {m}"),
             TrapKind::MalformedIr(m) => write!(f, "malformed IR reached the interpreter: {m}"),
+            TrapKind::ParallelBailout => {
+                write!(f, "internal: team requires sequential re-execution")
+            }
         }
     }
 }

@@ -46,6 +46,14 @@ pub struct FaultSite {
 }
 
 /// A deterministic fault-injection plan for one launch.
+///
+/// A plan is **stateless across launches**: the consumed-site cursor
+/// (which site a thread fires next) lives in the per-thread execution
+/// context, which is rebuilt from `sites_for` at every launch. Arming a
+/// plan and launching twice therefore injects the identical campaign
+/// twice — seeds are independent between launches, never "used up". The
+/// `fault_relaunch` integration test pins this. The same property makes
+/// plans safe to share read-only across parallel worker threads.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     /// Seed this plan was derived from (0 for hand-built plans); recorded

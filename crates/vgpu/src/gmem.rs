@@ -1,0 +1,312 @@
+//! Global-memory views: the seam between sequential and parallel team
+//! execution.
+//!
+//! A [`TeamExec`](crate::interp::TeamExec) accesses device global memory
+//! through a [`GlobalMem`]:
+//!
+//! * [`GlobalMem::Direct`] writes straight through to the device's master
+//!   region (and owns the heap allocator) — this is the sequential
+//!   interpreter's behavior, bit for bit.
+//! * [`GlobalMem::Buffered`] gives the team a private *snapshot* of the
+//!   master region taken at wave start. Reads and writes hit the snapshot
+//!   (so a team observes its own stores), while every globally visible
+//!   side effect — plain stores, atomic RMWs, compare-and-swaps — is
+//!   appended to an ordered [`GlobalEffect`] log. After the wave, the
+//!   device replays each team's log onto the master region **in team-index
+//!   order**, which makes the merged memory image identical to what the
+//!   sequential interpreter produces for any kernel whose teams do not
+//!   read each other's writes mid-launch (see `docs/parallel-vgpu.md` for
+//!   the exact contract).
+//!
+//! Atomics are logged as *operations*, not resulting values: replay
+//! re-applies `add`/`min`/`max`/`cas` against the then-current master
+//! state in team order. Floating-point atomic adds therefore combine in
+//! exactly the sequential order — bit-identical results even though f64
+//! addition is not associative.
+//!
+//! Operations whose *returned* value routinely steers control flow —
+//! `cas` and atomic `exchange` — additionally log the old value the team
+//! observed in its snapshot. The merge validates it against the master:
+//! on mismatch (another team got there first, sequentially speaking), the
+//! team's buffered effects are discarded wholesale and the team is re-run
+//! in direct mode, which reproduces the exact sequential behavior. This
+//! is optimistic concurrency: winner-election and lock idioms stay
+//! *correct* at any worker count (the losers serialize), while plain
+//! accumulation idioms stay fully parallel.
+//!
+//! Device `malloc`/`free` mutate the shared heap and hand out offsets that
+//! depend on every prior allocation, so they cannot be buffered: in
+//! buffered mode they raise the internal
+//! [`TrapKind::ParallelBailout`](crate::error::TrapKind) signal and the
+//! device re-runs that team sequentially (direct mode supports them
+//! natively). The bailout never escapes [`crate::Device::launch`].
+
+use nzomp_ir::inst::AtomicOp;
+use nzomp_ir::Ty;
+
+use crate::error::TrapKind;
+use crate::interp::HeapState;
+use crate::memory::Region;
+use crate::value::RtVal;
+
+/// Reinterpret raw load bits as a typed runtime value — the single
+/// conversion rule shared by the interpreter's `load_typed`, buffered
+/// atomics, and effect replay.
+pub(crate) fn rtval_from_bits(bits: i64, ty: Ty) -> RtVal {
+    match ty {
+        Ty::F64 => RtVal::F(f64::from_bits(bits as u64)),
+        Ty::Ptr => RtVal::P(crate::memory::DevPtr(bits as u64)),
+        _ => RtVal::I(bits),
+    }
+}
+
+/// Combine an atomic RMW operation (shared by direct execution, buffered
+/// execution, and wave-ordered replay — one implementation so all three
+/// agree bit for bit).
+pub(crate) fn combine_atomic(op: AtomicOp, ty: Ty, old: RtVal, v: RtVal) -> RtVal {
+    if ty.is_float() {
+        return match op {
+            AtomicOp::Add => RtVal::F(old.as_f() + v.as_f()),
+            AtomicOp::Max => RtVal::F(old.as_f().max(v.as_f())),
+            AtomicOp::Min => RtVal::F(old.as_f().min(v.as_f())),
+            AtomicOp::Exchange => v,
+        };
+    }
+    match op {
+        AtomicOp::Add => RtVal::I(old.as_i().wrapping_add(v.as_i())),
+        AtomicOp::Max => RtVal::I(old.as_i().max(v.as_i())),
+        AtomicOp::Min => RtVal::I(old.as_i().min(v.as_i())),
+        AtomicOp::Exchange => v,
+    }
+}
+
+/// One buffered global-memory side effect. Replayed onto the master
+/// region in team-index order ("wave-ordered merge").
+#[derive(Clone, Debug)]
+pub enum GlobalEffect {
+    /// A plain store of `size` bytes.
+    Store { off: u64, size: u64, value: i64 },
+    /// An atomic read-modify-write. The operand is kept as a typed value:
+    /// `combine_atomic` converts `I`/`F` operands differently, and replay
+    /// must combine exactly as execution did. `observed` is the old value
+    /// (bits) the team saw in its snapshot; for operations whose result
+    /// steers behavior (exchange), replay validates it against the master.
+    Atomic {
+        op: AtomicOp,
+        ty: Ty,
+        off: u64,
+        operand: RtVal,
+        observed: i64,
+    },
+    /// A compare-and-swap. The team branched on the old value it observed
+    /// in its snapshot, so replay *validates*: if the master holds a
+    /// different old value at merge time, the team's execution was
+    /// contaminated and it is re-run sequentially instead of merged.
+    Cas {
+        ty: Ty,
+        off: u64,
+        expected: i64,
+        new: i64,
+        observed: i64,
+    },
+}
+
+impl GlobalEffect {
+    /// Whether the wave-ordered merge must check the observed old value
+    /// against the master before committing this team's effects.
+    ///
+    /// `cas` and `exchange` return values that kernels routinely branch
+    /// on (winner election, locks), so they always validate. The old
+    /// value of `add`/`min`/`max` is, per the determinism contract
+    /// (`docs/parallel-vgpu.md`), not allowed to steer behavior — those
+    /// replay without validation, which is what keeps contended
+    /// accumulation fully parallel.
+    fn needs_validation(&self) -> bool {
+        match self {
+            GlobalEffect::Store { .. } => false,
+            GlobalEffect::Atomic { op, .. } => matches!(op, AtomicOp::Exchange),
+            GlobalEffect::Cas { .. } => true,
+        }
+    }
+}
+
+/// Per-team buffered view of global memory (parallel execution).
+#[derive(Debug)]
+pub struct BufferedGlobal {
+    /// Private snapshot of the master region, taken at wave start. The
+    /// team reads and writes here, so it observes its own effects.
+    pub view: Region,
+    /// Ordered log of globally visible effects, for the merge.
+    pub log: Vec<GlobalEffect>,
+}
+
+impl BufferedGlobal {
+    pub fn new(snapshot: Region) -> BufferedGlobal {
+        BufferedGlobal {
+            view: snapshot,
+            log: Vec::new(),
+        }
+    }
+}
+
+/// How a team reaches device global memory (and the heap allocator).
+#[derive(Debug)]
+pub enum GlobalMem<'a> {
+    /// Write-through to the device master region; sequential semantics.
+    Direct {
+        region: &'a mut Region,
+        heap: &'a mut HeapState,
+    },
+    /// Snapshot-and-log; parallel semantics (merged after the wave).
+    Buffered(BufferedGlobal),
+}
+
+impl GlobalMem<'_> {
+    pub fn read(&self, off: u64, size: u64) -> Result<i64, TrapKind> {
+        match self {
+            GlobalMem::Direct { region, .. } => region.read(off, size),
+            GlobalMem::Buffered(b) => b.view.read(off, size),
+        }
+    }
+
+    pub fn write(&mut self, off: u64, size: u64, value: i64) -> Result<(), TrapKind> {
+        match self {
+            GlobalMem::Direct { region, .. } => region.write(off, size, value),
+            GlobalMem::Buffered(b) => {
+                b.view.write(off, size, value)?;
+                b.log.push(GlobalEffect::Store { off, size, value });
+                Ok(())
+            }
+        }
+    }
+
+    /// Atomic RMW: returns the old (typed) value the team observes.
+    pub fn atomic(&mut self, op: AtomicOp, ty: Ty, off: u64, v: RtVal) -> Result<RtVal, TrapKind> {
+        let size = ty.size();
+        match self {
+            GlobalMem::Direct { region, .. } => {
+                let old = rtval_from_bits(region.read(off, size)?, ty);
+                region.write(off, size, combine_atomic(op, ty, old, v).to_bits())?;
+                Ok(old)
+            }
+            GlobalMem::Buffered(b) => {
+                let old = rtval_from_bits(b.view.read(off, size)?, ty);
+                b.view
+                    .write(off, size, combine_atomic(op, ty, old, v).to_bits())?;
+                b.log.push(GlobalEffect::Atomic {
+                    op,
+                    ty,
+                    off,
+                    operand: v,
+                    observed: old.to_bits(),
+                });
+                Ok(old)
+            }
+        }
+    }
+
+    /// Compare-and-swap: returns `(old, stored)`.
+    pub fn cas(
+        &mut self,
+        ty: Ty,
+        off: u64,
+        expected: i64,
+        new: i64,
+    ) -> Result<(RtVal, bool), TrapKind> {
+        let size = ty.size();
+        match self {
+            GlobalMem::Direct { region, .. } => {
+                let old = rtval_from_bits(region.read(off, size)?, ty);
+                let stored = old.to_bits() == expected;
+                if stored {
+                    region.write(off, size, new)?;
+                }
+                Ok((old, stored))
+            }
+            GlobalMem::Buffered(b) => {
+                let old = rtval_from_bits(b.view.read(off, size)?, ty);
+                let stored = old.to_bits() == expected;
+                if stored {
+                    b.view.write(off, size, new)?;
+                }
+                b.log.push(GlobalEffect::Cas {
+                    ty,
+                    off,
+                    expected,
+                    new,
+                    observed: old.to_bits(),
+                });
+                Ok((old, stored))
+            }
+        }
+    }
+}
+
+/// Replay one team's effect log onto `region`, validating observed old
+/// values where the effect demands it. Returns `Ok(true)` if every
+/// validated effect saw the value the team observed (all effects applied),
+/// `Ok(false)` on the first mismatch (`region` is then partially updated —
+/// callers use [`apply_effects`], which protects the master with a
+/// scratch copy).
+fn replay(region: &mut Region, log: &[GlobalEffect]) -> Result<bool, TrapKind> {
+    for eff in log {
+        match *eff {
+            GlobalEffect::Store { off, size, value } => region.write(off, size, value)?,
+            GlobalEffect::Atomic {
+                op,
+                ty,
+                off,
+                operand,
+                observed,
+            } => {
+                let size = ty.size();
+                let old = rtval_from_bits(region.read(off, size)?, ty);
+                if eff.needs_validation() && old.to_bits() != observed {
+                    return Ok(false);
+                }
+                region.write(off, size, combine_atomic(op, ty, old, operand).to_bits())?;
+            }
+            GlobalEffect::Cas {
+                ty,
+                off,
+                expected,
+                new,
+                observed,
+            } => {
+                let size = ty.size();
+                let old = region.read(off, size)?;
+                if old != observed {
+                    return Ok(false);
+                }
+                if old == expected {
+                    region.write(off, size, new)?;
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Replay one team's effect log onto the master region ("wave-ordered
+/// merge"). Returns `Ok(true)` if the team's effects were committed;
+/// `Ok(false)` if a validated effect (CAS / exchange) observed a stale old
+/// value during execution — the master is then left **untouched** and the
+/// caller re-runs the team sequentially.
+///
+/// Offsets were bounds-checked against the team's snapshot (same length as
+/// the master, which only ever grows), so `Err` is unreachable in
+/// practice; it surfaces as a typed trap rather than a panic, per crate
+/// policy.
+pub(crate) fn apply_effects(master: &mut Region, log: &[GlobalEffect]) -> Result<bool, TrapKind> {
+    if log.iter().any(|e| e.needs_validation()) {
+        // Validation can abort mid-log; replay onto a scratch copy so a
+        // rejected team leaves the master pristine for its direct re-run.
+        let mut scratch = master.clone();
+        if !replay(&mut scratch, log)? {
+            return Ok(false);
+        }
+        *master = scratch;
+        return Ok(true);
+    }
+    replay(master, log)
+}

@@ -11,12 +11,13 @@
 
 use std::collections::HashMap;
 
-use nzomp_ir::inst::{AtomicOp, BinOp, CastKind, Inst, InstId, Intrinsic, Pred, Term, UnOp};
+use nzomp_ir::inst::{BinOp, CastKind, Inst, InstId, Intrinsic, Pred, Term, UnOp};
 use nzomp_ir::{BlockId, Function, Module, Operand, Ty};
 
 use crate::cost::CostModel;
 use crate::error::TrapKind;
 use crate::faults::{FaultAction, FaultPlan, FaultSite};
+use crate::gmem::{combine_atomic, rtval_from_bits, GlobalMem};
 use crate::memory::{DevPtr, Region, Segment};
 use crate::value::RtVal;
 
@@ -47,7 +48,7 @@ pub struct HeapState {
 }
 
 /// Event counters aggregated into [`crate::KernelMetrics`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Counters {
     pub instructions: u64,
     pub barriers: u64,
@@ -57,6 +58,22 @@ pub struct Counters {
     pub device_mallocs: u64,
     pub runtime_calls: u64,
     pub flops: u64,
+}
+
+impl Counters {
+    /// Accumulate another team's counters. Plain integer sums, so the
+    /// total is independent of accumulation order — a prerequisite for
+    /// parallel execution reporting the exact sequential metrics.
+    pub fn add(&mut self, other: &Counters) {
+        self.instructions += other.instructions;
+        self.barriers += other.barriers;
+        self.global_accesses += other.global_accesses;
+        self.shared_accesses += other.shared_accesses;
+        self.local_accesses += other.local_accesses;
+        self.device_mallocs += other.device_mallocs;
+        self.runtime_calls += other.runtime_calls;
+        self.flops += other.flops;
+    }
 }
 
 /// One call frame.
@@ -133,6 +150,13 @@ impl Default for ThreadCtx {
 }
 
 /// Executes one team to completion.
+///
+/// All team-local state — thread contexts, shared memory, the cycle/event
+/// counters, the remaining fuel, and (in buffered mode) the private view
+/// of global memory — is *owned*, so a `TeamExec` built over a
+/// [`GlobalMem::Buffered`] view is `Send` and can run on a worker thread;
+/// the shared borrows (`module`, `cost`, `layout`, `constant`, `faults`)
+/// are all `Sync`.
 pub struct TeamExec<'a> {
     pub module: &'a Module,
     pub cost: &'a CostModel,
@@ -142,11 +166,16 @@ pub struct TeamExec<'a> {
     pub nthreads: u32,
     pub shared: Region,
     pub layout: &'a GlobalLayout,
-    pub global: &'a mut Region,
+    /// Global-memory view: write-through (sequential) or snapshot-and-log
+    /// (parallel). See [`crate::gmem`].
+    pub global: GlobalMem<'a>,
     pub constant: &'a Region,
-    pub heap: &'a mut HeapState,
-    pub counters: &'a mut Counters,
-    pub fuel: &'a mut u64,
+    /// Event counters for this team alone; the device sums them.
+    pub counters: Counters,
+    /// Remaining step budget. The device threads the leftover into the
+    /// next team (sequential) or reconciles budgets at the wave merge
+    /// (parallel).
+    pub fuel: u64,
     /// Active fault-injection plan (`None` in production runs; the hot
     /// loop then degenerates to one always-false integer compare).
     pub faults: Option<&'a FaultPlan>,
@@ -164,11 +193,9 @@ impl<'a> TeamExec<'a> {
         nthreads: u32,
         shared_size: u64,
         layout: &'a GlobalLayout,
-        global: &'a mut Region,
+        global: GlobalMem<'a>,
         constant: &'a Region,
-        heap: &'a mut HeapState,
-        counters: &'a mut Counters,
-        fuel: &'a mut u64,
+        fuel: u64,
         faults: Option<&'a FaultPlan>,
     ) -> TeamExec<'a> {
         TeamExec {
@@ -182,12 +209,17 @@ impl<'a> TeamExec<'a> {
             layout,
             global,
             constant,
-            heap,
-            counters,
+            counters: Counters::default(),
             fuel,
             faults,
             threads: Vec::new(),
         }
+    }
+
+    /// Tear down into `(counters, fuel_left, global view)` — what the
+    /// parallel engine needs from a finished team.
+    pub fn into_outcome(self) -> (Counters, u64, GlobalMem<'a>) {
+        (self.counters, self.fuel, self.global)
     }
 
     /// Run the kernel function with `args` on every thread of the team.
@@ -306,10 +338,10 @@ impl<'a> TeamExec<'a> {
     /// Run one thread until it blocks, finishes, or traps.
     fn run_thread(&mut self, thread: &mut ThreadCtx) -> Result<(), TrapKind> {
         while thread.status == Status::Running {
-            if *self.fuel == 0 {
+            if self.fuel == 0 {
                 return Err(TrapKind::FuelExhausted);
             }
-            *self.fuel -= 1;
+            self.fuel -= 1;
             // Fault hook: a single compare against a sentinel when no
             // injection targets this thread.
             if thread.steps >= thread.next_fault_step {
@@ -483,11 +515,7 @@ impl<'a> TeamExec<'a> {
 
     fn load_typed(&mut self, thread: &ThreadCtx, ptr: DevPtr, ty: Ty) -> Result<RtVal, TrapKind> {
         let bits = self.mem_read(thread, ptr, ty.size())?;
-        Ok(match ty {
-            Ty::F64 => RtVal::F(f64::from_bits(bits as u64)),
-            Ty::Ptr => RtVal::P(DevPtr(bits as u64)),
-            _ => RtVal::I(bits),
-        })
+        Ok(rtval_from_bits(bits, ty))
     }
 
     // ---- instruction dispatch ---------------------------------------------
@@ -616,10 +644,19 @@ impl<'a> TeamExec<'a> {
                 thread.cycles += self.cost.atomic;
                 thread.busy_cycles += self.cost.atomic;
                 thread.mem_cycles += self.cost.atomic;
-                let old = self.load_typed(thread, p, *ty)?;
-                let new = exec_atomic(*op, *ty, old, v);
-                self.mem_write(thread, p, ty.size(), new.to_bits())?;
-                self.set_reg(thread, iid, old)?;
+                if p.segment() == Segment::Global {
+                    // Global atomics go through the global view so buffered
+                    // execution can log the *operation* for wave-ordered
+                    // replay. Two accesses (read + write), as before.
+                    self.counters.global_accesses += 2;
+                    let old = self.global.atomic(*op, *ty, p.offset(), v)?;
+                    self.set_reg(thread, iid, old)?;
+                } else {
+                    let old = self.load_typed(thread, p, *ty)?;
+                    let new = combine_atomic(*op, *ty, old, v);
+                    self.mem_write(thread, p, ty.size(), new.to_bits())?;
+                    self.set_reg(thread, iid, old)?;
+                }
             }
             Inst::Cas {
                 ty,
@@ -633,11 +670,21 @@ impl<'a> TeamExec<'a> {
                 thread.cycles += self.cost.atomic;
                 thread.busy_cycles += self.cost.atomic;
                 thread.mem_cycles += self.cost.atomic;
-                let old = self.load_typed(thread, p, *ty)?;
-                if old.to_bits() == e.to_bits() {
-                    self.mem_write(thread, p, ty.size(), n.to_bits())?;
+                if p.segment() == Segment::Global {
+                    self.counters.global_accesses += 1;
+                    let (old, stored) =
+                        self.global.cas(*ty, p.offset(), e.to_bits(), n.to_bits())?;
+                    if stored {
+                        self.counters.global_accesses += 1;
+                    }
+                    self.set_reg(thread, iid, old)?;
+                } else {
+                    let old = self.load_typed(thread, p, *ty)?;
+                    if old.to_bits() == e.to_bits() {
+                        self.mem_write(thread, p, ty.size(), n.to_bits())?;
+                    }
+                    self.set_reg(thread, iid, old)?;
                 }
-                self.set_reg(thread, iid, old)?;
             }
             Inst::Intr { intr, args } => {
                 self.exec_intr(thread, iid, *intr, args)?;
@@ -832,13 +879,23 @@ impl<'a> TeamExec<'a> {
                 thread.busy_cycles += self.cost.malloc;
                 thread.mem_cycles += self.cost.malloc;
                 self.counters.device_mallocs += 1;
-                let aligned = (size + 7) & !7;
-                let off = self.global.len() as u64;
-                if off + aligned > self.heap.limit {
-                    return Err(TrapKind::OutOfMemory);
-                }
-                self.global.grow_to((off + aligned) as usize);
-                self.heap.live_allocs.insert(off, aligned);
+                let off = {
+                    // Heap offsets depend on every prior allocation, so
+                    // malloc cannot be buffered: signal the engine to
+                    // re-run this team in direct mode (where this branch
+                    // applies as-is).
+                    let GlobalMem::Direct { region, heap } = &mut self.global else {
+                        return Err(TrapKind::ParallelBailout);
+                    };
+                    let aligned = (size + 7) & !7;
+                    let off = region.len() as u64;
+                    if off + aligned > heap.limit {
+                        return Err(TrapKind::OutOfMemory);
+                    }
+                    region.grow_to((off + aligned) as usize);
+                    heap.live_allocs.insert(off, aligned);
+                    off
+                };
                 self.set_reg(thread, iid, RtVal::P(DevPtr::global(off as u32)))?;
             }
             Intrinsic::Free => {
@@ -849,7 +906,10 @@ impl<'a> TeamExec<'a> {
                 if p.is_null() {
                     return Ok(());
                 }
-                if self.heap.live_allocs.remove(&p.offset()).is_none() {
+                let GlobalMem::Direct { heap, .. } = &mut self.global else {
+                    return Err(TrapKind::ParallelBailout);
+                };
+                if heap.live_allocs.remove(&p.offset()).is_none() {
                     return Err(TrapKind::BadFree);
                 }
             }
@@ -1051,19 +1111,3 @@ fn exec_cmp(pred: Pred, ty: Ty, a: RtVal, b: RtVal) -> bool {
     }
 }
 
-fn exec_atomic(op: AtomicOp, ty: Ty, old: RtVal, v: RtVal) -> RtVal {
-    if ty.is_float() {
-        return match op {
-            AtomicOp::Add => RtVal::F(old.as_f() + v.as_f()),
-            AtomicOp::Max => RtVal::F(old.as_f().max(v.as_f())),
-            AtomicOp::Min => RtVal::F(old.as_f().min(v.as_f())),
-            AtomicOp::Exchange => v,
-        };
-    }
-    match op {
-        AtomicOp::Add => RtVal::I(old.as_i().wrapping_add(v.as_i())),
-        AtomicOp::Max => RtVal::I(old.as_i().max(v.as_i())),
-        AtomicOp::Min => RtVal::I(old.as_i().min(v.as_i())),
-        AtomicOp::Exchange => v,
-    }
-}

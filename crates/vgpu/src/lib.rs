@@ -30,9 +30,11 @@ pub mod cost;
 pub mod device;
 pub mod error;
 pub mod faults;
+pub mod gmem;
 pub mod interp;
 pub mod memory;
 pub mod metrics;
+mod par;
 pub mod value;
 
 pub use cost::{CostModel, DeviceConfig};

@@ -2,7 +2,11 @@
 //! counters used by tests and the ablation analysis.
 
 /// Metrics of one kernel launch.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` is part of the parallel-execution contract: the
+/// determinism tests assert metrics from an N-worker launch compare equal
+/// to the sequential baseline, field for field.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct KernelMetrics {
     pub kernel_name: String,
     pub teams: u32,

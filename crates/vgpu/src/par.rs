@@ -1,0 +1,155 @@
+//! The parallel team engine: executes one occupancy wave of teams on a
+//! host worker pool.
+//!
+//! Design (see `docs/parallel-vgpu.md` for the user-facing contract):
+//!
+//! * Teams are issued **wave by wave**, mirroring the occupancy model —
+//!   a wave is `num_sms × teams_per_sm` teams, exactly the chunking the
+//!   cycle aggregation in `Device::launch` uses. Within a wave, teams run
+//!   concurrently on up to `worker_threads` host threads, each against a
+//!   [`BufferedGlobal`](crate::gmem::BufferedGlobal) snapshot of global
+//!   memory taken at wave start.
+//! * After the wave, the device replays each team's effect log onto the
+//!   master region **in ascending team order** and reconciles the shared
+//!   fuel budget, so results, metrics, and traps are bit-identical to the
+//!   sequential interpreter — independent of the worker count and of any
+//!   wall-clock races.
+//! * Work distribution is a single atomic next-team cursor; the *claiming*
+//!   order is racy, but nothing observable depends on it — every team's
+//!   execution is a pure function of the wave-start snapshot.
+//!
+//! The paper-adjacent motivation: "Parallelizing a modern GPU simulator"
+//! (Huerta & González 2025) parallelizes across SM-like units while
+//! preserving fidelity; we reproduce that shape with the stronger
+//! guarantee of bit-exact equivalence to the sequential semantics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use nzomp_ir::Module;
+
+use crate::cost::CostModel;
+use crate::error::TrapKind;
+use crate::faults::FaultPlan;
+use crate::gmem::{BufferedGlobal, GlobalEffect, GlobalMem};
+use crate::interp::{Counters, GlobalLayout, TeamExec};
+use crate::memory::Region;
+use crate::value::RtVal;
+
+/// Everything a worker needs to run one team, shared immutably across the
+/// pool for the duration of a wave.
+pub(crate) struct WaveCtx<'a> {
+    pub module: &'a Module,
+    pub cost: &'a CostModel,
+    pub layout: &'a GlobalLayout,
+    pub constant: &'a Region,
+    pub plan: Option<&'a FaultPlan>,
+    pub check_assumes: bool,
+    /// Kernel function index within the module.
+    pub kernel: u32,
+    pub args: &'a [RtVal],
+    pub num_teams: u32,
+    pub threads_per_team: u32,
+    pub shared_total: u64,
+}
+
+/// Outcome of one team's buffered run, in merge-ready form.
+pub(crate) struct TeamRun {
+    /// `Ok((team_cycles, mem_cycles))` or the trap (kind, thread).
+    pub result: Result<(u64, u64), (TrapKind, u32)>,
+    /// Fuel units this team consumed (possibly up to the full wave-start
+    /// budget; the merge reconciles against the running budget).
+    pub steps: u64,
+    pub counters: Counters,
+    pub effects: Vec<GlobalEffect>,
+}
+
+impl TeamRun {
+    /// True if this run aborted because it needs direct-mode re-execution
+    /// (device malloc/free under a buffered view).
+    pub fn bailed(&self) -> bool {
+        matches!(self.result, Err((TrapKind::ParallelBailout, _)))
+    }
+}
+
+/// Run one team against a fresh snapshot of `master` with its own fuel
+/// budget, returning the merge-ready outcome.
+fn run_one_team(ctx: &WaveCtx<'_>, master: &Region, team: u32, fuel: u64) -> TeamRun {
+    let mut exec = TeamExec::new(
+        ctx.module,
+        ctx.cost,
+        ctx.check_assumes,
+        team,
+        ctx.num_teams,
+        ctx.threads_per_team,
+        ctx.shared_total,
+        ctx.layout,
+        GlobalMem::Buffered(BufferedGlobal::new(master.clone())),
+        ctx.constant,
+        fuel,
+        ctx.plan,
+    );
+    let result = exec.run(ctx.kernel, ctx.args);
+    let (counters, fuel_left, global) = exec.into_outcome();
+    let effects = match global {
+        GlobalMem::Buffered(b) => b.log,
+        GlobalMem::Direct { .. } => Vec::new(),
+    };
+    TeamRun {
+        result,
+        steps: fuel - fuel_left,
+        counters,
+        effects,
+    }
+}
+
+/// Execute the teams of one wave concurrently on up to `workers` threads.
+/// Returns one [`TeamRun`] per team, in the order of `teams`.
+pub(crate) fn run_wave(
+    ctx: &WaveCtx<'_>,
+    master: &Region,
+    teams: &[u32],
+    fuel: u64,
+    workers: usize,
+) -> Vec<TeamRun> {
+    let workers = workers.min(teams.len()).max(1);
+    if workers == 1 || teams.len() == 1 {
+        return teams
+            .iter()
+            .map(|&t| run_one_team(ctx, master, t, fuel))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<TeamRun>>> = teams.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&team) = teams.get(i) else { break };
+                let run = run_one_team(ctx, master, team, fuel);
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = Some(run);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|poison| poison.into_inner())
+                // The interpreter is panic-free by policy, so every claimed
+                // slot is filled; degrade to a typed trap rather than a
+                // panic if that invariant is ever violated.
+                .unwrap_or_else(|| TeamRun {
+                    result: Err((
+                        TrapKind::MalformedIr("parallel worker produced no result".into()),
+                        0,
+                    )),
+                    steps: 0,
+                    counters: Counters::default(),
+                    effects: Vec::new(),
+                })
+        })
+        .collect()
+}

@@ -7,6 +7,7 @@
 use nzomp::pipeline::compile_with;
 use nzomp::BuildConfig;
 use nzomp_front::RuntimeFlavor;
+use nzomp_integration::run_proxy_outcome;
 use nzomp_ir::{Operand, Ty};
 use nzomp_proxies::{all_proxies, build_for_config, compile_for_config, quick_device, Proxy};
 use nzomp_rt::abi;
@@ -18,12 +19,9 @@ fn run_clean(p: &dyn Proxy, cfg: BuildConfig) -> Option<Vec<u64>> {
     if cfg == BuildConfig::NewRt && !p.supports_oversubscription() {
         return None;
     }
-    let out = compile_for_config(p, cfg).unwrap();
-    let mut dev = Device::load(out.module, quick_device());
-    let prep = p.prepare(&mut dev);
-    dev.launch(p.kernel_name(), prep.launch, &prep.args).unwrap();
-    let got = dev.read_f64(prep.out_ptr, prep.expected.len()).unwrap();
-    Some(got.iter().map(|v| v.to_bits()).collect())
+    let outcome = run_proxy_outcome(p, cfg, 1, None);
+    outcome.result.unwrap();
+    outcome.out_bits
 }
 
 /// Legacy-vs-modern runtime (and the native CUDA baseline): all five
@@ -140,15 +138,9 @@ fn spmd_and_generic_lowerings_agree() {
 
 /// One faulted run, returning either the output bits or the typed error.
 fn run_faulted(p: &dyn Proxy, seed: u64) -> Result<Vec<u64>, ExecError> {
-    let cfg = BuildConfig::NewRtNoAssumptions;
-    let out = compile_for_config(p, cfg).unwrap();
-    let mut dev = Device::load(out.module, quick_device());
-    let prep = p.prepare(&mut dev);
-    let plan = FaultPlan::from_seed(seed, prep.launch.teams, prep.launch.threads_per_team);
-    dev.set_fault_plan(plan);
-    dev.launch(p.kernel_name(), prep.launch, &prep.args)?;
-    let got = dev.read_f64(prep.out_ptr, prep.expected.len())?;
-    Ok(got.iter().map(|v| v.to_bits()).collect())
+    let outcome = run_proxy_outcome(p, BuildConfig::NewRtNoAssumptions, 1, Some(seed));
+    outcome.result?;
+    Ok(outcome.out_bits.unwrap_or_default())
 }
 
 /// Faulted runs are deterministic: the same seed on the same proxy yields

@@ -1,1 +1,61 @@
 //! Integration-test crate: all tests live in `tests/*.rs`.
+//!
+//! This lib holds the shared differential-execution harness: one way to
+//! compile a proxy, run it on a device with a chosen worker-thread count
+//! (and optionally an armed fault plan), and capture *everything*
+//! observable about the launch — so the differential tests (PR 1) and the
+//! parallel-determinism tests compare outcomes through the same lens.
+
+use nzomp::BuildConfig;
+use nzomp_proxies::{compile_for_config, quick_device, Proxy};
+use nzomp_vgpu::{Device, ExecError, FaultPlan, KernelMetrics};
+
+/// Everything observable about one proxy launch. `PartialEq` makes
+/// "bit-identical" a one-line assertion: metrics compare field by field
+/// (cycles, waves, counters), traps compare as typed errors, and the
+/// global-memory image compares byte for byte.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProxyOutcome {
+    /// Kernel metrics on success, the typed trap otherwise.
+    pub result: Result<KernelMetrics, ExecError>,
+    /// Output buffer as raw f64 bits (NaN-safe), when the launch succeeded.
+    pub out_bits: Option<Vec<u64>>,
+    /// The entire device global-memory image after the launch — inputs,
+    /// outputs, runtime state, heap; nothing can hide a divergence here.
+    pub global: Vec<u8>,
+}
+
+/// Compile `p` under `cfg`, load it onto a quick device with `workers`
+/// host threads, optionally arm the seeded fault plan, launch once, and
+/// capture the outcome. Panics on compile errors (test context).
+pub fn run_proxy_outcome(
+    p: &dyn Proxy,
+    cfg: BuildConfig,
+    workers: usize,
+    fault_seed: Option<u64>,
+) -> ProxyOutcome {
+    let out = compile_for_config(p, cfg).unwrap();
+    let mut dev = Device::load(out.module, quick_device());
+    dev.set_worker_threads(workers);
+    let prep = p.prepare(&mut dev);
+    if let Some(seed) = fault_seed {
+        dev.set_fault_plan(FaultPlan::from_seed(
+            seed,
+            prep.launch.teams,
+            prep.launch.threads_per_team,
+        ));
+    }
+    let result = dev.launch(p.kernel_name(), prep.launch, &prep.args);
+    let out_bits = result.as_ref().ok().map(|_| {
+        dev.read_f64(prep.out_ptr, prep.expected.len())
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect()
+    });
+    ProxyOutcome {
+        result,
+        out_bits,
+        global: dev.global_bytes().to_vec(),
+    }
+}

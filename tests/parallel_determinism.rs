@@ -1,0 +1,87 @@
+//! Parallel-execution determinism suite: the contract of
+//! `docs/parallel-vgpu.md`, enforced.
+//!
+//! Every proxy, at every worker-thread count in {1, 2, 4, 8}, must
+//! produce an outcome **bit-identical** to the sequential (1-thread)
+//! baseline — the entire global-memory image, every `KernelMetrics`
+//! field (cycles, waves, counters), and, under injected faults, the
+//! identical typed trap (kind, team, thread, function). 25 seeded fault
+//! campaigns per proxy make the trap-path comparison meaningful: traps
+//! must resolve by lowest team index, never by wall-clock race.
+
+use nzomp::BuildConfig;
+use nzomp_integration::{run_proxy_outcome, ProxyOutcome};
+use nzomp_proxies::all_proxies;
+
+const WORKER_COUNTS: [usize; 3] = [2, 4, 8];
+const CFG: BuildConfig = BuildConfig::NewRtNoAssumptions;
+
+fn assert_same(name: &str, detail: &str, base: &ProxyOutcome, got: &ProxyOutcome) {
+    assert_eq!(
+        base.result, got.result,
+        "{name} {detail}: metrics/trap diverge from sequential baseline"
+    );
+    assert_eq!(
+        base.out_bits, got.out_bits,
+        "{name} {detail}: output buffer bits diverge"
+    );
+    assert!(
+        base.global == got.global,
+        "{name} {detail}: global-memory image diverges ({} vs {} bytes, first diff at {:?})",
+        base.global.len(),
+        got.global.len(),
+        base.global
+            .iter()
+            .zip(&got.global)
+            .position(|(a, b)| a != b)
+    );
+}
+
+/// Clean runs: every proxy agrees bit for bit at every worker count.
+#[test]
+fn clean_runs_identical_across_worker_counts() {
+    for p in all_proxies() {
+        let base = run_proxy_outcome(p.as_ref(), CFG, 1, None);
+        assert!(base.result.is_ok(), "{}: clean baseline trapped", p.name());
+        for &workers in &WORKER_COUNTS {
+            let got = run_proxy_outcome(p.as_ref(), CFG, workers, None);
+            assert_same(p.name(), &format!("@{workers} threads"), &base, &got);
+        }
+    }
+}
+
+/// Faulted runs: 25 seeded campaigns per proxy. The injected trap (or the
+/// surviving output) is identical at every worker count — first-trap-wins
+/// resolves by lowest team index, not by which host thread finished first.
+#[test]
+fn faulted_runs_identical_across_worker_counts() {
+    let mut trapped = 0usize;
+    for p in all_proxies() {
+        for seed in 1..=25u64 {
+            let base = run_proxy_outcome(p.as_ref(), CFG, 1, Some(seed));
+            if base.result.is_err() {
+                trapped += 1;
+            }
+            for &workers in &WORKER_COUNTS {
+                let got = run_proxy_outcome(p.as_ref(), CFG, workers, Some(seed));
+                assert_same(p.name(), &format!("seed {seed} @{workers} threads"), &base, &got);
+            }
+        }
+    }
+    assert!(
+        trapped > 0,
+        "no fault campaign trapped — the comparison is vacuous"
+    );
+}
+
+/// Clean metrics are also identical across *repeated* launches at high
+/// worker counts (no hidden accumulation or work-stealing jitter).
+#[test]
+fn repeated_parallel_launches_are_stable() {
+    let p = &all_proxies()[0];
+    let first = run_proxy_outcome(p.as_ref(), CFG, 8, None);
+    for _ in 0..3 {
+        let again = run_proxy_outcome(p.as_ref(), CFG, 8, None);
+        assert_same(p.name(), "repeat @8 threads", &first, &again);
+    }
+}

@@ -521,8 +521,9 @@ impl Device {
                 // — otherwise sequential execution would have trapped
                 // FuelExhausted partway through; (b) did not touch the
                 // device heap (unbufferable); and (c) every validated
-                // atomic (CAS / exchange) observed the value the master
-                // actually held, so its control flow was uncontaminated.
+                // observation — plain global loads, CAS old values, and
+                // live-result atomic RMWs — matched what the master
+                // actually held, so its execution was uncontaminated.
                 // Any failing team is re-executed in direct mode with the
                 // exact remaining budget, which reproduces the sequential
                 // outcome including partial effects.

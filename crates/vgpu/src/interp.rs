@@ -152,11 +152,11 @@ impl Default for ThreadCtx {
 /// Executes one team to completion.
 ///
 /// All team-local state — thread contexts, shared memory, the cycle/event
-/// counters, the remaining fuel, and (in buffered mode) the private view
-/// of global memory — is *owned*, so a `TeamExec` built over a
+/// counters, the remaining fuel, and (in buffered mode) the copy-on-write
+/// overlay of global memory — is *owned*, so a `TeamExec` built over a
 /// [`GlobalMem::Buffered`] view is `Send` and can run on a worker thread;
-/// the shared borrows (`module`, `cost`, `layout`, `constant`, `faults`)
-/// are all `Sync`.
+/// the shared borrows (`module`, `cost`, `layout`, `constant`, `faults`,
+/// and the buffered view's wave-start base image) are all `Sync`.
 pub struct TeamExec<'a> {
     pub module: &'a Module,
     pub cost: &'a CostModel,
@@ -180,6 +180,33 @@ pub struct TeamExec<'a> {
     /// loop then degenerates to one always-false integer compare).
     pub faults: Option<&'a FaultPlan>,
     threads: Vec<ThreadCtx>,
+    /// Per-function cache of which instruction results are referenced by
+    /// any operand — computed lazily, only consulted by buffered global
+    /// atomics to decide whether their observed old value needs merge
+    /// validation (a dead result cannot steer behavior).
+    result_used: HashMap<u32, Vec<bool>>,
+}
+
+/// Which instruction results of `func` are referenced by at least one
+/// operand (instructions, phi incomings, or block terminators).
+fn used_results(func: &Function) -> Vec<bool> {
+    let mut used = vec![false; func.insts.len()];
+    let mut mark = |ops: Vec<Operand>| {
+        for op in ops {
+            if let Operand::Inst(i) = op {
+                if let Some(u) = used.get_mut(i.index()) {
+                    *u = true;
+                }
+            }
+        }
+    };
+    for inst in &func.insts {
+        mark(inst.operands());
+    }
+    for block in &func.blocks {
+        mark(block.term.operands());
+    }
+    used
 }
 
 impl<'a> TeamExec<'a> {
@@ -213,7 +240,24 @@ impl<'a> TeamExec<'a> {
             fuel,
             faults,
             threads: Vec::new(),
+            result_used: HashMap::new(),
         }
+    }
+
+    /// Whether instruction `iid` of function `func_idx` has a live result.
+    /// Lazily computes (and caches) the per-function used-result map;
+    /// unknown functions or out-of-range ids answer `true` (conservative:
+    /// validate).
+    fn result_is_used(&mut self, func_idx: u32, iid: InstId) -> bool {
+        let module = self.module;
+        let used = self.result_used.entry(func_idx).or_insert_with(|| {
+            module
+                .funcs
+                .get(func_idx as usize)
+                .map(used_results)
+                .unwrap_or_default()
+        });
+        used.get(iid.index()).copied().unwrap_or(true)
     }
 
     /// Tear down into `(counters, fuel_left, global view)` — what the
@@ -649,7 +693,21 @@ impl<'a> TeamExec<'a> {
                     // execution can log the *operation* for wave-ordered
                     // replay. Two accesses (read + write), as before.
                     self.counters.global_accesses += 2;
-                    let old = self.global.atomic(*op, *ty, p.offset(), v)?;
+                    // Only buffered execution cares whether the observed
+                    // old value can steer behavior; skip the liveness
+                    // lookup on the sequential hot path.
+                    let result_used = match &self.global {
+                        GlobalMem::Direct { .. } => true,
+                        GlobalMem::Buffered(_) => {
+                            let func_idx = thread
+                                .frames
+                                .last()
+                                .map(|f| f.func)
+                                .ok_or_else(|| malformed("atomic executed with no frame"))?;
+                            self.result_is_used(func_idx, iid)
+                        }
+                    };
+                    let old = self.global.atomic(*op, *ty, p.offset(), v, result_used)?;
                     self.set_reg(thread, iid, old)?;
                 } else {
                     let old = self.load_typed(thread, p, *ty)?;

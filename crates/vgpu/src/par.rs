@@ -7,8 +7,10 @@
 //!   a wave is `num_sms × teams_per_sm` teams, exactly the chunking the
 //!   cycle aggregation in `Device::launch` uses. Within a wave, teams run
 //!   concurrently on up to `worker_threads` host threads, each against a
-//!   [`BufferedGlobal`](crate::gmem::BufferedGlobal) snapshot of global
-//!   memory taken at wave start.
+//!   [`BufferedGlobal`](crate::gmem::BufferedGlobal) copy-on-write view
+//!   of global memory taken at wave start (teams share the immutable
+//!   wave-start image and overlay only the chunks they write, so peak
+//!   memory stays near one region regardless of worker count).
 //! * After the wave, the device replays each team's effect log onto the
 //!   master region **in ascending team order** and reconciles the shared
 //!   fuel budget, so results, metrics, and traps are bit-identical to the
@@ -84,7 +86,7 @@ fn run_one_team(ctx: &WaveCtx<'_>, master: &Region, team: u32, fuel: u64) -> Tea
         ctx.threads_per_team,
         ctx.shared_total,
         ctx.layout,
-        GlobalMem::Buffered(BufferedGlobal::new(master.clone())),
+        GlobalMem::Buffered(BufferedGlobal::new(&master.bytes)),
         ctx.constant,
         fuel,
         ctx.plan,
@@ -135,15 +137,21 @@ pub(crate) fn run_wave(
     });
     slots
         .into_iter()
-        .map(|m| {
+        .zip(teams)
+        .map(|(m, &team)| {
             m.into_inner()
                 .unwrap_or_else(|poison| poison.into_inner())
-                // The interpreter is panic-free by policy, so every claimed
-                // slot is filled; degrade to a typed trap rather than a
-                // panic if that invariant is ever violated.
+                // Unreachable in practice: every claimed slot is filled,
+                // and a worker that died mid-team could only do so by
+                // panicking, which `std::thread::scope` propagates before
+                // this runs. Kept as a typed-trap backstop (the crate is
+                // panic-free by policy), naming the team the empty slot
+                // stands in for.
                 .unwrap_or_else(|| TeamRun {
                     result: Err((
-                        TrapKind::MalformedIr("parallel worker produced no result".into()),
+                        TrapKind::MalformedIr(format!(
+                            "parallel worker produced no result for team {team}"
+                        )),
                         0,
                     )),
                     steps: 0,

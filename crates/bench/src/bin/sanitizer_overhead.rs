@@ -1,0 +1,136 @@
+//! Sanitizer overhead smoke: cost of shadow tracking, and proof that it
+//! is *only* a cost — never a behavior change.
+//!
+//! For every proxy (full §IV pipeline, New RT without assumptions) the
+//! harness launches the same binary twice on fresh devices — once plain,
+//! once with the sanitizer on — and checks three contracts:
+//!
+//! 1. **Clean**: the sanitized launch reports zero races and zero
+//!    divergences.
+//! 2. **Invisible**: output bits, the full [`KernelMetrics`] (modeled
+//!    cycles included), and the global-memory image are bit-identical
+//!    with and without the sanitizer — shadow tracking must not perturb
+//!    execution.
+//! 3. **Bounded**: the wall-time overhead is reported per proxy in a
+//!    Fig. 11-style table (`nzomp::report::sanitizer_table`).
+//!
+//! Exits nonzero if any proxy violates (1) or (2).
+//!
+//! ```text
+//! cargo run --release -p nzomp-bench --bin sanitizer_overhead [REPS]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use nzomp::report::{sanitizer_table, SanitizerRow};
+use nzomp::BuildConfig;
+use nzomp_proxies::{all_proxies, compile_for_config, quick_device, Proxy};
+use nzomp_vgpu::{Device, KernelMetrics};
+
+/// One measured side (plain or sanitized) of a proxy.
+struct Side {
+    wall_ns: u128,
+    out_bits: Vec<u64>,
+    metrics: KernelMetrics,
+    global: Vec<u8>,
+    races: u64,
+    divergences: u64,
+}
+
+fn run_side(module: &nzomp_ir::Module, p: &dyn Proxy, sanitize: bool, reps: u32) -> Side {
+    let mut dev = Device::load(module.clone(), quick_device());
+    dev.set_sanitize_strict(false);
+    dev.set_sanitize(sanitize);
+    let prep = p.prepare(&mut dev);
+    // Warm-up launch: page in code paths and let lazy init settle.
+    dev.launch(p.kernel_name(), prep.launch, &prep.args)
+        .expect("warm-up launch");
+    let start = Instant::now();
+    let mut metrics = None;
+    for _ in 0..reps {
+        metrics = Some(
+            dev.launch(p.kernel_name(), prep.launch, &prep.args)
+                .expect("bench launch"),
+        );
+    }
+    let wall_ns = start.elapsed().as_nanos();
+    let (races, divergences) = dev.sanitizer_counts();
+    Side {
+        wall_ns,
+        out_bits: dev
+            .read_f64(prep.out_ptr, prep.expected.len())
+            .expect("readback")
+            .iter()
+            .map(|v| v.to_bits())
+            .collect(),
+        metrics: metrics.expect("at least one rep"),
+        global: dev.global_bytes().to_vec(),
+        races,
+        divergences,
+    }
+}
+
+fn main() -> ExitCode {
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    let cfg = BuildConfig::NewRtNoAssumptions;
+    println!("sanitizer_overhead: all proxies, {reps} reps, {cfg:?}");
+
+    let mut ok = true;
+    let mut rows = Vec::new();
+    for p in all_proxies() {
+        let module = compile_for_config(p.as_ref(), cfg).expect("compile").module;
+        let plain = run_side(&module, p.as_ref(), false, reps);
+        let sanitized = run_side(&module, p.as_ref(), true, reps);
+
+        if plain.races != 0 || plain.divergences != 0 {
+            eprintln!("FAIL: {}: plain run produced sanitizer reports", p.name());
+            ok = false;
+        }
+        if sanitized.races != 0 || sanitized.divergences != 0 {
+            eprintln!(
+                "FAIL: {}: not sanitizer-clean ({} races, {} divergences)",
+                p.name(),
+                sanitized.races,
+                sanitized.divergences
+            );
+            ok = false;
+        }
+        if sanitized.out_bits != plain.out_bits {
+            eprintln!("FAIL: {}: output bits change under the sanitizer", p.name());
+            ok = false;
+        }
+        if sanitized.metrics != plain.metrics {
+            eprintln!(
+                "FAIL: {}: metrics (modeled cycles) change under the sanitizer",
+                p.name()
+            );
+            ok = false;
+        }
+        if sanitized.global != plain.global {
+            eprintln!("FAIL: {}: global memory changes under the sanitizer", p.name());
+            ok = false;
+        }
+
+        rows.push(SanitizerRow {
+            name: p.name().to_string(),
+            races: sanitized.races,
+            divergences: sanitized.divergences,
+            plain_ns: plain.wall_ns,
+            sanitized_ns: sanitized.wall_ns,
+        });
+    }
+
+    println!();
+    print!("{}", sanitizer_table(&rows));
+
+    if ok {
+        println!("\nOK: all proxies sanitizer-clean, execution bit-identical with tracking on");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

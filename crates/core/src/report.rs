@@ -107,6 +107,60 @@ pub fn scaling_table(rows: &[ScalingRow]) -> String {
     s
 }
 
+/// One proxy's sanitizer-overhead measurement: verdict counts plus the
+/// wall time of a plain and a sanitized launch of the same binary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SanitizerRow {
+    pub name: String,
+    pub races: u64,
+    pub divergences: u64,
+    pub plain_ns: u128,
+    pub sanitized_ns: u128,
+}
+
+impl SanitizerRow {
+    /// `clean` iff the sanitized launch reported nothing.
+    pub fn is_clean(&self) -> bool {
+        self.races == 0 && self.divergences == 0
+    }
+
+    /// Wall-time cost of shadow tracking (sanitized / plain), or `None`
+    /// when the plain run time is degenerate — same NaN-free policy as
+    /// [`relative_performance`].
+    pub fn overhead(&self) -> Option<f64> {
+        (self.plain_ns > 0).then(|| self.sanitized_ns as f64 / self.plain_ns as f64)
+    }
+}
+
+/// Render a sanitizer sweep as an aligned ASCII table: one row per proxy
+/// with its verdict, both wall times, and the tracking overhead.
+pub fn sanitizer_table(rows: &[SanitizerRow]) -> String {
+    let mut s = format!(
+        "{:<10} | {:>8} | {:>12} | {:>12} | {:>8}\n",
+        "proxy", "verdict", "plain", "sanitized", "overhead"
+    );
+    for row in rows {
+        let verdict = if row.is_clean() {
+            "clean".to_string()
+        } else {
+            format!("{}r/{}d", row.races, row.divergences)
+        };
+        let plain = format_time(row.plain_ns as f64 / 1e6);
+        let sanitized = format_time(row.sanitized_ns as f64 / 1e6);
+        match row.overhead() {
+            Some(v) => s.push_str(&format!(
+                "{:<10} | {:>8} | {:>12} | {:>12} | {:>7.2}x\n",
+                row.name, verdict, plain, sanitized, v
+            )),
+            None => s.push_str(&format!(
+                "{:<10} | {:>8} | {:>12} | {:>12} | {:>8}\n",
+                row.name, verdict, plain, sanitized, "n/a"
+            )),
+        }
+    }
+    s
+}
+
 pub fn format_time(ms: f64) -> String {
     if ms >= 1000.0 {
         format!("{:.3} s", ms / 1000.0)
@@ -162,6 +216,32 @@ mod tests {
             ScalingRow { workers: 2, wall_ns: 0 },
         ];
         assert_eq!(scaling_speedups(&rows)[1], (2, None));
+    }
+
+    #[test]
+    fn sanitizer_table_renders_verdict_and_overhead() {
+        let rows = [
+            SanitizerRow {
+                name: "xsbench".into(),
+                races: 0,
+                divergences: 0,
+                plain_ns: 1_000_000,
+                sanitized_ns: 1_500_000,
+            },
+            SanitizerRow {
+                name: "broken".into(),
+                races: 2,
+                divergences: 1,
+                plain_ns: 0,
+                sanitized_ns: 5,
+            },
+        ];
+        let table = sanitizer_table(&rows);
+        assert!(table.contains("clean"), "{table}");
+        assert!(table.contains("1.50x"), "{table}");
+        assert!(table.contains("2r/1d"), "{table}");
+        assert!(table.contains("n/a"), "{table}");
+        assert_eq!(table.lines().count(), 3, "{table}");
     }
 
     #[test]

@@ -10,6 +10,20 @@
 //! function carrying the `ext_aligned_barrier` + `ext_no_call_asm`
 //! assumptions (Fig. 6) itself counts as an aligned barrier when the
 //! aligned-execution analysis (§IV-C) is enabled.
+//!
+//! # Preservation contract
+//!
+//! This pass may only remove a barrier that is *redundant*: between it and
+//! the adjacent synchronization point (another aligned barrier, or the
+//! implicit kernel entry/exit barrier) there is no non-thread-local side
+//! effect, so removing it cannot change the happens-before relation of any
+//! pair of memory accesses. Every barrier ordering a cross-thread
+//! write→read must survive. The contract is machine-checked two ways:
+//! the vGPU sanitizer (`nzomp-vgpu::sanitize`) verifies every proxy stays
+//! race-free after the full pipeline and under each Fig.-13 ablation
+//! (`tests/opt_preserves_sync.rs`), and a hand-built kernel whose single
+//! barrier is load-bearing pins — via [`count_aligned_barriers`] — that
+//! the pass keeps it.
 
 use std::collections::HashSet;
 
@@ -35,6 +49,24 @@ fn is_thread_local_ptr(f: &Function, ptr: Operand) -> bool {
 
 use crate::remarks::Remarks;
 use crate::PassOptions;
+
+/// Number of explicit aligned-barrier intrinsics in `f` — the observable
+/// the preservation-contract tests pin before and after optimization.
+pub fn count_aligned_barriers(f: &Function) -> usize {
+    f.blocks
+        .iter()
+        .flat_map(|b| b.insts.iter())
+        .filter(|&&iid| {
+            matches!(
+                f.inst(iid),
+                Inst::Intr {
+                    intr: Intrinsic::AlignedBarrier,
+                    ..
+                }
+            )
+        })
+        .count()
+}
 
 pub fn run(module: &mut Module, opts: &PassOptions, remarks: &mut Remarks) -> bool {
     let kernel_funcs: HashSet<u32> = module.kernels.iter().map(|k| k.func.0).collect();

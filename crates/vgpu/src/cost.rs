@@ -109,6 +109,12 @@ pub struct DeviceConfig {
     /// sequential interpreter code path. Results are bit-identical at any
     /// setting — see `docs/parallel-vgpu.md`.
     pub worker_threads: u32,
+    /// Arm the data-race & barrier-divergence sanitizer. `false` (the
+    /// default) additionally consults `NZOMP_SANITIZE` (`1`/`true` = on,
+    /// `strict` = on + turn findings into a trap). Sanitizing never
+    /// changes results, traps, cycles, or the pre-existing metrics — see
+    /// `docs/sanitizer.md`.
+    pub sanitize: bool,
 }
 
 impl Default for DeviceConfig {
@@ -125,6 +131,7 @@ impl Default for DeviceConfig {
             check_assumes: true,
             latency_penalty: 8.0,
             worker_threads: 0,
+            sanitize: false,
         }
     }
 }

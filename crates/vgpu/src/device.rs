@@ -9,8 +9,10 @@ use crate::faults::FaultPlan;
 use crate::gmem::{apply_effects, GlobalMem};
 use crate::interp::{Counters, GlobalLayout, HeapState, TeamExec};
 use crate::memory::{DevPtr, Region};
+use crate::memory::Segment;
 use crate::metrics::KernelMetrics;
 use crate::par::{run_wave, WaveCtx};
+use crate::sanitize::{self, LaunchSan, SanReport, TeamSan, COND_WRITE_SINK};
 use crate::value::RtVal;
 
 /// Host-side memcpy errors carry a synthetic function name so the one
@@ -37,6 +39,22 @@ fn resolve_workers(config_value: u32) -> usize {
         .and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// Resolve `(sanitize, strict)`: an explicit config opt-in wins;
+/// otherwise `NZOMP_SANITIZE` is consulted (`1`/`true`/`on` = report-only,
+/// `strict` = report + trap); default off. Mirrors [`resolve_workers`].
+fn resolve_sanitize(config_value: bool) -> (bool, bool) {
+    if config_value {
+        return (true, false);
+    }
+    match std::env::var("NZOMP_SANITIZE").ok().as_deref().map(str::trim) {
+        Some("strict") => (true, true),
+        Some(v) if v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on") => {
+            (true, false)
+        }
+        _ => (false, false),
+    }
 }
 
 /// Launch parameters.
@@ -78,6 +96,23 @@ pub struct Device {
     /// sequential code path). Resolved at load from
     /// `DeviceConfig::worker_threads` / `NZOMP_VGPU_THREADS`.
     workers: usize,
+    /// Data-race & barrier-divergence sanitizer armed for launches.
+    /// Resolved at load from `DeviceConfig::sanitize` / `NZOMP_SANITIZE`.
+    sanitize: bool,
+    /// Promote sanitizer findings of an otherwise clean launch to a
+    /// [`TrapKind::SanitizerViolation`] (`NZOMP_SANITIZE=strict`).
+    san_strict: bool,
+    /// Shared-space ranges the sanitizer must not check: the cond-write
+    /// sink (`__omp_rtl_dummy`), whose concurrent plain stores are the
+    /// deliberate Fig. 7b idiom. Computed once at load.
+    suppress_shared: Vec<(u64, u64)>,
+    /// Function indices of the allocator release entry points
+    /// ([`sanitize::REGION_RELEASE_FNS`]) — the sanitizer retires the
+    /// shadow of released ranges. Computed once at load.
+    release_fns: Vec<u32>,
+    /// Sanitizer outcome of the most recent launch (kept even when the
+    /// launch trapped).
+    last_san: Option<LaunchSan>,
 }
 
 impl Device {
@@ -145,6 +180,24 @@ impl Device {
             limit: global_top + config.heap_bytes,
         };
         let workers = resolve_workers(config.worker_threads);
+        let (sanitize, san_strict) = resolve_sanitize(config.sanitize);
+        let suppress_shared: Vec<(u64, u64)> = module
+            .globals
+            .iter()
+            .zip(&layout.addr_of)
+            .filter(|(_, addr)| addr.segment() == Segment::Shared)
+            .filter_map(|(g, addr)| match g.name.as_str() {
+                // The cond-write sink (Fig. 7b): every byte is benign.
+                COND_WRITE_SINK => Some((addr.offset(), g.size)),
+                // Team state: only the idempotent `HasThreadState` flag.
+                sanitize::TEAM_STATE => {
+                    let (field_off, len) = sanitize::TEAM_STATE_BENIGN_FIELD;
+                    Some((addr.offset() + field_off, len))
+                }
+                _ => None,
+            })
+            .collect();
+        let release_fns = crate::sanitize::release_fn_ids(&module);
         Device {
             config,
             cost: CostModel::default(),
@@ -155,6 +208,11 @@ impl Device {
             heap,
             faults: None,
             workers,
+            sanitize,
+            san_strict,
+            suppress_shared,
+            release_fns,
+            last_san: None,
         }
     }
 
@@ -168,6 +226,48 @@ impl Device {
 
     pub fn worker_threads(&self) -> usize {
         self.workers
+    }
+
+    /// Arm or disarm the sanitizer for subsequent launches (overrides the
+    /// load-time `DeviceConfig::sanitize` / `NZOMP_SANITIZE` resolution).
+    pub fn set_sanitize(&mut self, on: bool) {
+        self.sanitize = on;
+        if !on {
+            self.san_strict = false;
+        }
+    }
+
+    /// Strict mode: an otherwise clean launch with sanitizer findings
+    /// returns a [`TrapKind::SanitizerViolation`] error (implies
+    /// sanitizing when enabled).
+    pub fn set_sanitize_strict(&mut self, on: bool) {
+        self.san_strict = on;
+        if on {
+            self.sanitize = true;
+        }
+    }
+
+    pub fn sanitize_enabled(&self) -> bool {
+        self.sanitize
+    }
+
+    /// Sanitizer findings of the most recent launch, in deterministic
+    /// (ascending-team fold) order. Empty when clean — or when sanitizing
+    /// is off. Kept even when the launch trapped.
+    pub fn sanitizer_reports(&self) -> &[SanReport] {
+        self.last_san
+            .as_ref()
+            .map(|l| l.reports.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// `(data races, barrier divergences)` of the most recent launch,
+    /// including findings beyond the report retention cap.
+    pub fn sanitizer_counts(&self) -> (u64, u64) {
+        self.last_san
+            .as_ref()
+            .map(|l| (l.races, l.divergences))
+            .unwrap_or((0, 0))
     }
 
     /// Raw bytes of device global memory — the determinism tests compare
@@ -369,12 +469,26 @@ impl Device {
         if let Some(budget) = self.faults.as_ref().and_then(|p| p.heap_limit) {
             self.heap.limit = (self.global.len() as u64).saturating_add(budget);
         }
+        // Sanitizer launch state: folded team by team in ascending order
+        // (both execution paths), stored on the device even when the
+        // launch traps — reports must survive the error return.
+        let mut lsan: Option<LaunchSan> = self.sanitize.then(LaunchSan::default);
         let outcome = if self.workers <= 1 || launch.teams <= 1 {
-            self.run_teams_sequential(func_ref.0, launch, shared_total, args, &mut fuel)
+            self.run_teams_sequential(func_ref.0, launch, shared_total, args, &mut fuel, &mut lsan)
         } else {
-            self.run_teams_parallel(func_ref.0, launch, shared_total, wave_size, args, &mut fuel)
+            self.run_teams_parallel(
+                func_ref.0,
+                launch,
+                shared_total,
+                wave_size,
+                args,
+                &mut fuel,
+                &mut lsan,
+            )
         };
         self.heap.limit = saved_heap_limit;
+        let (races, divergences) = lsan.as_ref().map(|l| (l.races, l.divergences)).unwrap_or((0, 0));
+        self.last_san = lsan;
         let (team_cycles, team_mem_cycles, counters) = match outcome {
             Ok(parts) => parts,
             Err((kind, team, thread)) => {
@@ -386,6 +500,20 @@ impl Device {
                 })
             }
         };
+        if self.san_strict && (races > 0 || divergences > 0) {
+            let (team, thread) = self
+                .last_san
+                .as_ref()
+                .and_then(|l| l.reports.first())
+                .map(|r| r.site())
+                .unwrap_or((0, 0));
+            return Err(ExecError {
+                kind: TrapKind::SanitizerViolation { races, divergences },
+                team,
+                thread,
+                func: kernel.to_string(),
+            });
+        }
 
         // Occupancy / wave model: teams are issued in launch order, one wave
         // at a time; each wave lasts as long as its slowest team. A team's
@@ -427,6 +555,8 @@ impl Device {
             device_mallocs: counters.device_mallocs,
             runtime_calls: counters.runtime_calls,
             flops: counters.flops,
+            sanitizer_races: races,
+            sanitizer_divergences: divergences,
             team_cycles,
         })
     }
@@ -435,6 +565,7 @@ impl Device {
     /// write-through to the master region, with the shared fuel budget
     /// threaded team to team. `worker_threads == 1` takes exactly this
     /// path — it is the semantic reference the parallel engine must match.
+    #[allow(clippy::too_many_arguments)]
     fn run_teams_sequential(
         &mut self,
         kernel_idx: u32,
@@ -442,6 +573,7 @@ impl Device {
         shared_total: u64,
         args: &[RtVal],
         fuel: &mut u64,
+        lsan: &mut Option<LaunchSan>,
     ) -> TeamsOutcome {
         let mut team_cycles = Vec::with_capacity(launch.teams as usize);
         let mut team_mem_cycles = Vec::with_capacity(launch.teams as usize);
@@ -464,8 +596,22 @@ impl Device {
                 *fuel,
                 self.faults.as_ref(),
             );
+            if lsan.is_some() {
+                exec.set_sanitizer(Some(Box::new(TeamSan::new(
+                    team,
+                    self.suppress_shared.clone(),
+                    self.release_fns.clone(),
+                ))));
+            }
             let result = exec.run(kernel_idx, args);
+            let san = exec.take_sanitizer();
             let (counters, fuel_left, _) = exec.into_outcome();
+            // Fold before the trap check: a trapping team's findings up
+            // to the trap are still reported (sequential first-trap
+            // semantics — later teams never run, so never fold).
+            if let (Some(ls), Some(s)) = (lsan.as_mut(), san) {
+                ls.fold_team(&self.module, *s);
+            }
             totals.add(&counters);
             *fuel = fuel_left;
             match result {
@@ -487,6 +633,7 @@ impl Device {
     /// budget) any team that overdrew it or bailed out on an unbufferable
     /// operation — so memory, counters, and traps are bit-identical to
     /// [`Device::run_teams_sequential`]. See `docs/parallel-vgpu.md`.
+    #[allow(clippy::too_many_arguments)]
     fn run_teams_parallel(
         &mut self,
         kernel_idx: u32,
@@ -495,6 +642,7 @@ impl Device {
         wave_size: usize,
         args: &[RtVal],
         fuel: &mut u64,
+        lsan: &mut Option<LaunchSan>,
     ) -> TeamsOutcome {
         let mut team_cycles = Vec::with_capacity(launch.teams as usize);
         let mut team_mem_cycles = Vec::with_capacity(launch.teams as usize);
@@ -513,6 +661,9 @@ impl Device {
                 num_teams: launch.teams,
                 threads_per_team: launch.threads_per_team,
                 shared_total,
+                sanitize: lsan.is_some(),
+                suppress_shared: &self.suppress_shared,
+                release_fns: &self.release_fns,
             };
             let runs = run_wave(&ctx, &self.global, wave, *fuel, self.workers);
             for (run, &team) in runs.into_iter().zip(wave) {
@@ -539,8 +690,11 @@ impl Device {
                 // effects it performed before the trap (direct mode wrote
                 // them through), and later teams never merge — exactly the
                 // sequential first-trap-wins behavior.
-                let (result, counters, steps) = if merged {
-                    (run.result, run.counters, run.steps)
+                let (result, counters, steps, san) = if merged {
+                    // A merged team's buffered access trace is identical
+                    // to the sequential one (every observation validated),
+                    // so its sanitizer verdict carries over unchanged.
+                    (run.result, run.counters, run.steps, run.san)
                 } else {
                     let mut exec = TeamExec::new(
                         &self.module,
@@ -559,10 +713,23 @@ impl Device {
                         *fuel,
                         self.faults.as_ref(),
                     );
+                    if lsan.is_some() {
+                        exec.set_sanitizer(Some(Box::new(TeamSan::new(
+                            team,
+                            self.suppress_shared.clone(),
+                            self.release_fns.clone(),
+                        ))));
+                    }
                     let result = exec.run(kernel_idx, args);
+                    let san = exec.take_sanitizer();
                     let (counters, fuel_left, _) = exec.into_outcome();
-                    (result, counters, *fuel - fuel_left)
+                    (result, counters, *fuel - fuel_left, san)
                 };
+                // Ascending-team fold at the merge position — the same
+                // order and state as the sequential path.
+                if let (Some(ls), Some(s)) = (lsan.as_mut(), san) {
+                    ls.fold_team(&self.module, *s);
+                }
                 totals.add(&counters);
                 *fuel -= steps;
                 match result {

@@ -40,6 +40,11 @@ pub enum TrapKind {
     /// module loaded directly onto a device degrades to this typed error
     /// instead of aborting the process.
     MalformedIr(String),
+    /// The sanitizer found data races / divergent barriers and strict
+    /// mode (`NZOMP_SANITIZE=strict`) promotes findings to a trap after
+    /// the (otherwise clean) launch completes. The reports remain
+    /// available through `Device::sanitizer_reports`.
+    SanitizerViolation { races: u64, divergences: u64 },
     /// Internal control-flow signal of the parallel engine: the team
     /// executed an operation that cannot be buffered (device
     /// `malloc`/`free`) and must be re-run in direct/sequential mode.
@@ -68,6 +73,10 @@ impl fmt::Display for TrapKind {
             TrapKind::BadFree => write!(f, "free() of unknown pointer"),
             TrapKind::BadLaunch(m) => write!(f, "bad launch: {m}"),
             TrapKind::MalformedIr(m) => write!(f, "malformed IR reached the interpreter: {m}"),
+            TrapKind::SanitizerViolation { races, divergences } => write!(
+                f,
+                "sanitizer reported {races} data race(s) and {divergences} barrier divergence(s)"
+            ),
             TrapKind::ParallelBailout => {
                 write!(f, "internal: team requires sequential re-execution")
             }

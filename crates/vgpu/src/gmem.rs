@@ -51,6 +51,16 @@
 //! [`TrapKind::ParallelBailout`](crate::error::TrapKind) signal and the
 //! device re-runs that team sequentially (direct mode supports them
 //! natively). The bailout never escapes [`crate::Device::launch`].
+//!
+//! The observation-validation contract is also what makes the
+//! [sanitizer](crate::sanitize) worker-count independent: a team whose
+//! buffered run *merges* observed exactly the values sequential execution
+//! would have shown it, so its control flow — and therefore its recorded
+//! access trace and race/divergence verdict — is identical to the
+//! sequential run's; a team that fails validation is re-run in direct
+//! mode and contributes the re-run's verdict. Either way the launch-level
+//! fold (ascending team order) sees the same per-team states at any
+//! worker count.
 
 use std::collections::HashMap;
 

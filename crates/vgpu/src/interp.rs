@@ -19,6 +19,7 @@ use crate::error::TrapKind;
 use crate::faults::{FaultAction, FaultPlan, FaultSite};
 use crate::gmem::{combine_atomic, rtval_from_bits, GlobalMem};
 use crate::memory::{DevPtr, Region, Segment};
+use crate::sanitize::{AccessKind, BarrierArrival, IrLoc, TeamSan};
 use crate::value::RtVal;
 
 /// Typed error for states only reachable through IR the verifier rejects
@@ -126,6 +127,9 @@ pub struct ThreadCtx {
     corrupt_next_load: Option<u64>,
     /// Armed by [`FaultAction::DropBarrierArrival`]: skip the next barrier.
     drop_next_barrier: bool,
+    /// IR site of the barrier this thread is waiting at (recorded only
+    /// when the sanitizer is armed; feeds the divergence check).
+    barrier_site: Option<IrLoc>,
 }
 
 impl Default for ThreadCtx {
@@ -145,6 +149,7 @@ impl Default for ThreadCtx {
             next_fault_step: u64::MAX,
             corrupt_next_load: None,
             drop_next_barrier: false,
+            barrier_site: None,
         }
     }
 }
@@ -179,6 +184,10 @@ pub struct TeamExec<'a> {
     /// Active fault-injection plan (`None` in production runs; the hot
     /// loop then degenerates to one always-false integer compare).
     pub faults: Option<&'a FaultPlan>,
+    /// Data-race/divergence sanitizer state (`None` in production runs;
+    /// every hook then degenerates to one pointer test — the same
+    /// zero-cost-when-disabled shape as `faults`).
+    san: Option<Box<TeamSan>>,
     threads: Vec<ThreadCtx>,
     /// Per-function cache of which instruction results are referenced by
     /// any operand — computed lazily, only consulted by buffered global
@@ -239,9 +248,34 @@ impl<'a> TeamExec<'a> {
             counters: Counters::default(),
             fuel,
             faults,
+            san: None,
             threads: Vec::new(),
             result_used: HashMap::new(),
         }
+    }
+
+    /// Arm the data-race & barrier-divergence sanitizer for this team.
+    pub fn set_sanitizer(&mut self, san: Option<Box<TeamSan>>) {
+        self.san = san;
+    }
+
+    /// Detach the sanitizer state. Called before `into_outcome` so the
+    /// reports survive even a trapping run.
+    pub fn take_sanitizer(&mut self) -> Option<Box<TeamSan>> {
+        self.san.take()
+    }
+
+    /// Sanitizer hook: mirror one executed memory access into the shadow.
+    #[inline]
+    fn san_record(&mut self, thread: &ThreadCtx, iid: InstId, kind: AccessKind, p: DevPtr, size: u64) {
+        let Some(san) = self.san.as_deref_mut() else { return };
+        let Some(frame) = thread.frames.last() else { return };
+        let loc = IrLoc {
+            func: frame.func,
+            block: frame.block.0,
+            inst: iid.0,
+        };
+        san.record_access(self.module, thread.tid, kind, loc, p.segment(), p.offset(), size);
     }
 
     /// Whether instruction `iid` of function `func_idx` has a live result.
@@ -338,6 +372,13 @@ impl<'a> TeamExec<'a> {
                     )
                 });
                 if any_done && any_aligned_wait {
+                    if self.san.is_some() {
+                        let waiting = self.barrier_arrivals(&live);
+                        let done = self.threads.len() - live.len();
+                        if let Some(san) = self.san.as_deref_mut() {
+                            san.on_aligned_subset(self.module, &waiting, done);
+                        }
+                    }
                     return Err((TrapKind::BarrierDeadlock, self.threads[live[0]].tid));
                 }
                 // Release the barrier: synchronize cycle counters.
@@ -352,6 +393,15 @@ impl<'a> TeamExec<'a> {
                 } else {
                     self.cost.barrier_unaligned
                 };
+                // Sanitizer: check arrival uniformity, then open a new
+                // barrier epoch (every release synchronizes the live
+                // threads, aligned or not).
+                if self.san.is_some() {
+                    let arrivals = self.barrier_arrivals(&live);
+                    if let Some(san) = self.san.as_deref_mut() {
+                        san.on_barrier_release(self.module, &arrivals);
+                    }
+                }
                 let max_cycles = live
                     .iter()
                     .map(|&t| self.threads[t].cycles)
@@ -651,6 +701,7 @@ impl<'a> TeamExec<'a> {
                 thread.busy_cycles += c;
                 thread.mem_cycles += c;
                 let mut v = self.load_typed(thread, p, *ty)?;
+                self.san_record(thread, iid, AccessKind::Read, p, ty.size());
                 if let Some(xor) = thread.corrupt_next_load.take() {
                     v = corrupt_value(v, xor, *ty);
                 }
@@ -664,6 +715,7 @@ impl<'a> TeamExec<'a> {
                 thread.busy_cycles += c;
                 thread.mem_cycles += c;
                 self.mem_write(thread, p, ty.size(), v.to_bits())?;
+                self.san_record(thread, iid, AccessKind::Write, p, ty.size());
             }
             Inst::PtrAdd { base, offset } => {
                 let b = self.eval(thread, *base)?.as_ptr();
@@ -715,6 +767,7 @@ impl<'a> TeamExec<'a> {
                     self.mem_write(thread, p, ty.size(), new.to_bits())?;
                     self.set_reg(thread, iid, old)?;
                 }
+                self.san_record(thread, iid, AccessKind::Atomic, p, ty.size());
             }
             Inst::Cas {
                 ty,
@@ -743,6 +796,7 @@ impl<'a> TeamExec<'a> {
                     }
                     self.set_reg(thread, iid, old)?;
                 }
+                self.san_record(thread, iid, AccessKind::Atomic, p, ty.size());
             }
             Inst::Intr { intr, args } => {
                 self.exec_intr(thread, iid, *intr, args)?;
@@ -862,6 +916,16 @@ impl<'a> TeamExec<'a> {
             .iter()
             .map(|a| self.eval(thread, *a))
             .collect::<Result<_, _>>()?;
+        if let Some(san) = self.san.as_deref_mut() {
+            // Allocator release: the freed range's shadow is retired
+            // (ownership transfer — see `sanitize::REGION_RELEASE_FNS`).
+            if san.is_release_fn(target) {
+                if let (Some(&RtVal::P(p)), Some(&RtVal::I(sz))) = (argv.first(), argv.get(1)) {
+                    let aligned = (sz.max(0) as u64).next_multiple_of(8);
+                    san.on_region_release(p.segment(), p.offset(), aligned);
+                }
+            }
+        }
         let frame = Frame {
             func: target,
             block: BlockId::ENTRY,
@@ -906,6 +970,13 @@ impl<'a> TeamExec<'a> {
                     // deadlock (or a divergent-arrival trap) downstream.
                     thread.drop_next_barrier = false;
                 } else {
+                    if self.san.is_some() {
+                        thread.barrier_site = thread.frames.last().map(|f| IrLoc {
+                            func: f.func,
+                            block: f.block.0,
+                            inst: iid.0,
+                        });
+                    }
                     thread.status = Status::AtBarrier { aligned: true };
                 }
             }
@@ -913,6 +984,13 @@ impl<'a> TeamExec<'a> {
                 if thread.drop_next_barrier {
                     thread.drop_next_barrier = false;
                 } else {
+                    if self.san.is_some() {
+                        thread.barrier_site = thread.frames.last().map(|f| IrLoc {
+                            func: f.func,
+                            block: f.block.0,
+                            inst: iid.0,
+                        });
+                    }
                     thread.status = Status::AtBarrier { aligned: false };
                 }
             }
@@ -1074,6 +1152,21 @@ impl<'a> TeamExec<'a> {
         frame.inst_idx = phi_count;
         self.counters.instructions += phi_count as u64;
         Ok(())
+    }
+
+    /// Arrival snapshot of the given live (waiting) threads, for the
+    /// sanitizer's divergence checks.
+    fn barrier_arrivals(&self, live: &[usize]) -> Vec<BarrierArrival> {
+        live.iter()
+            .map(|&t| {
+                let th = &self.threads[t];
+                BarrierArrival {
+                    tid: th.tid,
+                    aligned: matches!(th.status, Status::AtBarrier { aligned: true }),
+                    site: th.barrier_site,
+                }
+            })
+            .collect()
     }
 
     /// Final per-thread cycle counts (after `run`).

@@ -35,6 +35,7 @@ pub mod interp;
 pub mod memory;
 pub mod metrics;
 mod par;
+pub mod sanitize;
 pub mod value;
 
 pub use cost::{CostModel, DeviceConfig};
@@ -43,4 +44,5 @@ pub use error::{ExecError, TrapKind};
 pub use faults::{FaultAction, FaultPlan, FaultSite};
 pub use memory::{DevPtr, Segment};
 pub use metrics::KernelMetrics;
+pub use sanitize::{AccessKind, AccessSite, DivergenceReport, RaceReport, SanReport};
 pub use value::RtVal;

@@ -43,6 +43,12 @@ pub struct KernelMetrics {
     /// Floating point operations executed (for GFlops reporting, Fig. 12).
     pub flops: u64,
 
+    /// Data races found by the sanitizer (0 when sanitizing is off; the
+    /// sanitizer never changes any other field).
+    pub sanitizer_races: u64,
+    /// Divergent aligned-barrier releases found by the sanitizer.
+    pub sanitizer_divergences: u64,
+
     /// Per-team cycle counts (diagnostics).
     pub team_cycles: Vec<u64>,
 }

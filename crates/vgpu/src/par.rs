@@ -36,6 +36,7 @@ use crate::faults::FaultPlan;
 use crate::gmem::{BufferedGlobal, GlobalEffect, GlobalMem};
 use crate::interp::{Counters, GlobalLayout, TeamExec};
 use crate::memory::Region;
+use crate::sanitize::TeamSan;
 use crate::value::RtVal;
 
 /// Everything a worker needs to run one team, shared immutably across the
@@ -53,6 +54,15 @@ pub(crate) struct WaveCtx<'a> {
     pub num_teams: u32,
     pub threads_per_team: u32,
     pub shared_total: u64,
+    /// Arm the per-team sanitizer. A merged team's buffered access trace
+    /// is identical to its sequential trace (the merge validates every
+    /// observation), so its sanitizer verdict is too — worker-count
+    /// independence for free.
+    pub sanitize: bool,
+    /// Suppressed shared-space ranges (the cond-write sink).
+    pub suppress_shared: &'a [(u64, u64)],
+    /// Allocator release entry points (shadow retired on release).
+    pub release_fns: &'a [u32],
 }
 
 /// Outcome of one team's buffered run, in merge-ready form.
@@ -64,6 +74,9 @@ pub(crate) struct TeamRun {
     pub steps: u64,
     pub counters: Counters,
     pub effects: Vec<GlobalEffect>,
+    /// Sanitizer state of the buffered run (used only when the run
+    /// merges; re-run teams contribute the re-run's state instead).
+    pub san: Option<Box<TeamSan>>,
 }
 
 impl TeamRun {
@@ -91,7 +104,15 @@ fn run_one_team(ctx: &WaveCtx<'_>, master: &Region, team: u32, fuel: u64) -> Tea
         fuel,
         ctx.plan,
     );
+    if ctx.sanitize {
+        exec.set_sanitizer(Some(Box::new(TeamSan::new(
+            team,
+            ctx.suppress_shared.to_vec(),
+            ctx.release_fns.to_vec(),
+        ))));
+    }
     let result = exec.run(ctx.kernel, ctx.args);
+    let san = exec.take_sanitizer();
     let (counters, fuel_left, global) = exec.into_outcome();
     let effects = match global {
         GlobalMem::Buffered(b) => b.log,
@@ -102,6 +123,7 @@ fn run_one_team(ctx: &WaveCtx<'_>, master: &Region, team: u32, fuel: u64) -> Tea
         steps: fuel - fuel_left,
         counters,
         effects,
+        san,
     }
 }
 
@@ -157,6 +179,7 @@ pub(crate) fn run_wave(
                     steps: 0,
                     counters: Counters::default(),
                     effects: Vec::new(),
+                    san: None,
                 })
         })
         .collect()

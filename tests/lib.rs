@@ -23,6 +23,13 @@ pub struct ProxyOutcome {
     /// The entire device global-memory image after the launch — inputs,
     /// outputs, runtime state, heap; nothing can hide a divergence here.
     pub global: Vec<u8>,
+    /// Sanitizer verdict `(races, divergences)` — `(0, 0)` when the
+    /// sanitizer is off (no `NZOMP_SANITIZE` in the environment), so the
+    /// field compares as equal on unsanitized runs.
+    pub san_counts: (u64, u64),
+    /// Rendered sanitizer reports; the determinism matrix requires the
+    /// exact same text at every worker count.
+    pub san_reports: Vec<String>,
 }
 
 /// Compile `p` under `cfg`, load it onto a quick device with `workers`
@@ -57,5 +64,11 @@ pub fn run_proxy_outcome(
         result,
         out_bits,
         global: dev.global_bytes().to_vec(),
+        san_counts: dev.sanitizer_counts(),
+        san_reports: dev
+            .sanitizer_reports()
+            .iter()
+            .map(|r| r.to_string())
+            .collect(),
     }
 }

@@ -1,0 +1,106 @@
+//! Compile-time profile: the per-pass `-ftime-report` analogue for the
+//! pass-manager pipeline, plus the measured analysis-cache speedup.
+//!
+//! For every proxy × {baseline, full §IV} configuration the harness links
+//! the proxy once, then optimizes fresh clones of the linked module with
+//! the analysis cache enabled and disabled (`REPS` times each, best-of),
+//! printing the per-pass profile (`nzomp::report::compile_stats_table`)
+//! and the cached/uncached ratio. Exits nonzero if any variant fails to
+//! compile or if optimized IR ever differs between the two cache modes —
+//! caching must be invisible to the output.
+//!
+//! ```text
+//! cargo run --release -p nzomp-bench --bin compile_profile [REPS]
+//! ```
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use nzomp::pipeline::link_only;
+use nzomp::report::{compile_stats_table, format_time};
+use nzomp::BuildConfig;
+use nzomp::opt::{optimize_module_with_caching, PassTimings};
+use nzomp_proxies::{all_proxies, build_for_config};
+
+/// Optimize a fresh clone `reps` times; return best wall time + a profile.
+fn measure(
+    linked: &nzomp_ir::Module,
+    opts: &nzomp::opt::PassOptions,
+    caching: bool,
+    reps: u32,
+) -> (Duration, PassTimings, nzomp_ir::Module) {
+    let mut best = Duration::MAX;
+    let mut best_timings = PassTimings::default();
+    let mut out = linked.clone();
+    for _ in 0..reps.max(1) {
+        let mut m = linked.clone();
+        let start = Instant::now();
+        let (_remarks, timings) = optimize_module_with_caching(&mut m, opts, caching);
+        let wall = start.elapsed();
+        if wall < best {
+            best = wall;
+            best_timings = timings;
+            out = m;
+        }
+    }
+    (best, best_timings, out)
+}
+
+fn main() -> ExitCode {
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+    let configs = [
+        (BuildConfig::NewRtNightly, "baseline"),
+        (BuildConfig::NewRtNoAssumptions, "full §IV"),
+    ];
+    let mut failed = false;
+    let mut ratios: Vec<f64> = Vec::new();
+
+    for p in all_proxies() {
+        for (cfg, label) in configs {
+            let app = build_for_config(p.as_ref(), cfg);
+            let linked = match link_only(app, cfg, &cfg.rt_config()) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("{} [{label}]: link failed: {e}", p.name());
+                    failed = true;
+                    continue;
+                }
+            };
+            let opts = cfg.pass_options();
+            let (cached_wall, timings, cached_ir) = measure(&linked, &opts, true, reps);
+            let (uncached_wall, _, uncached_ir) = measure(&linked, &opts, false, reps);
+            if nzomp_ir::printer::print_module(&cached_ir)
+                != nzomp_ir::printer::print_module(&uncached_ir)
+            {
+                eprintln!("{} [{label}]: cached and uncached IR differ!", p.name());
+                failed = true;
+            }
+            println!("== {} [{label}] ==", p.name());
+            print!("{}", compile_stats_table(&timings));
+            let ratio = if cached_wall.as_nanos() > 0 {
+                uncached_wall.as_nanos() as f64 / cached_wall.as_nanos() as f64
+            } else {
+                1.0
+            };
+            ratios.push(ratio);
+            println!(
+                "optimize wall: {} cached vs {} uncached -> {ratio:.2}x from analysis caching\n",
+                format_time(cached_wall.as_secs_f64() * 1e3),
+                format_time(uncached_wall.as_secs_f64() * 1e3),
+            );
+        }
+    }
+
+    if !ratios.is_empty() {
+        let geo = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+        println!("geomean analysis-cache speedup over {} variants: {geo:.2}x", ratios.len());
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -14,7 +14,7 @@ use std::fmt;
 use nzomp_ir::link::LinkError;
 use nzomp_ir::verify::VerifyError;
 use nzomp_ir::Module;
-use nzomp_opt::{optimize_module, PassOptions, Remarks};
+use nzomp_opt::{optimize_module_timed, PassOptions, PassTimings, Remarks};
 use nzomp_rt::{build_runtime, RtConfig};
 
 use crate::config::BuildConfig;
@@ -25,6 +25,10 @@ pub struct CompileOutput {
     pub module: Module,
     /// Optimization remarks (`-Rpass[-missed]=openmp-opt`).
     pub remarks: Remarks,
+    /// Per-pass profile and analysis-cache counters from the optimizer
+    /// (the `-ftime-report` analogue; render with
+    /// [`crate::report::compile_stats_table`]).
+    pub timings: PassTimings,
 }
 
 /// Why the pipeline refused to produce a device image.
@@ -63,36 +67,58 @@ pub fn compile(app: Module, config: BuildConfig) -> Result<CompileOutput, Compil
     compile_with(app, config, config.rt_config(), config.pass_options())
 }
 
-/// Compile with explicit runtime configuration and pass options (used for
-/// debug builds and the Fig. 13 ablations).
-pub fn compile_with(
+/// The front half of [`compile_with`]: link the runtime library into `app`
+/// and verify the result, without optimizing. Used by the `compile_profile`
+/// harness to obtain the optimizer's true input.
+pub fn link_only(
     mut app: Module,
     config: BuildConfig,
-    rt_cfg: RtConfig,
-    mut opts: PassOptions,
-) -> Result<CompileOutput, CompileError> {
+    rt_cfg: &RtConfig,
+) -> Result<Module, CompileError> {
     if let Some(flavor) = config.runtime() {
         // Kernels that globalize variables under the legacy runtime get the
         // data-sharing stack reserved (the Old-RT SMem delta of Fig. 11).
         let needs_ds = app
             .find_func(nzomp_rt::abi::OLD_DATA_SHARING_PUSH)
             .is_some();
-        let rt = build_runtime(flavor, &rt_cfg, needs_ds);
+        let rt = build_runtime(flavor, rt_cfg, needs_ds);
         nzomp_ir::link::link(&mut app, rt)?;
     }
     // Link-time verification: catch malformed input (e.g. a phi missing an
     // incoming for one of its predecessors) before it reaches the
     // optimizer or the device.
     nzomp_ir::verify_module(&app).map_err(|err| CompileError::Verify { stage: "link", err })?;
+    Ok(app)
+}
+
+/// Compile with explicit runtime configuration and pass options (used for
+/// debug builds and the Fig. 13 ablations).
+pub fn compile_with(
+    app: Module,
+    config: BuildConfig,
+    rt_cfg: RtConfig,
+    mut opts: PassOptions,
+) -> Result<CompileOutput, CompileError> {
+    let mut app = link_only(app, config, &rt_cfg)?;
     // Debug builds must keep assumptions (they are runtime-checked, §III-G).
     if rt_cfg.debug_kind != 0 {
         opts.drop_assumes = false;
     }
-    let remarks = optimize_module(&mut app, &opts);
+    let (remarks, timings) = optimize_module_timed(&mut app, &opts);
+    // With NZOMP_VERIFY_EACH_PASS=1 the optimizer verified after every
+    // pass; a failure there names the offending pass instead of the
+    // generic "optimization" stage below.
+    if let Some(vf) = &timings.verify_failure {
+        return Err(CompileError::Verify {
+            stage: vf.pass,
+            err: vf.err.clone(),
+        });
+    }
     nzomp_ir::verify_module(&app)
         .map_err(|err| CompileError::Verify { stage: "optimization", err })?;
     Ok(CompileOutput {
         module: app,
         remarks,
+        timings,
     })
 }

@@ -1,6 +1,7 @@
 //! Reporting helpers: the Fig. 11-style per-config rows and relative
 //! performance calculations used by the figure harness and examples.
 
+use nzomp_opt::PassTimings;
 use nzomp_vgpu::KernelMetrics;
 
 use crate::config::BuildConfig;
@@ -161,6 +162,54 @@ pub fn sanitizer_table(rows: &[SanitizerRow]) -> String {
     s
 }
 
+/// Render a compile-time profile (one `optimize_module` run) as an aligned
+/// ASCII table: per-pass runs, changed verdicts, wall time and cumulative
+/// IR deltas, followed by the analysis-cache counters — the `-ftime-report`
+/// analogue for the pass manager.
+pub fn compile_stats_table(t: &PassTimings) -> String {
+    let mut s = format!(
+        "{:<14} | {:>4} | {:>7} | {:>10} | {:>7} | {:>7} | {:>8} | {:>9}\n",
+        "pass", "runs", "changed", "wall", "Δinsts", "Δblocks", "Δglobals", "Δbarriers"
+    );
+    for p in &t.passes {
+        s.push_str(&format!(
+            "{:<14} | {:>4} | {:>7} | {:>10} | {:>+7} | {:>+7} | {:>+8} | {:>+9}\n",
+            p.name,
+            p.runs,
+            p.changed_runs,
+            format_time(p.wall.as_secs_f64() * 1e3),
+            p.insts_delta,
+            p.blocks_delta,
+            p.globals_delta,
+            p.barriers_delta,
+        ));
+    }
+    s.push_str(&format!(
+        "total optimizer wall time: {}\n",
+        format_time(t.total.as_secs_f64() * 1e3)
+    ));
+    use nzomp_ir::analysis::AnalysisKind;
+    let c = &t.cache;
+    let per_kind: Vec<String> = AnalysisKind::ALL
+        .iter()
+        .map(|&k| format!("{} {}/{}", k.label(), c.hits_of(k), c.hits_of(k) + c.misses_of(k)))
+        .collect();
+    match c.hit_rate() {
+        Some(rate) => s.push_str(&format!(
+            "analysis cache: {:.0}% hit rate ({} hits / {} queries; {})\n",
+            rate * 100.0,
+            c.total_hits(),
+            c.total_hits() + c.total_misses(),
+            per_kind.join(", "),
+        )),
+        None => s.push_str("analysis cache: no queries\n"),
+    }
+    if let Some(vf) = &t.verify_failure {
+        s.push_str(&format!("VERIFY FAILURE after pass {}: {}\n", vf.pass, vf.err));
+    }
+    s
+}
+
 pub fn format_time(ms: f64) -> String {
     if ms >= 1000.0 {
         format!("{:.3} s", ms / 1000.0)
@@ -242,6 +291,37 @@ mod tests {
         assert!(table.contains("2r/1d"), "{table}");
         assert!(table.contains("n/a"), "{table}");
         assert_eq!(table.lines().count(), 3, "{table}");
+    }
+
+    #[test]
+    fn compile_stats_table_renders_passes_and_cache() {
+        use nzomp_opt::PassStat;
+        use std::time::Duration;
+        let t = PassTimings {
+            passes: vec![PassStat {
+                name: "fold",
+                runs: 3,
+                changed_runs: 2,
+                wall: Duration::from_micros(1500),
+                insts_delta: -40,
+                blocks_delta: 0,
+                globals_delta: -2,
+                barriers_delta: -1,
+            }],
+            cache: {
+                let mut c = nzomp_ir::analysis::CacheStats::default();
+                c.hits[1] = 9;
+                c.misses[1] = 1;
+                c
+            },
+            total: Duration::from_millis(2),
+            verify_failure: None,
+        };
+        let table = compile_stats_table(&t);
+        assert!(table.contains("fold"), "{table}");
+        assert!(table.contains("90% hit rate"), "{table}");
+        assert!(table.contains("-40"), "{table}");
+        assert!(table.contains("dominators 9/10"), "{table}");
     }
 
     #[test]

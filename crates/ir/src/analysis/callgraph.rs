@@ -122,11 +122,7 @@ impl CallGraph {
         }
         // DFS from f looking for a path back to f.
         let mut seen = HashSet::new();
-        let mut stack: Vec<FuncRef> = self
-            .callees
-            .get(&f)
-            .map(|v| v.clone())
-            .unwrap_or_default();
+        let mut stack: Vec<FuncRef> = self.callees.get(&f).cloned().unwrap_or_default();
         while let Some(c) = stack.pop() {
             if c == f {
                 return true;

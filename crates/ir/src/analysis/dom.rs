@@ -7,6 +7,7 @@ use crate::func::{BlockId, Function};
 
 /// Immediate-dominator table. Unreachable blocks have `idom == None` and
 /// `None` for the entry as well (the entry dominates itself implicitly).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DomTree {
     idom: Vec<Option<BlockId>>,
     /// RPO index per block (usize::MAX for unreachable).
@@ -91,12 +92,15 @@ fn self_intersect(
     mut a: BlockId,
     mut b: BlockId,
 ) -> BlockId {
+    // Both walks stay within processed (reachable) blocks, whose idoms are
+    // always set; a `None` cannot occur, and degrading to the other finger
+    // just terminates the loop at the current meeting point.
     while a != b {
         while order[a.index()] > order[b.index()] {
-            a = idom[a.index()].expect("reachable");
+            a = idom[a.index()].unwrap_or(b);
         }
         while order[b.index()] > order[a.index()] {
-            b = idom[b.index()].expect("reachable");
+            b = idom[b.index()].unwrap_or(a);
         }
     }
     a

@@ -28,6 +28,7 @@ fn key_of(op: Operand) -> Option<Key> {
 }
 
 /// Result of the liveness computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Liveness {
     /// Per-block live-out sets (over both insts and params).
     live_out_sizes: Vec<usize>,

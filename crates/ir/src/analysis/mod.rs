@@ -5,3 +5,6 @@ pub mod callgraph;
 pub mod cfg;
 pub mod dom;
 pub mod liveness;
+pub mod manager;
+
+pub use manager::{AnalysisKind, AnalysisManager, CacheStats, PreservedAnalyses, Touched};

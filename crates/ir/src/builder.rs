@@ -249,20 +249,27 @@ impl FuncBuilder {
         has_result.then_some(Operand::Inst(id))
     }
 
+    /// Like [`intr`](FuncBuilder::intr) for intrinsics that always produce
+    /// a result.
+    fn intr_val(&mut self, intr: Intrinsic, args: Vec<Operand>) -> Operand {
+        let id = self.push(Inst::Intr { intr, args });
+        Operand::Inst(id)
+    }
+
     pub fn thread_id(&mut self) -> Operand {
-        self.intr(Intrinsic::ThreadId, vec![]).unwrap()
+        self.intr_val(Intrinsic::ThreadId, vec![])
     }
 
     pub fn block_id(&mut self) -> Operand {
-        self.intr(Intrinsic::BlockId, vec![]).unwrap()
+        self.intr_val(Intrinsic::BlockId, vec![])
     }
 
     pub fn block_dim(&mut self) -> Operand {
-        self.intr(Intrinsic::BlockDim, vec![]).unwrap()
+        self.intr_val(Intrinsic::BlockDim, vec![])
     }
 
     pub fn grid_dim(&mut self) -> Operand {
-        self.intr(Intrinsic::GridDim, vec![]).unwrap()
+        self.intr_val(Intrinsic::GridDim, vec![])
     }
 
     pub fn aligned_barrier(&mut self) {
@@ -278,7 +285,7 @@ impl FuncBuilder {
     }
 
     pub fn malloc(&mut self, size: Operand) -> Operand {
-        self.intr(Intrinsic::Malloc, vec![size]).unwrap()
+        self.intr_val(Intrinsic::Malloc, vec![size])
     }
 
     pub fn free(&mut self, ptr: Operand) {

@@ -15,6 +15,12 @@
 //!   [`Space`], which is what the field-sensitive access analysis needs.
 //! * Blocks always have a terminator; the builder installs
 //!   [`Term::Unreachable`] until one is set, so no `Option` noise.
+//!
+//! Library code must not abort on malformed input: `unwrap`/`expect` are
+//! denied crate-wide (tests are exempt).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analysis;
 pub mod builder;

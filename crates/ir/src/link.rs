@@ -15,6 +15,8 @@ pub enum LinkError {
     DuplicateFunction(String),
     DuplicateGlobal(String),
     SignatureMismatch(String),
+    /// A `src` kernel names a function index the module does not contain.
+    MalformedKernel(u32),
 }
 
 impl fmt::Display for LinkError {
@@ -24,6 +26,9 @@ impl fmt::Display for LinkError {
             LinkError::DuplicateGlobal(n) => write!(f, "duplicate definition of global @{n}"),
             LinkError::SignatureMismatch(n) => {
                 write!(f, "declaration/definition signature mismatch for @{n}")
+            }
+            LinkError::MalformedKernel(i) => {
+                write!(f, "kernel references missing function index {i}")
             }
         }
     }
@@ -110,9 +115,12 @@ pub fn link(dst: &mut Module, src: Module) -> Result<(), LinkError> {
         }
     }
 
-    // Kernels from src (rare, but allowed).
+    // Kernels from src (rare, but allowed). Every src function index is in
+    // `func_map`, so a miss means the kernel table itself is malformed.
     for k in &src.kernels {
-        let func = *func_map.get(&k.func).expect("kernel func mapped");
+        let func = *func_map
+            .get(&k.func)
+            .ok_or(LinkError::MalformedKernel(k.func.0))?;
         dst.add_kernel(func, k.exec_mode);
     }
     Ok(())

@@ -141,16 +141,26 @@ impl Module {
 
     /// Mark every non-kernel definition internal (paper §IV-A1 performs
     /// aggressive internalization; we model the effect directly since the
-    /// whole image is one module after linking).
-    pub fn internalize(&mut self) {
+    /// whole image is one module after linking). Returns whether any
+    /// linkage actually changed.
+    pub fn internalize(&mut self) -> bool {
         let kernel_funcs: Vec<FuncRef> = self.kernels.iter().map(|k| k.func).collect();
+        let mut changed = false;
         for (i, f) in self.funcs.iter_mut().enumerate() {
-            if !kernel_funcs.contains(&FuncRef(i as u32)) && !f.is_declaration() {
+            if !kernel_funcs.contains(&FuncRef(i as u32))
+                && !f.is_declaration()
+                && f.linkage != Linkage::Internal
+            {
                 f.linkage = Linkage::Internal;
+                changed = true;
             }
         }
         for g in &mut self.globals {
-            g.linkage = Linkage::Internal;
+            if g.linkage != Linkage::Internal {
+                g.linkage = Linkage::Internal;
+                changed = true;
+            }
         }
+        changed
     }
 }

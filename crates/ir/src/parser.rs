@@ -504,10 +504,10 @@ struct RawFunc {
 /// `define internal i64 @f(i64 %arg0, ptr %arg1) [noinline] {`.
 fn parse_header(line_s: &str, line: usize, decl: bool) -> PResult<RawFunc> {
     let mut rest = line_s.trim();
-    rest = rest
-        .strip_prefix(if decl { "declare" } else { "define" })
-        .unwrap()
-        .trim();
+    rest = match rest.strip_prefix(if decl { "declare" } else { "define" }) {
+        Some(r) => r.trim(),
+        None => return err(line, "expected `define` or `declare`"),
+    };
     let linkage = if let Some(r) = rest.strip_prefix("internal ") {
         rest = r;
         Linkage::Internal
@@ -680,7 +680,9 @@ pub fn parse_module(text: &str) -> PResult<Module> {
 
 fn parse_global_line(ln: usize, s: &str) -> PResult<Global> {
     // `@name = space [N x i8] const? init=... linkage=...`
-    let rest = s.strip_prefix('@').unwrap();
+    let Some(rest) = s.strip_prefix('@') else {
+        return err(ln, "global must start with `@`");
+    };
     let (name, rest) = rest
         .split_once('=')
         .ok_or_else(|| ParseError { line: ln, message: "global needs `=`".into() })?;

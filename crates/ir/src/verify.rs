@@ -40,10 +40,8 @@ fn check_operand(f: &Function, m: Option<&Module>, op: Operand) -> Result<(), Ve
                 return Err(err(f, format!("operand references void inst %{}", i.0)));
             }
         }
-        Operand::Param(p) => {
-            if p as usize >= f.params.len() {
-                return Err(err(f, format!("operand references missing param {p}")));
-            }
+        Operand::Param(p) if p as usize >= f.params.len() => {
+            return Err(err(f, format!("operand references missing param {p}")));
         }
         Operand::Global(g) => {
             if let Some(m) = m {
@@ -109,29 +107,27 @@ pub fn verify_function(f: &Function, m: Option<&Module>) -> Result<(), VerifyErr
                 }
             }
             // Direct calls: check arity/signature against the module.
-            if let (Inst::Call { callee, args, ret }, Some(m)) = (inst, m) {
-                if let Operand::Func(fr) = callee {
-                    let callee_f = m.func(*fr);
-                    if callee_f.params.len() != args.len() {
-                        return Err(err(
-                            f,
-                            format!(
-                                "call to @{} with {} args, expected {}",
-                                callee_f.name,
-                                args.len(),
-                                callee_f.params.len()
-                            ),
-                        ));
-                    }
-                    if callee_f.ret != *ret {
-                        return Err(err(
-                            f,
-                            format!(
-                                "call to @{} returns {:?}, call site expects {:?}",
-                                callee_f.name, callee_f.ret, ret
-                            ),
-                        ));
-                    }
+            if let (Inst::Call { callee: Operand::Func(fr), args, ret }, Some(m)) = (inst, m) {
+                let callee_f = m.func(*fr);
+                if callee_f.params.len() != args.len() {
+                    return Err(err(
+                        f,
+                        format!(
+                            "call to @{} with {} args, expected {}",
+                            callee_f.name,
+                            args.len(),
+                            callee_f.params.len()
+                        ),
+                    ));
+                }
+                if callee_f.ret != *ret {
+                    return Err(err(
+                        f,
+                        format!(
+                            "call to @{} returns {:?}, call site expects {:?}",
+                            callee_f.name, callee_f.ret, ret
+                        ),
+                    ));
                 }
             }
         }

@@ -16,7 +16,7 @@
 use std::collections::{HashMap, HashSet};
 
 use nzomp_ir::analysis::callgraph::CallGraph;
-use nzomp_ir::analysis::dom::DomTree;
+use nzomp_ir::analysis::manager::AnalysisManager;
 use nzomp_ir::inst::{Inst, InstId, Intrinsic};
 use nzomp_ir::{Module, Operand, Space, Ty};
 
@@ -26,22 +26,61 @@ use crate::PassOptions;
 
 /// Run one folding + DSE round. Returns true if anything changed.
 pub fn run(module: &mut Module, opts: &PassOptions, remarks: &mut Remarks) -> bool {
-    let analysis = fsaa::build(module, opts.assumed_content, opts.invariant_prop);
-    let domtrees: Vec<DomTree> = module
-        .funcs
-        .iter()
-        .map(|f| {
-            if f.is_declaration() {
-                DomTree::compute(&nzomp_ir::Function::declaration("x", vec![], None))
-            } else {
-                DomTree::compute(f)
-            }
-        })
-        .collect();
-    let cg = CallGraph::build(module);
+    // Standalone entry: a throwaway manager (the pass-manager pipeline
+    // threads a shared, cached one through `run_with` instead).
+    let mut am = AnalysisManager::new();
+    run_with(module, &mut am, opts, remarks, &mut Vec::new())
+}
 
-    let mut changed = fold_loads(module, opts, &analysis, &domtrees, &cg, remarks);
-    changed |= dead_store_elim(module, opts, remarks);
+/// Call sites per callee: `(caller, block, pos, is_direct)`; indirect calls
+/// recorded under every address-taken function. Built once per folding
+/// round (the module is immutable during the decision phase) instead of
+/// once per dominance query.
+type CallSites = HashMap<u32, Vec<(u32, nzomp_ir::BlockId, usize, bool)>>;
+
+fn build_call_sites(module: &Module, cg: &CallGraph) -> CallSites {
+    let mut call_sites: CallSites = HashMap::new();
+    let address_taken: HashSet<u32> = cg.address_taken.iter().map(|f| f.0).collect();
+    for (fi, f) in module.funcs.iter().enumerate() {
+        if f.is_declaration() {
+            continue;
+        }
+        for (bid, block) in f.iter_blocks() {
+            for (pos, &iid) in block.insts.iter().enumerate() {
+                if let Inst::Call { callee, .. } = f.inst(iid) {
+                    match callee {
+                        Operand::Func(t) => call_sites.entry(t.0).or_default().push((
+                            fi as u32, bid, pos, true,
+                        )),
+                        _ => {
+                            for at in &address_taken {
+                                call_sites.entry(*at).or_default().push((
+                                    fi as u32, bid, pos, false,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    call_sites
+}
+
+/// Like [`run`], querying dominators and the call graph lazily through the
+/// analysis manager (only functions with fold candidates pay for them) and
+/// recording which function indices were mutated.
+pub fn run_with(
+    module: &mut Module,
+    am: &mut AnalysisManager,
+    opts: &PassOptions,
+    remarks: &mut Remarks,
+    touched: &mut Vec<u32>,
+) -> bool {
+    let analysis = fsaa::build(module, opts.assumed_content, opts.invariant_prop);
+
+    let mut changed = fold_loads(module, opts, &analysis, am, remarks, touched);
+    changed |= dead_store_elim(module, opts, remarks, touched);
     changed
 }
 
@@ -63,10 +102,14 @@ fn fold_loads(
     module: &mut Module,
     opts: &PassOptions,
     analysis: &Fsaa,
-    domtrees: &[DomTree],
-    cg: &CallGraph,
+    am: &mut AnalysisManager,
     remarks: &mut Remarks,
+    touched: &mut Vec<u32>,
 ) -> bool {
+    let cg = am.callgraph(module);
+    // Built lazily by the first inter-procedural dominance query, then
+    // shared by every site in this round.
+    let mut call_sites: Option<CallSites> = None;
     // Collect fold candidates: loads recorded as single-object reads.
     let mut sites: Vec<LoadSite> = Vec::new();
     for (obj, info) in &analysis.objects {
@@ -94,7 +137,8 @@ fn fold_loads(
     let mut remat: Vec<(u32, InstId, Intrinsic)> = Vec::new();
 
     for site in &sites {
-        let Some(val) = fold_load(site, opts, analysis, domtrees, cg, module) else {
+        let Some(val) = fold_load(site, opts, analysis, am, &cg, &mut call_sites, module)
+        else {
             continue;
         };
         let fname = module.funcs[site.func as usize].name.clone();
@@ -148,6 +192,9 @@ fn fold_loads(
         }
         crate::simplify::apply_replacements(&mut module.funcs[*fidx as usize], map);
         // The folded loads become dead; DCE in simplify removes them.
+        if !touched.contains(fidx) {
+            touched.push(*fidx);
+        }
         changed = true;
     }
     for (fidx, iid, intr) in remat {
@@ -156,6 +203,9 @@ fn fold_loads(
             intr,
             args: vec![],
         };
+        if !touched.contains(&fidx) {
+            touched.push(fidx);
+        }
         changed = true;
     }
     changed
@@ -166,8 +216,9 @@ fn fold_load(
     site: &LoadSite,
     opts: &PassOptions,
     analysis: &Fsaa,
-    domtrees: &[DomTree],
+    am: &mut AnalysisManager,
     cg: &CallGraph,
+    call_sites: &mut Option<CallSites>,
     module: &Module,
 ) -> Option<FoldVal> {
     let info = analysis.objects.get(&site.obj)?;
@@ -260,7 +311,7 @@ fn fold_load(
             {
                 return false;
             }
-            dominates(w, site, domtrees, cg, module, opts)
+            dominates(w, site, am, cg, call_sites, module, opts)
         });
         if !dominated {
             return None;
@@ -274,8 +325,9 @@ fn fold_load(
 fn dominates(
     w: &fsaa::Access,
     site: &LoadSite,
-    domtrees: &[DomTree],
+    am: &mut AnalysisManager,
     cg: &CallGraph,
+    call_sites: &mut Option<CallSites>,
     module: &Module,
     opts: &PassOptions,
 ) -> bool {
@@ -283,7 +335,7 @@ fn dominates(
         if w.block == site.block {
             return w.pos < site.pos;
         }
-        return domtrees[w.func as usize].dominates(w.block, site.block);
+        return am.dominators(module, w.func).dominates(w.block, site.block);
     }
     if !opts.reach_dom {
         return false;
@@ -292,7 +344,7 @@ fn dominates(
     // call site dominated by the write. Fixpoint over "fully dominated"
     // functions.
     let wf = w.func;
-    let dt = &domtrees[wf as usize];
+    let dt = am.dominators(module, wf);
     // Program points in w.func dominated by w.
     let point_dominated = |func: u32, block: nzomp_ir::BlockId, pos: usize| -> bool {
         if func == wf {
@@ -304,34 +356,7 @@ fn dominates(
         false
     };
 
-    // Collect call sites per callee.
-    let mut call_sites: HashMap<u32, Vec<(u32, nzomp_ir::BlockId, usize, bool)>> = HashMap::new();
-    // (caller, block, pos, is_direct); indirect calls recorded under every
-    // address-taken function.
-    let address_taken: HashSet<u32> = cg.address_taken.iter().map(|f| f.0).collect();
-    for (fi, f) in module.funcs.iter().enumerate() {
-        if f.is_declaration() {
-            continue;
-        }
-        for (bid, block) in f.iter_blocks() {
-            for (pos, &iid) in block.insts.iter().enumerate() {
-                if let Inst::Call { callee, .. } = f.inst(iid) {
-                    match callee {
-                        Operand::Func(t) => call_sites.entry(t.0).or_default().push((
-                            fi as u32, bid, pos, true,
-                        )),
-                        _ => {
-                            for at in &address_taken {
-                                call_sites.entry(*at).or_default().push((
-                                    fi as u32, bid, pos, false,
-                                ));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
+    let call_sites = call_sites.get_or_insert_with(|| build_call_sites(module, cg));
 
     // Iterate: F is fully dominated if every call site of F is at a
     // dominated point (in w.func past w, or inside a fully dominated fn).
@@ -375,7 +400,12 @@ fn dominates(
 /// Remove stores and RMWs into objects that no longer have any readers —
 /// after the ICV loads fold away, the runtime's initialization stores are
 /// dead and, once they are gone, the state itself can be pruned.
-fn dead_store_elim(module: &mut Module, opts: &PassOptions, remarks: &mut Remarks) -> bool {
+fn dead_store_elim(
+    module: &mut Module,
+    opts: &PassOptions,
+    remarks: &mut Remarks,
+    touched: &mut Vec<u32>,
+) -> bool {
     // Re-run the analysis: folding above changed the function bodies.
     let analysis = fsaa::build(module, opts.assumed_content, opts.invariant_prop);
 
@@ -440,6 +470,9 @@ fn dead_store_elim(module: &mut Module, opts: &PassOptions, remarks: &mut Remark
         let after: usize = f.blocks.iter().map(|b| b.insts.len()).sum();
         if after != before {
             changed = true;
+            if !touched.contains(&fidx) {
+                touched.push(fidx);
+            }
             remarks.passed(
                 "openmp-opt",
                 &module.funcs[fidx as usize].name.clone(),

@@ -13,6 +13,12 @@ use nzomp_ir::{BlockId, Function, Module, Operand, Ty};
 /// Inline eligible call sites across the module. Returns true if anything
 /// was inlined.
 pub fn run(module: &mut Module, budget: usize) -> bool {
+    run_collect(module, budget, &mut Vec::new())
+}
+
+/// Like [`run`], also recording the indices of caller functions that were
+/// mutated (the pass manager's targeted analysis invalidation).
+pub fn run_collect(module: &mut Module, budget: usize, touched: &mut Vec<u32>) -> bool {
     let mut changed = false;
     // Bound total growth to keep the fixpoint loop tame.
     let start_size = module.live_inst_count();
@@ -36,6 +42,9 @@ pub fn run(module: &mut Module, budget: usize) -> bool {
                     break;
                 };
                 inline_call(module, caller_idx, block, pos, callee_idx);
+                if !touched.contains(&(caller_idx as u32)) {
+                    touched.push(caller_idx as u32);
+                }
                 did = true;
                 changed = true;
             }

@@ -18,18 +18,28 @@
 //! globalization elimination, SPMDization) plus standard folding and
 //! inlining form the *baseline* pipeline — the "Nightly" columns of the
 //! evaluation run with exactly that.
+//!
+//! A pass must degrade to "no change", never abort: `unwrap`/`expect` are
+//! denied crate-wide (tests are exempt).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod barrier;
 pub mod fold;
 pub mod fsaa;
 pub mod globalize;
 pub mod inline;
+pub mod pass;
+pub mod pipeline;
 pub mod prune;
 pub mod remarks;
 pub mod simplify;
 pub mod spmdize;
 
 use nzomp_ir::Module;
+pub use pass::{ModulePass, PassEffect};
+pub use pipeline::{IrStats, PassManager, PassStat, PassTimings, Pipeline, Stage, VerifyFailure};
 pub use remarks::{Remark, RemarkKind, Remarks};
 
 /// Feature switches for the pipeline. See the crate docs for the mapping to
@@ -63,6 +73,13 @@ pub struct PassOptions {
 
 impl PassOptions {
     /// No optimization at all (`-O0`).
+    ///
+    /// The **only** exhaustive struct literal among the constructors: a new
+    /// switch added to [`PassOptions`] fails to compile right here, and the
+    /// derived constructors below ([`baseline`](PassOptions::baseline) →
+    /// [`full`](PassOptions::full) → [`full_without`](PassOptions::full_without))
+    /// inherit it via struct update, so it cannot be forgotten in one of
+    /// them.
     pub fn none() -> PassOptions {
         PassOptions {
             internalize: false,
@@ -86,7 +103,8 @@ impl PassOptions {
 
     /// The pre-paper pipeline: what LLVM nightly did *before* this work's
     /// passes landed. Used for the "Old RT (Nightly)" and "New RT (Nightly)"
-    /// configurations.
+    /// configurations. Derived from [`none`](PassOptions::none) by enabling
+    /// exactly the §IV-A/baseline switches.
     pub fn baseline() -> PassOptions {
         PassOptions {
             internalize: true,
@@ -95,20 +113,13 @@ impl PassOptions {
             simplify_cfg: true,
             globalization_elim: true,
             spmdization: true,
-            fsaa: false,
-            reach_dom: false,
-            assumed_content: false,
-            invariant_prop: false,
-            aligned_exec: false,
-            barrier_elim: false,
-            state_prune: false,
-            drop_assumes: false,
             inline_budget: 256,
             max_iterations: 8,
+            ..PassOptions::none()
         }
     }
 
-    /// The full co-designed pipeline (§IV).
+    /// The full co-designed pipeline (§IV): baseline plus every paper pass.
     pub fn full() -> PassOptions {
         PassOptions {
             fsaa: true,
@@ -126,23 +137,30 @@ impl PassOptions {
     /// Full pipeline with one §IV feature disabled — the Fig. 13 ablation.
     pub fn full_without(feature: Ablation) -> PassOptions {
         let mut o = PassOptions::full();
+        o.disable(feature);
+        o
+    }
+
+    /// Turn one §IV feature off, respecting the dependency structure of the
+    /// paper's analyses (usable on any options value, e.g. by the bench
+    /// harness to stack ablations).
+    pub fn disable(&mut self, feature: Ablation) {
         match feature {
             // §IV-B1 is the base of every §IV-B analysis: removing it
             // removes them all (paper §V-C).
             Ablation::Fsaa => {
-                o.fsaa = false;
-                o.reach_dom = false;
-                o.assumed_content = false;
-                o.invariant_prop = false;
-                o.state_prune = false;
+                self.fsaa = false;
+                self.reach_dom = false;
+                self.assumed_content = false;
+                self.invariant_prop = false;
+                self.state_prune = false;
             }
-            Ablation::ReachDom => o.reach_dom = false,
-            Ablation::AssumedContent => o.assumed_content = false,
-            Ablation::InvariantProp => o.invariant_prop = false,
-            Ablation::AlignedExec => o.aligned_exec = false,
-            Ablation::BarrierElim => o.barrier_elim = false,
+            Ablation::ReachDom => self.reach_dom = false,
+            Ablation::AssumedContent => self.assumed_content = false,
+            Ablation::InvariantProp => self.invariant_prop = false,
+            Ablation::AlignedExec => self.aligned_exec = false,
+            Ablation::BarrierElim => self.barrier_elim = false,
         }
-        o
     }
 }
 
@@ -182,88 +200,32 @@ impl Ablation {
 /// Run the configured pipeline over `module` in place. Returns remarks
 /// (the `-Rpass=openmp-opt` analogue, §VII).
 pub fn optimize_module(module: &mut Module, opts: &PassOptions) -> Remarks {
+    optimize_module_timed(module, opts).0
+}
+
+/// Like [`optimize_module`], also returning the per-pass profile and
+/// analysis-cache counters (the `-ftime-report` analogue; see
+/// [`PassTimings`]).
+pub fn optimize_module_timed(module: &mut Module, opts: &PassOptions) -> (Remarks, PassTimings) {
+    optimize_module_with_caching(module, opts, true)
+}
+
+/// [`optimize_module_timed`] with the analysis cache optionally disabled —
+/// every query recomputes, isolating what caching buys (the
+/// `compile_profile` harness's control arm). Results are identical either
+/// way; only the profile differs.
+pub fn optimize_module_with_caching(
+    module: &mut Module,
+    opts: &PassOptions,
+    caching: bool,
+) -> (Remarks, PassTimings) {
     let mut remarks = Remarks::default();
-    if opts.max_iterations == 0 {
-        return remarks;
+    let mut pm = pipeline::PassManager::new();
+    pm.am.set_caching(caching);
+    let timings = pm.run(Pipeline::for_options(opts), module, opts, &mut remarks);
+    remarks.normalize();
+    if timings.verify_failure.is_none() {
+        debug_assert_eq!(nzomp_ir::verify_module(module), Ok(()));
     }
-
-    if opts.internalize {
-        module.internalize();
-    }
-    if opts.spmdization {
-        spmdize::run(module, opts, &mut remarks);
-    }
-    prune::global_dce(module);
-
-    // Inline + local folding to expose the runtime internals to analysis.
-    for _ in 0..3 {
-        let mut changed = false;
-        if opts.inline {
-            changed |= inline::run(module, opts.inline_budget);
-        }
-        if opts.fold_constants || opts.simplify_cfg {
-            changed |= simplify::run(module, opts);
-        }
-        prune::global_dce(module);
-        if !changed {
-            break;
-        }
-    }
-
-    if opts.globalization_elim {
-        globalize::run(module, opts, &mut remarks);
-    }
-
-    // Interprocedural fixpoint: fold runtime state, kill dead stores,
-    // remove redundant barriers, repeat.
-    for _ in 0..opts.max_iterations {
-        let mut changed = false;
-        if opts.fsaa {
-            changed |= fold::run(module, opts, &mut remarks);
-        }
-        if opts.fold_constants || opts.simplify_cfg {
-            changed |= simplify::run(module, opts);
-        }
-        if opts.inline {
-            changed |= inline::run(module, opts.inline_budget);
-        }
-        if opts.barrier_elim {
-            changed |= barrier::run(module, opts, &mut remarks);
-        }
-        prune::global_dce(module);
-        if !changed {
-            break;
-        }
-    }
-
-    if opts.drop_assumes {
-        let dropped = prune::drop_assumes(module);
-        if dropped {
-            // One more round so stores feeding the assumes can die.
-            for _ in 0..opts.max_iterations {
-                let mut changed = false;
-                if opts.fsaa {
-                    changed |= fold::run(module, opts, &mut remarks);
-                }
-                if opts.fold_constants || opts.simplify_cfg {
-                    changed |= simplify::run(module, opts);
-                }
-                if opts.barrier_elim {
-                    changed |= barrier::run(module, opts, &mut remarks);
-                }
-                prune::global_dce(module);
-                if !changed {
-                    break;
-                }
-            }
-        }
-    }
-
-    if opts.state_prune {
-        prune::prune_dead_globals(module, &mut remarks);
-    }
-    prune::global_dce(module);
-
-    debug_assert_eq!(nzomp_ir::verify_module(module), Ok(()));
-    remarks
+    (remarks, timings)
 }

@@ -1,0 +1,366 @@
+//! The declarative pass pipeline and its instrumented executor — the mini
+//! analogue of LLVM's new pass manager driving `openmp-opt`.
+//!
+//! [`Pipeline::for_options`] turns a [`PassOptions`] into an ordered list
+//! of [`Stage`]s (single passes and fixpoint groups), so the Fig. 13
+//! ablations are literally "this pass is absent from the list". The
+//! executor threads one [`AnalysisManager`] through every pass, applies
+//! each pass's [`PassEffect`] to the caches, and records per-pass wall
+//! time, run counts, changed verdicts, and IR deltas into [`PassTimings`]
+//! (the `-ftime-report` analogue).
+//!
+//! Setting `NZOMP_VERIFY_EACH_PASS=1` runs the module verifier after every
+//! single pass execution and names the offending pass on failure — the
+//! first tool to reach for when a pipeline change breaks a golden.
+
+use std::time::{Duration, Instant};
+
+use nzomp_ir::analysis::{AnalysisManager, CacheStats};
+use nzomp_ir::verify::VerifyError;
+use nzomp_ir::Module;
+
+use crate::pass::{
+    BarrierElim, DropAssumes, Fold, GlobalDce, Globalize, Inline, Internalize, ModulePass,
+    PruneDeadGlobals, Simplify, Spmdize,
+};
+use crate::remarks::Remarks;
+use crate::PassOptions;
+
+/// One pass inside a fixpoint group.
+pub struct PassEntry {
+    pub pass: Box<dyn ModulePass>,
+    /// Whether this pass's changed-verdict counts toward convergence.
+    /// Cleanup passes (`global-dce`) run every iteration but must not keep
+    /// the loop alive on their own.
+    pub drives_fixpoint: bool,
+}
+
+/// A pipeline element.
+pub enum Stage {
+    /// Run one pass once.
+    Pass(Box<dyn ModulePass>),
+    /// Iterate a pass group until no driving pass reports a change, at
+    /// most `max_iters` times.
+    Fixpoint {
+        passes: Vec<PassEntry>,
+        max_iters: usize,
+        /// Run the group only if the immediately preceding stage changed
+        /// the module (the post-`drop-assumes` cleanup round).
+        gated_on_prev: bool,
+    },
+}
+
+/// An ordered list of stages — what `optimize_module` executes.
+pub struct Pipeline {
+    pub stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// Build the pipeline a [`PassOptions`] describes. Disabled switches
+    /// simply do not contribute their passes, which is exactly how the
+    /// Fig. 13 ablations drop one optimization at a time.
+    pub fn for_options(opts: &PassOptions) -> Pipeline {
+        let mut stages: Vec<Stage> = Vec::new();
+        if opts.max_iterations == 0 {
+            return Pipeline { stages };
+        }
+
+        if opts.internalize {
+            stages.push(Stage::Pass(Box::new(Internalize)));
+        }
+        if opts.spmdization {
+            stages.push(Stage::Pass(Box::new(Spmdize)));
+        }
+        stages.push(Stage::Pass(Box::new(GlobalDce)));
+
+        // Inline + local folding to expose the runtime internals to
+        // analysis (bounded warm-up round).
+        let mut warmup: Vec<PassEntry> = Vec::new();
+        if opts.inline {
+            warmup.push(driver(Inline));
+        }
+        if opts.fold_constants || opts.simplify_cfg {
+            warmup.push(driver(Simplify));
+        }
+        warmup.push(cleanup(GlobalDce));
+        stages.push(Stage::Fixpoint {
+            passes: warmup,
+            max_iters: 3,
+            gated_on_prev: false,
+        });
+
+        if opts.globalization_elim {
+            stages.push(Stage::Pass(Box::new(Globalize)));
+        }
+
+        // Interprocedural fixpoint: fold runtime state, kill dead stores,
+        // remove redundant barriers, repeat.
+        let mut main: Vec<PassEntry> = Vec::new();
+        if opts.fsaa {
+            main.push(driver(Fold));
+        }
+        if opts.fold_constants || opts.simplify_cfg {
+            main.push(driver(Simplify));
+        }
+        if opts.inline {
+            main.push(driver(Inline));
+        }
+        if opts.barrier_elim {
+            main.push(driver(BarrierElim));
+        }
+        main.push(cleanup(GlobalDce));
+        stages.push(Stage::Fixpoint {
+            passes: main,
+            max_iters: opts.max_iterations,
+            gated_on_prev: false,
+        });
+
+        if opts.drop_assumes {
+            stages.push(Stage::Pass(Box::new(DropAssumes)));
+            // One more round so stores feeding the assumes can die — only
+            // when assumes were actually dropped (no inlining here: the
+            // module is already flat).
+            let mut post: Vec<PassEntry> = Vec::new();
+            if opts.fsaa {
+                post.push(driver(Fold));
+            }
+            if opts.fold_constants || opts.simplify_cfg {
+                post.push(driver(Simplify));
+            }
+            if opts.barrier_elim {
+                post.push(driver(BarrierElim));
+            }
+            post.push(cleanup(GlobalDce));
+            stages.push(Stage::Fixpoint {
+                passes: post,
+                max_iters: opts.max_iterations,
+                gated_on_prev: true,
+            });
+        }
+
+        if opts.state_prune {
+            stages.push(Stage::Pass(Box::new(PruneDeadGlobals)));
+        }
+        stages.push(Stage::Pass(Box::new(GlobalDce)));
+
+        Pipeline { stages }
+    }
+}
+
+fn driver(p: impl ModulePass + 'static) -> PassEntry {
+    PassEntry {
+        pass: Box::new(p),
+        drives_fixpoint: true,
+    }
+}
+
+fn cleanup(p: impl ModulePass + 'static) -> PassEntry {
+    PassEntry {
+        pass: Box::new(p),
+        drives_fixpoint: false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// instrumentation
+// ---------------------------------------------------------------------------
+
+/// IR size snapshot, taken before and after each pass run for the deltas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IrStats {
+    pub insts: usize,
+    pub blocks: usize,
+    pub globals: usize,
+    pub barriers: usize,
+}
+
+impl IrStats {
+    pub fn of(m: &Module) -> IrStats {
+        IrStats {
+            insts: m.live_inst_count(),
+            blocks: m.funcs.iter().map(|f| f.blocks.len()).sum(),
+            globals: m.globals.len(),
+            barriers: m
+                .funcs
+                .iter()
+                .filter(|f| !f.is_declaration())
+                .map(crate::barrier::count_aligned_barriers)
+                .sum(),
+        }
+    }
+}
+
+/// Aggregated per-pass instrumentation, keyed by pass name.
+#[derive(Clone, Debug, Default)]
+pub struct PassStat {
+    pub name: &'static str,
+    /// Number of executions (fixpoint passes run many times).
+    pub runs: u64,
+    /// Executions that reported a change.
+    pub changed_runs: u64,
+    /// Total wall time across all executions.
+    pub wall: Duration,
+    /// Cumulative IR deltas (after − before, summed over executions).
+    pub insts_delta: i64,
+    pub blocks_delta: i64,
+    pub globals_delta: i64,
+    pub barriers_delta: i64,
+}
+
+/// A pass broke the module (caught by `NZOMP_VERIFY_EACH_PASS=1`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerifyFailure {
+    /// Name of the offending pass.
+    pub pass: &'static str,
+    pub err: VerifyError,
+}
+
+/// The compile-time observability record of one `optimize_module` run —
+/// per-pass profile plus analysis-cache counters (`-ftime-report` +
+/// cache diagnostics).
+#[derive(Clone, Debug, Default)]
+pub struct PassTimings {
+    /// Per-pass stats in first-execution order.
+    pub passes: Vec<PassStat>,
+    /// Analysis-cache hit/miss counters.
+    pub cache: CacheStats,
+    /// Total optimizer wall time.
+    pub total: Duration,
+    /// Set when per-pass verification caught a broken pass; the pipeline
+    /// stops at that point.
+    pub verify_failure: Option<VerifyFailure>,
+}
+
+impl PassTimings {
+    fn stat_mut(&mut self, name: &'static str) -> &mut PassStat {
+        if let Some(i) = self.passes.iter().position(|p| p.name == name) {
+            return &mut self.passes[i];
+        }
+        self.passes.push(PassStat {
+            name,
+            ..PassStat::default()
+        });
+        let last = self.passes.len() - 1;
+        &mut self.passes[last]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// executor
+// ---------------------------------------------------------------------------
+
+/// Executor state for one pipeline run.
+pub struct PassManager {
+    pub am: AnalysisManager,
+    timings: PassTimings,
+    verify_each: bool,
+    /// Did the most recently executed stage change the module?
+    prev_changed: bool,
+}
+
+impl PassManager {
+    pub fn new() -> PassManager {
+        PassManager {
+            am: AnalysisManager::new(),
+            timings: PassTimings::default(),
+            verify_each: std::env::var("NZOMP_VERIFY_EACH_PASS").is_ok_and(|v| v == "1"),
+            prev_changed: false,
+        }
+    }
+
+    /// Run the whole pipeline; returns the instrumentation record.
+    pub fn run(
+        mut self,
+        pipeline: Pipeline,
+        module: &mut Module,
+        opts: &PassOptions,
+        remarks: &mut Remarks,
+    ) -> PassTimings {
+        let start = Instant::now();
+        'stages: for stage in pipeline.stages {
+            match stage {
+                Stage::Pass(mut pass) => {
+                    let changed = self.run_one(pass.as_mut(), module, opts, remarks);
+                    self.prev_changed = changed;
+                    if self.timings.verify_failure.is_some() {
+                        break 'stages;
+                    }
+                }
+                Stage::Fixpoint {
+                    mut passes,
+                    max_iters,
+                    gated_on_prev,
+                } => {
+                    if gated_on_prev && !self.prev_changed {
+                        continue;
+                    }
+                    let mut any = false;
+                    for _ in 0..max_iters {
+                        let mut changed = false;
+                        for entry in &mut passes {
+                            let c = self.run_one(entry.pass.as_mut(), module, opts, remarks);
+                            if self.timings.verify_failure.is_some() {
+                                break 'stages;
+                            }
+                            if entry.drives_fixpoint {
+                                changed |= c;
+                            }
+                        }
+                        any |= changed;
+                        if !changed {
+                            break;
+                        }
+                    }
+                    self.prev_changed = any;
+                }
+            }
+        }
+        self.timings.cache = self.am.stats();
+        self.timings.total = start.elapsed();
+        self.timings
+    }
+
+    /// Run one pass once: time it, apply its invalidation, record deltas,
+    /// and (optionally) verify the module it left behind.
+    fn run_one(
+        &mut self,
+        pass: &mut dyn ModulePass,
+        module: &mut Module,
+        opts: &PassOptions,
+        remarks: &mut Remarks,
+    ) -> bool {
+        let before = IrStats::of(module);
+        let t0 = Instant::now();
+        let effect = pass.run(module, &mut self.am, opts, remarks);
+        let wall = t0.elapsed();
+        self.am.invalidate(module, &effect.touched, &effect.preserved);
+        let after = IrStats::of(module);
+
+        let stat = self.timings.stat_mut(pass.name());
+        stat.runs += 1;
+        if effect.changed {
+            stat.changed_runs += 1;
+        }
+        stat.wall += wall;
+        stat.insts_delta += after.insts as i64 - before.insts as i64;
+        stat.blocks_delta += after.blocks as i64 - before.blocks as i64;
+        stat.globals_delta += after.globals as i64 - before.globals as i64;
+        stat.barriers_delta += after.barriers as i64 - before.barriers as i64;
+
+        if self.verify_each {
+            if let Err(err) = nzomp_ir::verify_module(module) {
+                self.timings.verify_failure = Some(VerifyFailure {
+                    pass: pass.name(),
+                    err,
+                });
+            }
+        }
+        effect.changed
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> PassManager {
+        PassManager::new()
+    }
+}

@@ -16,6 +16,13 @@ use crate::remarks::Remarks;
 /// stable; the husks become declarations and cost nothing).
 pub fn global_dce(module: &mut Module) -> bool {
     let cg = CallGraph::build(module);
+    global_dce_with(module, &cg, &mut Vec::new())
+}
+
+/// Like [`global_dce`], but reusing a caller-provided call graph (the pass
+/// manager's cached one) and recording which function indices were
+/// stripped.
+pub fn global_dce_with(module: &mut Module, cg: &CallGraph, touched: &mut Vec<u32>) -> bool {
     let roots: Vec<FuncRef> = module.kernels.iter().map(|k| k.func).collect();
     if roots.is_empty() {
         return false;
@@ -31,6 +38,7 @@ pub fn global_dce(module: &mut Module) -> bool {
         if !f.is_declaration() {
             f.blocks.clear();
             f.insts.clear();
+            touched.push(fi as u32);
             changed = true;
         }
     }
@@ -41,11 +49,17 @@ pub fn global_dce(module: &mut Module) -> bool {
 /// fixpoint): their information has been consumed; keeping them would keep
 /// the loads that feed them alive and block state death.
 pub fn drop_assumes(module: &mut Module) -> bool {
+    drop_assumes_collect(module, &mut Vec::new())
+}
+
+/// Like [`drop_assumes`], recording which function indices changed.
+pub fn drop_assumes_collect(module: &mut Module, touched: &mut Vec<u32>) -> bool {
     let mut changed = false;
-    for f in &mut module.funcs {
+    for (fi, f) in module.funcs.iter_mut().enumerate() {
         if f.is_declaration() {
             continue;
         }
+        let mut func_changed = false;
         for bi in 0..f.blocks.len() {
             let before = f.blocks[bi].insts.len();
             let ids: Vec<_> = f.blocks[bi].insts.clone();
@@ -63,8 +77,12 @@ pub fn drop_assumes(module: &mut Module) -> bool {
                 .collect();
             if keep.len() != before {
                 f.blocks[bi].insts = keep;
-                changed = true;
+                func_changed = true;
             }
+        }
+        if func_changed {
+            touched.push(fi as u32);
+            changed = true;
         }
     }
     changed

@@ -80,6 +80,31 @@ impl Remarks {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Deterministic emission order: stable sort by function, pass, kind,
+    /// message, then drop exact duplicates. Pass-internal iteration order
+    /// (e.g. hash-map walks over analysis objects) must never leak into
+    /// remark-based tests or diagnostics output; the pass manager calls
+    /// this once after the pipeline finishes.
+    pub fn normalize(&mut self) {
+        fn kind_rank(k: RemarkKind) -> u8 {
+            match k {
+                RemarkKind::Passed => 0,
+                RemarkKind::Missed => 1,
+                RemarkKind::Analysis => 2,
+            }
+        }
+        self.entries.sort_by(|a, b| {
+            (&a.func, a.pass, kind_rank(a.kind), &a.message).cmp(&(
+                &b.func,
+                b.pass,
+                kind_rank(b.kind),
+                &b.message,
+            ))
+        });
+        self.entries
+            .dedup_by(|a, b| a.kind == b.kind && a.pass == b.pass && a.func == b.func && a.message == b.message);
+    }
 }
 
 impl fmt::Display for Remarks {

@@ -14,6 +14,12 @@ use crate::PassOptions;
 /// Run simplification over every defined function. Returns whether anything
 /// changed.
 pub fn run(module: &mut Module, opts: &PassOptions) -> bool {
+    run_collect(module, opts, &mut Vec::new())
+}
+
+/// Like [`run`], also recording the indices of functions that changed (the
+/// pass manager's targeted analysis invalidation).
+pub fn run_collect(module: &mut Module, opts: &PassOptions, touched: &mut Vec<u32>) -> bool {
     let mut changed = false;
     // Constant-global values are read-only inputs to the folder.
     let const_globals: HashMap<u32, (nzomp_ir::Init, u64)> = module
@@ -23,11 +29,14 @@ pub fn run(module: &mut Module, opts: &PassOptions) -> bool {
         .filter(|(_, g)| g.constant)
         .map(|(i, g)| (i as u32, (g.init.clone(), g.size)))
         .collect();
-    for f in &mut module.funcs {
+    for (fi, f) in module.funcs.iter_mut().enumerate() {
         if f.is_declaration() {
             continue;
         }
-        changed |= simplify_function(f, &const_globals, opts);
+        if simplify_function(f, &const_globals, opts) {
+            touched.push(fi as u32);
+            changed = true;
+        }
     }
     changed
 }

@@ -38,7 +38,9 @@ pub fn run(module: &mut Module, _opts: &PassOptions, remarks: &mut Remarks) -> b
         }
         match check_eligibility(module, fidx) {
             Ok(plan) => {
-                apply(module, fidx, &plan);
+                if !apply(module, fidx, &plan) {
+                    continue;
+                }
                 changed = true;
                 let name = module.funcs[fidx as usize].name.clone();
                 module.set_exec_mode(nzomp_ir::module::FuncRef(fidx), ExecMode::Spmd);
@@ -163,10 +165,12 @@ fn check_eligibility(module: &Module, fidx: u32) -> Result<Plan, String> {
     Ok(plan)
 }
 
-fn apply(module: &mut Module, fidx: u32, plan: &Plan) {
-    let spmd_fork = module
-        .find_func("__kmpc_parallel_spmd")
-        .expect("modern runtime linked");
+/// Returns false (module untouched) when the modern runtime is not linked —
+/// a generic-mode kernel without `__kmpc_parallel_spmd` cannot be promoted.
+fn apply(module: &mut Module, fidx: u32, plan: &Plan) -> bool {
+    let Some(spmd_fork) = module.find_func("__kmpc_parallel_spmd") else {
+        return false;
+    };
     let f = &mut module.funcs[fidx as usize];
     for &iid in &plan.init_calls {
         if let Inst::Call { args, .. } = f.inst_mut(iid) {
@@ -193,4 +197,5 @@ fn apply(module: &mut Module, fidx: u32, plan: &Plan) {
     for block in &mut f.blocks {
         block.insts.retain(|i| !drop.contains(i));
     }
+    true
 }

@@ -1,0 +1,155 @@
+//! Property test for the analysis cache's invalidation contract: after any
+//! random interleaving of mutating passes, every cached analysis must equal
+//! a fresh recomputation.
+//!
+//! Querying the manager after each pass primes the caches, so the *next*
+//! pass's [`PassEffect`] preservation claim is what is under test: a pass
+//! that mutates the CFG while claiming to preserve dominators leaves a
+//! stale (epoch-restamped) tree behind, and the comparison against
+//! `DomTree::compute` catches it.
+
+use nzomp_ir::analysis::{cfg, dom::DomTree, liveness, AnalysisManager};
+use nzomp_ir::module::FuncRef;
+use nzomp_ir::{ExecMode, FuncBuilder, Function, Module, Operand, Ty};
+use nzomp_opt::pass::{
+    BarrierElim, DropAssumes, Fold, GlobalDce, Globalize, Inline, Internalize, ModulePass,
+    PruneDeadGlobals, Simplify, Spmdize,
+};
+use nzomp_opt::{PassOptions, Remarks};
+use proptest::prelude::*;
+
+/// Build one function of the given shape. Shapes: 0 = straight-line,
+/// 1 = one diamond, 2 = two chained diamonds.
+fn build_func(
+    name: &str,
+    shape: u8,
+    seed: i64,
+    callee: Option<FuncRef>,
+    with_barrier: bool,
+    with_assume: bool,
+) -> Function {
+    let mut b = FuncBuilder::new(name, vec![Ty::Ptr, Ty::I64], None);
+    let p0 = b.param(0);
+    let p1 = b.param(1);
+    if with_barrier {
+        b.aligned_barrier();
+    }
+    if with_assume {
+        let c = b.icmp_sge(p1, Operand::i64(0));
+        b.assume(c);
+    }
+    if let Some(fr) = callee {
+        b.call(Operand::Func(fr), vec![p0, p1], None);
+    }
+    let diamonds = match shape {
+        0 => 0,
+        1 => 1,
+        _ => 2,
+    };
+    let x = b.add(p1, Operand::i64(seed));
+    let y = b.mul(x, Operand::i64(3));
+    b.store(Ty::I64, p0, y);
+    for d in 0..diamonds {
+        let t = b.new_block();
+        let e = b.new_block();
+        let done = b.new_block();
+        let c = b.icmp_slt(p1, Operand::i64(seed + d));
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.store(Ty::I64, p0, Operand::i64(d));
+        b.br(done);
+        b.switch_to(e);
+        b.store(Ty::I64, p0, Operand::i64(d + 10));
+        b.br(done);
+        b.switch_to(done);
+    }
+    b.ret(None);
+    b.finish()
+}
+
+/// Assemble a module: a kernel calling a chain of helpers (last shape is
+/// the deepest callee), so inlining and global DCE have real work.
+fn build_module(shapes: &[u8], seeds: &[i64], with_barrier: bool, with_assume: bool) -> Module {
+    let mut m = Module::new("prop");
+    let mut next: Option<FuncRef> = None;
+    for i in (0..shapes.len()).rev() {
+        let is_kernel = i == 0;
+        let f = build_func(
+            &format!("f{i}"),
+            shapes[i],
+            seeds[i % seeds.len()],
+            next,
+            with_barrier && is_kernel,
+            with_assume && is_kernel,
+        );
+        next = Some(m.add_function(f));
+    }
+    m.add_kernel(next.expect("at least one function"), ExecMode::Spmd);
+    m
+}
+
+fn make_pass(i: u8) -> Box<dyn ModulePass> {
+    match i % 10 {
+        0 => Box::new(Internalize),
+        1 => Box::new(Spmdize),
+        2 => Box::new(GlobalDce),
+        3 => Box::new(Inline),
+        4 => Box::new(Simplify),
+        5 => Box::new(Globalize),
+        6 => Box::new(Fold),
+        7 => Box::new(BarrierElim),
+        8 => Box::new(DropAssumes),
+        _ => Box::new(PruneDeadGlobals),
+    }
+}
+
+proptest! {
+    #[test]
+    fn cached_analyses_match_fresh_recomputation(
+        shapes in prop::collection::vec(0..3u8, 1..4),
+        seeds in prop::collection::vec(0i64..100, 1..4),
+        with_barrier: bool,
+        with_assume: bool,
+        passes in prop::collection::vec(0..10u8, 1..12),
+    ) {
+        let mut m = build_module(&shapes, &seeds, with_barrier, with_assume);
+        prop_assert_eq!(nzomp_ir::verify_module(&m), Ok(()));
+
+        let opts = PassOptions::full();
+        let mut am = AnalysisManager::new();
+        let mut remarks = Remarks::default();
+        for &pi in &passes {
+            let mut pass = make_pass(pi);
+            let effect = pass.run(&mut m, &mut am, &opts, &mut remarks);
+            am.invalidate(&m, &effect.touched, &effect.preserved);
+            prop_assert_eq!(nzomp_ir::verify_module(&m), Ok(()));
+
+            // Every cached analysis must agree with a from-scratch run,
+            // for every function still carrying a body.
+            for fi in 0..m.funcs.len() as u32 {
+                let f = &m.funcs[fi as usize];
+                if f.is_declaration() {
+                    continue;
+                }
+                let cached_preds = am.predecessors(&m, fi);
+                prop_assert_eq!(
+                    &*cached_preds,
+                    &cfg::predecessors(&m.funcs[fi as usize]),
+                    "stale predecessors for f{} after pass {}", fi, pass.name()
+                );
+                let cached_dom = am.dominators(&m, fi);
+                prop_assert_eq!(
+                    &*cached_dom,
+                    &DomTree::compute(&m.funcs[fi as usize]),
+                    "stale dominators for f{} after pass {}", fi, pass.name()
+                );
+                let cached_live = am.liveness(&m, fi);
+                prop_assert_eq!(
+                    &*cached_live,
+                    &liveness::compute(&m.funcs[fi as usize]),
+                    "stale liveness for f{} after pass {}", fi, pass.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Refactor-equivalence goldens: the printed optimized IR of every proxy
+//! under every pipeline variant (none, baseline, full, and each Fig. 13
+//! ablation) is pinned bit-for-bit against committed `.ll` files.
+//!
+//! The goldens were captured from the pre-pass-manager optimizer, so this
+//! suite is the proof that the pass-manager refactor preserves behavior
+//! exactly — not "equivalent output", *identical* output.
+//!
+//! Re-bless (only for an intentional optimizer change) with:
+//!
+//! ```sh
+//! NZOMP_BLESS=1 cargo test -q --test golden_ir
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use nzomp::pipeline::compile_with;
+use nzomp::BuildConfig;
+use nzomp_opt::{Ablation, PassOptions};
+use nzomp_proxies::{all_proxies, build_for_config};
+
+/// `(file-slug, options)` for all nine pipeline variants.
+fn variants() -> Vec<(String, PassOptions)> {
+    let mut v = vec![
+        ("none".to_string(), PassOptions::none()),
+        ("baseline".to_string(), PassOptions::baseline()),
+        ("full".to_string(), PassOptions::full()),
+    ];
+    for ab in Ablation::ALL {
+        let slug = match ab {
+            Ablation::Fsaa => "no-fsaa",
+            Ablation::ReachDom => "no-reach-dom",
+            Ablation::AssumedContent => "no-assumed-content",
+            Ablation::InvariantProp => "no-invariant-prop",
+            Ablation::AlignedExec => "no-aligned-exec",
+            Ablation::BarrierElim => "no-barrier-elim",
+        };
+        v.push((slug.to_string(), PassOptions::full_without(ab)));
+    }
+    v
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("goldens/opt_ir")
+}
+
+#[test]
+fn optimized_ir_matches_goldens_for_every_proxy_and_variant() {
+    let bless = std::env::var("NZOMP_BLESS").is_ok_and(|v| v == "1");
+    let dir = golden_dir();
+    if bless {
+        fs::create_dir_all(&dir).unwrap();
+    }
+    let cfg = BuildConfig::NewRtNoAssumptions;
+    let mut failures = Vec::new();
+    for p in all_proxies() {
+        for (slug, opts) in variants() {
+            let out = compile_with(build_for_config(p.as_ref(), cfg), cfg, cfg.rt_config(), opts)
+                .unwrap_or_else(|e| panic!("{} [{slug}]: compile failed: {e}", p.name()));
+            let printed = nzomp_ir::printer::print_module(&out.module);
+            let path = dir.join(format!("{}-{slug}.ll", p.name().to_lowercase()));
+            if bless {
+                fs::write(&path, &printed).unwrap();
+                continue;
+            }
+            let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!("missing golden {} ({e}); run with NZOMP_BLESS=1 to capture", path.display())
+            });
+            if printed != want {
+                failures.push(format!("{} [{slug}]", p.name()));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "optimized IR diverged from pre-refactor goldens for: {failures:?}\n\
+         (diff the golden against fresh output; only bless if the change is intentional)"
+    );
+}

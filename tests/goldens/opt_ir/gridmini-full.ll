@@ -1,0 +1,479 @@
+; module gridmini
+; kernel @su3_mult_kernel mode=Spmd
+define internal void @su3_mult_kernel.omp_outlined.body.0(i64 %arg0, ptr %arg1) {
+bb0:
+  %0 = load ptr, %arg1
+  %1 = ptradd %arg1, i64 8
+  %2 = load ptr, %1
+  %3 = ptradd %arg1, i64 16
+  %4 = load ptr, %3
+  %7 = Mul.i64 %arg0, i64 144
+  %8 = ptradd %0, %7
+  %9 = ptradd %2, %7
+  %10 = ptradd %4, %7
+  %12 = load f64, %8
+  %14 = load f64, %9
+  %15 = ptradd %8, i64 8
+  %16 = load f64, %15
+  %17 = ptradd %9, i64 8
+  %18 = load f64, %17
+  %19 = ptradd %8, i64 16
+  %20 = load f64, %19
+  %21 = ptradd %9, i64 16
+  %22 = load f64, %21
+  %23 = ptradd %8, i64 24
+  %24 = load f64, %23
+  %25 = ptradd %9, i64 24
+  %26 = load f64, %25
+  %27 = ptradd %8, i64 32
+  %28 = load f64, %27
+  %29 = ptradd %9, i64 32
+  %30 = load f64, %29
+  %31 = ptradd %8, i64 40
+  %32 = load f64, %31
+  %33 = ptradd %9, i64 40
+  %34 = load f64, %33
+  %35 = ptradd %8, i64 48
+  %36 = load f64, %35
+  %37 = ptradd %9, i64 48
+  %38 = load f64, %37
+  %39 = ptradd %8, i64 56
+  %40 = load f64, %39
+  %41 = ptradd %9, i64 56
+  %42 = load f64, %41
+  %43 = ptradd %8, i64 64
+  %44 = load f64, %43
+  %45 = ptradd %9, i64 64
+  %46 = load f64, %45
+  %47 = ptradd %8, i64 72
+  %48 = load f64, %47
+  %49 = ptradd %9, i64 72
+  %50 = load f64, %49
+  %51 = ptradd %8, i64 80
+  %52 = load f64, %51
+  %53 = ptradd %9, i64 80
+  %54 = load f64, %53
+  %55 = ptradd %8, i64 88
+  %56 = load f64, %55
+  %57 = ptradd %9, i64 88
+  %58 = load f64, %57
+  %59 = ptradd %8, i64 96
+  %60 = load f64, %59
+  %61 = ptradd %9, i64 96
+  %62 = load f64, %61
+  %63 = ptradd %8, i64 104
+  %64 = load f64, %63
+  %65 = ptradd %9, i64 104
+  %66 = load f64, %65
+  %67 = ptradd %8, i64 112
+  %68 = load f64, %67
+  %69 = ptradd %9, i64 112
+  %70 = load f64, %69
+  %71 = ptradd %8, i64 120
+  %72 = load f64, %71
+  %73 = ptradd %9, i64 120
+  %74 = load f64, %73
+  %75 = ptradd %8, i64 128
+  %76 = load f64, %75
+  %77 = ptradd %9, i64 128
+  %78 = load f64, %77
+  %79 = ptradd %8, i64 136
+  %80 = load f64, %79
+  %81 = ptradd %9, i64 136
+  %82 = load f64, %81
+  %83 = FMul.f64 %12, %14
+  %84 = FMul.f64 %16, %18
+  %85 = FSub.f64 %83, %84
+  %86 = FMul.f64 %12, %18
+  %87 = FMul.f64 %16, %14
+  %88 = FAdd.f64 %86, %87
+  %89 = FMul.f64 %20, %38
+  %90 = FMul.f64 %24, %42
+  %91 = FSub.f64 %89, %90
+  %92 = FMul.f64 %20, %42
+  %93 = FMul.f64 %24, %38
+  %94 = FAdd.f64 %92, %93
+  %95 = FAdd.f64 %85, %91
+  %96 = FAdd.f64 %88, %94
+  %97 = FMul.f64 %28, %62
+  %98 = FMul.f64 %32, %66
+  %99 = FSub.f64 %97, %98
+  %100 = FMul.f64 %28, %66
+  %101 = FMul.f64 %32, %62
+  %102 = FAdd.f64 %100, %101
+  %103 = FAdd.f64 %95, %99
+  %104 = FAdd.f64 %96, %102
+  store f64 %103, %10
+  %107 = ptradd %10, i64 8
+  store f64 %104, %107
+  %109 = FMul.f64 %12, %22
+  %110 = FMul.f64 %16, %26
+  %111 = FSub.f64 %109, %110
+  %112 = FMul.f64 %12, %26
+  %113 = FMul.f64 %16, %22
+  %114 = FAdd.f64 %112, %113
+  %115 = FMul.f64 %20, %46
+  %116 = FMul.f64 %24, %50
+  %117 = FSub.f64 %115, %116
+  %118 = FMul.f64 %20, %50
+  %119 = FMul.f64 %24, %46
+  %120 = FAdd.f64 %118, %119
+  %121 = FAdd.f64 %111, %117
+  %122 = FAdd.f64 %114, %120
+  %123 = FMul.f64 %28, %70
+  %124 = FMul.f64 %32, %74
+  %125 = FSub.f64 %123, %124
+  %126 = FMul.f64 %28, %74
+  %127 = FMul.f64 %32, %70
+  %128 = FAdd.f64 %126, %127
+  %129 = FAdd.f64 %121, %125
+  %130 = FAdd.f64 %122, %128
+  %131 = ptradd %10, i64 16
+  store f64 %129, %131
+  %133 = ptradd %10, i64 24
+  store f64 %130, %133
+  %135 = FMul.f64 %12, %30
+  %136 = FMul.f64 %16, %34
+  %137 = FSub.f64 %135, %136
+  %138 = FMul.f64 %12, %34
+  %139 = FMul.f64 %16, %30
+  %140 = FAdd.f64 %138, %139
+  %141 = FMul.f64 %20, %54
+  %142 = FMul.f64 %24, %58
+  %143 = FSub.f64 %141, %142
+  %144 = FMul.f64 %20, %58
+  %145 = FMul.f64 %24, %54
+  %146 = FAdd.f64 %144, %145
+  %147 = FAdd.f64 %137, %143
+  %148 = FAdd.f64 %140, %146
+  %149 = FMul.f64 %28, %78
+  %150 = FMul.f64 %32, %82
+  %151 = FSub.f64 %149, %150
+  %152 = FMul.f64 %28, %82
+  %153 = FMul.f64 %32, %78
+  %154 = FAdd.f64 %152, %153
+  %155 = FAdd.f64 %147, %151
+  %156 = FAdd.f64 %148, %154
+  %157 = ptradd %10, i64 32
+  store f64 %155, %157
+  %159 = ptradd %10, i64 40
+  store f64 %156, %159
+  %161 = FMul.f64 %36, %14
+  %162 = FMul.f64 %40, %18
+  %163 = FSub.f64 %161, %162
+  %164 = FMul.f64 %36, %18
+  %165 = FMul.f64 %40, %14
+  %166 = FAdd.f64 %164, %165
+  %167 = FMul.f64 %44, %38
+  %168 = FMul.f64 %48, %42
+  %169 = FSub.f64 %167, %168
+  %170 = FMul.f64 %44, %42
+  %171 = FMul.f64 %48, %38
+  %172 = FAdd.f64 %170, %171
+  %173 = FAdd.f64 %163, %169
+  %174 = FAdd.f64 %166, %172
+  %175 = FMul.f64 %52, %62
+  %176 = FMul.f64 %56, %66
+  %177 = FSub.f64 %175, %176
+  %178 = FMul.f64 %52, %66
+  %179 = FMul.f64 %56, %62
+  %180 = FAdd.f64 %178, %179
+  %181 = FAdd.f64 %173, %177
+  %182 = FAdd.f64 %174, %180
+  %183 = ptradd %10, i64 48
+  store f64 %181, %183
+  %185 = ptradd %10, i64 56
+  store f64 %182, %185
+  %187 = FMul.f64 %36, %22
+  %188 = FMul.f64 %40, %26
+  %189 = FSub.f64 %187, %188
+  %190 = FMul.f64 %36, %26
+  %191 = FMul.f64 %40, %22
+  %192 = FAdd.f64 %190, %191
+  %193 = FMul.f64 %44, %46
+  %194 = FMul.f64 %48, %50
+  %195 = FSub.f64 %193, %194
+  %196 = FMul.f64 %44, %50
+  %197 = FMul.f64 %48, %46
+  %198 = FAdd.f64 %196, %197
+  %199 = FAdd.f64 %189, %195
+  %200 = FAdd.f64 %192, %198
+  %201 = FMul.f64 %52, %70
+  %202 = FMul.f64 %56, %74
+  %203 = FSub.f64 %201, %202
+  %204 = FMul.f64 %52, %74
+  %205 = FMul.f64 %56, %70
+  %206 = FAdd.f64 %204, %205
+  %207 = FAdd.f64 %199, %203
+  %208 = FAdd.f64 %200, %206
+  %209 = ptradd %10, i64 64
+  store f64 %207, %209
+  %211 = ptradd %10, i64 72
+  store f64 %208, %211
+  %213 = FMul.f64 %36, %30
+  %214 = FMul.f64 %40, %34
+  %215 = FSub.f64 %213, %214
+  %216 = FMul.f64 %36, %34
+  %217 = FMul.f64 %40, %30
+  %218 = FAdd.f64 %216, %217
+  %219 = FMul.f64 %44, %54
+  %220 = FMul.f64 %48, %58
+  %221 = FSub.f64 %219, %220
+  %222 = FMul.f64 %44, %58
+  %223 = FMul.f64 %48, %54
+  %224 = FAdd.f64 %222, %223
+  %225 = FAdd.f64 %215, %221
+  %226 = FAdd.f64 %218, %224
+  %227 = FMul.f64 %52, %78
+  %228 = FMul.f64 %56, %82
+  %229 = FSub.f64 %227, %228
+  %230 = FMul.f64 %52, %82
+  %231 = FMul.f64 %56, %78
+  %232 = FAdd.f64 %230, %231
+  %233 = FAdd.f64 %225, %229
+  %234 = FAdd.f64 %226, %232
+  %235 = ptradd %10, i64 80
+  store f64 %233, %235
+  %237 = ptradd %10, i64 88
+  store f64 %234, %237
+  %239 = FMul.f64 %60, %14
+  %240 = FMul.f64 %64, %18
+  %241 = FSub.f64 %239, %240
+  %242 = FMul.f64 %60, %18
+  %243 = FMul.f64 %64, %14
+  %244 = FAdd.f64 %242, %243
+  %245 = FMul.f64 %68, %38
+  %246 = FMul.f64 %72, %42
+  %247 = FSub.f64 %245, %246
+  %248 = FMul.f64 %68, %42
+  %249 = FMul.f64 %72, %38
+  %250 = FAdd.f64 %248, %249
+  %251 = FAdd.f64 %241, %247
+  %252 = FAdd.f64 %244, %250
+  %253 = FMul.f64 %76, %62
+  %254 = FMul.f64 %80, %66
+  %255 = FSub.f64 %253, %254
+  %256 = FMul.f64 %76, %66
+  %257 = FMul.f64 %80, %62
+  %258 = FAdd.f64 %256, %257
+  %259 = FAdd.f64 %251, %255
+  %260 = FAdd.f64 %252, %258
+  %261 = ptradd %10, i64 96
+  store f64 %259, %261
+  %263 = ptradd %10, i64 104
+  store f64 %260, %263
+  %265 = FMul.f64 %60, %22
+  %266 = FMul.f64 %64, %26
+  %267 = FSub.f64 %265, %266
+  %268 = FMul.f64 %60, %26
+  %269 = FMul.f64 %64, %22
+  %270 = FAdd.f64 %268, %269
+  %271 = FMul.f64 %68, %46
+  %272 = FMul.f64 %72, %50
+  %273 = FSub.f64 %271, %272
+  %274 = FMul.f64 %68, %50
+  %275 = FMul.f64 %72, %46
+  %276 = FAdd.f64 %274, %275
+  %277 = FAdd.f64 %267, %273
+  %278 = FAdd.f64 %270, %276
+  %279 = FMul.f64 %76, %70
+  %280 = FMul.f64 %80, %74
+  %281 = FSub.f64 %279, %280
+  %282 = FMul.f64 %76, %74
+  %283 = FMul.f64 %80, %70
+  %284 = FAdd.f64 %282, %283
+  %285 = FAdd.f64 %277, %281
+  %286 = FAdd.f64 %278, %284
+  %287 = ptradd %10, i64 112
+  store f64 %285, %287
+  %289 = ptradd %10, i64 120
+  store f64 %286, %289
+  %291 = FMul.f64 %60, %30
+  %292 = FMul.f64 %64, %34
+  %293 = FSub.f64 %291, %292
+  %294 = FMul.f64 %60, %34
+  %295 = FMul.f64 %64, %30
+  %296 = FAdd.f64 %294, %295
+  %297 = FMul.f64 %68, %54
+  %298 = FMul.f64 %72, %58
+  %299 = FSub.f64 %297, %298
+  %300 = FMul.f64 %68, %58
+  %301 = FMul.f64 %72, %54
+  %302 = FAdd.f64 %300, %301
+  %303 = FAdd.f64 %293, %299
+  %304 = FAdd.f64 %296, %302
+  %305 = FMul.f64 %76, %78
+  %306 = FMul.f64 %80, %82
+  %307 = FSub.f64 %305, %306
+  %308 = FMul.f64 %76, %82
+  %309 = FMul.f64 %80, %78
+  %310 = FAdd.f64 %308, %309
+  %311 = FAdd.f64 %303, %307
+  %312 = FAdd.f64 %304, %310
+  %313 = ptradd %10, i64 128
+  store f64 %311, %313
+  %315 = ptradd %10, i64 136
+  store f64 %312, %315
+  ret void
+}
+declare i64 @__kmpc_target_init(i64 %arg0)
+declare void @__kmpc_target_deinit(i64 %arg0)
+declare void @__kmpc_distribute_parallel_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)
+define void @su3_mult_kernel(ptr %arg0, ptr %arg1, ptr %arg2, i64 %arg3) {
+bb0:
+  %1 = alloca 32
+  store ptr %arg0, %1
+  %3 = ptradd %1, i64 8
+  store ptr %arg1, %3
+  %5 = ptradd %1, i64 16
+  store ptr %arg2, %5
+  %7 = ptradd %1, i64 24
+  store i64 %arg3, %7
+  %111 = thread.id()
+  %138 = block.dim()
+  %145 = block.id()
+  %146 = grid.dim()
+  %89 = Mul.i64 %145, %138
+  %90 = Add.i64 %89, %111
+  %91 = Mul.i64 %146, %138
+  %92 = cmp.Slt.i64 %90, %arg3
+  br %92, bb17, bb20
+bb1:
+  unreachable
+bb2:
+  unreachable
+bb3:
+  unreachable
+bb4:
+  unreachable
+bb5:
+  unreachable
+bb6:
+  unreachable
+bb7:
+  unreachable
+bb8:
+  unreachable
+bb9:
+  unreachable
+bb10:
+  unreachable
+bb11:
+  unreachable
+bb12:
+  unreachable
+bb13:
+  unreachable
+bb14:
+  unreachable
+bb15:
+  unreachable
+bb16:
+  unreachable
+bb17:
+  %93 = phi i64 [bb0: %90], [bb17: %95]
+  call void @su3_mult_kernel.omp_outlined.body.0(%93, %1)
+  %95 = Add.i64 %93, %91
+  %100 = cmp.Slt.i64 %95, %arg3
+  br %100, bb17, bb20
+bb18:
+  unreachable
+bb19:
+  unreachable
+bb20:
+  ret void
+bb21:
+  unreachable
+bb22:
+  unreachable
+bb23:
+  unreachable
+bb24:
+  unreachable
+bb25:
+  unreachable
+bb26:
+  unreachable
+bb27:
+  unreachable
+bb28:
+  unreachable
+bb29:
+  unreachable
+bb30:
+  unreachable
+bb31:
+  unreachable
+bb32:
+  unreachable
+bb33:
+  unreachable
+bb34:
+  unreachable
+bb35:
+  unreachable
+bb36:
+  unreachable
+bb37:
+  unreachable
+bb38:
+  unreachable
+bb39:
+  unreachable
+bb40:
+  unreachable
+bb41:
+  unreachable
+bb42:
+  unreachable
+bb43:
+  unreachable
+bb44:
+  unreachable
+bb45:
+  unreachable
+bb46:
+  unreachable
+bb47:
+  unreachable
+bb48:
+  unreachable
+bb49:
+  unreachable
+bb50:
+  unreachable
+bb51:
+  unreachable
+bb52:
+  unreachable
+bb53:
+  unreachable
+bb54:
+  unreachable
+bb55:
+  unreachable
+bb56:
+  unreachable
+bb57:
+  unreachable
+bb58:
+  unreachable
+bb59:
+  unreachable
+}
+declare void @__nzomp_trace() [always_inline]
+declare void @__nzomp_assert(i1 %arg0) [always_inline]
+declare void @__kmpc_syncthreads_aligned() [aligned_barrier,no_call_asm,noinline]
+declare void @__kmpc_barrier() [always_inline]
+declare i64 @omp_get_thread_num()
+declare i64 @omp_get_num_threads()
+declare i64 @omp_get_level()
+declare i64 @omp_get_team_num() [always_inline,read_none]
+declare i64 @omp_get_num_teams() [always_inline,read_none]
+declare ptr @__kmpc_alloc_shared(i64 %arg0) [noinline]
+declare void @__kmpc_free_shared(ptr %arg0, i64 %arg1) [noinline]
+declare void @__kmpc_parallel_51(ptr %arg0, ptr %arg1)
+declare void @__kmpc_parallel_spmd(ptr %arg0, ptr %arg1)
+declare void @__kmpc_worker_loop()
+declare void @__kmpc_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2, i64 %arg3)
+declare void @__kmpc_distribute_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)

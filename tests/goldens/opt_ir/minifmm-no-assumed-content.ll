@@ -1,0 +1,475 @@
+; module minifmm
+@__omp_rtl_is_spmd_mode = shared [8 x i8] init=zero linkage=internal
+@__omp_rtl_team_state = shared [64 x i8] init=zero linkage=internal
+@__omp_rtl_dummy = shared [8 x i8] init=zero linkage=internal
+; kernel @fmm_p2p_kernel mode=Spmd
+declare i64 @omp_get_team_num() [always_inline,read_none]
+declare i64 @omp_get_num_threads()
+declare i64 @omp_get_thread_num()
+define internal f64 @p2p_leaf_omp(i64 %arg0, i64 %arg1, i64 %arg2, i64 %arg3, ptr %arg4, ptr %arg5, ptr %arg6, ptr %arg7, ptr %arg8, i64 %arg9) [noinline] {
+bb0:
+  %35 = alloca 8
+  %81 = block.id()
+  %90 = ptradd @__omp_rtl_team_state, i64 8
+  %91 = load i64, %90
+  %92 = cmp.Eq.i64 %91, i64 1
+  %93 = load i64, @__omp_rtl_team_state
+  %94 = select.i64 %92, %93, i64 1
+  %101 = thread.id()
+  %108 = ptradd @__omp_rtl_team_state, i64 8
+  %109 = load i64, %108
+  %110 = cmp.Sgt.i64 %109, i64 1
+  %111 = select.i64 %110, i64 0, %101
+  %3 = Mul.i64 %81, %94
+  %4 = Add.i64 %3, %111
+  %5 = Mul.i64 %arg9, i64 32
+  %6 = Mul.i64 %4, %5
+  %7 = ptradd %arg8, %6
+  %8 = Sub.i64 %arg3, %arg2
+  br bb1
+bb1:
+  %9 = phi i64 [bb0: i64 0], [bb2: %34]
+  %10 = cmp.Slt.i64 %9, %8
+  br %10, bb2, bb3
+bb2:
+  %11 = Add.i64 %arg2, %9
+  %12 = Mul.i64 %9, i64 32
+  %13 = ptradd %7, %12
+  %14 = Mul.i64 %11, i64 8
+  %15 = ptradd %arg4, %14
+  %16 = load f64, %15
+  store f64 %16, %13
+  %19 = Mul.i64 %11, i64 8
+  %20 = ptradd %arg5, %19
+  %21 = load f64, %20
+  %22 = ptradd %13, i64 8
+  store f64 %21, %22
+  %24 = Mul.i64 %11, i64 8
+  %25 = ptradd %arg6, %24
+  %26 = load f64, %25
+  %27 = ptradd %13, i64 16
+  store f64 %26, %27
+  %29 = Mul.i64 %11, i64 8
+  %30 = ptradd %arg7, %29
+  %31 = load f64, %30
+  %32 = ptradd %13, i64 24
+  store f64 %31, %32
+  %34 = Add.i64 %9, i64 1
+  br bb1
+bb3:
+  store f64 f64 0.0, %35
+  br bb4
+bb4:
+  %37 = phi i64 [bb3: %arg0], [bb9: %79]
+  %38 = cmp.Slt.i64 %37, %arg1
+  br %38, bb5, bb6
+bb5:
+  %39 = Mul.i64 %37, i64 8
+  %40 = ptradd %arg4, %39
+  %41 = load f64, %40
+  %42 = Mul.i64 %37, i64 8
+  %43 = ptradd %arg5, %42
+  %44 = load f64, %43
+  %45 = Mul.i64 %37, i64 8
+  %46 = ptradd %arg6, %45
+  %47 = load f64, %46
+  %48 = Mul.i64 %37, i64 8
+  %49 = ptradd %arg7, %48
+  %50 = load f64, %49
+  br bb7
+bb6:
+  %80 = load f64, %35
+  ret %80
+bb7:
+  %51 = phi i64 [bb5: i64 0], [bb8: %78]
+  %52 = cmp.Slt.i64 %51, %8
+  br %52, bb8, bb9
+bb8:
+  %53 = Mul.i64 %51, i64 32
+  %54 = ptradd %7, %53
+  %55 = load f64, %54
+  %56 = ptradd %54, i64 8
+  %57 = load f64, %56
+  %58 = ptradd %54, i64 16
+  %59 = load f64, %58
+  %60 = ptradd %54, i64 24
+  %61 = load f64, %60
+  %62 = FSub.f64 %41, %55
+  %63 = FSub.f64 %44, %57
+  %64 = FSub.f64 %47, %59
+  %65 = FMul.f64 %62, %62
+  %66 = FMul.f64 %63, %63
+  %67 = FMul.f64 %64, %64
+  %68 = FAdd.f64 %65, %66
+  %69 = FAdd.f64 %68, %67
+  %70 = FAdd.f64 %69, f64 0.01
+  %71 = Sqrt.f64 %70
+  %72 = FDiv.f64 f64 1.0, %71
+  %73 = FMul.f64 %61, %72
+  %74 = FMul.f64 %50, %73
+  %75 = load f64, %35
+  %76 = FAdd.f64 %75, %74
+  store f64 %76, %35
+  %78 = Add.i64 %51, i64 1
+  br bb7
+bb9:
+  %79 = Add.i64 %37, i64 1
+  br bb4
+bb10:
+  unreachable
+bb11:
+  unreachable
+bb12:
+  unreachable
+bb13:
+  unreachable
+bb14:
+  unreachable
+bb15:
+  unreachable
+bb16:
+  unreachable
+bb17:
+  unreachable
+bb18:
+  unreachable
+bb19:
+  unreachable
+bb20:
+  unreachable
+bb21:
+  unreachable
+bb22:
+  unreachable
+bb23:
+  unreachable
+bb24:
+  unreachable
+bb25:
+  unreachable
+bb26:
+  unreachable
+bb27:
+  unreachable
+}
+declare i64 @__kmpc_target_init(i64 %arg0)
+declare void @__kmpc_target_deinit(i64 %arg0)
+declare i64 @omp_get_num_teams() [always_inline,read_none]
+declare void @fmm_p2p_kernel.omp_outlined.wsloop.7(i64 %arg0, ptr %arg1)
+declare void @__kmpc_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2, i64 %arg3)
+declare void @fmm_p2p_kernel.omp_outlined.parallel.8(ptr %arg0)
+declare ptr @__kmpc_alloc_shared(i64 %arg0) [noinline]
+declare void @__kmpc_free_shared(ptr %arg0, i64 %arg1) [noinline]
+declare void @__kmpc_parallel_51(ptr %arg0, ptr %arg1)
+define void @fmm_p2p_kernel(ptr %arg0, ptr %arg1, ptr %arg2, ptr %arg3, ptr %arg4, ptr %arg5, ptr %arg6, ptr %arg7, ptr %arg8, i64 %arg9, i64 %arg10) {
+bb0:
+  %11 = alloca 96
+  %153 = alloca 88
+  %273 = alloca 8
+  %39 = thread.id()
+  %40 = cmp.Eq.i64 %39, i64 0
+  %42 = block.dim()
+  %43 = select.ptr %40, @__omp_rtl_is_spmd_mode, @__omp_rtl_dummy
+  store i64 i64 1, %43
+  %45 = select.ptr %40, @__omp_rtl_team_state, @__omp_rtl_dummy
+  store i64 %42, %45
+  %47 = ptradd @__omp_rtl_team_state, i64 8
+  %48 = select.ptr %40, %47, @__omp_rtl_dummy
+  store i64 i64 1, %48
+  %50 = ptradd @__omp_rtl_team_state, i64 16
+  %51 = select.ptr %40, %50, @__omp_rtl_dummy
+  store i64 i64 1, %51
+  %53 = ptradd @__omp_rtl_team_state, i64 40
+  %54 = select.ptr %40, %53, @__omp_rtl_dummy
+  store i64 i64 0, %54
+  call void @__kmpc_syncthreads_aligned()
+  %111 = block.id()
+  %112 = grid.dim()
+  %4 = Add.i64 %112, i64 -1
+  %5 = Add.i64 %arg9, %4
+  %6 = SDiv.i64 %5, %112
+  %7 = Mul.i64 %111, %6
+  %8 = Add.i64 %7, %6
+  %9 = SMin.i64 %8, %arg9
+  %10 = Sub.i64 %9, %7
+  store ptr %arg0, %11
+  %13 = ptradd %11, i64 8
+  store ptr %arg1, %13
+  %15 = ptradd %11, i64 16
+  store ptr %arg2, %15
+  %17 = ptradd %11, i64 24
+  store ptr %arg3, %17
+  %19 = ptradd %11, i64 32
+  store ptr %arg4, %19
+  %21 = ptradd %11, i64 40
+  store ptr %arg5, %21
+  %23 = ptradd %11, i64 48
+  store ptr %arg6, %23
+  %25 = ptradd %11, i64 56
+  store ptr %arg7, %25
+  %27 = ptradd %11, i64 64
+  store ptr %arg8, %27
+  %29 = ptradd %11, i64 72
+  store i64 %arg10, %29
+  %31 = ptradd %11, i64 80
+  store i64 %7, %31
+  %33 = ptradd %11, i64 88
+  store i64 %10, %33
+  %149 = ptradd %11, i64 80
+  %150 = load i64, %149
+  %151 = ptradd %11, i64 88
+  %152 = load i64, %151
+  store ptr %arg0, %153
+  %155 = ptradd %153, i64 8
+  store ptr %arg1, %155
+  %157 = ptradd %153, i64 16
+  store ptr %arg2, %157
+  %159 = ptradd %153, i64 24
+  store ptr %arg3, %159
+  %161 = ptradd %153, i64 32
+  store ptr %arg4, %161
+  %163 = ptradd %153, i64 40
+  store ptr %arg5, %163
+  %165 = ptradd %153, i64 48
+  store ptr %arg6, %165
+  %167 = ptradd %153, i64 56
+  store ptr %arg7, %167
+  %169 = ptradd %153, i64 64
+  store ptr %arg8, %169
+  %171 = ptradd %153, i64 72
+  store i64 %arg10, %171
+  %173 = ptradd %153, i64 80
+  store i64 %150, %173
+  %204 = thread.id()
+  %211 = ptradd @__omp_rtl_team_state, i64 8
+  %212 = load i64, %211
+  %213 = cmp.Sgt.i64 %212, i64 1
+  %214 = select.i64 %213, i64 0, %204
+  %228 = ptradd @__omp_rtl_team_state, i64 8
+  %229 = load i64, %228
+  %230 = cmp.Eq.i64 %229, i64 1
+  %231 = load i64, @__omp_rtl_team_state
+  %232 = select.i64 %230, %231, i64 1
+  %179 = cmp.Slt.i64 %214, %152
+  br %179, bb38, bb41
+bb1:
+  unreachable
+bb2:
+  unreachable
+bb3:
+  unreachable
+bb4:
+  unreachable
+bb5:
+  unreachable
+bb6:
+  unreachable
+bb7:
+  unreachable
+bb8:
+  unreachable
+bb9:
+  unreachable
+bb10:
+  unreachable
+bb11:
+  unreachable
+bb12:
+  unreachable
+bb13:
+  unreachable
+bb14:
+  unreachable
+bb15:
+  unreachable
+bb16:
+  unreachable
+bb17:
+  unreachable
+bb18:
+  unreachable
+bb19:
+  unreachable
+bb20:
+  unreachable
+bb21:
+  unreachable
+bb22:
+  unreachable
+bb23:
+  unreachable
+bb24:
+  unreachable
+bb25:
+  unreachable
+bb26:
+  unreachable
+bb27:
+  unreachable
+bb28:
+  unreachable
+bb29:
+  unreachable
+bb30:
+  unreachable
+bb31:
+  unreachable
+bb32:
+  unreachable
+bb33:
+  unreachable
+bb34:
+  unreachable
+bb35:
+  unreachable
+bb36:
+  unreachable
+bb37:
+  unreachable
+bb38:
+  %180 = phi i64 [bb0: %214], [bb79: %182]
+  %257 = ptradd %153, i64 80
+  %258 = load i64, %257
+  %259 = Add.i64 %258, %180
+  %260 = Mul.i64 %259, i64 8
+  %261 = ptradd %arg0, %260
+  %262 = load i64, %261
+  %263 = Add.i64 %259, i64 1
+  %264 = Mul.i64 %263, i64 8
+  %265 = ptradd %arg0, %264
+  %266 = load i64, %265
+  %267 = Mul.i64 %259, i64 8
+  %268 = ptradd %arg1, %267
+  %269 = load i64, %268
+  %270 = Mul.i64 %263, i64 8
+  %271 = ptradd %arg1, %270
+  %272 = load i64, %271
+  store f64 f64 0.0, %273
+  br bb77
+bb39:
+  unreachable
+bb40:
+  unreachable
+bb41:
+  %199 = load i64, @__omp_rtl_is_spmd_mode
+  %200 = cmp.Ne.i64 %199, i64 0
+  br %200, bb55, bb56
+bb42:
+  unreachable
+bb43:
+  unreachable
+bb44:
+  unreachable
+bb45:
+  unreachable
+bb46:
+  unreachable
+bb47:
+  unreachable
+bb48:
+  unreachable
+bb49:
+  unreachable
+bb50:
+  unreachable
+bb51:
+  unreachable
+bb52:
+  unreachable
+bb53:
+  unreachable
+bb54:
+  unreachable
+bb55:
+  call void @__kmpc_syncthreads_aligned()
+  br bb57
+bb56:
+  barrier()
+  br bb57
+bb57:
+  ret void
+bb58:
+  unreachable
+bb59:
+  unreachable
+bb60:
+  unreachable
+bb61:
+  unreachable
+bb62:
+  unreachable
+bb63:
+  unreachable
+bb64:
+  unreachable
+bb65:
+  unreachable
+bb66:
+  unreachable
+bb67:
+  unreachable
+bb68:
+  unreachable
+bb69:
+  unreachable
+bb70:
+  unreachable
+bb71:
+  unreachable
+bb72:
+  unreachable
+bb73:
+  unreachable
+bb74:
+  unreachable
+bb75:
+  unreachable
+bb76:
+  unreachable
+bb77:
+  %275 = phi i64 [bb38: %269], [bb78: %291]
+  %276 = cmp.Slt.i64 %275, %272
+  br %276, bb78, bb79
+bb78:
+  %277 = Mul.i64 %275, i64 8
+  %278 = ptradd %arg2, %277
+  %279 = load i64, %278
+  %280 = Mul.i64 %279, i64 8
+  %281 = ptradd %arg0, %280
+  %282 = load i64, %281
+  %283 = Add.i64 %279, i64 1
+  %284 = Mul.i64 %283, i64 8
+  %285 = ptradd %arg0, %284
+  %286 = load i64, %285
+  %287 = call f64 @p2p_leaf_omp(%262, %266, %282, %286, %arg3, %arg4, %arg5, %arg6, %arg7, %arg10)
+  %288 = load f64, %273
+  %289 = FAdd.f64 %288, %287
+  store f64 %289, %273
+  %291 = Add.i64 %275, i64 1
+  br bb77
+bb79:
+  %292 = load f64, %273
+  %293 = Mul.i64 %259, i64 8
+  %294 = ptradd %arg8, %293
+  store f64 %292, %294
+  %182 = Add.i64 %180, %232
+  %187 = cmp.Slt.i64 %182, %152
+  br %187, bb38, bb41
+bb80:
+  unreachable
+bb81:
+  unreachable
+}
+declare void @__nzomp_trace() [always_inline]
+declare void @__nzomp_assert(i1 %arg0) [always_inline]
+define internal void @__kmpc_syncthreads_aligned() [aligned_barrier,no_call_asm,noinline] {
+bb0:
+  barrier.aligned()
+  ret void
+}
+declare void @__kmpc_barrier() [always_inline]
+declare i64 @omp_get_level()
+declare void @__kmpc_parallel_spmd(ptr %arg0, ptr %arg1)
+declare void @__kmpc_worker_loop()
+declare void @__kmpc_distribute_parallel_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)
+declare void @__kmpc_distribute_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)

@@ -1,0 +1,227 @@
+; module rsbench
+; kernel @rs_lookup_kernel mode=Spmd
+declare void @rs_lookup_kernel.omp_outlined.body.0(i64 %arg0, ptr %arg1)
+declare i64 @__kmpc_target_init(i64 %arg0)
+declare void @__kmpc_target_deinit(i64 %arg0)
+declare void @__kmpc_distribute_parallel_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)
+define void @rs_lookup_kernel(ptr %arg0, ptr %arg1, ptr %arg2, i64 %arg3, i64 %arg4, i64 %arg5, i64 %arg6) {
+bb0:
+  %174 = alloca 8
+  call void @__kmpc_syncthreads_aligned()
+  %117 = thread.id()
+  %144 = block.dim()
+  %151 = block.id()
+  %152 = grid.dim()
+  %95 = Mul.i64 %151, %144
+  %96 = Add.i64 %95, %117
+  %97 = Mul.i64 %152, %144
+  %98 = cmp.Slt.i64 %96, %arg3
+  br %98, bb17, bb20
+bb1:
+  unreachable
+bb2:
+  unreachable
+bb3:
+  unreachable
+bb4:
+  unreachable
+bb5:
+  unreachable
+bb6:
+  unreachable
+bb7:
+  unreachable
+bb8:
+  unreachable
+bb9:
+  unreachable
+bb10:
+  unreachable
+bb11:
+  unreachable
+bb12:
+  unreachable
+bb13:
+  unreachable
+bb14:
+  unreachable
+bb15:
+  unreachable
+bb16:
+  unreachable
+bb17:
+  %99 = phi i64 [bb0: %96], [bb55: %101]
+  %166 = Mul.i64 %99, i64 8
+  %167 = ptradd %arg1, %166
+  %168 = load f64, %167
+  %169 = SiToFp %arg5 to f64
+  %170 = FMul.f64 %168, %169
+  %171 = FpToSi %170 to i64
+  %172 = SRem.i64 %171, %arg5
+  %173 = Sqrt.f64 %168
+  store f64 f64 0.0, %174
+  %176 = Mul.i64 %arg6, i64 4
+  br bb53
+bb18:
+  unreachable
+bb19:
+  unreachable
+bb20:
+  ret void
+bb21:
+  unreachable
+bb22:
+  unreachable
+bb23:
+  unreachable
+bb24:
+  unreachable
+bb25:
+  unreachable
+bb26:
+  unreachable
+bb27:
+  unreachable
+bb28:
+  unreachable
+bb29:
+  unreachable
+bb30:
+  unreachable
+bb31:
+  unreachable
+bb32:
+  unreachable
+bb33:
+  unreachable
+bb34:
+  unreachable
+bb35:
+  unreachable
+bb36:
+  unreachable
+bb37:
+  unreachable
+bb38:
+  unreachable
+bb39:
+  unreachable
+bb40:
+  unreachable
+bb41:
+  unreachable
+bb42:
+  unreachable
+bb43:
+  unreachable
+bb44:
+  unreachable
+bb45:
+  unreachable
+bb46:
+  unreachable
+bb47:
+  unreachable
+bb48:
+  unreachable
+bb49:
+  unreachable
+bb50:
+  unreachable
+bb51:
+  unreachable
+bb52:
+  unreachable
+bb53:
+  %177 = phi i64 [bb17: i64 0], [bb58: %212]
+  %178 = cmp.Slt.i64 %177, %arg4
+  br %178, bb54, bb55
+bb54:
+  %179 = Mul.i64 %177, %arg5
+  %180 = Add.i64 %179, %172
+  %181 = Mul.i64 %180, %176
+  %182 = Mul.i64 %181, i64 8
+  %183 = ptradd %arg0, %182
+  br bb56
+bb55:
+  %213 = load f64, %174
+  %214 = Mul.i64 %99, i64 8
+  %215 = ptradd %arg2, %214
+  store f64 %213, %215
+  %101 = Add.i64 %99, %97
+  %106 = cmp.Slt.i64 %101, %arg3
+  br %106, bb17, bb20
+bb56:
+  %184 = phi i64 [bb54: i64 0], [bb57: %211]
+  %185 = cmp.Slt.i64 %184, %arg6
+  br %185, bb57, bb58
+bb57:
+  %186 = Mul.i64 %184, i64 32
+  %187 = ptradd %183, %186
+  %188 = load f64, %187
+  %189 = ptradd %187, i64 8
+  %190 = load f64, %189
+  %191 = ptradd %187, i64 16
+  %192 = load f64, %191
+  %193 = ptradd %187, i64 24
+  %194 = load f64, %193
+  %195 = FSub.f64 %173, %188
+  %196 = FMul.f64 %195, %195
+  %197 = FMul.f64 %192, %192
+  %198 = FAdd.f64 %196, %197
+  %199 = FMul.f64 %190, %195
+  %200 = FMul.f64 %192, %194
+  %201 = FAdd.f64 %199, %200
+  %202 = FDiv.f64 %201, %198
+  %203 = Sin.f64 %195
+  %204 = Cos.f64 %194
+  %205 = FMul.f64 %203, %204
+  %206 = FMul.f64 %202, %205
+  %207 = FAdd.f64 %202, %206
+  %208 = load f64, %174
+  %209 = FAdd.f64 %208, %207
+  store f64 %209, %174
+  %211 = Add.i64 %184, i64 1
+  br bb56
+bb58:
+  %212 = Add.i64 %177, i64 1
+  br bb53
+bb59:
+  unreachable
+bb60:
+  unreachable
+bb61:
+  unreachable
+bb62:
+  unreachable
+bb63:
+  unreachable
+bb64:
+  unreachable
+bb65:
+  unreachable
+bb66:
+  unreachable
+bb67:
+  unreachable
+}
+declare void @__nzomp_trace() [always_inline]
+declare void @__nzomp_assert(i1 %arg0) [always_inline]
+define internal void @__kmpc_syncthreads_aligned() [aligned_barrier,no_call_asm,noinline] {
+bb0:
+  barrier.aligned()
+  ret void
+}
+declare void @__kmpc_barrier() [always_inline]
+declare i64 @omp_get_thread_num()
+declare i64 @omp_get_num_threads()
+declare i64 @omp_get_level()
+declare i64 @omp_get_team_num() [always_inline,read_none]
+declare i64 @omp_get_num_teams() [always_inline,read_none]
+declare ptr @__kmpc_alloc_shared(i64 %arg0) [noinline]
+declare void @__kmpc_free_shared(ptr %arg0, i64 %arg1) [noinline]
+declare void @__kmpc_parallel_51(ptr %arg0, ptr %arg1)
+declare void @__kmpc_parallel_spmd(ptr %arg0, ptr %arg1)
+declare void @__kmpc_worker_loop()
+declare void @__kmpc_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2, i64 %arg3)
+declare void @__kmpc_distribute_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)

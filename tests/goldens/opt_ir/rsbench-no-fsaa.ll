@@ -1,0 +1,306 @@
+; module rsbench
+@__omp_rtl_is_spmd_mode = shared [8 x i8] init=zero linkage=internal
+@__omp_rtl_team_state = shared [64 x i8] init=zero linkage=internal
+@__omp_rtl_thread_states = shared [2048 x i8] init=zero linkage=internal
+@__omp_rtl_smem_stack = shared [9168 x i8] init=zero linkage=internal
+@__omp_rtl_smem_stack_top = shared [8 x i8] init=zero linkage=internal
+@__omp_rtl_dummy = shared [8 x i8] init=zero linkage=internal
+@__omp_rtl_debug_kind = constant [8 x i8] const init=i64:0 linkage=internal
+@__omp_rtl_assume_teams_oversubscription = constant [8 x i8] const init=i64:0 linkage=internal
+@__omp_rtl_assume_threads_oversubscription = constant [8 x i8] const init=i64:0 linkage=internal
+@__omp_rtl_trace_count = global [8 x i8] init=zero linkage=internal
+; kernel @rs_lookup_kernel mode=Spmd
+declare void @rs_lookup_kernel.omp_outlined.body.0(i64 %arg0, ptr %arg1)
+declare i64 @__kmpc_target_init(i64 %arg0)
+declare void @__kmpc_target_deinit(i64 %arg0)
+declare void @__kmpc_distribute_parallel_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)
+define void @rs_lookup_kernel(ptr %arg0, ptr %arg1, ptr %arg2, i64 %arg3, i64 %arg4, i64 %arg5, i64 %arg6) {
+bb0:
+  %1 = alloca 56
+  %174 = alloca 8
+  %18 = thread.id()
+  %19 = cmp.Eq.i64 %18, i64 0
+  %21 = block.dim()
+  %22 = select.ptr %19, @__omp_rtl_is_spmd_mode, @__omp_rtl_dummy
+  store i64 i64 1, %22
+  %24 = select.ptr %19, @__omp_rtl_team_state, @__omp_rtl_dummy
+  store i64 %21, %24
+  %26 = ptradd @__omp_rtl_team_state, i64 8
+  %27 = select.ptr %19, %26, @__omp_rtl_dummy
+  store i64 i64 1, %27
+  %29 = ptradd @__omp_rtl_team_state, i64 16
+  %30 = select.ptr %19, %29, @__omp_rtl_dummy
+  store i64 i64 1, %30
+  %32 = ptradd @__omp_rtl_team_state, i64 40
+  %33 = select.ptr %19, %32, @__omp_rtl_dummy
+  store i64 i64 0, %33
+  %35 = select.ptr %19, @__omp_rtl_smem_stack_top, @__omp_rtl_dummy
+  store i64 i64 0, %35
+  %37 = Mul.i64 %18, i64 8
+  %38 = ptradd @__omp_rtl_thread_states, %37
+  store ptr ptr 0, %38
+  call void @__kmpc_syncthreads_aligned()
+  store ptr %arg0, %1
+  %3 = ptradd %1, i64 8
+  store ptr %arg1, %3
+  %5 = ptradd %1, i64 16
+  store ptr %arg2, %5
+  %7 = ptradd %1, i64 24
+  store i64 %arg3, %7
+  %9 = ptradd %1, i64 32
+  store i64 %arg4, %9
+  %11 = ptradd %1, i64 40
+  store i64 %arg5, %11
+  %13 = ptradd %1, i64 48
+  store i64 %arg6, %13
+  %117 = thread.id()
+  %118 = Mul.i64 %117, i64 8
+  %119 = ptradd @__omp_rtl_thread_states, %118
+  %120 = load ptr, %119
+  %121 = cmp.Ne.ptr %120, ptr 0
+  br %121, bb32, bb33
+bb1:
+  unreachable
+bb2:
+  unreachable
+bb3:
+  unreachable
+bb4:
+  unreachable
+bb5:
+  unreachable
+bb6:
+  unreachable
+bb7:
+  unreachable
+bb8:
+  unreachable
+bb9:
+  unreachable
+bb10:
+  unreachable
+bb11:
+  unreachable
+bb12:
+  unreachable
+bb13:
+  unreachable
+bb14:
+  unreachable
+bb15:
+  unreachable
+bb16:
+  unreachable
+bb17:
+  %99 = phi i64 [bb42: %96], [bb55: %101]
+  %153 = load ptr, %1
+  %154 = ptradd %1, i64 8
+  %155 = load ptr, %154
+  %156 = ptradd %1, i64 16
+  %157 = load ptr, %156
+  %160 = ptradd %1, i64 32
+  %161 = load i64, %160
+  %162 = ptradd %1, i64 40
+  %163 = load i64, %162
+  %164 = ptradd %1, i64 48
+  %165 = load i64, %164
+  %166 = Mul.i64 %99, i64 8
+  %167 = ptradd %155, %166
+  %168 = load f64, %167
+  %169 = SiToFp %163 to f64
+  %170 = FMul.f64 %168, %169
+  %171 = FpToSi %170 to i64
+  %172 = SRem.i64 %171, %163
+  %173 = Sqrt.f64 %168
+  store f64 f64 0.0, %174
+  %176 = Mul.i64 %165, i64 4
+  br bb53
+bb18:
+  unreachable
+bb19:
+  unreachable
+bb20:
+  ret void
+bb21:
+  unreachable
+bb22:
+  unreachable
+bb23:
+  unreachable
+bb24:
+  unreachable
+bb25:
+  unreachable
+bb26:
+  unreachable
+bb27:
+  unreachable
+bb28:
+  unreachable
+bb29:
+  unreachable
+bb30:
+  unreachable
+bb31:
+  unreachable
+bb32:
+  %122 = ptradd %120, i64 8
+  %123 = load i64, %122
+  br bb34
+bb33:
+  %124 = ptradd @__omp_rtl_team_state, i64 8
+  %125 = load i64, %124
+  %126 = cmp.Sgt.i64 %125, i64 1
+  %127 = select.i64 %126, i64 0, %117
+  br bb34
+bb34:
+  %128 = phi i64 [bb32: %123], [bb33: %127]
+  %134 = thread.id()
+  %135 = Mul.i64 %134, i64 8
+  %136 = ptradd @__omp_rtl_thread_states, %135
+  %137 = load ptr, %136
+  %138 = cmp.Ne.ptr %137, ptr 0
+  br %138, bb40, bb41
+bb35:
+  unreachable
+bb36:
+  unreachable
+bb37:
+  unreachable
+bb38:
+  unreachable
+bb39:
+  unreachable
+bb40:
+  %139 = ptradd %137, i64 16
+  %140 = load i64, %139
+  br bb42
+bb41:
+  %141 = ptradd @__omp_rtl_team_state, i64 8
+  %142 = load i64, %141
+  %143 = cmp.Eq.i64 %142, i64 1
+  %144 = load i64, @__omp_rtl_team_state
+  %145 = select.i64 %143, %144, i64 1
+  br bb42
+bb42:
+  %146 = phi i64 [bb40: %140], [bb41: %145]
+  %151 = block.id()
+  %152 = grid.dim()
+  %95 = Mul.i64 %151, %146
+  %96 = Add.i64 %95, %128
+  %97 = Mul.i64 %152, %146
+  %98 = cmp.Slt.i64 %96, %arg3
+  br %98, bb17, bb20
+bb43:
+  unreachable
+bb44:
+  unreachable
+bb45:
+  unreachable
+bb46:
+  unreachable
+bb47:
+  unreachable
+bb48:
+  unreachable
+bb49:
+  unreachable
+bb50:
+  unreachable
+bb51:
+  unreachable
+bb52:
+  unreachable
+bb53:
+  %177 = phi i64 [bb17: i64 0], [bb58: %212]
+  %178 = cmp.Slt.i64 %177, %161
+  br %178, bb54, bb55
+bb54:
+  %179 = Mul.i64 %177, %163
+  %180 = Add.i64 %179, %172
+  %181 = Mul.i64 %180, %176
+  %182 = Mul.i64 %181, i64 8
+  %183 = ptradd %153, %182
+  br bb56
+bb55:
+  %213 = load f64, %174
+  %214 = Mul.i64 %99, i64 8
+  %215 = ptradd %157, %214
+  store f64 %213, %215
+  %101 = Add.i64 %99, %97
+  %106 = cmp.Slt.i64 %101, %arg3
+  br %106, bb17, bb20
+bb56:
+  %184 = phi i64 [bb54: i64 0], [bb57: %211]
+  %185 = cmp.Slt.i64 %184, %165
+  br %185, bb57, bb58
+bb57:
+  %186 = Mul.i64 %184, i64 32
+  %187 = ptradd %183, %186
+  %188 = load f64, %187
+  %189 = ptradd %187, i64 8
+  %190 = load f64, %189
+  %191 = ptradd %187, i64 16
+  %192 = load f64, %191
+  %193 = ptradd %187, i64 24
+  %194 = load f64, %193
+  %195 = FSub.f64 %173, %188
+  %196 = FMul.f64 %195, %195
+  %197 = FMul.f64 %192, %192
+  %198 = FAdd.f64 %196, %197
+  %199 = FMul.f64 %190, %195
+  %200 = FMul.f64 %192, %194
+  %201 = FAdd.f64 %199, %200
+  %202 = FDiv.f64 %201, %198
+  %203 = Sin.f64 %195
+  %204 = Cos.f64 %194
+  %205 = FMul.f64 %203, %204
+  %206 = FMul.f64 %202, %205
+  %207 = FAdd.f64 %202, %206
+  %208 = load f64, %174
+  %209 = FAdd.f64 %208, %207
+  store f64 %209, %174
+  %211 = Add.i64 %184, i64 1
+  br bb56
+bb58:
+  %212 = Add.i64 %177, i64 1
+  br bb53
+bb59:
+  unreachable
+bb60:
+  unreachable
+bb61:
+  unreachable
+bb62:
+  unreachable
+bb63:
+  unreachable
+bb64:
+  unreachable
+bb65:
+  unreachable
+bb66:
+  unreachable
+bb67:
+  unreachable
+}
+declare void @__nzomp_trace() [always_inline]
+declare void @__nzomp_assert(i1 %arg0) [always_inline]
+define internal void @__kmpc_syncthreads_aligned() [aligned_barrier,no_call_asm,noinline] {
+bb0:
+  barrier.aligned()
+  ret void
+}
+declare void @__kmpc_barrier() [always_inline]
+declare i64 @omp_get_thread_num()
+declare i64 @omp_get_num_threads()
+declare i64 @omp_get_level()
+declare i64 @omp_get_team_num() [always_inline,read_none]
+declare i64 @omp_get_num_teams() [always_inline,read_none]
+declare ptr @__kmpc_alloc_shared(i64 %arg0) [noinline]
+declare void @__kmpc_free_shared(ptr %arg0, i64 %arg1) [noinline]
+declare void @__kmpc_parallel_51(ptr %arg0, ptr %arg1)
+declare void @__kmpc_parallel_spmd(ptr %arg0, ptr %arg1)
+declare void @__kmpc_worker_loop()
+declare void @__kmpc_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2, i64 %arg3)
+declare void @__kmpc_distribute_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)

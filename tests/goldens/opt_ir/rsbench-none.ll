@@ -1,0 +1,507 @@
+; module rsbench
+@__omp_rtl_is_spmd_mode = shared [8 x i8] init=zero linkage=internal
+@__omp_rtl_team_state = shared [64 x i8] init=zero linkage=internal
+@__omp_rtl_thread_states = shared [2048 x i8] init=zero linkage=internal
+@__omp_rtl_smem_stack = shared [9168 x i8] init=zero linkage=internal
+@__omp_rtl_smem_stack_top = shared [8 x i8] init=zero linkage=internal
+@__omp_rtl_dummy = shared [8 x i8] init=zero linkage=internal
+@__omp_rtl_debug_kind = constant [8 x i8] const init=i64:0 linkage=internal
+@__omp_rtl_assume_teams_oversubscription = constant [8 x i8] const init=i64:0 linkage=internal
+@__omp_rtl_assume_threads_oversubscription = constant [8 x i8] const init=i64:0 linkage=internal
+@__omp_rtl_trace_count = global [8 x i8] init=zero linkage=internal
+; kernel @rs_lookup_kernel mode=Spmd
+define internal void @rs_lookup_kernel.omp_outlined.body.0(i64 %arg0, ptr %arg1) {
+bb0:
+  %21 = alloca 8
+  %0 = load ptr, %arg1
+  %1 = ptradd %arg1, i64 8
+  %2 = load ptr, %1
+  %3 = ptradd %arg1, i64 16
+  %4 = load ptr, %3
+  %5 = ptradd %arg1, i64 24
+  %6 = load i64, %5
+  %7 = ptradd %arg1, i64 32
+  %8 = load i64, %7
+  %9 = ptradd %arg1, i64 40
+  %10 = load i64, %9
+  %11 = ptradd %arg1, i64 48
+  %12 = load i64, %11
+  %13 = Mul.i64 %arg0, i64 8
+  %14 = ptradd %2, %13
+  %15 = load f64, %14
+  %16 = SiToFp %10 to f64
+  %17 = FMul.f64 %15, %16
+  %18 = FpToSi %17 to i64
+  %19 = SRem.i64 %18, %10
+  %20 = Sqrt.f64 %15
+  store f64 f64 0.0, %21
+  %23 = Mul.i64 %12, i64 4
+  br bb1
+bb1:
+  %24 = phi i64 [bb0: i64 0], [bb6: %59]
+  %25 = cmp.Slt.i64 %24, %8
+  br %25, bb2, bb3
+bb2:
+  %26 = Mul.i64 %24, %10
+  %27 = Add.i64 %26, %19
+  %28 = Mul.i64 %27, %23
+  %29 = Mul.i64 %28, i64 8
+  %30 = ptradd %0, %29
+  br bb4
+bb3:
+  %60 = load f64, %21
+  %61 = Mul.i64 %arg0, i64 8
+  %62 = ptradd %4, %61
+  store f64 %60, %62
+  ret void
+bb4:
+  %31 = phi i64 [bb2: i64 0], [bb5: %58]
+  %32 = cmp.Slt.i64 %31, %12
+  br %32, bb5, bb6
+bb5:
+  %33 = Mul.i64 %31, i64 32
+  %34 = ptradd %30, %33
+  %35 = load f64, %34
+  %36 = ptradd %34, i64 8
+  %37 = load f64, %36
+  %38 = ptradd %34, i64 16
+  %39 = load f64, %38
+  %40 = ptradd %34, i64 24
+  %41 = load f64, %40
+  %42 = FSub.f64 %20, %35
+  %43 = FMul.f64 %42, %42
+  %44 = FMul.f64 %39, %39
+  %45 = FAdd.f64 %43, %44
+  %46 = FMul.f64 %37, %42
+  %47 = FMul.f64 %39, %41
+  %48 = FAdd.f64 %46, %47
+  %49 = FDiv.f64 %48, %45
+  %50 = Sin.f64 %42
+  %51 = Cos.f64 %41
+  %52 = FMul.f64 %50, %51
+  %53 = FMul.f64 %49, %52
+  %54 = FAdd.f64 %49, %53
+  %55 = load f64, %21
+  %56 = FAdd.f64 %55, %54
+  store f64 %56, %21
+  %58 = Add.i64 %31, i64 1
+  br bb4
+bb6:
+  %59 = Add.i64 %24, i64 1
+  br bb1
+}
+define i64 @__kmpc_target_init(i64 %arg0) {
+bb0:
+  call void @__nzomp_trace()
+  %1 = thread.id()
+  %2 = cmp.Eq.i64 %1, i64 0
+  %3 = cmp.Eq.i64 %arg0, i64 1
+  br %3, bb1, bb2
+bb1:
+  %4 = block.dim()
+  %5 = select.ptr %2, @__omp_rtl_is_spmd_mode, @__omp_rtl_dummy
+  store i64 %arg0, %5
+  %7 = select.ptr %2, @__omp_rtl_team_state, @__omp_rtl_dummy
+  store i64 %4, %7
+  %9 = ptradd @__omp_rtl_team_state, i64 8
+  %10 = select.ptr %2, %9, @__omp_rtl_dummy
+  store i64 i64 1, %10
+  %12 = ptradd @__omp_rtl_team_state, i64 16
+  %13 = select.ptr %2, %12, @__omp_rtl_dummy
+  store i64 i64 1, %13
+  %15 = ptradd @__omp_rtl_team_state, i64 40
+  %16 = select.ptr %2, %15, @__omp_rtl_dummy
+  store i64 i64 0, %16
+  %18 = select.ptr %2, @__omp_rtl_smem_stack_top, @__omp_rtl_dummy
+  store i64 i64 0, %18
+  %20 = Mul.i64 %1, i64 8
+  %21 = ptradd @__omp_rtl_thread_states, %20
+  store ptr ptr 0, %21
+  call void @__kmpc_syncthreads_aligned()
+  %24 = load i64, @__omp_rtl_is_spmd_mode
+  %25 = cmp.Eq.i64 %24, %arg0
+  assume(%25)
+  %27 = ptradd @__omp_rtl_team_state, i64 8
+  %28 = load i64, %27
+  %29 = cmp.Eq.i64 %28, i64 1
+  assume(%29)
+  %31 = block.dim()
+  %32 = load i64, @__omp_rtl_team_state
+  %33 = cmp.Eq.i64 %32, %31
+  assume(%33)
+  %35 = ptradd @__omp_rtl_team_state, i64 40
+  %36 = load i64, %35
+  %37 = cmp.Eq.i64 %36, i64 0
+  assume(%37)
+  ret i64 0
+bb2:
+  br %2, bb3, bb4
+bb3:
+  store i64 i64 0, @__omp_rtl_is_spmd_mode
+  %40 = block.dim()
+  store i64 %40, @__omp_rtl_team_state
+  %42 = ptradd @__omp_rtl_team_state, i64 8
+  store i64 i64 0, %42
+  %44 = ptradd @__omp_rtl_team_state, i64 16
+  store i64 i64 0, %44
+  %46 = ptradd @__omp_rtl_team_state, i64 24
+  store ptr ptr 0, %46
+  %48 = ptradd @__omp_rtl_team_state, i64 32
+  store ptr ptr 0, %48
+  %50 = ptradd @__omp_rtl_team_state, i64 40
+  store i64 i64 0, %50
+  store i64 i64 0, @__omp_rtl_smem_stack_top
+  %53 = Mul.i64 %1, i64 8
+  %54 = ptradd @__omp_rtl_thread_states, %53
+  store ptr ptr 0, %54
+  ret i64 0
+bb4:
+  %56 = Mul.i64 %1, i64 8
+  %57 = ptradd @__omp_rtl_thread_states, %56
+  store ptr ptr 0, %57
+  call void @__kmpc_worker_loop()
+  ret i64 1
+}
+define void @__kmpc_target_deinit(i64 %arg0) {
+bb0:
+  call void @__nzomp_trace()
+  %1 = cmp.Eq.i64 %arg0, i64 1
+  br %1, bb2, bb1
+bb1:
+  %2 = ptradd @__omp_rtl_team_state, i64 24
+  store ptr ptr 0, %2
+  barrier()
+  br bb2
+bb2:
+  ret void
+}
+define void @__kmpc_distribute_parallel_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2) {
+bb0:
+  call void @__nzomp_trace()
+  %1 = call i64 @omp_get_thread_num()
+  %2 = call i64 @omp_get_num_threads()
+  %3 = call i64 @omp_get_team_num()
+  %4 = call i64 @omp_get_num_teams()
+  %5 = Mul.i64 %3, %2
+  %6 = Add.i64 %5, %1
+  %7 = Mul.i64 %4, %2
+  %8 = cmp.Slt.i64 %6, %arg2
+  br %8, bb1, bb4
+bb1:
+  %9 = phi i64 [bb0: %6], [bb2: %11]
+  call void %arg0(%9, %arg1)
+  %11 = Add.i64 %9, %7
+  %12 = load i64, @__omp_rtl_assume_threads_oversubscription
+  %13 = cmp.Ne.i64 %12, i64 0
+  br %13, bb3, bb2
+bb2:
+  %16 = cmp.Slt.i64 %11, %arg2
+  br %16, bb1, bb4
+bb3:
+  %14 = cmp.Sge.i64 %11, %arg2
+  call void @__nzomp_assert(%14)
+  br bb4
+bb4:
+  ret void
+}
+define void @rs_lookup_kernel(ptr %arg0, ptr %arg1, ptr %arg2, i64 %arg3, i64 %arg4, i64 %arg5, i64 %arg6) {
+bb0:
+  %1 = alloca 56
+  %0 = call i64 @__kmpc_target_init(i64 1)
+  store ptr %arg0, %1
+  %3 = ptradd %1, i64 8
+  store ptr %arg1, %3
+  %5 = ptradd %1, i64 16
+  store ptr %arg2, %5
+  %7 = ptradd %1, i64 24
+  store i64 %arg3, %7
+  %9 = ptradd %1, i64 32
+  store i64 %arg4, %9
+  %11 = ptradd %1, i64 40
+  store i64 %arg5, %11
+  %13 = ptradd %1, i64 48
+  store i64 %arg6, %13
+  call void @__kmpc_distribute_parallel_for_static_loop(@rs_lookup_kernel.omp_outlined.body.0, %1, %arg3)
+  call void @__kmpc_target_deinit(i64 1)
+  ret void
+}
+define void @__nzomp_trace() [always_inline] {
+bb0:
+  %0 = load i64, @__omp_rtl_debug_kind
+  %1 = And.i64 %0, i64 2
+  %2 = cmp.Ne.i64 %1, i64 0
+  br %2, bb1, bb2
+bb1:
+  %3 = atomic.Add.i64 @__omp_rtl_trace_count, i64 1
+  br bb2
+bb2:
+  ret void
+}
+define void @__nzomp_assert(i1 %arg0) [always_inline] {
+bb0:
+  %0 = load i64, @__omp_rtl_debug_kind
+  %1 = And.i64 %0, i64 1
+  %2 = cmp.Ne.i64 %1, i64 0
+  br %2, bb1, bb2
+bb1:
+  br %arg0, bb4, bb3
+bb2:
+  assume(%arg0)
+  br bb4
+bb3:
+  assert.fail()
+  unreachable
+bb4:
+  ret void
+}
+define void @__kmpc_syncthreads_aligned() [aligned_barrier,no_call_asm,noinline] {
+bb0:
+  barrier.aligned()
+  ret void
+}
+define void @__kmpc_barrier() [always_inline] {
+bb0:
+  %0 = load i64, @__omp_rtl_is_spmd_mode
+  %1 = cmp.Ne.i64 %0, i64 0
+  br %1, bb1, bb2
+bb1:
+  call void @__kmpc_syncthreads_aligned()
+  br bb3
+bb2:
+  barrier()
+  br bb3
+bb3:
+  ret void
+}
+define i64 @omp_get_thread_num() {
+bb0:
+  call void @__nzomp_trace()
+  %1 = thread.id()
+  %2 = Mul.i64 %1, i64 8
+  %3 = ptradd @__omp_rtl_thread_states, %2
+  %4 = load ptr, %3
+  %5 = cmp.Ne.ptr %4, ptr 0
+  br %5, bb1, bb2
+bb1:
+  %6 = ptradd %4, i64 8
+  %7 = load i64, %6
+  ret %7
+bb2:
+  %8 = ptradd @__omp_rtl_team_state, i64 8
+  %9 = load i64, %8
+  %10 = cmp.Sgt.i64 %9, i64 1
+  %11 = select.i64 %10, i64 0, %1
+  ret %11
+}
+define i64 @omp_get_num_threads() {
+bb0:
+  call void @__nzomp_trace()
+  %1 = thread.id()
+  %2 = Mul.i64 %1, i64 8
+  %3 = ptradd @__omp_rtl_thread_states, %2
+  %4 = load ptr, %3
+  %5 = cmp.Ne.ptr %4, ptr 0
+  br %5, bb1, bb2
+bb1:
+  %6 = ptradd %4, i64 16
+  %7 = load i64, %6
+  ret %7
+bb2:
+  %8 = ptradd @__omp_rtl_team_state, i64 8
+  %9 = load i64, %8
+  %10 = cmp.Eq.i64 %9, i64 1
+  %11 = load i64, @__omp_rtl_team_state
+  %12 = select.i64 %10, %11, i64 1
+  ret %12
+}
+define i64 @omp_get_level() {
+bb0:
+  call void @__nzomp_trace()
+  %1 = thread.id()
+  %2 = Mul.i64 %1, i64 8
+  %3 = ptradd @__omp_rtl_thread_states, %2
+  %4 = load ptr, %3
+  %5 = cmp.Ne.ptr %4, ptr 0
+  br %5, bb1, bb2
+bb1:
+  %6 = ptradd %4, i64 24
+  %7 = load i64, %6
+  ret %7
+bb2:
+  %8 = ptradd @__omp_rtl_team_state, i64 8
+  %9 = load i64, %8
+  ret %9
+}
+define i64 @omp_get_team_num() [always_inline,read_none] {
+bb0:
+  %0 = block.id()
+  ret %0
+}
+define i64 @omp_get_num_teams() [always_inline,read_none] {
+bb0:
+  %0 = grid.dim()
+  ret %0
+}
+define ptr @__kmpc_alloc_shared(i64 %arg0) [noinline] {
+bb0:
+  call void @__nzomp_trace()
+  %1 = Add.i64 %arg0, i64 7
+  %2 = And.i64 %1, i64 -8
+  %3 = atomic.Add.i64 @__omp_rtl_smem_stack_top, %2
+  %4 = Add.i64 %3, %2
+  %5 = cmp.Sle.i64 %4, i64 9168
+  br %5, bb1, bb2
+bb1:
+  %6 = ptradd @__omp_rtl_smem_stack, %3
+  ret %6
+bb2:
+  %7 = Sub.i64 i64 0, %2
+  %8 = atomic.Add.i64 @__omp_rtl_smem_stack_top, %7
+  %9 = malloc(%2)
+  ret %9
+}
+define void @__kmpc_free_shared(ptr %arg0, i64 %arg1) [noinline] {
+bb0:
+  call void @__nzomp_trace()
+  %1 = Add.i64 %arg1, i64 7
+  %2 = And.i64 %1, i64 -8
+  %3 = PtrCast %arg0 to i64
+  %4 = PtrCast @__omp_rtl_smem_stack to i64
+  %5 = Add.i64 %4, i64 9168
+  %6 = cmp.Uge.i64 %3, %4
+  %7 = cmp.Ult.i64 %3, %5
+  %8 = And.i64 %6, %7
+  %9 = cmp.Ne.i64 %8, i64 0
+  br %9, bb1, bb2
+bb1:
+  %10 = Sub.i64 i64 0, %2
+  %11 = atomic.Add.i64 @__omp_rtl_smem_stack_top, %10
+  br bb3
+bb2:
+  free(%arg0)
+  br bb3
+bb3:
+  ret void
+}
+define void @__kmpc_parallel_51(ptr %arg0, ptr %arg1) {
+bb0:
+  call void @__nzomp_trace()
+  %1 = call i64 @omp_get_level()
+  %2 = cmp.Eq.i64 %1, i64 0
+  br %2, bb1, bb2
+bb1:
+  %3 = ptradd @__omp_rtl_team_state, i64 32
+  store ptr %arg1, %3
+  %5 = ptradd @__omp_rtl_team_state, i64 24
+  store ptr %arg0, %5
+  %7 = ptradd @__omp_rtl_team_state, i64 8
+  store i64 i64 1, %7
+  barrier()
+  call void %arg0(%arg1)
+  barrier()
+  %12 = ptradd @__omp_rtl_team_state, i64 8
+  store i64 i64 0, %12
+  ret void
+bb2:
+  %14 = thread.id()
+  %15 = call ptr @__kmpc_alloc_shared(i64 40)
+  %16 = Mul.i64 %14, i64 8
+  %17 = ptradd @__omp_rtl_thread_states, %16
+  %18 = load ptr, %17
+  %19 = ptradd %15, i64 0
+  store ptr %18, %19
+  %21 = ptradd %15, i64 8
+  store i64 i64 0, %21
+  %23 = ptradd %15, i64 16
+  store i64 i64 1, %23
+  %25 = Add.i64 %1, i64 1
+  %26 = ptradd %15, i64 24
+  store i64 %25, %26
+  store ptr %15, %17
+  %29 = ptradd @__omp_rtl_team_state, i64 40
+  store i64 i64 1, %29
+  call void %arg0(%arg1)
+  store ptr %18, %17
+  call void @__kmpc_free_shared(%15, i64 40)
+  ret void
+}
+define void @__kmpc_parallel_spmd(ptr %arg0, ptr %arg1) {
+bb0:
+  call void @__nzomp_trace()
+  call void @__kmpc_syncthreads_aligned()
+  call void %arg0(%arg1)
+  call void @__kmpc_syncthreads_aligned()
+  ret void
+}
+define void @__kmpc_worker_loop() {
+bb0:
+  br bb1
+bb1:
+  barrier()
+  %1 = ptradd @__omp_rtl_team_state, i64 24
+  %2 = load ptr, %1
+  %3 = cmp.Ne.ptr %2, ptr 0
+  br %3, bb2, bb3
+bb2:
+  %4 = ptradd @__omp_rtl_team_state, i64 32
+  %5 = load ptr, %4
+  call void %2(%5)
+  barrier()
+  br bb1
+bb3:
+  ret void
+}
+define void @__kmpc_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2, i64 %arg3) {
+bb0:
+  call void @__nzomp_trace()
+  %1 = call i64 @omp_get_thread_num()
+  %2 = call i64 @omp_get_num_threads()
+  %3 = cmp.Slt.i64 %1, %arg2
+  br %3, bb1, bb4
+bb1:
+  %4 = phi i64 [bb0: %1], [bb2: %6]
+  call void %arg0(%4, %arg1)
+  %6 = Add.i64 %4, %2
+  %7 = load i64, @__omp_rtl_assume_threads_oversubscription
+  %8 = cmp.Ne.i64 %7, i64 0
+  br %8, bb3, bb2
+bb2:
+  %11 = cmp.Slt.i64 %6, %arg2
+  br %11, bb1, bb4
+bb3:
+  %9 = cmp.Sge.i64 %6, %arg2
+  call void @__nzomp_assert(%9)
+  br bb4
+bb4:
+  %12 = cmp.Ne.i64 %arg3, i64 0
+  br %12, bb6, bb5
+bb5:
+  call void @__kmpc_barrier()
+  br bb6
+bb6:
+  ret void
+}
+define void @__kmpc_distribute_static_loop(ptr %arg0, ptr %arg1, i64 %arg2) {
+bb0:
+  call void @__nzomp_trace()
+  %1 = block.id()
+  %2 = grid.dim()
+  %3 = cmp.Slt.i64 %1, %arg2
+  br %3, bb1, bb4
+bb1:
+  %4 = phi i64 [bb0: %1], [bb2: %6]
+  call void %arg0(%4, %arg1)
+  %6 = Add.i64 %4, %2
+  %7 = load i64, @__omp_rtl_assume_teams_oversubscription
+  %8 = cmp.Ne.i64 %7, i64 0
+  br %8, bb3, bb2
+bb2:
+  %11 = cmp.Slt.i64 %6, %arg2
+  br %11, bb1, bb4
+bb3:
+  %9 = cmp.Sge.i64 %6, %arg2
+  call void @__nzomp_assert(%9)
+  br bb4
+bb4:
+  ret void
+}

@@ -1,0 +1,283 @@
+; module testsnap
+@__omp_rtl_team_state = shared [64 x i8] init=zero linkage=internal
+@__omp_rtl_dummy = shared [8 x i8] init=zero linkage=internal
+; kernel @snap_force_kernel mode=Spmd
+declare void @snap_force_kernel.omp_outlined.body.0(i64 %arg0, ptr %arg1)
+declare i64 @__kmpc_target_init(i64 %arg0)
+declare void @__kmpc_target_deinit(i64 %arg0)
+declare void @__kmpc_distribute_parallel_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)
+define void @snap_force_kernel(ptr %arg0, ptr %arg1, ptr %arg2, i64 %arg3, i64 %arg4, i64 %arg5) {
+bb0:
+  %1 = alloca 48
+  %162 = alloca 24
+  %189 = alloca 8
+  %16 = thread.id()
+  %17 = cmp.Eq.i64 %16, i64 0
+  %19 = block.dim()
+  %22 = select.ptr %17, @__omp_rtl_team_state, @__omp_rtl_dummy
+  store i64 %19, %22
+  %24 = ptradd @__omp_rtl_team_state, i64 8
+  %25 = select.ptr %17, %24, @__omp_rtl_dummy
+  store i64 i64 1, %25
+  %27 = ptradd @__omp_rtl_team_state, i64 16
+  %28 = select.ptr %17, %27, @__omp_rtl_dummy
+  store i64 i64 1, %28
+  %30 = ptradd @__omp_rtl_team_state, i64 40
+  %31 = select.ptr %17, %30, @__omp_rtl_dummy
+  store i64 i64 0, %31
+  call void @__kmpc_syncthreads_aligned()
+  store ptr %arg0, %1
+  %3 = ptradd %1, i64 8
+  store ptr %arg1, %3
+  %5 = ptradd %1, i64 16
+  store ptr %arg2, %5
+  %7 = ptradd %1, i64 24
+  store i64 %arg3, %7
+  %9 = ptradd %1, i64 32
+  store i64 %arg4, %9
+  %11 = ptradd %1, i64 40
+  store i64 %arg5, %11
+  %115 = thread.id()
+  %142 = load i64, @__omp_rtl_team_state
+  %149 = block.id()
+  %150 = grid.dim()
+  %93 = Mul.i64 %149, %142
+  %94 = Add.i64 %93, %115
+  %95 = Mul.i64 %150, %142
+  %96 = cmp.Slt.i64 %94, %arg3
+  br %96, bb17, bb20
+bb1:
+  unreachable
+bb2:
+  unreachable
+bb3:
+  unreachable
+bb4:
+  unreachable
+bb5:
+  unreachable
+bb6:
+  unreachable
+bb7:
+  unreachable
+bb8:
+  unreachable
+bb9:
+  unreachable
+bb10:
+  unreachable
+bb11:
+  unreachable
+bb12:
+  unreachable
+bb13:
+  unreachable
+bb14:
+  unreachable
+bb15:
+  unreachable
+bb16:
+  unreachable
+bb17:
+  %97 = phi i64 [bb0: %94], [bb55: %99]
+  %151 = load ptr, %1
+  %152 = ptradd %1, i64 8
+  %153 = load ptr, %152
+  %154 = ptradd %1, i64 16
+  %155 = load ptr, %154
+  %158 = ptradd %1, i64 32
+  %159 = load i64, %158
+  %160 = ptradd %1, i64 40
+  %161 = load i64, %160
+  store f64 f64 0.0, %162
+  %165 = ptradd %162, i64 8
+  store f64 f64 0.0, %165
+  %167 = ptradd %162, i64 16
+  store f64 f64 0.0, %167
+  %169 = Mul.i64 %97, %159
+  br bb53
+bb18:
+  unreachable
+bb19:
+  unreachable
+bb20:
+  ret void
+bb21:
+  unreachable
+bb22:
+  unreachable
+bb23:
+  unreachable
+bb24:
+  unreachable
+bb25:
+  unreachable
+bb26:
+  unreachable
+bb27:
+  unreachable
+bb28:
+  unreachable
+bb29:
+  unreachable
+bb30:
+  unreachable
+bb31:
+  unreachable
+bb32:
+  unreachable
+bb33:
+  unreachable
+bb34:
+  unreachable
+bb35:
+  unreachable
+bb36:
+  unreachable
+bb37:
+  unreachable
+bb38:
+  unreachable
+bb39:
+  unreachable
+bb40:
+  unreachable
+bb41:
+  unreachable
+bb42:
+  unreachable
+bb43:
+  unreachable
+bb44:
+  unreachable
+bb45:
+  unreachable
+bb46:
+  unreachable
+bb47:
+  unreachable
+bb48:
+  unreachable
+bb49:
+  unreachable
+bb50:
+  unreachable
+bb51:
+  unreachable
+bb52:
+  unreachable
+bb53:
+  %170 = phi i64 [bb17: i64 0], [bb58: %220]
+  %171 = cmp.Slt.i64 %170, %159
+  br %171, bb54, bb55
+bb54:
+  %172 = Add.i64 %169, %170
+  %173 = Mul.i64 %172, i64 3
+  %174 = Mul.i64 %173, i64 8
+  %175 = ptradd %151, %174
+  %176 = load f64, %175
+  %177 = ptradd %175, i64 8
+  %178 = load f64, %177
+  %179 = ptradd %175, i64 16
+  %180 = load f64, %179
+  %181 = FMul.f64 %176, %176
+  %182 = FMul.f64 %178, %178
+  %183 = FMul.f64 %180, %180
+  %184 = FAdd.f64 %181, %182
+  %185 = FAdd.f64 %184, %183
+  %186 = FDiv.f64 %185, f64 4.0
+  %187 = FSub.f64 f64 1.0, %186
+  %188 = FMul.f64 %187, %187
+  store f64 f64 0.0, %189
+  br bb56
+bb55:
+  %221 = Mul.i64 %97, i64 3
+  %222 = Mul.i64 %221, i64 8
+  %223 = ptradd %155, %222
+  %225 = load f64, %162
+  store f64 %225, %223
+  %228 = ptradd %162, i64 8
+  %229 = load f64, %228
+  %230 = ptradd %223, i64 8
+  store f64 %229, %230
+  %232 = ptradd %162, i64 16
+  %233 = load f64, %232
+  %234 = ptradd %223, i64 16
+  store f64 %233, %234
+  %99 = Add.i64 %97, %95
+  %104 = cmp.Slt.i64 %99, %arg3
+  br %104, bb17, bb20
+bb56:
+  %191 = phi i64 [bb54: i64 0], [bb57: %202]
+  %192 = cmp.Slt.i64 %191, %161
+  br %192, bb57, bb58
+bb57:
+  %193 = Sub.i64 %161, i64 1
+  %194 = Sub.i64 %193, %191
+  %195 = Mul.i64 %194, i64 8
+  %196 = ptradd %153, %195
+  %197 = load f64, %196
+  %198 = load f64, %189
+  %199 = FMul.f64 %198, %185
+  %200 = FAdd.f64 %199, %197
+  store f64 %200, %189
+  %202 = Add.i64 %191, i64 1
+  br bb56
+bb58:
+  %203 = load f64, %189
+  %204 = FMul.f64 %188, %203
+  %205 = FMul.f64 %176, %204
+  %207 = load f64, %162
+  %208 = FAdd.f64 %207, %205
+  store f64 %208, %162
+  %210 = FMul.f64 %178, %204
+  %211 = ptradd %162, i64 8
+  %212 = load f64, %211
+  %213 = FAdd.f64 %212, %210
+  store f64 %213, %211
+  %215 = FMul.f64 %180, %204
+  %216 = ptradd %162, i64 16
+  %217 = load f64, %216
+  %218 = FAdd.f64 %217, %215
+  store f64 %218, %216
+  %220 = Add.i64 %170, i64 1
+  br bb53
+bb59:
+  unreachable
+bb60:
+  unreachable
+bb61:
+  unreachable
+bb62:
+  unreachable
+bb63:
+  unreachable
+bb64:
+  unreachable
+bb65:
+  unreachable
+bb66:
+  unreachable
+bb67:
+  unreachable
+}
+declare void @__nzomp_trace() [always_inline]
+declare void @__nzomp_assert(i1 %arg0) [always_inline]
+define internal void @__kmpc_syncthreads_aligned() [aligned_barrier,no_call_asm,noinline] {
+bb0:
+  barrier.aligned()
+  ret void
+}
+declare void @__kmpc_barrier() [always_inline]
+declare i64 @omp_get_thread_num()
+declare i64 @omp_get_num_threads()
+declare i64 @omp_get_level()
+declare i64 @omp_get_team_num() [always_inline,read_none]
+declare i64 @omp_get_num_teams() [always_inline,read_none]
+declare ptr @__kmpc_alloc_shared(i64 %arg0) [noinline]
+declare void @__kmpc_free_shared(ptr %arg0, i64 %arg1) [noinline]
+declare void @__kmpc_parallel_51(ptr %arg0, ptr %arg1)
+declare void @__kmpc_parallel_spmd(ptr %arg0, ptr %arg1)
+declare void @__kmpc_worker_loop()
+declare void @__kmpc_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2, i64 %arg3)
+declare void @__kmpc_distribute_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)

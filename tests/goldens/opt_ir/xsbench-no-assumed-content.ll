@@ -1,0 +1,329 @@
+; module xsbench
+@__omp_rtl_team_state = shared [64 x i8] init=zero linkage=internal
+@__omp_rtl_dummy = shared [8 x i8] init=zero linkage=internal
+; kernel @xs_lookup_kernel mode=Spmd
+declare ptr @__kmpc_alloc_shared(i64 %arg0) [noinline]
+declare void @__kmpc_free_shared(ptr %arg0, i64 %arg1) [noinline]
+declare void @xs_lookup_kernel.omp_outlined.body.0(i64 %arg0, ptr %arg1)
+declare i64 @__kmpc_target_init(i64 %arg0)
+declare void @__kmpc_target_deinit(i64 %arg0)
+declare void @__kmpc_distribute_parallel_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)
+define void @xs_lookup_kernel(ptr %arg0, ptr %arg1, ptr %arg2, ptr %arg3, ptr %arg4, ptr %arg5, i64 %arg6, i64 %arg7, i64 %arg8, i64 %arg9) {
+bb0:
+  %24 = thread.id()
+  %25 = cmp.Eq.i64 %24, i64 0
+  %27 = block.dim()
+  %30 = select.ptr %25, @__omp_rtl_team_state, @__omp_rtl_dummy
+  store i64 %27, %30
+  %32 = ptradd @__omp_rtl_team_state, i64 8
+  %33 = select.ptr %25, %32, @__omp_rtl_dummy
+  store i64 i64 1, %33
+  %35 = ptradd @__omp_rtl_team_state, i64 16
+  %36 = select.ptr %25, %35, @__omp_rtl_dummy
+  store i64 i64 1, %36
+  %38 = ptradd @__omp_rtl_team_state, i64 40
+  %39 = select.ptr %25, %38, @__omp_rtl_dummy
+  store i64 i64 0, %39
+  call void @__kmpc_syncthreads_aligned()
+  %123 = thread.id()
+  %130 = ptradd @__omp_rtl_team_state, i64 8
+  %131 = load i64, %130
+  %132 = cmp.Sgt.i64 %131, i64 1
+  %133 = select.i64 %132, i64 0, %123
+  %147 = ptradd @__omp_rtl_team_state, i64 8
+  %148 = load i64, %147
+  %149 = cmp.Eq.i64 %148, i64 1
+  %150 = load i64, @__omp_rtl_team_state
+  %151 = select.i64 %149, %150, i64 1
+  %157 = block.id()
+  %158 = grid.dim()
+  %101 = Mul.i64 %157, %151
+  %102 = Add.i64 %101, %133
+  %103 = Mul.i64 %158, %151
+  %104 = cmp.Slt.i64 %102, %arg6
+  br %104, bb17, bb20
+bb1:
+  unreachable
+bb2:
+  unreachable
+bb3:
+  unreachable
+bb4:
+  unreachable
+bb5:
+  unreachable
+bb6:
+  unreachable
+bb7:
+  unreachable
+bb8:
+  unreachable
+bb9:
+  unreachable
+bb10:
+  unreachable
+bb11:
+  unreachable
+bb12:
+  unreachable
+bb13:
+  unreachable
+bb14:
+  unreachable
+bb15:
+  unreachable
+bb16:
+  unreachable
+bb17:
+  %105 = phi i64 [bb0: %102], [bb58: %107]
+  %178 = Mul.i64 %105, i64 8
+  %179 = ptradd %arg3, %178
+  %180 = load f64, %179
+  %181 = Sub.i64 %arg7, i64 1
+  br bb53
+bb18:
+  unreachable
+bb19:
+  unreachable
+bb20:
+  ret void
+bb21:
+  unreachable
+bb22:
+  unreachable
+bb23:
+  unreachable
+bb24:
+  unreachable
+bb25:
+  unreachable
+bb26:
+  unreachable
+bb27:
+  unreachable
+bb28:
+  unreachable
+bb29:
+  unreachable
+bb30:
+  unreachable
+bb31:
+  unreachable
+bb32:
+  unreachable
+bb33:
+  unreachable
+bb34:
+  unreachable
+bb35:
+  unreachable
+bb36:
+  unreachable
+bb37:
+  unreachable
+bb38:
+  unreachable
+bb39:
+  unreachable
+bb40:
+  unreachable
+bb41:
+  unreachable
+bb42:
+  unreachable
+bb43:
+  unreachable
+bb44:
+  unreachable
+bb45:
+  unreachable
+bb46:
+  unreachable
+bb47:
+  unreachable
+bb48:
+  unreachable
+bb49:
+  unreachable
+bb50:
+  unreachable
+bb51:
+  unreachable
+bb52:
+  unreachable
+bb53:
+  %182 = phi i64 [bb17: i64 0], [bb54: %192]
+  %183 = phi i64 [bb17: %181], [bb54: %193]
+  %184 = Sub.i64 %183, %182
+  %185 = cmp.Sgt.i64 %184, i64 1
+  br %185, bb54, bb55
+bb54:
+  %186 = Add.i64 %182, %183
+  %187 = SDiv.i64 %186, i64 2
+  %188 = Mul.i64 %187, i64 8
+  %189 = ptradd %arg0, %188
+  %190 = load f64, %189
+  %191 = cmp.Sle.f64 %190, %180
+  %192 = select.i64 %191, %187, %182
+  %193 = select.i64 %191, %183, %187
+  br bb53
+bb55:
+  %194 = alloca 40
+  store f64 f64 0.0, %194
+  %197 = ptradd %194, i64 8
+  store f64 f64 0.0, %197
+  %199 = ptradd %194, i64 16
+  store f64 f64 0.0, %199
+  %201 = ptradd %194, i64 24
+  store f64 f64 0.0, %201
+  %203 = ptradd %194, i64 32
+  store f64 f64 0.0, %203
+  %205 = Mul.i64 %182, %arg8
+  br bb56
+bb56:
+  %206 = phi i64 [bb55: i64 0], [bb57: %287]
+  %207 = cmp.Slt.i64 %206, %arg8
+  br %207, bb57, bb58
+bb57:
+  %208 = Add.i64 %205, %206
+  %209 = Mul.i64 %208, i64 8
+  %210 = ptradd %arg1, %209
+  %211 = load i64, %210
+  %212 = Mul.i64 %206, %arg9
+  %213 = Add.i64 %212, %211
+  %214 = Mul.i64 %213, i64 6
+  %215 = Mul.i64 %214, i64 8
+  %216 = ptradd %arg2, %215
+  %217 = load f64, %216
+  %218 = ptradd %216, i64 48
+  %219 = load f64, %218
+  %220 = FSub.f64 %219, %217
+  %221 = FSub.f64 %180, %217
+  %222 = FDiv.f64 %221, %220
+  %223 = FSub.f64 f64 1.0, %222
+  %224 = Mul.i64 %206, i64 8
+  %225 = ptradd %arg4, %224
+  %226 = load f64, %225
+  %227 = ptradd %216, i64 8
+  %228 = load f64, %227
+  %229 = ptradd %216, i64 56
+  %230 = load f64, %229
+  %231 = FMul.f64 %228, %223
+  %232 = FMul.f64 %230, %222
+  %233 = FAdd.f64 %231, %232
+  %234 = FMul.f64 %226, %233
+  %236 = load f64, %194
+  %237 = FAdd.f64 %236, %234
+  store f64 %237, %194
+  %239 = ptradd %216, i64 16
+  %240 = load f64, %239
+  %241 = ptradd %216, i64 64
+  %242 = load f64, %241
+  %243 = FMul.f64 %240, %223
+  %244 = FMul.f64 %242, %222
+  %245 = FAdd.f64 %243, %244
+  %246 = FMul.f64 %226, %245
+  %247 = ptradd %194, i64 8
+  %248 = load f64, %247
+  %249 = FAdd.f64 %248, %246
+  store f64 %249, %247
+  %251 = ptradd %216, i64 24
+  %252 = load f64, %251
+  %253 = ptradd %216, i64 72
+  %254 = load f64, %253
+  %255 = FMul.f64 %252, %223
+  %256 = FMul.f64 %254, %222
+  %257 = FAdd.f64 %255, %256
+  %258 = FMul.f64 %226, %257
+  %259 = ptradd %194, i64 16
+  %260 = load f64, %259
+  %261 = FAdd.f64 %260, %258
+  store f64 %261, %259
+  %263 = ptradd %216, i64 32
+  %264 = load f64, %263
+  %265 = ptradd %216, i64 80
+  %266 = load f64, %265
+  %267 = FMul.f64 %264, %223
+  %268 = FMul.f64 %266, %222
+  %269 = FAdd.f64 %267, %268
+  %270 = FMul.f64 %226, %269
+  %271 = ptradd %194, i64 24
+  %272 = load f64, %271
+  %273 = FAdd.f64 %272, %270
+  store f64 %273, %271
+  %275 = ptradd %216, i64 40
+  %276 = load f64, %275
+  %277 = ptradd %216, i64 88
+  %278 = load f64, %277
+  %279 = FMul.f64 %276, %223
+  %280 = FMul.f64 %278, %222
+  %281 = FAdd.f64 %279, %280
+  %282 = FMul.f64 %226, %281
+  %283 = ptradd %194, i64 32
+  %284 = load f64, %283
+  %285 = FAdd.f64 %284, %282
+  store f64 %285, %283
+  %287 = Add.i64 %206, i64 1
+  br bb56
+bb58:
+  %288 = Mul.i64 %105, i64 5
+  %289 = Mul.i64 %288, i64 8
+  %290 = ptradd %arg5, %289
+  %292 = load f64, %194
+  store f64 %292, %290
+  %295 = ptradd %194, i64 8
+  %296 = load f64, %295
+  %297 = ptradd %290, i64 8
+  store f64 %296, %297
+  %299 = ptradd %194, i64 16
+  %300 = load f64, %299
+  %301 = ptradd %290, i64 16
+  store f64 %300, %301
+  %303 = ptradd %194, i64 24
+  %304 = load f64, %303
+  %305 = ptradd %290, i64 24
+  store f64 %304, %305
+  %307 = ptradd %194, i64 32
+  %308 = load f64, %307
+  %309 = ptradd %290, i64 32
+  store f64 %308, %309
+  %107 = Add.i64 %105, %103
+  %112 = cmp.Slt.i64 %107, %arg6
+  br %112, bb17, bb20
+bb59:
+  unreachable
+bb60:
+  unreachable
+bb61:
+  unreachable
+bb62:
+  unreachable
+bb63:
+  unreachable
+bb64:
+  unreachable
+bb65:
+  unreachable
+bb66:
+  unreachable
+bb67:
+  unreachable
+}
+declare void @__nzomp_trace() [always_inline]
+declare void @__nzomp_assert(i1 %arg0) [always_inline]
+define internal void @__kmpc_syncthreads_aligned() [aligned_barrier,no_call_asm,noinline] {
+bb0:
+  barrier.aligned()
+  ret void
+}
+declare void @__kmpc_barrier() [always_inline]
+declare i64 @omp_get_thread_num()
+declare i64 @omp_get_num_threads()
+declare i64 @omp_get_level()
+declare i64 @omp_get_team_num() [always_inline,read_none]
+declare i64 @omp_get_num_teams() [always_inline,read_none]
+declare void @__kmpc_parallel_51(ptr %arg0, ptr %arg1)
+declare void @__kmpc_parallel_spmd(ptr %arg0, ptr %arg1)
+declare void @__kmpc_worker_loop()
+declare void @__kmpc_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2, i64 %arg3)
+declare void @__kmpc_distribute_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)

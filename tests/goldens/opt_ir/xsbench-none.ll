@@ -1,0 +1,602 @@
+; module xsbench
+@__omp_rtl_is_spmd_mode = shared [8 x i8] init=zero linkage=internal
+@__omp_rtl_team_state = shared [64 x i8] init=zero linkage=internal
+@__omp_rtl_thread_states = shared [2048 x i8] init=zero linkage=internal
+@__omp_rtl_smem_stack = shared [9168 x i8] init=zero linkage=internal
+@__omp_rtl_smem_stack_top = shared [8 x i8] init=zero linkage=internal
+@__omp_rtl_dummy = shared [8 x i8] init=zero linkage=internal
+@__omp_rtl_debug_kind = constant [8 x i8] const init=i64:0 linkage=internal
+@__omp_rtl_assume_teams_oversubscription = constant [8 x i8] const init=i64:0 linkage=internal
+@__omp_rtl_assume_threads_oversubscription = constant [8 x i8] const init=i64:0 linkage=internal
+@__omp_rtl_trace_count = global [8 x i8] init=zero linkage=internal
+; kernel @xs_lookup_kernel mode=Spmd
+define ptr @__kmpc_alloc_shared(i64 %arg0) [noinline] {
+bb0:
+  call void @__nzomp_trace()
+  %1 = Add.i64 %arg0, i64 7
+  %2 = And.i64 %1, i64 -8
+  %3 = atomic.Add.i64 @__omp_rtl_smem_stack_top, %2
+  %4 = Add.i64 %3, %2
+  %5 = cmp.Sle.i64 %4, i64 9168
+  br %5, bb1, bb2
+bb1:
+  %6 = ptradd @__omp_rtl_smem_stack, %3
+  ret %6
+bb2:
+  %7 = Sub.i64 i64 0, %2
+  %8 = atomic.Add.i64 @__omp_rtl_smem_stack_top, %7
+  %9 = malloc(%2)
+  ret %9
+}
+define void @__kmpc_free_shared(ptr %arg0, i64 %arg1) [noinline] {
+bb0:
+  call void @__nzomp_trace()
+  %1 = Add.i64 %arg1, i64 7
+  %2 = And.i64 %1, i64 -8
+  %3 = PtrCast %arg0 to i64
+  %4 = PtrCast @__omp_rtl_smem_stack to i64
+  %5 = Add.i64 %4, i64 9168
+  %6 = cmp.Uge.i64 %3, %4
+  %7 = cmp.Ult.i64 %3, %5
+  %8 = And.i64 %6, %7
+  %9 = cmp.Ne.i64 %8, i64 0
+  br %9, bb1, bb2
+bb1:
+  %10 = Sub.i64 i64 0, %2
+  %11 = atomic.Add.i64 @__omp_rtl_smem_stack_top, %10
+  br bb3
+bb2:
+  free(%arg0)
+  br bb3
+bb3:
+  ret void
+}
+define internal void @xs_lookup_kernel.omp_outlined.body.0(i64 %arg0, ptr %arg1) {
+bb0:
+  %0 = load ptr, %arg1
+  %1 = ptradd %arg1, i64 8
+  %2 = load ptr, %1
+  %3 = ptradd %arg1, i64 16
+  %4 = load ptr, %3
+  %5 = ptradd %arg1, i64 24
+  %6 = load ptr, %5
+  %7 = ptradd %arg1, i64 32
+  %8 = load ptr, %7
+  %9 = ptradd %arg1, i64 40
+  %10 = load ptr, %9
+  %11 = ptradd %arg1, i64 48
+  %12 = load i64, %11
+  %13 = ptradd %arg1, i64 56
+  %14 = load i64, %13
+  %15 = ptradd %arg1, i64 64
+  %16 = load i64, %15
+  %17 = ptradd %arg1, i64 72
+  %18 = load i64, %17
+  %19 = Mul.i64 %arg0, i64 8
+  %20 = ptradd %6, %19
+  %21 = load f64, %20
+  %22 = Sub.i64 %14, i64 1
+  br bb1
+bb1:
+  %23 = phi i64 [bb0: i64 0], [bb2: %33]
+  %24 = phi i64 [bb0: %22], [bb2: %34]
+  %25 = Sub.i64 %24, %23
+  %26 = cmp.Sgt.i64 %25, i64 1
+  br %26, bb2, bb3
+bb2:
+  %27 = Add.i64 %23, %24
+  %28 = SDiv.i64 %27, i64 2
+  %29 = Mul.i64 %28, i64 8
+  %30 = ptradd %0, %29
+  %31 = load f64, %30
+  %32 = cmp.Sle.f64 %31, %21
+  %33 = select.i64 %32, %28, %23
+  %34 = select.i64 %32, %24, %28
+  br bb1
+bb3:
+  %35 = call ptr @__kmpc_alloc_shared(i64 40)
+  %36 = ptradd %35, i64 0
+  store f64 f64 0.0, %36
+  %38 = ptradd %35, i64 8
+  store f64 f64 0.0, %38
+  %40 = ptradd %35, i64 16
+  store f64 f64 0.0, %40
+  %42 = ptradd %35, i64 24
+  store f64 f64 0.0, %42
+  %44 = ptradd %35, i64 32
+  store f64 f64 0.0, %44
+  %46 = Mul.i64 %23, %16
+  br bb4
+bb4:
+  %47 = phi i64 [bb3: i64 0], [bb5: %128]
+  %48 = cmp.Slt.i64 %47, %16
+  br %48, bb5, bb6
+bb5:
+  %49 = Add.i64 %46, %47
+  %50 = Mul.i64 %49, i64 8
+  %51 = ptradd %2, %50
+  %52 = load i64, %51
+  %53 = Mul.i64 %47, %18
+  %54 = Add.i64 %53, %52
+  %55 = Mul.i64 %54, i64 6
+  %56 = Mul.i64 %55, i64 8
+  %57 = ptradd %4, %56
+  %58 = load f64, %57
+  %59 = ptradd %57, i64 48
+  %60 = load f64, %59
+  %61 = FSub.f64 %60, %58
+  %62 = FSub.f64 %21, %58
+  %63 = FDiv.f64 %62, %61
+  %64 = FSub.f64 f64 1.0, %63
+  %65 = Mul.i64 %47, i64 8
+  %66 = ptradd %8, %65
+  %67 = load f64, %66
+  %68 = ptradd %57, i64 8
+  %69 = load f64, %68
+  %70 = ptradd %57, i64 56
+  %71 = load f64, %70
+  %72 = FMul.f64 %69, %64
+  %73 = FMul.f64 %71, %63
+  %74 = FAdd.f64 %72, %73
+  %75 = FMul.f64 %67, %74
+  %76 = ptradd %35, i64 0
+  %77 = load f64, %76
+  %78 = FAdd.f64 %77, %75
+  store f64 %78, %76
+  %80 = ptradd %57, i64 16
+  %81 = load f64, %80
+  %82 = ptradd %57, i64 64
+  %83 = load f64, %82
+  %84 = FMul.f64 %81, %64
+  %85 = FMul.f64 %83, %63
+  %86 = FAdd.f64 %84, %85
+  %87 = FMul.f64 %67, %86
+  %88 = ptradd %35, i64 8
+  %89 = load f64, %88
+  %90 = FAdd.f64 %89, %87
+  store f64 %90, %88
+  %92 = ptradd %57, i64 24
+  %93 = load f64, %92
+  %94 = ptradd %57, i64 72
+  %95 = load f64, %94
+  %96 = FMul.f64 %93, %64
+  %97 = FMul.f64 %95, %63
+  %98 = FAdd.f64 %96, %97
+  %99 = FMul.f64 %67, %98
+  %100 = ptradd %35, i64 16
+  %101 = load f64, %100
+  %102 = FAdd.f64 %101, %99
+  store f64 %102, %100
+  %104 = ptradd %57, i64 32
+  %105 = load f64, %104
+  %106 = ptradd %57, i64 80
+  %107 = load f64, %106
+  %108 = FMul.f64 %105, %64
+  %109 = FMul.f64 %107, %63
+  %110 = FAdd.f64 %108, %109
+  %111 = FMul.f64 %67, %110
+  %112 = ptradd %35, i64 24
+  %113 = load f64, %112
+  %114 = FAdd.f64 %113, %111
+  store f64 %114, %112
+  %116 = ptradd %57, i64 40
+  %117 = load f64, %116
+  %118 = ptradd %57, i64 88
+  %119 = load f64, %118
+  %120 = FMul.f64 %117, %64
+  %121 = FMul.f64 %119, %63
+  %122 = FAdd.f64 %120, %121
+  %123 = FMul.f64 %67, %122
+  %124 = ptradd %35, i64 32
+  %125 = load f64, %124
+  %126 = FAdd.f64 %125, %123
+  store f64 %126, %124
+  %128 = Add.i64 %47, i64 1
+  br bb4
+bb6:
+  %129 = Mul.i64 %arg0, i64 5
+  %130 = Mul.i64 %129, i64 8
+  %131 = ptradd %10, %130
+  %132 = ptradd %35, i64 0
+  %133 = load f64, %132
+  %134 = ptradd %131, i64 0
+  store f64 %133, %134
+  %136 = ptradd %35, i64 8
+  %137 = load f64, %136
+  %138 = ptradd %131, i64 8
+  store f64 %137, %138
+  %140 = ptradd %35, i64 16
+  %141 = load f64, %140
+  %142 = ptradd %131, i64 16
+  store f64 %141, %142
+  %144 = ptradd %35, i64 24
+  %145 = load f64, %144
+  %146 = ptradd %131, i64 24
+  store f64 %145, %146
+  %148 = ptradd %35, i64 32
+  %149 = load f64, %148
+  %150 = ptradd %131, i64 32
+  store f64 %149, %150
+  call void @__kmpc_free_shared(%35, i64 40)
+  ret void
+}
+define i64 @__kmpc_target_init(i64 %arg0) {
+bb0:
+  call void @__nzomp_trace()
+  %1 = thread.id()
+  %2 = cmp.Eq.i64 %1, i64 0
+  %3 = cmp.Eq.i64 %arg0, i64 1
+  br %3, bb1, bb2
+bb1:
+  %4 = block.dim()
+  %5 = select.ptr %2, @__omp_rtl_is_spmd_mode, @__omp_rtl_dummy
+  store i64 %arg0, %5
+  %7 = select.ptr %2, @__omp_rtl_team_state, @__omp_rtl_dummy
+  store i64 %4, %7
+  %9 = ptradd @__omp_rtl_team_state, i64 8
+  %10 = select.ptr %2, %9, @__omp_rtl_dummy
+  store i64 i64 1, %10
+  %12 = ptradd @__omp_rtl_team_state, i64 16
+  %13 = select.ptr %2, %12, @__omp_rtl_dummy
+  store i64 i64 1, %13
+  %15 = ptradd @__omp_rtl_team_state, i64 40
+  %16 = select.ptr %2, %15, @__omp_rtl_dummy
+  store i64 i64 0, %16
+  %18 = select.ptr %2, @__omp_rtl_smem_stack_top, @__omp_rtl_dummy
+  store i64 i64 0, %18
+  %20 = Mul.i64 %1, i64 8
+  %21 = ptradd @__omp_rtl_thread_states, %20
+  store ptr ptr 0, %21
+  call void @__kmpc_syncthreads_aligned()
+  %24 = load i64, @__omp_rtl_is_spmd_mode
+  %25 = cmp.Eq.i64 %24, %arg0
+  assume(%25)
+  %27 = ptradd @__omp_rtl_team_state, i64 8
+  %28 = load i64, %27
+  %29 = cmp.Eq.i64 %28, i64 1
+  assume(%29)
+  %31 = block.dim()
+  %32 = load i64, @__omp_rtl_team_state
+  %33 = cmp.Eq.i64 %32, %31
+  assume(%33)
+  %35 = ptradd @__omp_rtl_team_state, i64 40
+  %36 = load i64, %35
+  %37 = cmp.Eq.i64 %36, i64 0
+  assume(%37)
+  ret i64 0
+bb2:
+  br %2, bb3, bb4
+bb3:
+  store i64 i64 0, @__omp_rtl_is_spmd_mode
+  %40 = block.dim()
+  store i64 %40, @__omp_rtl_team_state
+  %42 = ptradd @__omp_rtl_team_state, i64 8
+  store i64 i64 0, %42
+  %44 = ptradd @__omp_rtl_team_state, i64 16
+  store i64 i64 0, %44
+  %46 = ptradd @__omp_rtl_team_state, i64 24
+  store ptr ptr 0, %46
+  %48 = ptradd @__omp_rtl_team_state, i64 32
+  store ptr ptr 0, %48
+  %50 = ptradd @__omp_rtl_team_state, i64 40
+  store i64 i64 0, %50
+  store i64 i64 0, @__omp_rtl_smem_stack_top
+  %53 = Mul.i64 %1, i64 8
+  %54 = ptradd @__omp_rtl_thread_states, %53
+  store ptr ptr 0, %54
+  ret i64 0
+bb4:
+  %56 = Mul.i64 %1, i64 8
+  %57 = ptradd @__omp_rtl_thread_states, %56
+  store ptr ptr 0, %57
+  call void @__kmpc_worker_loop()
+  ret i64 1
+}
+define void @__kmpc_target_deinit(i64 %arg0) {
+bb0:
+  call void @__nzomp_trace()
+  %1 = cmp.Eq.i64 %arg0, i64 1
+  br %1, bb2, bb1
+bb1:
+  %2 = ptradd @__omp_rtl_team_state, i64 24
+  store ptr ptr 0, %2
+  barrier()
+  br bb2
+bb2:
+  ret void
+}
+define void @__kmpc_distribute_parallel_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2) {
+bb0:
+  call void @__nzomp_trace()
+  %1 = call i64 @omp_get_thread_num()
+  %2 = call i64 @omp_get_num_threads()
+  %3 = call i64 @omp_get_team_num()
+  %4 = call i64 @omp_get_num_teams()
+  %5 = Mul.i64 %3, %2
+  %6 = Add.i64 %5, %1
+  %7 = Mul.i64 %4, %2
+  %8 = cmp.Slt.i64 %6, %arg2
+  br %8, bb1, bb4
+bb1:
+  %9 = phi i64 [bb0: %6], [bb2: %11]
+  call void %arg0(%9, %arg1)
+  %11 = Add.i64 %9, %7
+  %12 = load i64, @__omp_rtl_assume_threads_oversubscription
+  %13 = cmp.Ne.i64 %12, i64 0
+  br %13, bb3, bb2
+bb2:
+  %16 = cmp.Slt.i64 %11, %arg2
+  br %16, bb1, bb4
+bb3:
+  %14 = cmp.Sge.i64 %11, %arg2
+  call void @__nzomp_assert(%14)
+  br bb4
+bb4:
+  ret void
+}
+define void @xs_lookup_kernel(ptr %arg0, ptr %arg1, ptr %arg2, ptr %arg3, ptr %arg4, ptr %arg5, i64 %arg6, i64 %arg7, i64 %arg8, i64 %arg9) {
+bb0:
+  %1 = alloca 80
+  %0 = call i64 @__kmpc_target_init(i64 1)
+  store ptr %arg0, %1
+  %3 = ptradd %1, i64 8
+  store ptr %arg1, %3
+  %5 = ptradd %1, i64 16
+  store ptr %arg2, %5
+  %7 = ptradd %1, i64 24
+  store ptr %arg3, %7
+  %9 = ptradd %1, i64 32
+  store ptr %arg4, %9
+  %11 = ptradd %1, i64 40
+  store ptr %arg5, %11
+  %13 = ptradd %1, i64 48
+  store i64 %arg6, %13
+  %15 = ptradd %1, i64 56
+  store i64 %arg7, %15
+  %17 = ptradd %1, i64 64
+  store i64 %arg8, %17
+  %19 = ptradd %1, i64 72
+  store i64 %arg9, %19
+  call void @__kmpc_distribute_parallel_for_static_loop(@xs_lookup_kernel.omp_outlined.body.0, %1, %arg6)
+  call void @__kmpc_target_deinit(i64 1)
+  ret void
+}
+define void @__nzomp_trace() [always_inline] {
+bb0:
+  %0 = load i64, @__omp_rtl_debug_kind
+  %1 = And.i64 %0, i64 2
+  %2 = cmp.Ne.i64 %1, i64 0
+  br %2, bb1, bb2
+bb1:
+  %3 = atomic.Add.i64 @__omp_rtl_trace_count, i64 1
+  br bb2
+bb2:
+  ret void
+}
+define void @__nzomp_assert(i1 %arg0) [always_inline] {
+bb0:
+  %0 = load i64, @__omp_rtl_debug_kind
+  %1 = And.i64 %0, i64 1
+  %2 = cmp.Ne.i64 %1, i64 0
+  br %2, bb1, bb2
+bb1:
+  br %arg0, bb4, bb3
+bb2:
+  assume(%arg0)
+  br bb4
+bb3:
+  assert.fail()
+  unreachable
+bb4:
+  ret void
+}
+define void @__kmpc_syncthreads_aligned() [aligned_barrier,no_call_asm,noinline] {
+bb0:
+  barrier.aligned()
+  ret void
+}
+define void @__kmpc_barrier() [always_inline] {
+bb0:
+  %0 = load i64, @__omp_rtl_is_spmd_mode
+  %1 = cmp.Ne.i64 %0, i64 0
+  br %1, bb1, bb2
+bb1:
+  call void @__kmpc_syncthreads_aligned()
+  br bb3
+bb2:
+  barrier()
+  br bb3
+bb3:
+  ret void
+}
+define i64 @omp_get_thread_num() {
+bb0:
+  call void @__nzomp_trace()
+  %1 = thread.id()
+  %2 = Mul.i64 %1, i64 8
+  %3 = ptradd @__omp_rtl_thread_states, %2
+  %4 = load ptr, %3
+  %5 = cmp.Ne.ptr %4, ptr 0
+  br %5, bb1, bb2
+bb1:
+  %6 = ptradd %4, i64 8
+  %7 = load i64, %6
+  ret %7
+bb2:
+  %8 = ptradd @__omp_rtl_team_state, i64 8
+  %9 = load i64, %8
+  %10 = cmp.Sgt.i64 %9, i64 1
+  %11 = select.i64 %10, i64 0, %1
+  ret %11
+}
+define i64 @omp_get_num_threads() {
+bb0:
+  call void @__nzomp_trace()
+  %1 = thread.id()
+  %2 = Mul.i64 %1, i64 8
+  %3 = ptradd @__omp_rtl_thread_states, %2
+  %4 = load ptr, %3
+  %5 = cmp.Ne.ptr %4, ptr 0
+  br %5, bb1, bb2
+bb1:
+  %6 = ptradd %4, i64 16
+  %7 = load i64, %6
+  ret %7
+bb2:
+  %8 = ptradd @__omp_rtl_team_state, i64 8
+  %9 = load i64, %8
+  %10 = cmp.Eq.i64 %9, i64 1
+  %11 = load i64, @__omp_rtl_team_state
+  %12 = select.i64 %10, %11, i64 1
+  ret %12
+}
+define i64 @omp_get_level() {
+bb0:
+  call void @__nzomp_trace()
+  %1 = thread.id()
+  %2 = Mul.i64 %1, i64 8
+  %3 = ptradd @__omp_rtl_thread_states, %2
+  %4 = load ptr, %3
+  %5 = cmp.Ne.ptr %4, ptr 0
+  br %5, bb1, bb2
+bb1:
+  %6 = ptradd %4, i64 24
+  %7 = load i64, %6
+  ret %7
+bb2:
+  %8 = ptradd @__omp_rtl_team_state, i64 8
+  %9 = load i64, %8
+  ret %9
+}
+define i64 @omp_get_team_num() [always_inline,read_none] {
+bb0:
+  %0 = block.id()
+  ret %0
+}
+define i64 @omp_get_num_teams() [always_inline,read_none] {
+bb0:
+  %0 = grid.dim()
+  ret %0
+}
+define void @__kmpc_parallel_51(ptr %arg0, ptr %arg1) {
+bb0:
+  call void @__nzomp_trace()
+  %1 = call i64 @omp_get_level()
+  %2 = cmp.Eq.i64 %1, i64 0
+  br %2, bb1, bb2
+bb1:
+  %3 = ptradd @__omp_rtl_team_state, i64 32
+  store ptr %arg1, %3
+  %5 = ptradd @__omp_rtl_team_state, i64 24
+  store ptr %arg0, %5
+  %7 = ptradd @__omp_rtl_team_state, i64 8
+  store i64 i64 1, %7
+  barrier()
+  call void %arg0(%arg1)
+  barrier()
+  %12 = ptradd @__omp_rtl_team_state, i64 8
+  store i64 i64 0, %12
+  ret void
+bb2:
+  %14 = thread.id()
+  %15 = call ptr @__kmpc_alloc_shared(i64 40)
+  %16 = Mul.i64 %14, i64 8
+  %17 = ptradd @__omp_rtl_thread_states, %16
+  %18 = load ptr, %17
+  %19 = ptradd %15, i64 0
+  store ptr %18, %19
+  %21 = ptradd %15, i64 8
+  store i64 i64 0, %21
+  %23 = ptradd %15, i64 16
+  store i64 i64 1, %23
+  %25 = Add.i64 %1, i64 1
+  %26 = ptradd %15, i64 24
+  store i64 %25, %26
+  store ptr %15, %17
+  %29 = ptradd @__omp_rtl_team_state, i64 40
+  store i64 i64 1, %29
+  call void %arg0(%arg1)
+  store ptr %18, %17
+  call void @__kmpc_free_shared(%15, i64 40)
+  ret void
+}
+define void @__kmpc_parallel_spmd(ptr %arg0, ptr %arg1) {
+bb0:
+  call void @__nzomp_trace()
+  call void @__kmpc_syncthreads_aligned()
+  call void %arg0(%arg1)
+  call void @__kmpc_syncthreads_aligned()
+  ret void
+}
+define void @__kmpc_worker_loop() {
+bb0:
+  br bb1
+bb1:
+  barrier()
+  %1 = ptradd @__omp_rtl_team_state, i64 24
+  %2 = load ptr, %1
+  %3 = cmp.Ne.ptr %2, ptr 0
+  br %3, bb2, bb3
+bb2:
+  %4 = ptradd @__omp_rtl_team_state, i64 32
+  %5 = load ptr, %4
+  call void %2(%5)
+  barrier()
+  br bb1
+bb3:
+  ret void
+}
+define void @__kmpc_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2, i64 %arg3) {
+bb0:
+  call void @__nzomp_trace()
+  %1 = call i64 @omp_get_thread_num()
+  %2 = call i64 @omp_get_num_threads()
+  %3 = cmp.Slt.i64 %1, %arg2
+  br %3, bb1, bb4
+bb1:
+  %4 = phi i64 [bb0: %1], [bb2: %6]
+  call void %arg0(%4, %arg1)
+  %6 = Add.i64 %4, %2
+  %7 = load i64, @__omp_rtl_assume_threads_oversubscription
+  %8 = cmp.Ne.i64 %7, i64 0
+  br %8, bb3, bb2
+bb2:
+  %11 = cmp.Slt.i64 %6, %arg2
+  br %11, bb1, bb4
+bb3:
+  %9 = cmp.Sge.i64 %6, %arg2
+  call void @__nzomp_assert(%9)
+  br bb4
+bb4:
+  %12 = cmp.Ne.i64 %arg3, i64 0
+  br %12, bb6, bb5
+bb5:
+  call void @__kmpc_barrier()
+  br bb6
+bb6:
+  ret void
+}
+define void @__kmpc_distribute_static_loop(ptr %arg0, ptr %arg1, i64 %arg2) {
+bb0:
+  call void @__nzomp_trace()
+  %1 = block.id()
+  %2 = grid.dim()
+  %3 = cmp.Slt.i64 %1, %arg2
+  br %3, bb1, bb4
+bb1:
+  %4 = phi i64 [bb0: %1], [bb2: %6]
+  call void %arg0(%4, %arg1)
+  %6 = Add.i64 %4, %2
+  %7 = load i64, @__omp_rtl_assume_teams_oversubscription
+  %8 = cmp.Ne.i64 %7, i64 0
+  br %8, bb3, bb2
+bb2:
+  %11 = cmp.Slt.i64 %6, %arg2
+  br %11, bb1, bb4
+bb3:
+  %9 = cmp.Sge.i64 %6, %arg2
+  call void @__nzomp_assert(%9)
+  br bb4
+bb4:
+  ret void
+}

@@ -1,0 +1,90 @@
+//! Remarks-order golden: the full `-Rpass=openmp-opt` stream for every
+//! proxy under the full §IV pipeline, pinned against a committed snapshot.
+//!
+//! [`Remarks::normalize`] sorts and dedups the stream after the pipeline
+//! finishes, so the emission order of individual passes (including
+//! hash-map iteration inside fold) can never leak into diagnostics. This
+//! test is the pin: if remark order ever becomes nondeterministic again,
+//! two consecutive runs of the suite disagree with the snapshot.
+//!
+//! Re-bless (only for an intentional remark change) with:
+//!
+//! ```sh
+//! NZOMP_BLESS=1 cargo test -q --test remarks_snapshot
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use nzomp::pipeline::compile_with;
+use nzomp::BuildConfig;
+use nzomp_proxies::{all_proxies, build_for_config};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("goldens/remarks-full.txt")
+}
+
+/// Render the remark stream of every proxy compiled with the full §IV
+/// pipeline, in proxy order, with a `== name ==` header per proxy.
+fn render_all() -> String {
+    let cfg = BuildConfig::NewRtNoAssumptions;
+    let mut out = String::new();
+    for p in all_proxies() {
+        let compiled =
+            compile_with(build_for_config(p.as_ref(), cfg), cfg, cfg.rt_config(), cfg.pass_options())
+                .unwrap_or_else(|e| panic!("{}: compile failed: {e}", p.name()));
+        out.push_str(&format!("== {} ==\n{}", p.name(), compiled.remarks));
+    }
+    out
+}
+
+#[test]
+fn remark_stream_is_deterministic_and_matches_snapshot() {
+    // Two independent compiles must agree exactly — catches any residual
+    // hash-order nondeterminism regardless of the snapshot's freshness.
+    let first = render_all();
+    let second = render_all();
+    assert_eq!(first, second, "remark stream differs between two identical runs");
+
+    let path = golden_path();
+    if std::env::var("NZOMP_BLESS").is_ok_and(|v| v == "1") {
+        fs::write(&path, &first).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing snapshot {} ({e}); run with NZOMP_BLESS=1 to capture", path.display())
+    });
+    assert_eq!(
+        first, want,
+        "remark stream diverged from the committed snapshot; only bless if intentional"
+    );
+}
+
+#[test]
+fn remark_stream_is_sorted_and_deduplicated() {
+    let cfg = BuildConfig::NewRtNoAssumptions;
+    for p in all_proxies() {
+        let compiled =
+            compile_with(build_for_config(p.as_ref(), cfg), cfg, cfg.rt_config(), cfg.pass_options())
+                .unwrap_or_else(|e| panic!("{}: compile failed: {e}", p.name()));
+        let entries = &compiled.remarks.entries;
+        for w in entries.windows(2) {
+            let key = |r: &nzomp_opt::Remark| {
+                (r.func.clone(), r.pass, r.kind as u8, r.message.clone())
+            };
+            assert!(
+                key(&w[0]) <= key(&w[1]),
+                "{}: remarks out of order: {} then {}",
+                p.name(),
+                w[0],
+                w[1]
+            );
+            assert!(
+                key(&w[0]) != key(&w[1]),
+                "{}: duplicate remark survived normalize: {}",
+                p.name(),
+                w[0]
+            );
+        }
+    }
+}

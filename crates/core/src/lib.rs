@@ -24,7 +24,7 @@ pub mod pipeline;
 pub mod report;
 
 pub use config::BuildConfig;
-pub use pipeline::{compile, CompileError, CompileOutput};
+pub use pipeline::{compile, module_fingerprint, CompileCache, CompileError, CompileOutput};
 pub use report::{compile_stats_table, ConfigRow, SanitizerRow, ScalingRow};
 
 pub use nzomp_front as front;

@@ -10,6 +10,7 @@
 //! module the same way they treat a device trap: inspect, log, continue.
 
 use std::fmt;
+use std::rc::Rc;
 
 use nzomp_ir::link::LinkError;
 use nzomp_ir::verify::VerifyError;
@@ -121,4 +122,71 @@ pub fn compile_with(
         remarks,
         timings,
     })
+}
+
+/// Structural fingerprint of a module: FNV-1a over its printed IR. Two
+/// modules with the same print are the same compilation input, so the
+/// fingerprint keys the [`CompileCache`] (and the per-device kernel-image
+/// registries built on top of it in `nzomp-host`).
+pub fn module_fingerprint(m: &Module) -> u64 {
+    let text = nzomp_ir::printer::print_module(m);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Memoized compile pipeline: repeated compilations of the same
+/// application module under the same [`BuildConfig`] skip the link +
+/// optimization pipeline entirely and share one [`CompileOutput`].
+///
+/// This is the host runtime's recompile eliminator: every launch of an
+/// already-registered kernel image must cost a table lookup, not an
+/// optimizer run (the `offload_overhead` bench asserts the hit counter).
+#[derive(Default)]
+pub struct CompileCache {
+    entries: Vec<(u64, BuildConfig, Rc<CompileOutput>)>,
+    /// Compilations served from the cache.
+    pub hits: u64,
+    /// Compilations that ran the real pipeline.
+    pub misses: u64,
+}
+
+impl CompileCache {
+    pub fn new() -> CompileCache {
+        CompileCache::default()
+    }
+
+    /// Compile `app` under `config`, reusing a previous output when the
+    /// `(fingerprint, config)` pair was seen before.
+    pub fn compile(
+        &mut self,
+        app: Module,
+        config: BuildConfig,
+    ) -> Result<Rc<CompileOutput>, CompileError> {
+        let fp = module_fingerprint(&app);
+        if let Some((_, _, out)) = self
+            .entries
+            .iter()
+            .find(|(f, c, _)| *f == fp && *c == config)
+        {
+            self.hits += 1;
+            return Ok(Rc::clone(out));
+        }
+        self.misses += 1;
+        let out = Rc::new(compile(app, config)?);
+        self.entries.push((fp, config, Rc::clone(&out)));
+        Ok(out)
+    }
+
+    /// Number of distinct compiled images held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }

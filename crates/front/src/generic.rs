@@ -50,10 +50,7 @@ impl<'m> GenericCtx<'m> {
                 let alloc = rt_fn(self.m, abi::ALLOC_SHARED);
                 let freesh = rt_fn(self.m, abi::FREE_SHARED);
                 let par = rt_fn(self.m, abi::PARALLEL_51);
-                let args = self
-                    .kb
-                    .call(Operand::Func(alloc), vec![size], Some(Ty::Ptr))
-                    .unwrap();
+                let args = crate::call_val(&mut self.kb, Operand::Func(alloc), vec![size], Ty::Ptr);
                 store_captures(&mut self.kb, args, captures);
                 self.kb
                     .call(Operand::Func(par), vec![Operand::Func(body_fn), args], None);
@@ -65,10 +62,7 @@ impl<'m> GenericCtx<'m> {
                 let prep = rt_fn(self.m, abi::OLD_PARALLEL_PREPARE);
                 let endp = rt_fn(self.m, abi::OLD_PARALLEL_END);
                 let bar = rt_fn(self.m, abi::OLD_BARRIER);
-                let args = self
-                    .kb
-                    .call(Operand::Func(push), vec![size], Some(Ty::Ptr))
-                    .unwrap();
+                let args = crate::call_val(&mut self.kb, Operand::Func(push), vec![size], Ty::Ptr);
                 store_captures(&mut self.kb, args, captures);
                 self.kb
                     .call(Operand::Func(prep), vec![Operand::Func(body_fn), args], None);
@@ -182,13 +176,12 @@ pub fn generic_kernel(
     );
 
     let mut kb = FuncBuilder::new(name, params.to_vec(), None);
-    let ec = kb
-        .call(
-            Operand::Func(init),
-            vec![Operand::i64(abi::MODE_GENERIC)],
-            Some(Ty::I64),
-        )
-        .unwrap();
+    let ec = crate::call_val(
+        &mut kb,
+        Operand::Func(init),
+        vec![Operand::i64(abi::MODE_GENERIC)],
+        Ty::I64,
+    );
     let is_worker = kb.icmp_ne(ec, Operand::i64(0));
     let main_bb = kb.new_block();
     let exit_bb = kb.new_block();

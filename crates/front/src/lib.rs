@@ -20,6 +20,9 @@
 //! [`generic_kernel`] (`target` with explicit `parallel` regions inside),
 //! and [`cuda::grid_stride_kernel`] for the native-CUDA baselines.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod capture;
 pub mod cuda;
 pub mod generic;
@@ -52,22 +55,34 @@ pub(crate) fn rt_fn(m: &mut Module, name: &str) -> FuncRef {
     nzomp_rt::declare_api(m, name)
 }
 
+/// Emit a call that carries a return type; the builder yields a value for
+/// every such call, so the `Option` never comes back empty.
+pub(crate) fn call_val(
+    b: &mut nzomp_ir::FuncBuilder,
+    f: Operand,
+    args: Vec<Operand>,
+    ty: Ty,
+) -> Operand {
+    b.call(f, args, Some(ty))
+        .unwrap_or_else(|| unreachable!("call with a return type yields a value"))
+}
+
 /// Convenience: emit `omp_get_thread_num()` in user code.
 pub fn omp_thread_num(m: &mut Module, b: &mut nzomp_ir::FuncBuilder) -> Operand {
     let f = rt_fn(m, nzomp_rt::abi::OMP_GET_THREAD_NUM);
-    b.call(Operand::Func(f), vec![], Some(Ty::I64)).unwrap()
+    call_val(b, Operand::Func(f), vec![], Ty::I64)
 }
 
 /// Convenience: emit `omp_get_num_threads()` in user code.
 pub fn omp_num_threads(m: &mut Module, b: &mut nzomp_ir::FuncBuilder) -> Operand {
     let f = rt_fn(m, nzomp_rt::abi::OMP_GET_NUM_THREADS);
-    b.call(Operand::Func(f), vec![], Some(Ty::I64)).unwrap()
+    call_val(b, Operand::Func(f), vec![], Ty::I64)
 }
 
 /// Convenience: emit `omp_get_team_num()` in user code.
 pub fn omp_team_num(m: &mut Module, b: &mut nzomp_ir::FuncBuilder) -> Operand {
     let f = rt_fn(m, nzomp_rt::abi::OMP_GET_TEAM_NUM);
-    b.call(Operand::Func(f), vec![], Some(Ty::I64)).unwrap()
+    call_val(b, Operand::Func(f), vec![], Ty::I64)
 }
 
 /// A local buffer the OpenMP frontend must conservatively *globalize*
@@ -88,13 +103,11 @@ pub fn globalized_local(
         None => b.alloca(size),
         Some(RuntimeFlavor::Modern) => {
             let f = rt_fn(m, nzomp_rt::abi::ALLOC_SHARED);
-            b.call(Operand::Func(f), vec![Operand::i64(size as i64)], Some(Ty::Ptr))
-                .unwrap()
+            call_val(b, Operand::Func(f), vec![Operand::i64(size as i64)], Ty::Ptr)
         }
         Some(RuntimeFlavor::Legacy) => {
             let f = rt_fn(m, nzomp_rt::abi::OLD_DATA_SHARING_PUSH);
-            b.call(Operand::Func(f), vec![Operand::i64(size as i64)], Some(Ty::Ptr))
-                .unwrap()
+            call_val(b, Operand::Func(f), vec![Operand::i64(size as i64)], Ty::Ptr)
         }
     }
 }

@@ -1,0 +1,164 @@
+//! Typed, panic-free errors of the offload host runtime.
+//!
+//! [`HostError`] folds every failure class a host-side offload operation
+//! can hit — compile pipeline failures, device traps, mapping-table
+//! misuse, and stream-graph problems — into one error the drivers (and
+//! the differential harness) can inspect, log, and continue past, in the
+//! same spirit as [`nzomp::CompileError`] and [`nzomp_vgpu::ExecError`]
+//! (the PR 1 robustness contract).
+
+use std::fmt;
+
+use nzomp::CompileError;
+use nzomp_vgpu::ExecError;
+
+use crate::map::BufId;
+
+/// Why a mapping-table operation was refused.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MapError {
+    /// A new map range partially overlaps an existing present-table entry
+    /// (neither contained in it nor disjoint from it) — the libomptarget
+    /// "trying to map a partially overlapping buffer" condition.
+    PartialOverlap {
+        buf: BufId,
+        new: (u64, u64),
+        existing: (u64, u64),
+    },
+    /// A `from`/`release`/`delete` (or a launch argument lookup) named a
+    /// range with no containing present-table entry.
+    NotPresent { buf: BufId, off: u64, len: u64 },
+    /// The map range lies outside its host buffer.
+    HostRange {
+        buf: BufId,
+        off: u64,
+        len: u64,
+        buf_len: u64,
+    },
+    /// API misuse caught at the call site (zero-length map, an exit-only
+    /// map kind passed to `enter`, ...).
+    Misuse(&'static str),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::PartialOverlap { buf, new, existing } => write!(
+                f,
+                "map range [{}, {}) of buffer {} partially overlaps mapped [{}, {})",
+                new.0,
+                new.0 + new.1,
+                buf.0,
+                existing.0,
+                existing.0 + existing.1
+            ),
+            MapError::NotPresent { buf, off, len } => write!(
+                f,
+                "range [{off}, {}) of buffer {} is not present on the device",
+                off + len,
+                buf.0
+            ),
+            MapError::HostRange { buf, off, len, buf_len } => write!(
+                f,
+                "range [{off}, {}) exceeds buffer {} of {buf_len} bytes",
+                off + len,
+                buf.0
+            ),
+            MapError::Misuse(m) => write!(f, "invalid mapping operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Why the stream layer refused or aborted.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamError {
+    UnknownStream(u32),
+    UnknownEvent(u32),
+    UnknownTicket(u32),
+    /// Every non-empty stream is blocked on an event no stream will ever
+    /// record — the dependency graph has a cycle (or a wait on a never-
+    /// recorded event).
+    Deadlock { blocked_streams: usize },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::UnknownStream(s) => write!(f, "unknown stream {s}"),
+            StreamError::UnknownEvent(e) => write!(f, "unknown event {e}"),
+            StreamError::UnknownTicket(t) => write!(f, "unknown launch ticket {t}"),
+            StreamError::Deadlock { blocked_streams } => write!(
+                f,
+                "stream drain deadlocked: {blocked_streams} non-empty stream(s) \
+                 blocked on events that will never be recorded"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Any failure of the offload host runtime. Never a panic: drivers match
+/// on the class and decide whether to retry, skip, or surface.
+#[derive(Debug)]
+pub enum HostError {
+    /// The compile pipeline refused the application module.
+    Compile(CompileError),
+    /// A device trap during a launch (or a host-side memcpy out of
+    /// bounds) — the launch's ticket also records it.
+    Exec(ExecError),
+    /// Present-table / mapping misuse.
+    Map(MapError),
+    /// Stream-graph misuse or deadlock.
+    Stream(StreamError),
+    /// A device index outside the registered fleet.
+    NoDevice { device: usize, devices: usize },
+    /// An image id that was never produced by `load_image`.
+    UnknownImage(u32),
+    /// A launch argument named a host buffer id that was never registered.
+    UnknownBuffer(u32),
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::Compile(e) => write!(f, "offload compile failed: {e}"),
+            HostError::Exec(e) => write!(f, "offload launch trapped: {e}"),
+            HostError::Map(e) => write!(f, "offload mapping failed: {e}"),
+            HostError::Stream(e) => write!(f, "offload stream failed: {e}"),
+            HostError::NoDevice { device, devices } => {
+                write!(f, "device {device} out of range ({devices} registered)")
+            }
+            HostError::UnknownImage(i) => write!(f, "unknown kernel image {i}"),
+            HostError::UnknownBuffer(b) => write!(f, "unknown host buffer {b}"),
+        }
+    }
+}
+
+impl From<CompileError> for HostError {
+    fn from(e: CompileError) -> HostError {
+        HostError::Compile(e)
+    }
+}
+
+impl From<ExecError> for HostError {
+    fn from(e: ExecError) -> HostError {
+        HostError::Exec(e)
+    }
+}
+
+impl From<MapError> for HostError {
+    fn from(e: MapError) -> HostError {
+        HostError::Map(e)
+    }
+}
+
+impl From<StreamError> for HostError {
+    fn from(e: StreamError) -> HostError {
+        HostError::Stream(e)
+    }
+}
+
+impl std::error::Error for HostError {}

@@ -1,0 +1,769 @@
+//! `nzomp-host` — a libomptarget-style offload host runtime over one or
+//! more [`nzomp_vgpu::Device`]s.
+//!
+//! The paper's near-zero-overhead claim is about the *device* runtime;
+//! this crate supplies the layer a real deployment would wrap around it:
+//!
+//! * a ref-counted **present table** per device implementing OpenMP
+//!   `map(to/from/tofrom/alloc/release/delete)` semantics with nested
+//!   `target data` environments and a reusing device-memory pool
+//!   ([`map`], [`pool`]);
+//! * **async streams** — ordered queues of memcpy / launch / callback
+//!   operations with events and cross-stream dependencies, drained by a
+//!   deterministic seeded round-robin executor that is bit-identical to
+//!   eager execution ([`stream`], [`Host::sync`]);
+//! * a **multi-device scheduler** — N virtual GPUs behind round-robin or
+//!   least-loaded placement, with a per-host kernel-image registry whose
+//!   compile cache makes repeated launches skip the pipeline entirely
+//!   ([`sched`], [`Host::load_image`]).
+//!
+//! Every failure is a typed [`HostError`]; the crate is panic-free by the
+//! same contract (and clippy gate) as the rest of the workspace.
+//!
+//! See `docs/host-runtime.md` for the design rationale and the
+//! bit-identity argument.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod error;
+pub mod map;
+pub mod pool;
+pub mod sched;
+pub mod stream;
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use nzomp::{BuildConfig, CompileCache, CompileOutput};
+use nzomp_ir::Module;
+use nzomp_vgpu::device::Launch;
+use nzomp_vgpu::memory::DevPtr;
+use nzomp_vgpu::{Device, DeviceConfig, ExecError, FaultPlan, KernelMetrics, RtVal};
+
+pub use error::{HostError, MapError, StreamError};
+pub use map::{BufId, MapKind, MapSpec, PresentTable};
+pub use pool::DevicePool;
+pub use sched::{ImageId, SchedPolicy};
+pub use stream::{EventId, KArg, StreamId, Ticket};
+
+use error::{MapError as ME, StreamError as SE};
+use map::MapStepError;
+use sched::{pick_device, DeviceSlot};
+use stream::Op;
+
+/// Encode `f64` values as the device byte image `Device::write_f64`
+/// produces (IEEE bits, little-endian).
+pub fn f64_bytes(v: &[f64]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Encode `i64` values as device bytes.
+pub fn i64_bytes(v: &[i64]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Encode `i32` values as device bytes.
+pub fn i32_bytes(v: &[i32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Decode a device/host byte image back into `f64`s.
+pub fn bytes_to_f64(b: &[u8]) -> Vec<f64> {
+    b.chunks_exact(8)
+        .map(|c| {
+            f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
+        })
+        .collect()
+}
+
+/// Decode a byte image into raw 64-bit words (bit-exact comparisons).
+pub fn bytes_to_bits(b: &[u8]) -> Vec<u64> {
+    b.chunks_exact(8)
+        .map(|c| {
+            u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
+        })
+        .collect()
+}
+
+/// Declarative description of one argument of a `#pragma omp target`
+/// region, in kernel-parameter order. [`Host::enqueue_region`] registers
+/// the host buffers, enters the maps, launches, and exits — the driver
+/// never touches device pointers.
+#[derive(Clone, Debug)]
+pub enum RegionArg {
+    /// `map(to:)` — these bytes are the kernel's input.
+    To(Vec<u8>),
+    /// `map(from:)` — a fresh output buffer of this many bytes, copied
+    /// back at region exit.
+    From(u64),
+    /// `map(alloc:)` — device-only scratch of this many bytes.
+    Alloc(u64),
+    /// A firstprivate scalar.
+    Scalar(RtVal),
+}
+
+/// Handle of an enqueued target region: the launch ticket, the device the
+/// scheduler placed it on, and the host buffer registered for each map
+/// argument (`None` for scalars) — index with the kernel-parameter
+/// position to read results back after [`Host::sync`].
+#[derive(Clone, Debug)]
+pub struct Region {
+    pub ticket: Ticket,
+    pub device: usize,
+    pub bufs: Vec<Option<BufId>>,
+}
+
+/// The offload host runtime: device fleet, image registry, host buffers,
+/// streams, events, and launch tickets.
+pub struct Host {
+    dev_cfg: DeviceConfig,
+    policy: SchedPolicy,
+    slots: Vec<DeviceSlot>,
+    rr_next: usize,
+
+    cache: CompileCache,
+    images: Vec<Rc<CompileOutput>>,
+
+    bufs: Vec<Vec<u8>>,
+    streams: Vec<VecDeque<Op>>,
+    events: Vec<bool>,
+    tickets: Vec<Option<Result<KernelMetrics, ExecError>>>,
+
+    drain_seed: u64,
+    eager: bool,
+    ops_executed: u64,
+    worker_threads: Option<usize>,
+    fault_plan: Option<FaultPlan>,
+}
+
+impl Host {
+    /// A host over `n_devices` virtual GPUs (at least one) of identical
+    /// shape. Devices are created lazily when an image is bound.
+    pub fn new(dev_cfg: DeviceConfig, n_devices: usize) -> Host {
+        Host {
+            dev_cfg,
+            policy: SchedPolicy::default(),
+            slots: (0..n_devices.max(1)).map(|_| DeviceSlot::new()).collect(),
+            rr_next: 0,
+            cache: CompileCache::new(),
+            images: Vec::new(),
+            bufs: Vec::new(),
+            streams: Vec::new(),
+            events: Vec::new(),
+            tickets: Vec::new(),
+            drain_seed: 0,
+            eager: false,
+            ops_executed: 0,
+            worker_threads: None,
+            fault_plan: None,
+        }
+    }
+
+    pub fn set_policy(&mut self, policy: SchedPolicy) {
+        self.policy = policy;
+    }
+
+    /// Seed of the round-robin drain in [`Host::sync`] — any value yields
+    /// the same results (the differential suite's claim), but a different
+    /// deterministic interleaving.
+    pub fn set_drain_seed(&mut self, seed: u64) {
+        self.drain_seed = seed;
+    }
+
+    /// Eager mode executes every operation at enqueue time instead of
+    /// deferring to [`Host::sync`] — the semantic reference the deferred
+    /// executor is differentially tested against. Set before enqueuing.
+    pub fn set_eager(&mut self, eager: bool) {
+        self.eager = eager;
+    }
+
+    pub fn num_devices(&self) -> usize {
+        self.slots.len()
+    }
+
+    // ---- image registry -------------------------------------------------
+
+    /// Compile `app` under `config` (or reuse the cached image when this
+    /// module/config pair was compiled before) and register it.
+    pub fn load_image(&mut self, app: Module, config: BuildConfig) -> Result<ImageId, HostError> {
+        let out = self.cache.compile(app, config)?;
+        if let Some(i) = self.images.iter().position(|o| Rc::ptr_eq(o, &out)) {
+            return Ok(ImageId(i as u32));
+        }
+        self.images.push(out);
+        Ok(ImageId((self.images.len() - 1) as u32))
+    }
+
+    /// `(cache hits, cache misses)` of the compile cache. Repeated
+    /// launches of a registered image cost zero pipeline runs — the
+    /// overhead bench asserts hits.
+    pub fn compile_stats(&self) -> (u64, u64) {
+        (self.cache.hits, self.cache.misses)
+    }
+
+    /// The compiled image (module + remarks + pass timings) behind an id.
+    pub fn image(&self, img: ImageId) -> Option<&CompileOutput> {
+        self.images.get(img.0 as usize).map(|o| o.as_ref())
+    }
+
+    /// Ensure device slot `dev` runs image `img`, (re)creating the device
+    /// if the slot is empty or held a different image. A reload resets
+    /// the slot's present table and pool (fresh device memory).
+    pub fn bind_image(&mut self, dev: usize, img: ImageId) -> Result<(), HostError> {
+        let devices = self.slots.len();
+        let out = self
+            .images
+            .get(img.0 as usize)
+            .ok_or(HostError::UnknownImage(img.0))?
+            .clone();
+        let slot = self
+            .slots
+            .get_mut(dev)
+            .ok_or(HostError::NoDevice { device: dev, devices })?;
+        if slot.image == Some(img) && slot.dev.is_some() {
+            return Ok(());
+        }
+        let mut d = Device::load(out.module.clone(), self.dev_cfg.clone());
+        if let Some(w) = self.worker_threads {
+            d.set_worker_threads(w);
+        }
+        if let Some(p) = &self.fault_plan {
+            d.set_fault_plan(p.clone());
+        }
+        slot.dev = Some(d);
+        slot.image = Some(img);
+        slot.table = PresentTable::new();
+        slot.pool = DevicePool::new();
+        Ok(())
+    }
+
+    // ---- host buffers ---------------------------------------------------
+
+    pub fn register_bytes(&mut self, bytes: Vec<u8>) -> BufId {
+        self.bufs.push(bytes);
+        BufId((self.bufs.len() - 1) as u32)
+    }
+
+    pub fn register_f64(&mut self, v: &[f64]) -> BufId {
+        self.register_bytes(f64_bytes(v))
+    }
+
+    pub fn register_i64(&mut self, v: &[i64]) -> BufId {
+        self.register_bytes(i64_bytes(v))
+    }
+
+    pub fn register_zeros(&mut self, len: u64) -> BufId {
+        self.register_bytes(vec![0u8; len as usize])
+    }
+
+    pub fn buf_bytes(&self, b: BufId) -> Result<&[u8], HostError> {
+        self.bufs
+            .get(b.0 as usize)
+            .map(|v| v.as_slice())
+            .ok_or(HostError::UnknownBuffer(b.0))
+    }
+
+    /// The buffer decoded as `f64`s (post-`sync` result readback).
+    pub fn buf_f64(&self, b: BufId) -> Result<Vec<f64>, HostError> {
+        Ok(bytes_to_f64(self.buf_bytes(b)?))
+    }
+
+    /// The buffer as raw 64-bit words (bit-exact comparisons).
+    pub fn buf_bits(&self, b: BufId) -> Result<Vec<u64>, HostError> {
+        Ok(bytes_to_bits(self.buf_bytes(b)?))
+    }
+
+    // ---- streams and events ---------------------------------------------
+
+    pub fn stream(&mut self) -> StreamId {
+        self.streams.push(VecDeque::new());
+        StreamId((self.streams.len() - 1) as u32)
+    }
+
+    pub fn event(&mut self) -> EventId {
+        self.events.push(false);
+        EventId((self.events.len() - 1) as u32)
+    }
+
+    /// Enqueue an event signal on `s`.
+    pub fn record(&mut self, s: StreamId, e: EventId) -> Result<(), HostError> {
+        self.check_stream(s)?;
+        self.check_event(e)?;
+        self.enqueue_op(s, Op::Record(e))
+    }
+
+    /// Enqueue a cross-stream dependency: `s` stalls until `e` is
+    /// signaled.
+    pub fn wait(&mut self, s: StreamId, e: EventId) -> Result<(), HostError> {
+        self.check_stream(s)?;
+        self.check_event(e)?;
+        self.enqueue_op(s, Op::Wait(e))
+    }
+
+    /// Enqueue a host callback (runs in drain order).
+    pub fn callback(&mut self, s: StreamId, f: impl FnOnce() + 'static) -> Result<(), HostError> {
+        self.check_stream(s)?;
+        self.enqueue_op(s, Op::Callback(Box::new(f)))
+    }
+
+    // ---- mapping --------------------------------------------------------
+
+    /// Enter map clauses on device `dev` (a `target data` begin / `target
+    /// enter data`). Table state — refcounts, device allocation — updates
+    /// immediately in program order; the host→device copies owed by fresh
+    /// `to`/`tofrom` entries are enqueued on `s`.
+    pub fn data_enter(&mut self, s: StreamId, dev: usize, maps: &[MapSpec]) -> Result<(), HostError> {
+        self.check_stream(s)?;
+        for spec in maps {
+            let host_len = self.buf_bytes(spec.buf)?.len() as u64;
+            let slot = self.slot_mut(dev)?;
+            let d = slot
+                .dev
+                .as_mut()
+                .ok_or(HostError::Map(ME::Misuse("no image bound to device (bind_image first)")))?;
+            let (ptr, needs_copy) = slot
+                .table
+                .enter_alloc(*spec, d, &mut slot.pool, host_len)
+                .map_err(step_err)?;
+            if needs_copy {
+                self.enqueue_op(
+                    s,
+                    Op::MemcpyTo {
+                        dev,
+                        dst: ptr,
+                        buf: spec.buf,
+                        off: spec.off,
+                        len: spec.len,
+                    },
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Exit map clauses on device `dev`. Refcounts decide immediately (in
+    /// program order); outermost `from`/`tofrom` copies and pool releases
+    /// are enqueued on `s` — the free ordered behind its copy.
+    pub fn data_exit(&mut self, s: StreamId, dev: usize, maps: &[MapSpec]) -> Result<(), HostError> {
+        self.check_stream(s)?;
+        for spec in maps {
+            self.buf_bytes(spec.buf)?;
+            let slot = self.slot_mut(dev)?;
+            let action = slot.table.prepare_exit(*spec).map_err(HostError::Map)?;
+            if let Some((src, host_off, len)) = action.copy {
+                self.enqueue_op(
+                    s,
+                    Op::MemcpyFrom {
+                        dev,
+                        src,
+                        buf: spec.buf,
+                        off: host_off,
+                        len,
+                    },
+                )?;
+            }
+            if let Some(ptr) = action.free {
+                self.enqueue_op(s, Op::PoolFree { dev, ptr })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Device address of a mapped host location (diagnostics, tests).
+    pub fn dev_addr(&self, dev: usize, buf: BufId, off: u64) -> Result<DevPtr, HostError> {
+        let devices = self.slots.len();
+        let slot = self
+            .slots
+            .get(dev)
+            .ok_or(HostError::NoDevice { device: dev, devices })?;
+        slot.table.lookup(buf, off).map_err(HostError::Map)
+    }
+
+    // ---- launches -------------------------------------------------------
+
+    /// Enqueue a kernel launch on `s`. Buffer arguments are translated to
+    /// device addresses through `dev`'s present table now (the maps must
+    /// already be entered); the returned ticket holds the metrics (or the
+    /// trap) after [`Host::sync`].
+    pub fn enqueue_launch(
+        &mut self,
+        s: StreamId,
+        dev: usize,
+        kernel: &str,
+        launch: Launch,
+        args: &[KArg],
+    ) -> Result<Ticket, HostError> {
+        self.check_stream(s)?;
+        let mut vals = Vec::with_capacity(args.len());
+        {
+            let slot = self.slot_mut(dev)?;
+            for a in args {
+                match a {
+                    KArg::Buf(b) => vals.push(RtVal::P(slot.table.lookup(*b, 0).map_err(HostError::Map)?)),
+                    KArg::BufAt(b, off) => {
+                        vals.push(RtVal::P(slot.table.lookup(*b, *off).map_err(HostError::Map)?))
+                    }
+                    KArg::Val(v) => vals.push(*v),
+                }
+            }
+        }
+        let ticket = Ticket(self.tickets.len() as u32);
+        self.tickets.push(None);
+        if let Some(slot) = self.slots.get_mut(dev) {
+            slot.pending += 1;
+        }
+        self.enqueue_op(
+            s,
+            Op::Launch {
+                dev,
+                kernel: kernel.to_string(),
+                launch,
+                args: vals,
+                ticket,
+            },
+        )?;
+        Ok(ticket)
+    }
+
+    /// Enqueue a whole `#pragma omp target` region: the scheduler picks a
+    /// device (per [`SchedPolicy`]), the image is bound, buffers are
+    /// registered and mapped in argument order (so device memory layout
+    /// matches the direct `Device::alloc` path), input transfers are
+    /// spread round-robin over `streams` (events ordering them before the
+    /// launch on `streams[0]`), and the exits ride the primary stream.
+    pub fn enqueue_region(
+        &mut self,
+        streams: &[StreamId],
+        img: ImageId,
+        kernel: &str,
+        launch: Launch,
+        args: Vec<RegionArg>,
+    ) -> Result<Region, HostError> {
+        let Some(&primary) = streams.first() else {
+            return Err(HostError::Map(ME::Misuse("enqueue_region needs at least one stream")));
+        };
+        let dev = pick_device(self.policy, &self.slots, &mut self.rr_next);
+        self.bind_image(dev, img)?;
+
+        let mut kargs = Vec::with_capacity(args.len());
+        let mut bufids = Vec::with_capacity(args.len());
+        let mut enter_specs = Vec::new();
+        let mut exit_specs = Vec::new();
+        for arg in args {
+            match arg {
+                RegionArg::To(bytes) => {
+                    let len = bytes.len() as u64;
+                    let b = self.register_bytes(bytes);
+                    enter_specs.push(MapSpec::whole(b, len, MapKind::To));
+                    exit_specs.push(MapSpec::whole(b, len, MapKind::Release));
+                    kargs.push(KArg::Buf(b));
+                    bufids.push(Some(b));
+                }
+                RegionArg::From(len) => {
+                    let b = self.register_zeros(len);
+                    enter_specs.push(MapSpec::whole(b, len, MapKind::From));
+                    exit_specs.push(MapSpec::whole(b, len, MapKind::From));
+                    kargs.push(KArg::Buf(b));
+                    bufids.push(Some(b));
+                }
+                RegionArg::Alloc(len) => {
+                    let b = self.register_zeros(len);
+                    enter_specs.push(MapSpec::whole(b, len, MapKind::Alloc));
+                    exit_specs.push(MapSpec::whole(b, len, MapKind::Release));
+                    kargs.push(KArg::Buf(b));
+                    bufids.push(Some(b));
+                }
+                RegionArg::Scalar(v) => {
+                    kargs.push(KArg::Val(v));
+                    bufids.push(None);
+                }
+            }
+        }
+
+        // Enter in argument order — this fixes the device memory layout
+        // regardless of how many streams carry the transfers.
+        let mut used = vec![false; streams.len()];
+        for (i, spec) in enter_specs.iter().enumerate() {
+            let si = i % streams.len();
+            used[si] = true;
+            self.data_enter(streams[si], dev, std::slice::from_ref(spec))?;
+        }
+        // Secondary streams signal completion; the launch stream waits.
+        for (si, &s) in streams.iter().enumerate().skip(1) {
+            if used[si] {
+                let ev = self.event();
+                self.record(s, ev)?;
+                self.wait(primary, ev)?;
+            }
+        }
+        let ticket = self.enqueue_launch(primary, dev, kernel, launch, &kargs)?;
+        self.data_exit(primary, dev, &exit_specs)?;
+        Ok(Region {
+            ticket,
+            device: dev,
+            bufs: bufids,
+        })
+    }
+
+    // ---- the executor ---------------------------------------------------
+
+    /// Drain every stream to completion with a seeded round-robin
+    /// schedule: starting from `drain_seed % streams`, scan for the first
+    /// stream whose head is ready (a `Wait` is ready only once its event
+    /// is signaled), execute exactly one operation, move the scan cursor
+    /// past that stream, repeat. Deterministic for a given seed;
+    /// bit-identical to eager execution for every seed. If no stream can
+    /// make progress, the declared dependencies deadlock — a typed error,
+    /// not a hang.
+    pub fn sync(&mut self) -> Result<(), HostError> {
+        let n = self.streams.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let mut cursor = (self.drain_seed as usize) % n;
+        loop {
+            let mut progressed = false;
+            for k in 0..n {
+                let si = (cursor + k) % n;
+                let ready = match self.streams[si].front() {
+                    None => false,
+                    Some(Op::Wait(e)) => self.events.get(e.0 as usize).copied().unwrap_or(false),
+                    Some(_) => true,
+                };
+                if !ready {
+                    continue;
+                }
+                let Some(op) = self.streams[si].pop_front() else {
+                    continue;
+                };
+                self.execute_op(op)?;
+                cursor = (si + 1) % n;
+                progressed = true;
+                break;
+            }
+            if !progressed {
+                let blocked = self.streams.iter().filter(|q| !q.is_empty()).count();
+                if blocked == 0 {
+                    return Ok(());
+                }
+                return Err(SE::Deadlock {
+                    blocked_streams: blocked,
+                }
+                .into());
+            }
+        }
+    }
+
+    fn enqueue_op(&mut self, s: StreamId, op: Op) -> Result<(), HostError> {
+        if self.eager {
+            return self.execute_op(op);
+        }
+        let q = self
+            .streams
+            .get_mut(s.0 as usize)
+            .ok_or(HostError::Stream(SE::UnknownStream(s.0)))?;
+        q.push_back(op);
+        Ok(())
+    }
+
+    fn execute_op(&mut self, op: Op) -> Result<(), HostError> {
+        self.ops_executed += 1;
+        match op {
+            Op::MemcpyTo { dev, dst, buf, off, len } => {
+                let bytes = {
+                    let b = self.buf_bytes(buf)?;
+                    b[off as usize..(off + len) as usize].to_vec()
+                };
+                self.loaded_dev(dev)?.write_bytes(dst, &bytes)?;
+            }
+            Op::MemcpyFrom { dev, src, buf, off, len } => {
+                let bytes = self.loaded_dev(dev)?.read_bytes(src, len as usize)?;
+                let b = self
+                    .bufs
+                    .get_mut(buf.0 as usize)
+                    .ok_or(HostError::UnknownBuffer(buf.0))?;
+                b[off as usize..(off + len) as usize].copy_from_slice(&bytes);
+            }
+            Op::PoolFree { dev, ptr } => {
+                self.slot_mut(dev)?.pool.free(ptr);
+            }
+            Op::Launch {
+                dev,
+                kernel,
+                launch,
+                args,
+                ticket,
+            } => {
+                let slot = self.slot_mut(dev)?;
+                let res = match slot.dev.as_mut() {
+                    Some(d) => d.launch(&kernel, launch, &args),
+                    None => return Err(HostError::Map(ME::Misuse("launch on a device with no image"))),
+                };
+                slot.pending = slot.pending.saturating_sub(1);
+                if let Ok(m) = &res {
+                    slot.executed_cycles += m.cycles;
+                    slot.launches += 1;
+                }
+                let trap = res.as_ref().err().cloned();
+                if let Some(t) = self.tickets.get_mut(ticket.0 as usize) {
+                    *t = Some(res);
+                }
+                // A trap aborts the drain: remaining operations (including
+                // result readbacks) stay queued, exactly as the direct
+                // harness stops at a failed `Device::launch`.
+                if let Some(e) = trap {
+                    return Err(HostError::Exec(e));
+                }
+            }
+            Op::Record(e) => {
+                let v = self
+                    .events
+                    .get_mut(e.0 as usize)
+                    .ok_or(HostError::Stream(SE::UnknownEvent(e.0)))?;
+                *v = true;
+            }
+            Op::Wait(e) => {
+                let signaled = self
+                    .events
+                    .get(e.0 as usize)
+                    .copied()
+                    .ok_or(HostError::Stream(SE::UnknownEvent(e.0)))?;
+                if !signaled {
+                    // Only reachable in eager mode: a deferred Wait is held
+                    // until its event signals.
+                    return Err(SE::Deadlock { blocked_streams: 1 }.into());
+                }
+            }
+            Op::Callback(f) => f(),
+        }
+        Ok(())
+    }
+
+    // ---- results and observability --------------------------------------
+
+    /// The outcome of an enqueued launch: `Ok(None)` while still pending,
+    /// `Ok(Some(_))` once executed (metrics or the trap).
+    pub fn ticket_result(&self, t: Ticket) -> Result<Option<&Result<KernelMetrics, ExecError>>, HostError> {
+        self.tickets
+            .get(t.0 as usize)
+            .map(|o| o.as_ref())
+            .ok_or(HostError::Stream(SE::UnknownTicket(t.0)))
+    }
+
+    /// The metrics of a completed launch; a trap or a still-pending ticket
+    /// is a typed error.
+    pub fn take_metrics(&self, t: Ticket) -> Result<KernelMetrics, HostError> {
+        match self.ticket_result(t)? {
+            Some(Ok(m)) => Ok(m.clone()),
+            Some(Err(e)) => Err(HostError::Exec(e.clone())),
+            None => Err(HostError::Stream(SE::UnknownTicket(t.0))),
+        }
+    }
+
+    /// The device in slot `i`, if an image has been bound.
+    pub fn device(&self, i: usize) -> Option<&Device> {
+        self.slots.get(i).and_then(|s| s.dev.as_ref())
+    }
+
+    /// Simulated cycles of every launch executed on device `i` — the
+    /// per-device makespan input of the multi-device scaling model.
+    pub fn device_cycles(&self, i: usize) -> u64 {
+        self.slots.get(i).map_or(0, |s| s.executed_cycles)
+    }
+
+    /// Launches executed on device `i`.
+    pub fn device_launches(&self, i: usize) -> u64 {
+        self.slots.get(i).map_or(0, |s| s.launches)
+    }
+
+    /// `(fresh device allocations, pool reuse hits, bytes currently
+    /// mapped)` of device `i`'s pool.
+    pub fn pool_stats(&self, i: usize) -> (u64, u64, u64) {
+        self.slots
+            .get(i)
+            .map_or((0, 0, 0), |s| (s.pool.device_allocs, s.pool.reuse_hits, s.pool.in_use()))
+    }
+
+    /// `(host→device, device→host)` transfers issued on device `i`.
+    pub fn transfer_counts(&self, i: usize) -> (u64, u64) {
+        self.slots
+            .get(i)
+            .map_or((0, 0), |s| (s.table.transfers_to, s.table.transfers_from))
+    }
+
+    /// Total stream operations executed (eager + drained).
+    pub fn ops_executed(&self) -> u64 {
+        self.ops_executed
+    }
+
+    /// Pin the worker-thread count of every current and future device
+    /// (overrides `NZOMP_VGPU_THREADS` resolution in `Device::load`).
+    pub fn set_worker_threads(&mut self, n: usize) {
+        self.worker_threads = Some(n);
+        for s in &mut self.slots {
+            if let Some(d) = s.dev.as_mut() {
+                d.set_worker_threads(n);
+            }
+        }
+    }
+
+    /// Arm a fault plan on every current and future device.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for s in &mut self.slots {
+            if let Some(d) = s.dev.as_mut() {
+                d.set_fault_plan(plan.clone());
+            }
+        }
+        self.fault_plan = Some(plan);
+    }
+
+    pub fn clear_fault_plan(&mut self) {
+        self.fault_plan = None;
+        for s in &mut self.slots {
+            if let Some(d) = s.dev.as_mut() {
+                d.clear_fault_plan();
+            }
+        }
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn check_stream(&self, s: StreamId) -> Result<(), HostError> {
+        if (s.0 as usize) < self.streams.len() {
+            Ok(())
+        } else {
+            Err(HostError::Stream(SE::UnknownStream(s.0)))
+        }
+    }
+
+    fn check_event(&self, e: EventId) -> Result<(), HostError> {
+        if (e.0 as usize) < self.events.len() {
+            Ok(())
+        } else {
+            Err(HostError::Stream(SE::UnknownEvent(e.0)))
+        }
+    }
+
+    fn slot_mut(&mut self, dev: usize) -> Result<&mut DeviceSlot, HostError> {
+        let devices = self.slots.len();
+        self.slots
+            .get_mut(dev)
+            .ok_or(HostError::NoDevice { device: dev, devices })
+    }
+
+    fn loaded_dev(&mut self, dev: usize) -> Result<&mut Device, HostError> {
+        let devices = self.slots.len();
+        self.slots
+            .get_mut(dev)
+            .and_then(|s| s.dev.as_mut())
+            .ok_or(HostError::NoDevice { device: dev, devices })
+    }
+}
+
+fn step_err(e: MapStepError) -> HostError {
+    match e {
+        MapStepError::Map(m) => HostError::Map(m),
+        MapStepError::Exec(x) => HostError::Exec(x),
+    }
+}

@@ -1,0 +1,141 @@
+//! Reusing device-memory pool allocator.
+//!
+//! [`nzomp_vgpu::Device::alloc`] only ever grows device global memory; a
+//! host runtime that maps and unmaps buffers per target region would leak
+//! the device arena without a pool on top. [`DevicePool`] keeps a free
+//! list of released blocks and serves new mappings from it (deterministic
+//! best-fit) before falling back to a fresh device allocation.
+//!
+//! Two properties matter for the bit-identity contract with the direct
+//! `Device::alloc` path (see `docs/host-runtime.md`):
+//!
+//! * A fresh allocation calls `Device::alloc` with the same 8-byte-aligned
+//!   size the direct path would, so as long as mapping order matches
+//!   allocation order, device addresses are identical.
+//! * A **reused** block is zero-filled before it is handed out, because a
+//!   fresh `Device::alloc` block is zero-filled by construction — a kernel
+//!   that reads its scratch before writing it must see the same bytes on
+//!   both paths.
+
+use std::collections::HashMap;
+
+use nzomp_vgpu::memory::DevPtr;
+use nzomp_vgpu::{Device, ExecError};
+
+/// A released block available for reuse.
+#[derive(Clone, Copy, Debug)]
+struct FreeBlock {
+    ptr: DevPtr,
+    size: u64,
+}
+
+/// Pool allocator over one device's global memory.
+#[derive(Default)]
+pub struct DevicePool {
+    /// Free blocks, kept sorted by `(size, offset)` so the best-fit scan
+    /// (first block large enough) is deterministic.
+    free: Vec<FreeBlock>,
+    /// Size of every block currently handed out, keyed by pointer bits.
+    live: HashMap<u64, u64>,
+    /// Total bytes obtained from `Device::alloc` over the pool's life.
+    pub device_bytes: u64,
+    /// Fresh `Device::alloc` calls.
+    pub device_allocs: u64,
+    /// Allocations served from the free list.
+    pub reuse_hits: u64,
+}
+
+impl DevicePool {
+    pub fn new() -> DevicePool {
+        DevicePool::default()
+    }
+
+    /// Allocate `size` bytes (rounded up to 8) on `dev`, reusing a free
+    /// block when one is large enough.
+    pub fn alloc(&mut self, dev: &mut Device, size: u64) -> Result<DevPtr, ExecError> {
+        let aligned = size.max(1).div_ceil(8) * 8;
+        // Best fit: `free` is sorted by size, so the first block that fits
+        // is the smallest adequate one.
+        if let Some(i) = self.free.iter().position(|b| b.size >= aligned) {
+            let block = self.free.remove(i);
+            // Reused memory must look like fresh memory (zero-filled).
+            dev.write_bytes(block.ptr, &vec![0u8; block.size as usize])?;
+            self.live.insert(block.ptr.0, block.size);
+            self.reuse_hits += 1;
+            return Ok(block.ptr);
+        }
+        let ptr = dev.alloc(aligned);
+        self.device_bytes += aligned;
+        self.device_allocs += 1;
+        self.live.insert(ptr.0, aligned);
+        Ok(ptr)
+    }
+
+    /// Return a block to the free list. Unknown pointers are ignored
+    /// (freeing is driven by the present table, which only frees what it
+    /// allocated; tolerating stray frees keeps this panic-free).
+    pub fn free(&mut self, ptr: DevPtr) {
+        let Some(size) = self.live.remove(&ptr.0) else {
+            return;
+        };
+        let block = FreeBlock { ptr, size };
+        let at = self
+            .free
+            .partition_point(|b| (b.size, b.ptr.offset()) < (size, ptr.offset()));
+        self.free.insert(at, block);
+    }
+
+    /// Bytes currently handed out. Zero once every mapping has been
+    /// released — the present-table property test's no-leak invariant.
+    pub fn in_use(&self) -> u64 {
+        self.live.values().sum()
+    }
+
+    /// Bytes parked on the free list, available for reuse.
+    pub fn free_bytes(&self) -> u64 {
+        self.free.iter().map(|b| b.size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nzomp_ir::Module;
+    use nzomp_vgpu::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::load(Module::new("pool_test"), DeviceConfig::default())
+    }
+
+    #[test]
+    fn reuses_freed_blocks_best_fit() {
+        let mut d = dev();
+        let mut pool = DevicePool::new();
+        let a = pool.alloc(&mut d, 64).unwrap();
+        let b = pool.alloc(&mut d, 16).unwrap();
+        assert_eq!(pool.device_allocs, 2);
+        pool.free(a);
+        pool.free(b);
+        assert_eq!(pool.in_use(), 0);
+        // 16 bytes fits both; best fit picks the 16-byte block.
+        let c = pool.alloc(&mut d, 16).unwrap();
+        assert_eq!(c, b);
+        // 40 bytes only fits the 64-byte block.
+        let e = pool.alloc(&mut d, 40).unwrap();
+        assert_eq!(e, a);
+        assert_eq!(pool.reuse_hits, 2);
+        assert_eq!(pool.device_allocs, 2, "no new device allocation");
+    }
+
+    #[test]
+    fn reused_blocks_are_zeroed() {
+        let mut d = dev();
+        let mut pool = DevicePool::new();
+        let a = pool.alloc(&mut d, 32).unwrap();
+        d.write_bytes(a, &[0xab; 32]).unwrap();
+        pool.free(a);
+        let b = pool.alloc(&mut d, 32).unwrap();
+        assert_eq!(b, a);
+        assert_eq!(d.read_bytes(b, 32).unwrap(), vec![0u8; 32]);
+    }
+}

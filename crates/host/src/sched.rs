@@ -1,0 +1,71 @@
+//! Multi-device scheduling: device slots, kernel-image registry, and
+//! launch-placement policies.
+
+use nzomp_vgpu::Device;
+
+use crate::map::PresentTable;
+use crate::pool::DevicePool;
+
+/// Handle of a compiled kernel image in the host's registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImageId(pub u32);
+
+/// How [`crate::Host::enqueue_target`] places launches across devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Strict rotation over the fleet.
+    #[default]
+    RoundRobin,
+    /// The device with the fewest pending launches (ties: lowest index;
+    /// second tie-break: least simulated cycles executed so far).
+    LeastLoaded,
+}
+
+/// One registered virtual GPU plus its host-side shadow state. The
+/// device itself is created lazily when an image is first placed on the
+/// slot; re-placing a different image resets the device (fresh memory)
+/// and with it the present table and pool.
+pub(crate) struct DeviceSlot {
+    pub dev: Option<Device>,
+    pub image: Option<ImageId>,
+    pub table: PresentTable,
+    pub pool: DevicePool,
+    /// Launches enqueued but not yet executed (LeastLoaded's signal).
+    pub pending: u64,
+    /// Simulated cycles of every launch executed on this device — the
+    /// per-device makespan input of the multi-device scaling model.
+    pub executed_cycles: u64,
+    /// Launches executed on this device.
+    pub launches: u64,
+}
+
+impl DeviceSlot {
+    pub fn new() -> DeviceSlot {
+        DeviceSlot {
+            dev: None,
+            image: None,
+            table: PresentTable::new(),
+            pool: DevicePool::new(),
+            pending: 0,
+            executed_cycles: 0,
+            launches: 0,
+        }
+    }
+}
+
+/// Pick a device for the next launch. `slots` is never empty.
+pub(crate) fn pick_device(policy: SchedPolicy, slots: &[DeviceSlot], rr_next: &mut usize) -> usize {
+    match policy {
+        SchedPolicy::RoundRobin => {
+            let d = *rr_next % slots.len();
+            *rr_next = (*rr_next + 1) % slots.len();
+            d
+        }
+        SchedPolicy::LeastLoaded => slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, s)| (s.pending, s.executed_cycles, *i))
+            .map(|(i, _)| i)
+            .unwrap_or(0),
+    }
+}

@@ -1,0 +1,194 @@
+//! Multi-device scheduling and the kernel-image registry: placement
+//! policies behave as documented, the compile cache eliminates repeated
+//! pipeline runs, and sharding across devices preserves bit-identical
+//! results.
+
+mod common;
+
+use common::{input, quick, scale_add_app, scale_add_expected};
+use nzomp::BuildConfig;
+use nzomp_host::{Host, RegionArg, SchedPolicy};
+use nzomp_vgpu::device::Launch;
+use nzomp_vgpu::RtVal;
+
+const N: usize = 48;
+
+fn launch() -> Launch {
+    Launch {
+        teams: 4,
+        threads_per_team: 16,
+        dyn_smem_bytes: 0,
+    }
+}
+
+fn region_args() -> Vec<RegionArg> {
+    vec![
+        RegionArg::To(nzomp_host::f64_bytes(&input(N))),
+        RegionArg::From(8 * N as u64),
+        RegionArg::Scalar(RtVal::I(N as i64)),
+    ]
+}
+
+/// Round-robin placement strictly rotates over the fleet.
+#[test]
+fn round_robin_rotates() {
+    let mut host = Host::new(quick(), 3);
+    host.set_worker_threads(1);
+    let img = host
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    let s = host.stream();
+    let placements: Vec<usize> = (0..6)
+        .map(|_| {
+            host.enqueue_region(&[s], img, "k", launch(), region_args())
+                .unwrap()
+                .device
+        })
+        .collect();
+    assert_eq!(placements, [0, 1, 2, 0, 1, 2]);
+    host.sync().unwrap();
+    for d in 0..3 {
+        assert_eq!(host.device_launches(d), 2);
+    }
+}
+
+/// Least-loaded placement prefers the device with the fewest pending
+/// launches, breaking ties toward fewer executed cycles.
+#[test]
+fn least_loaded_balances() {
+    let mut host = Host::new(quick(), 2);
+    host.set_worker_threads(1);
+    host.set_policy(SchedPolicy::LeastLoaded);
+    let img = host
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    let s = host.stream();
+
+    // Everything pending: placements alternate as pending counts grow.
+    let placements: Vec<usize> = (0..4)
+        .map(|_| {
+            host.enqueue_region(&[s], img, "k", launch(), region_args())
+                .unwrap()
+                .device
+        })
+        .collect();
+    assert_eq!(placements, [0, 1, 0, 1]);
+    host.sync().unwrap();
+
+    // With nothing pending, the cycle tie-break keeps the split even.
+    let next = host
+        .enqueue_region(&[s], img, "k", launch(), region_args())
+        .unwrap()
+        .device;
+    host.sync().unwrap();
+    let after = host
+        .enqueue_region(&[s], img, "k", launch(), region_args())
+        .unwrap()
+        .device;
+    host.sync().unwrap();
+    assert_ne!(next, after, "cycle tie-break alternates devices");
+    assert_eq!(host.device_launches(0), 3);
+    assert_eq!(host.device_launches(1), 3);
+}
+
+/// Loading the same module under the same config hits the compile cache
+/// — repeated launches never re-run the pipeline — while a different
+/// config misses.
+#[test]
+fn compile_cache_eliminates_recompiles() {
+    let mut host = Host::new(quick(), 1);
+    host.set_worker_threads(1);
+    let a = host
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    assert_eq!(host.compile_stats(), (0, 1));
+
+    let b = host
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    assert_eq!(a, b, "cache hit returns the same image id");
+    assert_eq!(host.compile_stats(), (1, 1), "second load is a cache hit");
+
+    let c = host
+        .load_image(scale_add_app(), BuildConfig::NewRtNightly)
+        .unwrap();
+    assert_ne!(a, c);
+    assert_eq!(host.compile_stats(), (1, 2), "new config is a miss");
+
+    // Many repeated launches: zero additional compiles.
+    let s = host.stream();
+    for _ in 0..8 {
+        host.enqueue_region(&[s], a, "k", launch(), region_args())
+            .unwrap();
+        host.sync().unwrap();
+    }
+    assert_eq!(host.compile_stats().1, 2, "launching never recompiles");
+}
+
+/// Sharding identical regions across two devices yields bit-identical
+/// outputs to the single-device run, and both devices end with identical
+/// global images (same kernel, same layout — the scheduler adds nothing).
+#[test]
+fn two_device_sharding_is_bit_identical() {
+    let run = |devices: usize| -> (Vec<Vec<u64>>, Vec<Option<Vec<u8>>>) {
+        let mut host = Host::new(quick(), devices);
+        host.set_worker_threads(1);
+        let img = host
+            .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+            .unwrap();
+        let s = host.stream();
+        let regions: Vec<_> = (0..4)
+            .map(|_| {
+                host.enqueue_region(&[s], img, "k", launch(), region_args())
+                    .unwrap()
+            })
+            .collect();
+        host.sync().unwrap();
+        let outs = regions
+            .iter()
+            .map(|r| host.buf_bits(r.bufs[1].unwrap()).unwrap())
+            .collect();
+        let globals = (0..devices)
+            .map(|d| host.device(d).map(|dev| dev.global_bytes().to_vec()))
+            .collect();
+        (outs, globals)
+    };
+
+    let (single, _) = run(1);
+    let (sharded, globals) = run(2);
+    let expected: Vec<u64> = nzomp_host::f64_bytes(&scale_add_expected(&input(N)))
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect();
+    for (i, out) in sharded.iter().enumerate() {
+        assert_eq!(out, &single[i], "region {i} differs across fleets");
+        assert_eq!(out, &expected, "region {i} wrong");
+    }
+    assert_eq!(globals[0], globals[1], "device images diverged");
+}
+
+/// The pool reuses released blocks across regions instead of growing the
+/// device arena: after the first region's exit frees its blocks, later
+/// identical regions allocate nothing new.
+#[test]
+fn pool_reuses_across_regions() {
+    let mut host = Host::new(quick(), 1);
+    host.set_worker_threads(1);
+    let img = host
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    let s = host.stream();
+    host.enqueue_region(&[s], img, "k", launch(), region_args())
+        .unwrap();
+    host.sync().unwrap();
+    let (fresh_after_one, _, _) = host.pool_stats(0);
+    for _ in 0..5 {
+        host.enqueue_region(&[s], img, "k", launch(), region_args())
+            .unwrap();
+        host.sync().unwrap();
+    }
+    let (fresh, reuse, in_use) = host.pool_stats(0);
+    assert_eq!(fresh, fresh_after_one, "later regions allocated fresh memory");
+    assert_eq!(reuse, 10, "two blocks reused per later region");
+    assert_eq!(in_use, 0, "everything released");
+}

@@ -8,12 +8,13 @@
 
 use nzomp_front::{cuda, spmd_kernel_for};
 use nzomp_ir::{FuncBuilder, Module, Operand, Ty};
+use nzomp_host::{f64_bytes, RegionArg};
 use nzomp_vgpu::device::Launch;
-use nzomp_vgpu::{Device, RtVal};
+use nzomp_vgpu::RtVal;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{KernelKind, Prepared, Proxy};
+use crate::{HostPrepared, KernelKind, Proxy};
 
 /// 3x3 complex matrices: 9 entries x (re, im) = 18 doubles per site.
 const SITE_DOUBLES: usize = 18;
@@ -172,21 +173,18 @@ impl Proxy for GridMini {
         m
     }
 
-    fn prepare(&self, dev: &mut Device) -> Prepared {
+    fn host_prepare(&self) -> HostPrepared {
         let (a, bb) = self.generate();
         let expected = self.reference(&a, &bb);
-        let pa = dev.alloc_f64(&a);
-        let pb = dev.alloc_f64(&bb);
-        let pc = dev.alloc((self.n_sites * SITE_DOUBLES * 8) as u64);
-        Prepared {
+        HostPrepared {
             launch: Launch::new(self.teams(), self.threads_per_team),
             args: vec![
-                RtVal::P(pa),
-                RtVal::P(pb),
-                RtVal::P(pc),
-                RtVal::I(self.n_sites as i64),
+                RegionArg::To(f64_bytes(&a)),
+                RegionArg::To(f64_bytes(&bb)),
+                RegionArg::From((self.n_sites * SITE_DOUBLES * 8) as u64),
+                RegionArg::Scalar(RtVal::I(self.n_sites as i64)),
             ],
-            out_ptr: pc,
+            out_arg: 2,
             expected,
             tol: 1e-12,
         }

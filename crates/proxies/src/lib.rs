@@ -22,6 +22,7 @@ pub mod xsbench;
 
 use nzomp::{BuildConfig, CompileError, CompileOutput};
 use nzomp_front::RuntimeFlavor;
+use nzomp_host::{Host, HostError, RegionArg, SchedPolicy, StreamId};
 use nzomp_ir::Module;
 use nzomp_vgpu::device::Launch;
 use nzomp_vgpu::memory::DevPtr;
@@ -45,6 +46,22 @@ pub struct Prepared {
     pub tol: f64,
 }
 
+/// Declarative description of a proxy's target region — the map clauses
+/// in kernel-parameter order plus the host reference. Both execution
+/// paths (the direct `Device` one and the `nzomp-host` offload one)
+/// derive from this, which is what makes them allocate device memory in
+/// identical order and therefore produce bit-identical device images.
+pub struct HostPrepared {
+    pub launch: Launch,
+    /// One entry per kernel parameter.
+    pub args: Vec<RegionArg>,
+    /// Index (into `args`) of the output buffer to verify.
+    pub out_arg: usize,
+    pub expected: Vec<f64>,
+    /// Relative tolerance for verification.
+    pub tol: f64,
+}
+
 /// A proxy application.
 pub trait Proxy {
     fn name(&self) -> &'static str;
@@ -56,14 +73,57 @@ pub trait Proxy {
     /// Build the application module for one kernel variant.
     fn build(&self, kind: KernelKind) -> Module;
 
-    /// Upload inputs and compute the host reference.
-    fn prepare(&self, dev: &mut Device) -> Prepared;
+    /// Generate inputs, compute the host reference, and describe the
+    /// target region's map clauses.
+    fn host_prepare(&self) -> HostPrepared;
+
+    /// Upload inputs directly to a device (the baseline path benches and
+    /// differential tests compare the host runtime against). Derived
+    /// from [`Proxy::host_prepare`] so both paths allocate identically.
+    fn prepare(&self, dev: &mut Device) -> Prepared {
+        direct_prepare(dev, self.host_prepare())
+    }
 
     /// Whether the launch covers the iteration space so the
     /// oversubscription assumptions (§III-F) are valid. Proxies returning
     /// `false` show "n/a" in the `New RT` column, as in the paper's tables.
     fn supports_oversubscription(&self) -> bool {
         true
+    }
+}
+
+/// Materialize a [`HostPrepared`] region directly on a device: allocate
+/// every buffer in argument order (`map(to:)` data uploaded, outputs and
+/// scratch zero-filled by construction) — exactly what the per-proxy
+/// `prepare` implementations did before the host runtime existed.
+pub fn direct_prepare(dev: &mut Device, hp: HostPrepared) -> Prepared {
+    let mut args = Vec::with_capacity(hp.args.len());
+    let mut out_ptr = DevPtr::NULL;
+    for (i, arg) in hp.args.iter().enumerate() {
+        let val = match arg {
+            RegionArg::To(bytes) => {
+                let p = dev.alloc(bytes.len() as u64);
+                if dev.write_bytes(p, bytes).is_err() {
+                    unreachable!("freshly allocated region is in bounds");
+                }
+                RtVal::P(p)
+            }
+            RegionArg::From(n) | RegionArg::Alloc(n) => RtVal::P(dev.alloc(*n)),
+            RegionArg::Scalar(v) => *v,
+        };
+        if i == hp.out_arg {
+            if let RtVal::P(p) = val {
+                out_ptr = p;
+            }
+        }
+        args.push(val);
+    }
+    Prepared {
+        launch: hp.launch,
+        args,
+        out_ptr,
+        expected: hp.expected,
+        tol: hp.tol,
     }
 }
 
@@ -113,18 +173,96 @@ pub fn run_config(
     })
 }
 
+/// How to shape the host-runtime run of [`run_config_host`]: how many
+/// async streams carry the transfers, how many devices the scheduler may
+/// place on, the placement policy, and the drain seed. The defaults are
+/// the minimal shape (1 stream, 1 device) — every other shape must be
+/// observationally identical, which the differential suite checks.
+#[derive(Clone, Copy, Debug)]
+pub struct HostShape {
+    pub streams: usize,
+    pub devices: usize,
+    pub policy: SchedPolicy,
+    pub drain_seed: u64,
+}
+
+impl Default for HostShape {
+    fn default() -> HostShape {
+        HostShape {
+            streams: 1,
+            devices: 1,
+            policy: SchedPolicy::RoundRobin,
+            drain_seed: 0,
+        }
+    }
+}
+
+fn host_run_err(e: HostError) -> RunError {
+    match e {
+        HostError::Compile(c) => RunError::Compile(c),
+        HostError::Exec(x) => RunError::Exec(x),
+        other => RunError::Host(other),
+    }
+}
+
+/// Compile + run + verify the proxy under `cfg` through the `nzomp-host`
+/// offload runtime (present table, streams, scheduler) instead of driving
+/// the device directly. Same contract as [`run_config`], same results —
+/// bit-identical, as the differential suite proves.
+pub fn run_config_host(
+    proxy: &dyn Proxy,
+    cfg: BuildConfig,
+    dev_cfg: &DeviceConfig,
+    shape: &HostShape,
+) -> Result<RunResult, RunError> {
+    if cfg == BuildConfig::NewRt && !proxy.supports_oversubscription() {
+        return Err(RunError::NotApplicable);
+    }
+    let mut host = Host::new(dev_cfg.clone(), shape.devices);
+    host.set_policy(shape.policy);
+    host.set_drain_seed(shape.drain_seed);
+    let img = host
+        .load_image(build_for_config(proxy, cfg), cfg)
+        .map_err(host_run_err)?;
+    let hp = proxy.host_prepare();
+    let streams: Vec<StreamId> = (0..shape.streams.max(1)).map(|_| host.stream()).collect();
+    let region = host
+        .enqueue_region(&streams, img, proxy.kernel_name(), hp.launch, hp.args)
+        .map_err(host_run_err)?;
+    host.sync().map_err(host_run_err)?;
+    let metrics = host.take_metrics(region.ticket).map_err(host_run_err)?;
+    let out_buf = region
+        .bufs
+        .get(hp.out_arg)
+        .copied()
+        .flatten()
+        .ok_or_else(|| RunError::Verify("output argument is not a buffer".into()))?;
+    let got = host.buf_f64(out_buf).map_err(host_run_err)?;
+    verify_values(&got, &hp.expected, hp.tol).map_err(RunError::Verify)?;
+    let remarks = match host.image(img) {
+        Some(o) => o.remarks.clone(),
+        None => return Err(RunError::Host(HostError::UnknownImage(img.0))),
+    };
+    Ok(RunResult { metrics, remarks })
+}
+
+/// Compare an output vector with the host reference.
+pub fn verify_values(got: &[f64], expected: &[f64], tol: f64) -> Result<(), String> {
+    for (i, (g, e)) in got.iter().zip(expected.iter()).enumerate() {
+        let denom = e.abs().max(1.0);
+        if ((g - e).abs() / denom) > tol {
+            return Err(format!("output[{i}]: got {g}, expected {e}"));
+        }
+    }
+    Ok(())
+}
+
 /// Compare the device output buffer with the host reference.
 pub fn verify_output(dev: &Device, prep: &Prepared) -> Result<(), String> {
     let got = dev
         .read_f64(prep.out_ptr, prep.expected.len())
         .map_err(|e| format!("host readback failed: {e}"))?;
-    for (i, (g, e)) in got.iter().zip(prep.expected.iter()).enumerate() {
-        let denom = e.abs().max(1.0);
-        if ((g - e).abs() / denom) > prep.tol {
-            return Err(format!("output[{i}]: got {g}, expected {e}"));
-        }
-    }
-    Ok(())
+    verify_values(&got, &prep.expected, prep.tol)
 }
 
 #[derive(Debug)]
@@ -134,6 +272,9 @@ pub enum RunError {
     Compile(CompileError),
     Exec(ExecError),
     Verify(String),
+    /// A host-runtime failure outside the compile/trap classes (mapping,
+    /// stream, registry misuse).
+    Host(HostError),
 }
 
 impl std::fmt::Display for RunError {
@@ -143,6 +284,7 @@ impl std::fmt::Display for RunError {
             RunError::Compile(e) => write!(f, "compile failed: {e}"),
             RunError::Exec(e) => write!(f, "device trap: {e}"),
             RunError::Verify(m) => write!(f, "verification failed: {m}"),
+            RunError::Host(e) => write!(f, "host runtime failed: {e}"),
         }
     }
 }

@@ -9,12 +9,13 @@ use nzomp_front::{generic_kernel, omp_num_threads, omp_team_num, omp_thread_num}
 use nzomp_ir::builder::build_counted_loop;
 use nzomp_ir::module::FuncRef;
 use nzomp_ir::{ExecMode, FuncBuilder, Module, Operand, Ty, UnOp};
+use nzomp_host::{f64_bytes, i64_bytes, RegionArg};
 use nzomp_vgpu::device::Launch;
-use nzomp_vgpu::{Device, RtVal};
+use nzomp_vgpu::RtVal;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{KernelKind, Prepared, Proxy};
+use crate::{HostPrepared, KernelKind, Proxy};
 
 #[derive(Clone, Debug)]
 pub struct MiniFmm {
@@ -376,35 +377,26 @@ impl Proxy for MiniFmm {
         m
     }
 
-    fn prepare(&self, dev: &mut Device) -> Prepared {
+    fn host_prepare(&self) -> HostPrepared {
         let inp = self.generate();
         let expected = self.reference(&inp);
-        let cell_start = dev.alloc_i64(&inp.cell_start);
-        let inter_start = dev.alloc_i64(&inp.inter_start);
-        let inter_list = dev.alloc_i64(&inp.inter_list);
-        let px = dev.alloc_f64(&inp.px);
-        let py = dev.alloc_f64(&inp.py);
-        let pz = dev.alloc_f64(&inp.pz);
-        let w = dev.alloc_f64(&inp.w);
         let hw_threads = (self.teams * self.threads_per_team) as usize;
-        let scratch = dev.alloc((hw_threads * self.max_particles * 4 * 8) as u64);
-        let pot = dev.alloc((self.n_cells * 8) as u64);
-        Prepared {
+        HostPrepared {
             launch: Launch::new(self.teams, self.threads_per_team),
             args: vec![
-                RtVal::P(cell_start),
-                RtVal::P(inter_start),
-                RtVal::P(inter_list),
-                RtVal::P(px),
-                RtVal::P(py),
-                RtVal::P(pz),
-                RtVal::P(w),
-                RtVal::P(scratch),
-                RtVal::P(pot),
-                RtVal::I(self.n_cells as i64),
-                RtVal::I(self.max_particles as i64),
+                RegionArg::To(i64_bytes(&inp.cell_start)),
+                RegionArg::To(i64_bytes(&inp.inter_start)),
+                RegionArg::To(i64_bytes(&inp.inter_list)),
+                RegionArg::To(f64_bytes(&inp.px)),
+                RegionArg::To(f64_bytes(&inp.py)),
+                RegionArg::To(f64_bytes(&inp.pz)),
+                RegionArg::To(f64_bytes(&inp.w)),
+                RegionArg::Alloc((hw_threads * self.max_particles * 4 * 8) as u64),
+                RegionArg::From((self.n_cells * 8) as u64),
+                RegionArg::Scalar(RtVal::I(self.n_cells as i64)),
+                RegionArg::Scalar(RtVal::I(self.max_particles as i64)),
             ],
-            out_ptr: pot,
+            out_arg: 8,
             expected,
             tol: 1e-12,
         }
@@ -439,6 +431,7 @@ mod tests {
         // fold; the kernel keeps shared-state loads and runs slower.
         use nzomp::pipeline::compile_with;
         use nzomp::opt::{Ablation, PassOptions};
+        use nzomp_vgpu::Device;
         let p = MiniFmm::small();
         let cfg = BuildConfig::NewRtNoAssumptions;
         let run = |opts| {

@@ -6,12 +6,13 @@
 use nzomp_front::{cuda, spmd_kernel_for};
 use nzomp_ir::builder::build_counted_loop;
 use nzomp_ir::{FuncBuilder, Module, Operand, Ty, UnOp};
+use nzomp_host::{f64_bytes, RegionArg};
 use nzomp_vgpu::device::Launch;
-use nzomp_vgpu::{Device, RtVal};
+use nzomp_vgpu::RtVal;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{KernelKind, Prepared, Proxy};
+use crate::{HostPrepared, KernelKind, Proxy};
 
 #[derive(Clone, Debug)]
 pub struct RSBench {
@@ -193,24 +194,21 @@ impl Proxy for RSBench {
         m
     }
 
-    fn prepare(&self, dev: &mut Device) -> Prepared {
+    fn host_prepare(&self) -> HostPrepared {
         let inp = self.generate();
         let expected = self.reference(&inp);
-        let poles = dev.alloc_f64(&inp.poles);
-        let energies = dev.alloc_f64(&inp.energies);
-        let out = dev.alloc((self.n_lookups * 8) as u64);
-        Prepared {
+        HostPrepared {
             launch: Launch::new(self.teams(), self.threads_per_team),
             args: vec![
-                RtVal::P(poles),
-                RtVal::P(energies),
-                RtVal::P(out),
-                RtVal::I(self.n_lookups as i64),
-                RtVal::I(self.n_nuclides as i64),
-                RtVal::I(self.n_windows as i64),
-                RtVal::I(self.poles_per_window as i64),
+                RegionArg::To(f64_bytes(&inp.poles)),
+                RegionArg::To(f64_bytes(&inp.energies)),
+                RegionArg::From((self.n_lookups * 8) as u64),
+                RegionArg::Scalar(RtVal::I(self.n_lookups as i64)),
+                RegionArg::Scalar(RtVal::I(self.n_nuclides as i64)),
+                RegionArg::Scalar(RtVal::I(self.n_windows as i64)),
+                RegionArg::Scalar(RtVal::I(self.poles_per_window as i64)),
             ],
-            out_ptr: out,
+            out_arg: 2,
             expected,
             tol: 1e-12,
         }

@@ -7,12 +7,13 @@
 use nzomp_front::{cuda, spmd_kernel_for};
 use nzomp_ir::builder::build_counted_loop;
 use nzomp_ir::{FuncBuilder, Module, Operand, Ty};
+use nzomp_host::{f64_bytes, RegionArg};
 use nzomp_vgpu::device::Launch;
-use nzomp_vgpu::{Device, RtVal};
+use nzomp_vgpu::RtVal;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{KernelKind, Prepared, Proxy};
+use crate::{HostPrepared, KernelKind, Proxy};
 
 #[derive(Clone, Debug)]
 pub struct TestSnap {
@@ -207,23 +208,20 @@ impl Proxy for TestSnap {
         m
     }
 
-    fn prepare(&self, dev: &mut Device) -> Prepared {
+    fn host_prepare(&self) -> HostPrepared {
         let (pos, coeffs) = self.generate();
         let expected = self.reference(&pos, &coeffs);
-        let ppos = dev.alloc_f64(&pos);
-        let pcoef = dev.alloc_f64(&coeffs);
-        let pforce = dev.alloc((self.n_atoms * 3 * 8) as u64);
-        Prepared {
+        HostPrepared {
             launch: Launch::new(self.teams(), self.threads_per_team),
             args: vec![
-                RtVal::P(ppos),
-                RtVal::P(pcoef),
-                RtVal::P(pforce),
-                RtVal::I(self.n_atoms as i64),
-                RtVal::I(self.n_neighbors as i64),
-                RtVal::I(self.n_coeffs as i64),
+                RegionArg::To(f64_bytes(&pos)),
+                RegionArg::To(f64_bytes(&coeffs)),
+                RegionArg::From((self.n_atoms * 3 * 8) as u64),
+                RegionArg::Scalar(RtVal::I(self.n_atoms as i64)),
+                RegionArg::Scalar(RtVal::I(self.n_neighbors as i64)),
+                RegionArg::Scalar(RtVal::I(self.n_coeffs as i64)),
             ],
-            out_ptr: pforce,
+            out_arg: 2,
             expected,
             tol: 1e-12,
         }

@@ -10,12 +10,13 @@
 use nzomp_front::{cuda, globalized_local, free_globalized, spmd_kernel_for, RuntimeFlavor};
 use nzomp_ir::builder::build_counted_loop;
 use nzomp_ir::{FuncBuilder, Module, Operand, Pred, Ty};
+use nzomp_host::{f64_bytes, i64_bytes, RegionArg};
 use nzomp_vgpu::device::Launch;
-use nzomp_vgpu::{Device, RtVal};
+use nzomp_vgpu::RtVal;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{KernelKind, Prepared, Proxy};
+use crate::{HostPrepared, KernelKind, Proxy};
 
 /// Problem sizes.
 #[derive(Clone, Debug)]
@@ -276,30 +277,24 @@ impl Proxy for XSBench {
         m
     }
 
-    fn prepare(&self, dev: &mut Device) -> Prepared {
+    fn host_prepare(&self) -> HostPrepared {
         let inp = self.generate();
         let expected = self.reference(&inp);
-        let egrid = dev.alloc_f64(&inp.egrid);
-        let index_grid = dev.alloc_i64(&inp.index_grid);
-        let nuc = dev.alloc_f64(&inp.nuc);
-        let energies = dev.alloc_f64(&inp.energies);
-        let densities = dev.alloc_f64(&inp.densities);
-        let out = dev.alloc((self.n_lookups * 5 * 8) as u64);
-        Prepared {
+        HostPrepared {
             launch: Launch::new(self.teams(), self.threads_per_team),
             args: vec![
-                RtVal::P(egrid),
-                RtVal::P(index_grid),
-                RtVal::P(nuc),
-                RtVal::P(energies),
-                RtVal::P(densities),
-                RtVal::P(out),
-                RtVal::I(self.n_lookups as i64),
-                RtVal::I(self.n_unionized as i64),
-                RtVal::I(self.n_isotopes as i64),
-                RtVal::I(self.n_gridpoints as i64),
+                RegionArg::To(f64_bytes(&inp.egrid)),
+                RegionArg::To(i64_bytes(&inp.index_grid)),
+                RegionArg::To(f64_bytes(&inp.nuc)),
+                RegionArg::To(f64_bytes(&inp.energies)),
+                RegionArg::To(f64_bytes(&inp.densities)),
+                RegionArg::From((self.n_lookups * 5 * 8) as u64),
+                RegionArg::Scalar(RtVal::I(self.n_lookups as i64)),
+                RegionArg::Scalar(RtVal::I(self.n_unionized as i64)),
+                RegionArg::Scalar(RtVal::I(self.n_isotopes as i64)),
+                RegionArg::Scalar(RtVal::I(self.n_gridpoints as i64)),
             ],
-            out_ptr: out,
+            out_arg: 5,
             expected,
             tol: 1e-12,
         }

@@ -59,3 +59,10 @@ pub fn align8(b: &mut FuncBuilder, v: Operand) -> Operand {
     let plus = b.add(v, Operand::i64(7));
     b.and(plus, Operand::i64(!7))
 }
+
+/// Emit a call that carries a return type; the builder yields a value for
+/// every such call, so the `Option` never comes back empty.
+pub fn call_val(b: &mut FuncBuilder, f: Operand, args: Vec<Operand>, ty: Ty) -> Operand {
+    b.call(f, args, Some(ty))
+        .unwrap_or_else(|| unreachable!("call with a return type yields a value"))
+}

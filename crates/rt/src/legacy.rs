@@ -22,7 +22,7 @@
 use nzomp_ir::{FuncBuilder, Function, Global, GlobalId, Init, Module, Operand, Pred, Space, Ty};
 
 use crate::abi::{self, old_state as os, RtConfig};
-use crate::helpers::{align8, field_ptr, imin};
+use crate::helpers::{align8, call_val, field_ptr, imin};
 
 struct Ctx {
     state: GlobalId,
@@ -107,7 +107,9 @@ pub fn build(cfg: &RtConfig, needs_data_sharing: bool) -> Module {
     install(&mut m, build_ds_push(&ctx));
     install(&mut m, build_ds_pop(&ctx));
 
-    nzomp_ir::verify_module(&m).expect("legacy runtime verifies");
+    if let Err(e) = nzomp_ir::verify_module(&m) {
+        unreachable!("legacy runtime verifies: {e}");
+    }
     m
 }
 
@@ -313,9 +315,7 @@ fn build_for_static_init(m: &Module, ctx: &Ctx) -> Function {
     let ub = b.param(1);
     let st = b.param(2);
     let niters = b.param(3);
-    let tn = b
-        .call(callee(m, abi::OMP_GET_THREAD_NUM), vec![], Some(Ty::I64))
-        .unwrap();
+    let tn = call_val(&mut b, callee(m, abi::OMP_GET_THREAD_NUM), vec![], Ty::I64);
     let p = field_ptr(&mut b, ctx.state, os::NTHREADS);
     let nth = b.load(Ty::I64, p);
     let nth_m1 = b.add(nth, Operand::i64(-1));

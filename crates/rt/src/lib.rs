@@ -18,6 +18,9 @@
 //! the application module and the optimizer folds whatever the design lets
 //! it fold.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod abi;
 pub mod helpers;
 pub mod legacy;

@@ -27,7 +27,7 @@ use nzomp_ir::{
 };
 
 use crate::abi::{self, team_state as ts, thread_state as th, RtConfig};
-use crate::helpers::{align8, array_slot_ptr, assume_field_eq, cond_write, field_ptr};
+use crate::helpers::{align8, array_slot_ptr, assume_field_eq, call_val, cond_write, field_ptr};
 
 /// Global ids of the runtime state, needed while building function bodies.
 struct Ctx {
@@ -165,7 +165,9 @@ pub fn build(cfg: &RtConfig) -> Module {
     let f = build_for_static_loop(&m, &ctx); install(&mut m, f);
     let f = build_distribute_static_loop(&m, &ctx); install(&mut m, f);
 
-    nzomp_ir::verify_module(&m).expect("modern runtime verifies");
+    if let Err(e) = nzomp_ir::verify_module(&m) {
+        unreachable!("modern runtime verifies: {e}");
+    }
     m
 }
 
@@ -579,9 +581,7 @@ fn build_parallel_51(m: &Module, ctx: &Ctx) -> Function {
     let work_fn = b.param(0);
     let work_args = b.param(1);
     b.call(callee(m, abi::NZOMP_TRACE), vec![], None);
-    let lvl = b
-        .call(callee(m, abi::OMP_GET_LEVEL), vec![], Some(Ty::I64))
-        .unwrap();
+    let lvl = call_val(&mut b, callee(m, abi::OMP_GET_LEVEL), vec![], Ty::I64);
     let team_wide = b.icmp_eq(lvl, Operand::i64(0));
     let wide_bb = b.new_block();
     let nested_bb = b.new_block();
@@ -605,13 +605,12 @@ fn build_parallel_51(m: &Module, ctx: &Ctx) -> Function {
     // Nested: serialized with an individual thread ICV state.
     b.switch_to(nested_bb);
     let tid = b.thread_id();
-    let tstate = b
-        .call(
-            callee(m, abi::ALLOC_SHARED),
-            vec![Operand::i64(th::SIZE as i64)],
-            Some(Ty::Ptr),
-        )
-        .unwrap();
+    let tstate = call_val(
+        &mut b,
+        callee(m, abi::ALLOC_SHARED),
+        vec![Operand::i64(th::SIZE as i64)],
+        Ty::Ptr,
+    );
     let slot = array_slot_ptr(&mut b, ctx.thread_states, 0, tid, 8);
     let prev = b.load(Ty::Ptr, slot);
     let p = b.ptr_add(tstate, Operand::i64(th::PREV as i64));
@@ -745,18 +744,10 @@ fn build_dist_par_for(m: &Module, ctx: &Ctx) -> Function {
     // The iteration mapping consults the runtime's ICV layer; the
     // field-sensitive/assumed-content/invariant analyses (§IV-B) fold these
     // queries down to the hardware registers.
-    let tid = b
-        .call(callee(m, abi::OMP_GET_THREAD_NUM), vec![], Some(Ty::I64))
-        .unwrap();
-    let nth = b
-        .call(callee(m, abi::OMP_GET_NUM_THREADS), vec![], Some(Ty::I64))
-        .unwrap();
-    let bid = b
-        .call(callee(m, abi::OMP_GET_TEAM_NUM), vec![], Some(Ty::I64))
-        .unwrap();
-    let nbl = b
-        .call(callee(m, abi::OMP_GET_NUM_TEAMS), vec![], Some(Ty::I64))
-        .unwrap();
+    let tid = call_val(&mut b, callee(m, abi::OMP_GET_THREAD_NUM), vec![], Ty::I64);
+    let nth = call_val(&mut b, callee(m, abi::OMP_GET_NUM_THREADS), vec![], Ty::I64);
+    let bid = call_val(&mut b, callee(m, abi::OMP_GET_TEAM_NUM), vec![], Ty::I64);
+    let nbl = call_val(&mut b, callee(m, abi::OMP_GET_NUM_TEAMS), vec![], Ty::I64);
     let base = b.mul(bid, nth);
     let start = b.add(base, tid);
     let stride = b.mul(nbl, nth);
@@ -779,12 +770,8 @@ fn build_for_static_loop(m: &Module, ctx: &Ctx) -> Function {
     let niters = b.param(2);
     let nowait = b.param(3);
     b.call(callee(m, abi::NZOMP_TRACE), vec![], None);
-    let start = b
-        .call(callee(m, abi::OMP_GET_THREAD_NUM), vec![], Some(Ty::I64))
-        .unwrap();
-    let stride = b
-        .call(callee(m, abi::OMP_GET_NUM_THREADS), vec![], Some(Ty::I64))
-        .unwrap();
+    let start = call_val(&mut b, callee(m, abi::OMP_GET_THREAD_NUM), vec![], Ty::I64);
+    let stride = call_val(&mut b, callee(m, abi::OMP_GET_NUM_THREADS), vec![], Ty::I64);
     no_chunk_loop(&mut b, m, body, args, niters, start, stride, ctx.threads_oversub);
     let skip = b.icmp_ne(nowait, Operand::i64(0));
     let bar = b.new_block();

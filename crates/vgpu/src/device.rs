@@ -363,6 +363,30 @@ impl Device {
             .map_err(|_| host_oob("write"))
     }
 
+    /// Raw host→device memcpy — the transfer primitive of the offload
+    /// host runtime (`nzomp-host`), which moves opaque byte images rather
+    /// than typed slices.
+    pub fn write_bytes(&mut self, ptr: DevPtr, data: &[u8]) -> Result<(), ExecError> {
+        let off = ptr.offset() as usize;
+        let end = off.checked_add(data.len()).ok_or_else(|| host_oob("write"))?;
+        if end > self.global.bytes.len() {
+            return Err(host_oob("write"));
+        }
+        self.global.bytes[off..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Raw device→host memcpy; typed out-of-bounds error instead of a
+    /// panic.
+    pub fn read_bytes(&self, ptr: DevPtr, len: usize) -> Result<Vec<u8>, ExecError> {
+        let off = ptr.offset() as usize;
+        let end = off.checked_add(len).ok_or_else(|| host_oob("read"))?;
+        if end > self.global.bytes.len() {
+            return Err(host_oob("read"));
+        }
+        Ok(self.global.bytes[off..end].to_vec())
+    }
+
     /// Device→host memcpy; typed out-of-bounds error instead of a panic.
     pub fn read_f64(&self, ptr: DevPtr, len: usize) -> Result<Vec<f64>, ExecError> {
         (0..len)

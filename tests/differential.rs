@@ -1,15 +1,18 @@
 //! Differential execution harness: the same computation run under
-//! legacy-vs-modern runtime, SPMD-vs-generic lowering, and debug-vs-release
-//! must produce **bit-identical** outputs on clean runs; under injected
-//! faults every outcome is a typed [`ExecError`] (never a process panic)
-//! and is exactly reproducible per seed.
+//! legacy-vs-modern runtime, SPMD-vs-generic lowering, debug-vs-release,
+//! and direct-`Device`-vs-`nzomp-host` offload must produce
+//! **bit-identical** outputs on clean runs; under injected faults every
+//! outcome is a typed [`ExecError`] (never a process panic) and is exactly
+//! reproducible per seed — on both execution paths.
 
 use nzomp::pipeline::compile_with;
 use nzomp::BuildConfig;
 use nzomp_front::RuntimeFlavor;
-use nzomp_integration::run_proxy_outcome;
+use nzomp_integration::{run_proxy_host_outcome, run_proxy_outcome};
 use nzomp_ir::{Operand, Ty};
-use nzomp_proxies::{all_proxies, build_for_config, compile_for_config, quick_device, Proxy};
+use nzomp_proxies::{
+    all_proxies, build_for_config, compile_for_config, quick_device, HostShape, Proxy,
+};
 use nzomp_rt::abi;
 use nzomp_vgpu::{Device, DeviceConfig, ExecError, FaultPlan};
 
@@ -168,6 +171,80 @@ fn faulted_runs_reproduce_per_seed() {
     // The seed derivation is biased toward early steps, so a healthy
     // fraction of the 50 campaigns must actually trap.
     assert!(trapped > 0, "no seed produced a trap — injection is inert");
+}
+
+/// The offload shapes the host runtime must prove observationally
+/// equivalent: a single stream, four streams under a non-trivial drain
+/// seed, and a two-device fleet.
+fn host_shapes() -> [HostShape; 3] {
+    [
+        HostShape::default(),
+        HostShape {
+            streams: 4,
+            drain_seed: 0xdead_beef,
+            ..HostShape::default()
+        },
+        HostShape {
+            devices: 2,
+            ..HostShape::default()
+        },
+    ]
+}
+
+/// Every proxy routed through the `nzomp-host` runtime — present table,
+/// async streams, scheduler — observes *exactly* what the direct
+/// `Device` path observes: same metrics, same output bits, same global
+/// memory image, byte for byte, under every offload shape.
+#[test]
+fn host_runtime_bit_identical_to_direct_device_path() {
+    let cfg = BuildConfig::NewRtNoAssumptions;
+    for p in all_proxies() {
+        let direct = run_proxy_outcome(p.as_ref(), cfg, 1, None);
+        assert!(direct.result.is_ok(), "{}: direct run trapped", p.name());
+        for shape in host_shapes() {
+            let host = run_proxy_host_outcome(p.as_ref(), cfg, 1, None, &shape);
+            assert_eq!(
+                host,
+                direct,
+                "{} diverges through the host runtime under {:?}",
+                p.name(),
+                shape
+            );
+        }
+    }
+}
+
+/// Fault campaigns through the host runtime: with the same seeded plan
+/// armed, the offload path reaches the exact same outcome as the direct
+/// path — the same typed trap (kind, team, thread, func) with the same
+/// partially-mutated global image, or the same clean bits. 5 proxies x 6
+/// seeds = 30 campaigns, and a healthy fraction must actually trap.
+#[test]
+fn host_runtime_fault_campaigns_match_direct_path() {
+    let cfg = BuildConfig::NewRtNoAssumptions;
+    let proxies = all_proxies();
+    let shape = HostShape::default();
+    let mut campaigns = 0usize;
+    let mut trapped = 0usize;
+    for seed in 1..=6u64 {
+        for p in &proxies {
+            let direct = run_proxy_outcome(p.as_ref(), cfg, 1, Some(seed));
+            let host = run_proxy_host_outcome(p.as_ref(), cfg, 1, Some(seed), &shape);
+            assert_eq!(
+                host,
+                direct,
+                "{} seed {}: host path diverges from direct path under faults",
+                p.name(),
+                seed
+            );
+            campaigns += 1;
+            if host.result.is_err() {
+                trapped += 1;
+            }
+        }
+    }
+    assert!(campaigns >= 25, "only {campaigns} fault campaigns ran");
+    assert!(trapped > 0, "no campaign trapped — injection is inert");
 }
 
 /// An armed-then-cleared fault plan leaves no residue: the device returns

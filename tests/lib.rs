@@ -7,7 +7,8 @@
 //! parallel-determinism tests compare outcomes through the same lens.
 
 use nzomp::BuildConfig;
-use nzomp_proxies::{compile_for_config, quick_device, Proxy};
+use nzomp_host::{Host, HostError, StreamId};
+use nzomp_proxies::{build_for_config, compile_for_config, quick_device, HostShape, Proxy};
 use nzomp_vgpu::{Device, ExecError, FaultPlan, KernelMetrics};
 
 /// Everything observable about one proxy launch. `PartialEq` makes
@@ -60,6 +61,73 @@ pub fn run_proxy_outcome(
             .map(|v| v.to_bits())
             .collect()
     });
+    ProxyOutcome {
+        result,
+        out_bits,
+        global: dev.global_bytes().to_vec(),
+        san_counts: dev.sanitizer_counts(),
+        san_reports: dev
+            .sanitizer_reports()
+            .iter()
+            .map(|r| r.to_string())
+            .collect(),
+    }
+}
+
+/// The same observation, taken through the `nzomp-host` offload runtime
+/// instead of driving the [`Device`] directly: map the region through the
+/// present table, carry transfers and the launch on `shape.streams` async
+/// streams, let the scheduler place it across `shape.devices` vGPUs, and
+/// capture the outcome *of the device the region landed on*. On a clean
+/// run this must equal [`run_proxy_outcome`]'s observation bit for bit —
+/// that equivalence is the host runtime's differential contract.
+pub fn run_proxy_host_outcome(
+    p: &dyn Proxy,
+    cfg: BuildConfig,
+    workers: usize,
+    fault_seed: Option<u64>,
+    shape: &HostShape,
+) -> ProxyOutcome {
+    let mut host = Host::new(quick_device(), shape.devices);
+    host.set_policy(shape.policy);
+    host.set_drain_seed(shape.drain_seed);
+    host.set_worker_threads(workers);
+    let img = host.load_image(build_for_config(p, cfg), cfg).unwrap();
+    let hp = p.host_prepare();
+    let out_arg = hp.out_arg;
+    if let Some(seed) = fault_seed {
+        host.set_fault_plan(FaultPlan::from_seed(
+            seed,
+            hp.launch.teams,
+            hp.launch.threads_per_team,
+        ));
+    }
+    let streams: Vec<StreamId> = (0..shape.streams.max(1)).map(|_| host.stream()).collect();
+    let region = host
+        .enqueue_region(&streams, img, p.kernel_name(), hp.launch, hp.args)
+        .unwrap();
+    if let Err(e) = host.sync() {
+        // A trap aborts the drain with `HostError::Exec` and parks the same
+        // typed error in the launch ticket; anything else is a harness bug.
+        assert!(matches!(e, HostError::Exec(_)), "host sync failed: {e}");
+    }
+    let result = host
+        .ticket_result(region.ticket)
+        .unwrap()
+        .expect("launch op never executed")
+        .clone();
+    let out_bits = if result.is_ok() {
+        let buf = region
+            .bufs
+            .get(out_arg)
+            .copied()
+            .flatten()
+            .expect("output argument is not a buffer");
+        Some(host.buf_bits(buf).unwrap())
+    } else {
+        None
+    };
+    let dev = host.device(region.device).expect("region device is loaded");
     ProxyOutcome {
         result,
         out_bits,

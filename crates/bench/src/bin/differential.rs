@@ -156,6 +156,9 @@ fn discriminant_name(e: &ExecError) -> &'static str {
         BadFree => "BadFree",
         BadLaunch(_) => "BadLaunch",
         MalformedIr(_) => "MalformedIr",
+        DeviceLost => "DeviceLost",
+        Stalled { .. } => "Stalled",
+        MemcpyFault => "MemcpyFault",
         SanitizerViolation { .. } => "SanitizerViolation",
         // Internal signal of the parallel engine; intercepted inside
         // `Device::launch` and never observable here. Counted defensively.

@@ -1,0 +1,283 @@
+//! Chaos-recovery harness: seeded device-fault campaigns against the
+//! host runtime with recovery armed, plus the recovery-disabled
+//! overhead check.
+//!
+//! Two claims are enforced:
+//!
+//! * **Bit-identical recovery** — for every proxy × fleet size ×
+//!   scheduling policy × seed, a run whose devices are armed with a
+//!   [`FaultPlan::device_campaign`] (lost devices, stalled launches,
+//!   transient memcpy failures) must end with exactly the clean run's
+//!   observables: output bits, kernel metrics, device global-memory
+//!   image, sanitizer verdict. Recovery repairs; it never approximates.
+//! * **Recovery-disabled overhead** — with no [`RecoveryPolicy`]
+//!   installed, the host dispatch is the same single-attempt path the
+//!   runtime had before recovery existed (one `recovery.is_some()`
+//!   branch per device op); arming an *idle* policy adds only journal
+//!   bookkeeping. Both are measured per the `offload_overhead`
+//!   discipline — interleaved rounds, per-path minimum, up to two
+//!   re-measures — and the idle-policy cost over the disabled path must
+//!   stay under 5% (target ≤1%; the hard gate leaves noise headroom on
+//!   shared boxes).
+//!
+//! ```text
+//! cargo run --release -p nzomp-bench --bin recovery_chaos [SEEDS_PER_CELL]
+//! ```
+//!
+//! `SEEDS_PER_CELL` defaults to 4 (120 campaigns); CI smoke passes 1.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use nzomp::report::recovery_table;
+use nzomp::{BuildConfig, RecoveryRow};
+use nzomp_bench::eval_device;
+use nzomp_host::{Host, RecoveryMetrics, RecoveryPolicy, SchedPolicy, StreamId};
+use nzomp_proxies::{all_proxies, build_for_config, compile_for_config, Proxy};
+use nzomp_vgpu::{Device, FaultPlan, KernelMetrics};
+
+const ROUNDS: usize = 5;
+
+/// Everything a campaign must reproduce exactly.
+#[derive(PartialEq)]
+struct Observed {
+    out_bits: Vec<u64>,
+    metrics: KernelMetrics,
+    global: Vec<u8>,
+    san_counts: (u64, u64),
+}
+
+/// Mix a device index into a campaign seed so every fleet member runs a
+/// distinct (but reproducible) fault schedule.
+fn device_seed(seed: u64, dev: usize) -> u64 {
+    seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(dev as u64 + 1))
+}
+
+/// The clean reference: the direct device path, no host, no faults.
+fn run_clean(p: &dyn Proxy, cfg: BuildConfig) -> Observed {
+    let out = compile_for_config(p, cfg).expect("compile");
+    let mut dev = Device::load(out.module, eval_device());
+    let prep = p.prepare(&mut dev);
+    let metrics = dev
+        .launch(p.kernel_name(), prep.launch, &prep.args)
+        .expect("clean launch");
+    let out_bits = dev
+        .read_f64(prep.out_ptr, prep.expected.len())
+        .expect("clean readback")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    Observed {
+        out_bits,
+        metrics,
+        global: dev.global_bytes().to_vec(),
+        san_counts: dev.sanitizer_counts(),
+    }
+}
+
+/// One recovered campaign: every fleet member armed with a seeded
+/// device-fault plan, recovery on, a single region synced to completion.
+fn run_recovered(
+    p: &dyn Proxy,
+    cfg: BuildConfig,
+    devices: usize,
+    policy: SchedPolicy,
+    seed: u64,
+) -> Result<(Observed, RecoveryMetrics), String> {
+    let mut host = Host::new(eval_device(), devices);
+    host.set_policy(policy);
+    host.set_recovery(Some(RecoveryPolicy { max_failovers: 16, ..RecoveryPolicy::default() }));
+    let img = host
+        .load_image(build_for_config(p, cfg), cfg)
+        .map_err(|e| format!("load image: {e}"))?;
+    let hp = p.host_prepare();
+    for dev in 0..devices {
+        host.bind_image(dev, img).map_err(|e| format!("bind {dev}: {e}"))?;
+        host.set_device_faults(dev, FaultPlan::device_campaign(device_seed(seed, dev)))
+            .map_err(|e| format!("arm {dev}: {e}"))?;
+    }
+    let streams: Vec<StreamId> = vec![host.stream()];
+    let region = host
+        .enqueue_region(&streams, img, p.kernel_name(), hp.launch, hp.args)
+        .map_err(|e| format!("enqueue: {e}"))?;
+    host.sync().map_err(|e| format!("sync under campaign: {e}"))?;
+    let metrics = host
+        .take_metrics(region.ticket)
+        .map_err(|e| format!("metrics: {e}"))?;
+    let buf = region.bufs[hp.out_arg].ok_or("output argument is not a buffer")?;
+    let out_bits = host.buf_bits(buf).map_err(|e| format!("readback: {e}"))?;
+    let dev = host.device(region.device).ok_or("region device unloaded")?;
+    let observed = Observed {
+        out_bits,
+        metrics,
+        global: dev.global_bytes().to_vec(),
+        san_counts: dev.sanitizer_counts(),
+    };
+    Ok((observed, host.recovery_metrics().clone()))
+}
+
+/// One host-path timing rig with a fixed recovery setting; `round` reps
+/// whole offload regions, per `offload_overhead`.
+struct Rig {
+    host: Host,
+    img: nzomp_host::ImageId,
+    hp: nzomp_proxies::HostPrepared,
+    streams: Vec<StreamId>,
+}
+
+impl Rig {
+    fn new(p: &dyn Proxy, cfg: BuildConfig, policy: Option<RecoveryPolicy>) -> Rig {
+        let mut host = Host::new(eval_device(), 1);
+        host.set_recovery(policy);
+        let img = host
+            .load_image(build_for_config(p, cfg), cfg)
+            .expect("load image");
+        let hp = p.host_prepare();
+        let streams = vec![host.stream()];
+        Rig { host, img, hp, streams }
+    }
+
+    fn round(&mut self, p: &dyn Proxy, reps: u32) -> u128 {
+        let arg_sets: Vec<_> = (0..reps).map(|_| self.hp.args.clone()).collect();
+        let start = Instant::now();
+        for args in arg_sets {
+            let region = self
+                .host
+                .enqueue_region(&self.streams, self.img, p.kernel_name(), self.hp.launch, args)
+                .expect("enqueue");
+            self.host.sync().expect("sync");
+            self.host.take_metrics(region.ticket).expect("metrics");
+        }
+        start.elapsed().as_nanos()
+    }
+}
+
+/// Idle-policy cost over the disabled path: interleaved rounds, per-path
+/// minimum across rounds (noise only ever adds time).
+fn measure_idle_overhead(p: &dyn Proxy, cfg: BuildConfig, reps: u32) -> (f64, f64) {
+    let mut disabled = Rig::new(p, cfg, None);
+    let mut idle = Rig::new(p, cfg, Some(RecoveryPolicy::default()));
+    let _ = disabled.round(p, 1);
+    let _ = idle.round(p, 1);
+    let (mut d_best, mut i_best) = (f64::MAX, f64::MAX);
+    for _ in 0..ROUNDS {
+        d_best = d_best.min(disabled.round(p, reps) as f64 / reps as f64);
+        i_best = i_best.min(idle.round(p, reps) as f64 / reps as f64);
+    }
+    (d_best, i_best)
+}
+
+fn main() -> ExitCode {
+    let seeds_per_cell: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4)
+        .max(1);
+    let cfg = BuildConfig::NewRtNoAssumptions;
+    let proxies = all_proxies();
+    let seeds: Vec<u64> = (0..seeds_per_cell).map(|i| 11 + 36 * i).collect();
+
+    println!(
+        "recovery_chaos: {} proxies × {{1, 2, 4}} devices × {{RoundRobin, LeastLoaded}} × {} seed(s), {cfg:?}",
+        proxies.len(),
+        seeds.len()
+    );
+
+    let mut ok = true;
+    let mut rows = Vec::new();
+    for p in &proxies {
+        let clean = run_clean(p.as_ref(), cfg);
+        let mut row = RecoveryRow { name: p.name().to_string(), ..RecoveryRow::default() };
+        for devices in [1usize, 2, 4] {
+            for policy in [SchedPolicy::RoundRobin, SchedPolicy::LeastLoaded] {
+                for &seed in &seeds {
+                    row.campaigns += 1;
+                    match run_recovered(p.as_ref(), cfg, devices, policy, seed) {
+                        Ok((got, m)) if got == clean => {
+                            row.recovered += 1;
+                            row.retries += m.retries;
+                            row.watchdog_trips += m.watchdog_trips;
+                            row.failovers += m.failovers;
+                            row.replayed_ops += m.replayed_ops;
+                            row.quarantines += m.quarantines;
+                        }
+                        Ok(_) => {
+                            eprintln!(
+                                "FAIL: {} devices={devices} policy={policy:?} seed={seed}: \
+                                 recovered outcome diverged from clean",
+                                p.name()
+                            );
+                            ok = false;
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "FAIL: {} devices={devices} policy={policy:?} seed={seed}: {e}",
+                                p.name()
+                            );
+                            ok = false;
+                        }
+                    }
+                }
+            }
+        }
+        ok &= row.is_fully_recovered();
+        rows.push(row);
+    }
+    println!("\n{}", recovery_table(&rows));
+
+    let campaigns: u64 = rows.iter().map(|r| r.campaigns).sum();
+    let exercised: u64 = rows
+        .iter()
+        .map(|r| r.retries + r.watchdog_trips + r.failovers)
+        .sum();
+    if exercised == 0 {
+        eprintln!("FAIL: no campaign exercised recovery — the matrix is vacuous");
+        ok = false;
+    }
+
+    // Recovery-disabled overhead: up to two re-measures, per the
+    // offload_overhead noise discipline.
+    println!(
+        "  {:<10} {:>14} {:>14} {:>10}",
+        "proxy", "disabled ns", "idle-policy ns", "overhead"
+    );
+    let mut worst = f64::MIN;
+    for p in &proxies {
+        let mut attempts = 1;
+        let (mut d, mut i) = measure_idle_overhead(p.as_ref(), cfg, 10);
+        while i / d - 1.0 > 0.05 && attempts < 3 {
+            attempts += 1;
+            let re = measure_idle_overhead(p.as_ref(), cfg, 10);
+            (d, i) = re;
+        }
+        let overhead = i / d - 1.0;
+        worst = worst.max(overhead);
+        println!(
+            "  {:<10} {:>14.0} {:>14.0} {:>9.2}%{}",
+            p.name(),
+            d,
+            i,
+            overhead * 100.0,
+            if attempts > 1 { format!("   (attempt {attempts})") } else { String::new() }
+        );
+        if overhead > 0.05 {
+            eprintln!(
+                "FAIL: {} idle-recovery overhead {:.2}% exceeds the 5% gate on all {attempts} attempts",
+                p.name(),
+                overhead * 100.0
+            );
+            ok = false;
+        }
+    }
+
+    if ok {
+        println!(
+            "\nOK: {campaigns} campaigns recovered bit-identically ({exercised} recovery \
+             actions); worst idle-policy overhead {:.2}%",
+            worst * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -162,6 +162,76 @@ pub fn sanitizer_table(rows: &[SanitizerRow]) -> String {
     s
 }
 
+/// One proxy's chaos-recovery record: how many seeded device-fault
+/// campaigns ran, how many recovered bit-identically, and the aggregate
+/// recovery work (retries, watchdog trips, failovers, journal replays,
+/// quarantines) those campaigns cost.
+///
+/// Plain data on purpose: the core crate cannot depend on the host
+/// runtime, so the chaos harness fills these fields from its own
+/// `RecoveryMetrics` totals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryRow {
+    pub name: String,
+    pub campaigns: u64,
+    pub recovered: u64,
+    pub retries: u64,
+    pub watchdog_trips: u64,
+    pub failovers: u64,
+    pub replayed_ops: u64,
+    pub quarantines: u64,
+}
+
+impl RecoveryRow {
+    /// `true` iff every campaign recovered to the clean outcome.
+    pub fn is_fully_recovered(&self) -> bool {
+        self.recovered == self.campaigns
+    }
+}
+
+/// Render a chaos-recovery sweep as an aligned ASCII table: one row per
+/// proxy with its recovered/campaign verdict and the recovery-work
+/// counters, followed by a totals line.
+pub fn recovery_table(rows: &[RecoveryRow]) -> String {
+    let mut s = format!(
+        "{:<10} | {:>9} | {:>7} | {:>8} | {:>9} | {:>7} | {:>11}\n",
+        "proxy", "recovered", "retries", "watchdog", "failovers", "replays", "quarantines"
+    );
+    let mut total = RecoveryRow { name: "total".into(), ..RecoveryRow::default() };
+    for row in rows {
+        s.push_str(&format!(
+            "{:<10} | {:>5}/{:<3} | {:>7} | {:>8} | {:>9} | {:>7} | {:>11}\n",
+            row.name,
+            row.recovered,
+            row.campaigns,
+            row.retries,
+            row.watchdog_trips,
+            row.failovers,
+            row.replayed_ops,
+            row.quarantines,
+        ));
+        total.campaigns += row.campaigns;
+        total.recovered += row.recovered;
+        total.retries += row.retries;
+        total.watchdog_trips += row.watchdog_trips;
+        total.failovers += row.failovers;
+        total.replayed_ops += row.replayed_ops;
+        total.quarantines += row.quarantines;
+    }
+    s.push_str(&format!(
+        "{:<10} | {:>5}/{:<3} | {:>7} | {:>8} | {:>9} | {:>7} | {:>11}\n",
+        total.name,
+        total.recovered,
+        total.campaigns,
+        total.retries,
+        total.watchdog_trips,
+        total.failovers,
+        total.replayed_ops,
+        total.quarantines,
+    ));
+    s
+}
+
 /// Render a compile-time profile (one `optimize_module` run) as an aligned
 /// ASCII table: per-pass runs, changed verdicts, wall time and cumulative
 /// IR deltas, followed by the analysis-cache counters — the `-ftime-report`
@@ -291,6 +361,41 @@ mod tests {
         assert!(table.contains("2r/1d"), "{table}");
         assert!(table.contains("n/a"), "{table}");
         assert_eq!(table.lines().count(), 3, "{table}");
+    }
+
+    #[test]
+    fn recovery_table_renders_rows_and_totals() {
+        let rows = [
+            RecoveryRow {
+                name: "xsbench".into(),
+                campaigns: 24,
+                recovered: 24,
+                retries: 10,
+                watchdog_trips: 3,
+                failovers: 7,
+                replayed_ops: 21,
+                quarantines: 7,
+            },
+            RecoveryRow {
+                name: "rsbench".into(),
+                campaigns: 24,
+                recovered: 23,
+                retries: 4,
+                watchdog_trips: 1,
+                failovers: 2,
+                replayed_ops: 6,
+                quarantines: 2,
+            },
+        ];
+        assert!(rows[0].is_fully_recovered());
+        assert!(!rows[1].is_fully_recovered());
+        let table = recovery_table(&rows);
+        assert!(table.contains("xsbench"), "{table}");
+        assert!(table.contains("24/24"), "{table}");
+        assert!(table.contains("23/24"), "{table}");
+        // header + 2 rows + totals
+        assert_eq!(table.lines().count(), 4, "{table}");
+        assert!(table.lines().last().unwrap().contains("47/48"), "{table}");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::fmt;
 
 use nzomp::CompileError;
-use nzomp_vgpu::ExecError;
+use nzomp_vgpu::{ExecError, TrapKind};
 
 use crate::map::BufId;
 
@@ -119,6 +119,71 @@ pub enum HostError {
     UnknownImage(u32),
     /// A launch argument named a host buffer id that was never registered.
     UnknownBuffer(u32),
+    /// The host launch watchdog fired: the kernel made no progress within
+    /// `fuel` modeled steps. Transient by classification — a stall can be
+    /// contention, so the recovery policy retries before surfacing.
+    Watchdog { kernel: String, fuel: u64 },
+    /// Every device in the fleet has been lost and quarantined; there is
+    /// nothing left to fail over to. The typed terminal outcome of
+    /// graceful degradation — never a panic.
+    FleetLost { devices: usize },
+    /// Journal replay on a replacement device diverged from the recorded
+    /// history (an internal recovery invariant broke). Carries a
+    /// diagnostic; always a program error, never retried.
+    Replay(String),
+}
+
+/// Coarse failure classes the recovery layer dispatches on — the
+/// classification promised by the [`HostError`] doc above.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Worth retrying on the same device after backoff: transient memcpy
+    /// faults, stalled launches, watchdog trips.
+    Transient,
+    /// The device is gone; retrying on it is pointless. Fail over to a
+    /// replacement (or surface `FleetLost` when none remains).
+    Permanent,
+    /// The program (or the host API caller) is wrong: compile errors,
+    /// genuine kernel traps, mapping misuse. Retrying would reproduce the
+    /// identical failure — surface immediately.
+    Program,
+}
+
+impl HostError {
+    /// Classify for the recovery policy: retry ([`ErrorClass::Transient`]),
+    /// fail over ([`ErrorClass::Permanent`]), or surface
+    /// ([`ErrorClass::Program`]).
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            HostError::Exec(e) => match e.kind {
+                TrapKind::DeviceLost => ErrorClass::Permanent,
+                TrapKind::MemcpyFault | TrapKind::Stalled { .. } => ErrorClass::Transient,
+                _ => ErrorClass::Program,
+            },
+            HostError::Watchdog { .. } => ErrorClass::Transient,
+            HostError::FleetLost { .. } => ErrorClass::Permanent,
+            HostError::Compile(_)
+            | HostError::Map(_)
+            | HostError::Stream(_)
+            | HostError::NoDevice { .. }
+            | HostError::UnknownImage(_)
+            | HostError::UnknownBuffer(_)
+            | HostError::Replay(_) => ErrorClass::Program,
+        }
+    }
+
+    /// Whether a retry of the same operation can possibly succeed
+    /// (on the same device for [`ErrorClass::Transient`], on a
+    /// replacement for [`ErrorClass::Permanent`] device loss).
+    pub fn is_retryable(&self) -> bool {
+        match self.class() {
+            ErrorClass::Transient => true,
+            // Device loss is recoverable by failover; fleet exhaustion is
+            // not — there is no device left to retry on.
+            ErrorClass::Permanent => !matches!(self, HostError::FleetLost { .. }),
+            ErrorClass::Program => false,
+        }
+    }
 }
 
 impl fmt::Display for HostError {
@@ -133,6 +198,14 @@ impl fmt::Display for HostError {
             }
             HostError::UnknownImage(i) => write!(f, "unknown kernel image {i}"),
             HostError::UnknownBuffer(b) => write!(f, "unknown host buffer {b}"),
+            HostError::Watchdog { kernel, fuel } => write!(
+                f,
+                "watchdog: kernel @{kernel} made no progress within {fuel} steps"
+            ),
+            HostError::FleetLost { devices } => {
+                write!(f, "all {devices} device(s) lost; offload fleet exhausted")
+            }
+            HostError::Replay(m) => write!(f, "recovery replay diverged: {m}"),
         }
     }
 }
@@ -162,3 +235,98 @@ impl From<StreamError> for HostError {
 }
 
 impl std::error::Error for HostError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(kind: TrapKind) -> HostError {
+        HostError::Exec(ExecError {
+            kind,
+            team: 0,
+            thread: 0,
+            func: "k".into(),
+        })
+    }
+
+    /// Every `HostError` variant (and every `TrapKind` under `Exec`)
+    /// lands in exactly the class the recovery policy expects. This is
+    /// the exhaustive contract test for the "drivers match on the class"
+    /// promise of the `HostError` doc.
+    #[test]
+    fn every_variant_classifies_as_documented() {
+        use ErrorClass::*;
+
+        // Transient: the retry-worthy device hiccups.
+        for e in [
+            exec(TrapKind::MemcpyFault),
+            exec(TrapKind::Stalled { fuel: 100 }),
+            HostError::Watchdog { kernel: "k".into(), fuel: 100 },
+        ] {
+            assert_eq!(e.class(), Transient, "{e}");
+            assert!(e.is_retryable(), "{e}");
+        }
+
+        // Permanent: device gone (retryable by failover), fleet gone
+        // (terminal).
+        let lost = exec(TrapKind::DeviceLost);
+        assert_eq!(lost.class(), Permanent);
+        assert!(lost.is_retryable(), "device loss recovers via failover");
+        let fleet = HostError::FleetLost { devices: 4 };
+        assert_eq!(fleet.class(), Permanent);
+        assert!(!fleet.is_retryable(), "nothing left to fail over to");
+
+        // Program: genuine kernel traps — retrying reproduces them.
+        for kind in [
+            TrapKind::OutOfBounds,
+            TrapKind::NullDeref,
+            TrapKind::CrossThreadLocalAccess { owner: 0, accessor: 1 },
+            TrapKind::BadIndirectCall,
+            TrapKind::UnresolvedCall("f".into()),
+            TrapKind::AssumeViolated,
+            TrapKind::AssertFail,
+            TrapKind::BarrierDeadlock,
+            TrapKind::FuelExhausted,
+            TrapKind::DivByZero,
+            TrapKind::OutOfMemory,
+            TrapKind::BadFree,
+            TrapKind::BadLaunch("m".into()),
+            TrapKind::MalformedIr("m".into()),
+            TrapKind::SanitizerViolation { races: 1, divergences: 0 },
+        ] {
+            let e = exec(kind);
+            assert_eq!(e.class(), Program, "{e}");
+            assert!(!e.is_retryable(), "{e}");
+        }
+
+        // Program: host-side misuse and pipeline failures.
+        for e in [
+            HostError::Map(MapError::Misuse("zero-length map")),
+            HostError::Stream(StreamError::UnknownStream(7)),
+            HostError::Stream(StreamError::Deadlock { blocked_streams: 2 }),
+            HostError::NoDevice { device: 9, devices: 2 },
+            HostError::UnknownImage(3),
+            HostError::UnknownBuffer(5),
+            HostError::Replay("ptr mismatch".into()),
+        ] {
+            assert_eq!(e.class(), Program, "{e}");
+            assert!(!e.is_retryable(), "{e}");
+        }
+    }
+
+    #[test]
+    fn new_variants_display() {
+        let w = HostError::Watchdog { kernel: "spmv".into(), fuel: 4096 };
+        assert_eq!(
+            w.to_string(),
+            "watchdog: kernel @spmv made no progress within 4096 steps"
+        );
+        let fl = HostError::FleetLost { devices: 4 };
+        assert_eq!(fl.to_string(), "all 4 device(s) lost; offload fleet exhausted");
+        let r = HostError::Replay("grow returned 0x40, journal says 0x80".into());
+        assert_eq!(
+            r.to_string(),
+            "recovery replay diverged: grow returned 0x40, journal says 0x80"
+        );
+    }
+}

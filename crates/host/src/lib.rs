@@ -27,8 +27,10 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod error;
+pub mod journal;
 pub mod map;
 pub mod pool;
+pub mod recover;
 pub mod sched;
 pub mod stream;
 
@@ -41,14 +43,17 @@ use nzomp_vgpu::device::Launch;
 use nzomp_vgpu::memory::DevPtr;
 use nzomp_vgpu::{Device, DeviceConfig, ExecError, FaultPlan, KernelMetrics, RtVal};
 
-pub use error::{HostError, MapError, StreamError};
+pub use error::{ErrorClass, HostError, MapError, StreamError};
 pub use map::{BufId, MapKind, MapSpec, PresentTable};
 pub use pool::DevicePool;
+pub use recover::{RecoveryMetrics, RecoveryPolicy};
 pub use sched::{ImageId, SchedPolicy};
 pub use stream::{EventId, KArg, StreamId, Ticket};
 
 use error::{MapError as ME, StreamError as SE};
+use journal::JEffect;
 use map::MapStepError;
+use nzomp_vgpu::TrapKind;
 use sched::{pick_device, DeviceSlot};
 use stream::Op;
 
@@ -135,6 +140,14 @@ pub struct Host {
     ops_executed: u64,
     worker_threads: Option<usize>,
     fault_plan: Option<FaultPlan>,
+
+    /// `Some` enables the recovery layer (journaling, retries, failover);
+    /// `None` is the PR 5 fast path, byte-for-byte.
+    recovery: Option<RecoveryPolicy>,
+    rmetrics: RecoveryMetrics,
+    /// Host launch watchdog fuel, applied to every current and future
+    /// device.
+    watchdog_fuel: Option<u64>,
 }
 
 impl Host {
@@ -157,6 +170,9 @@ impl Host {
             ops_executed: 0,
             worker_threads: None,
             fault_plan: None,
+            recovery: None,
+            rmetrics: RecoveryMetrics::default(),
+            watchdog_fuel: None,
         }
     }
 
@@ -209,7 +225,9 @@ impl Host {
 
     /// Ensure device slot `dev` runs image `img`, (re)creating the device
     /// if the slot is empty or held a different image. A reload resets
-    /// the slot's present table and pool (fresh device memory).
+    /// the slot's present table, pool, and journal (fresh device memory).
+    /// Binding revives a quarantined slot — the explicit opt-in to reuse
+    /// a retired slot after the fleet degraded.
     pub fn bind_image(&mut self, dev: usize, img: ImageId) -> Result<(), HostError> {
         let devices = self.slots.len();
         let out = self
@@ -217,24 +235,30 @@ impl Host {
             .get(img.0 as usize)
             .ok_or(HostError::UnknownImage(img.0))?
             .clone();
+        let global = self.fault_plan.clone();
+        let workers = self.worker_threads;
+        let watchdog = self.watchdog_fuel;
         let slot = self
             .slots
             .get_mut(dev)
             .ok_or(HostError::NoDevice { device: dev, devices })?;
-        if slot.image == Some(img) && slot.dev.is_some() {
+        if slot.image == Some(img) && slot.dev.is_some() && !slot.quarantined {
             return Ok(());
         }
         let mut d = Device::load(out.module.clone(), self.dev_cfg.clone());
-        if let Some(w) = self.worker_threads {
+        if let Some(w) = workers {
             d.set_worker_threads(w);
         }
-        if let Some(p) = &self.fault_plan {
-            d.set_fault_plan(p.clone());
+        if let Some(p) = effective_plan(&global, &slot.device_plan) {
+            d.set_fault_plan(p);
         }
+        d.set_watchdog_fuel(watchdog);
         slot.dev = Some(d);
         slot.image = Some(img);
         slot.table = PresentTable::new();
         slot.pool = DevicePool::new();
+        slot.journal.clear();
+        slot.quarantined = false;
         Ok(())
     }
 
@@ -315,6 +339,7 @@ impl Host {
     /// `to`/`tofrom` entries are enqueued on `s`.
     pub fn data_enter(&mut self, s: StreamId, dev: usize, maps: &[MapSpec]) -> Result<(), HostError> {
         self.check_stream(s)?;
+        let journaling = self.recovery.is_some();
         for spec in maps {
             let host_len = self.buf_bytes(spec.buf)?.len() as u64;
             let slot = self.slot_mut(dev)?;
@@ -322,10 +347,24 @@ impl Host {
                 .dev
                 .as_mut()
                 .ok_or(HostError::Map(ME::Misuse("no image bound to device (bind_image first)")))?;
+            let (allocs0, reuse0) = (slot.pool.device_allocs, slot.pool.reuse_hits);
             let (ptr, needs_copy) = slot
                 .table
                 .enter_alloc(*spec, d, &mut slot.pool, host_len)
                 .map_err(step_err)?;
+            if journaling {
+                // Journal how this entry changed device memory: a fresh
+                // bump allocation (replayable pointer-for-pointer) or a
+                // reused block's zero-fill. A pure refcount bump touches
+                // no device state and records nothing.
+                if slot.pool.device_allocs > allocs0 {
+                    let size = slot.pool.block_size(ptr).unwrap_or(0);
+                    slot.journal.push(JEffect::Grow { size, at: ptr });
+                } else if slot.pool.reuse_hits > reuse0 {
+                    let len = slot.pool.block_size(ptr).unwrap_or(0);
+                    slot.journal.push(JEffect::Zero { ptr, len });
+                }
+            }
             if needs_copy {
                 self.enqueue_op(
                     s,
@@ -443,7 +482,13 @@ impl Host {
         let Some(&primary) = streams.first() else {
             return Err(HostError::Map(ME::Misuse("enqueue_region needs at least one stream")));
         };
-        let dev = pick_device(self.policy, &self.slots, &mut self.rr_next);
+        // Quarantined slots are excluded; an empty live fleet is the typed
+        // terminal outcome of graceful degradation.
+        let dev = pick_device(self.policy, &self.slots, &mut self.rr_next).ok_or(
+            HostError::FleetLost {
+                devices: self.slots.len(),
+            },
+        )?;
         self.bind_image(dev, img)?;
 
         let mut kargs = Vec::with_capacity(args.len());
@@ -570,58 +615,13 @@ impl Host {
     fn execute_op(&mut self, op: Op) -> Result<(), HostError> {
         self.ops_executed += 1;
         match op {
-            Op::MemcpyTo { dev, dst, buf, off, len } => {
-                let bytes = {
-                    let b = self.buf_bytes(buf)?;
-                    b[off as usize..(off + len) as usize].to_vec()
-                };
-                self.loaded_dev(dev)?.write_bytes(dst, &bytes)?;
-            }
-            Op::MemcpyFrom { dev, src, buf, off, len } => {
-                let bytes = self.loaded_dev(dev)?.read_bytes(src, len as usize)?;
-                let b = self
-                    .bufs
-                    .get_mut(buf.0 as usize)
-                    .ok_or(HostError::UnknownBuffer(buf.0))?;
-                b[off as usize..(off + len) as usize].copy_from_slice(&bytes);
-            }
-            Op::PoolFree { dev, ptr } => {
-                self.slot_mut(dev)?.pool.free(ptr);
-            }
-            Op::Launch {
-                dev,
-                kernel,
-                launch,
-                args,
-                ticket,
-            } => {
-                let slot = self.slot_mut(dev)?;
-                let res = match slot.dev.as_mut() {
-                    Some(d) => d.launch(&kernel, launch, &args),
-                    None => return Err(HostError::Map(ME::Misuse("launch on a device with no image"))),
-                };
-                slot.pending = slot.pending.saturating_sub(1);
-                if let Ok(m) = &res {
-                    slot.executed_cycles += m.cycles;
-                    slot.launches += 1;
-                }
-                let trap = res.as_ref().err().cloned();
-                if let Some(t) = self.tickets.get_mut(ticket.0 as usize) {
-                    *t = Some(res);
-                }
-                // A trap aborts the drain: remaining operations (including
-                // result readbacks) stay queued, exactly as the direct
-                // harness stops at a failed `Device::launch`.
-                if let Some(e) = trap {
-                    return Err(HostError::Exec(e));
-                }
-            }
             Op::Record(e) => {
                 let v = self
                     .events
                     .get_mut(e.0 as usize)
                     .ok_or(HostError::Stream(SE::UnknownEvent(e.0)))?;
                 *v = true;
+                Ok(())
             }
             Op::Wait(e) => {
                 let signaled = self
@@ -634,8 +634,306 @@ impl Host {
                     // until its event signals.
                     return Err(SE::Deadlock { blocked_streams: 1 }.into());
                 }
+                Ok(())
             }
-            Op::Callback(f) => f(),
+            Op::Callback(f) => {
+                f();
+                Ok(())
+            }
+            // Device-touching operations go through the recovery layer
+            // (a no-op dispatch when recovery is disabled).
+            device_op => {
+                let res = if self.recovery.is_some() {
+                    self.run_recoverable(&device_op)
+                } else {
+                    self.try_op(&device_op)
+                };
+                // One pending decrement per enqueued launch, at resolution
+                // — success, surfaced trap, or exhausted retries alike
+                // (retries within `run_recoverable` are invisible here).
+                if let Op::Launch { dev, .. } = &device_op {
+                    if let Some(slot) = self.slots.get_mut(*dev) {
+                        slot.pending = slot.pending.saturating_sub(1);
+                    }
+                }
+                res
+            }
+        }
+    }
+
+    /// Execute one device-touching stream operation, non-consuming so the
+    /// recovery layer can re-run it verbatim. Journals the device effect
+    /// on success when recovery is enabled.
+    fn try_op(&mut self, op: &Op) -> Result<(), HostError> {
+        let journaling = self.recovery.is_some();
+        match op {
+            Op::MemcpyTo { dev, dst, buf, off, len } => {
+                let bytes = {
+                    let b = self.buf_bytes(*buf)?;
+                    b[*off as usize..(*off + *len) as usize].to_vec()
+                };
+                self.loaded_dev(*dev)?.write_bytes(*dst, &bytes)?;
+                if journaling {
+                    // The journal owns a shadow of the bytes: the host
+                    // buffer may change before a replay needs them.
+                    self.slot_mut(*dev)?
+                        .journal
+                        .push(JEffect::Write { ptr: *dst, bytes });
+                }
+                Ok(())
+            }
+            Op::MemcpyFrom { dev, src, buf, off, len } => {
+                let bytes = self.loaded_dev(*dev)?.read_bytes(*src, *len as usize)?;
+                let b = self
+                    .bufs
+                    .get_mut(buf.0 as usize)
+                    .ok_or(HostError::UnknownBuffer(buf.0))?;
+                b[*off as usize..(*off + *len) as usize].copy_from_slice(&bytes);
+                if journaling {
+                    self.slot_mut(*dev)?.journal.push(JEffect::ReadBack {
+                        src: *src,
+                        buf: *buf,
+                        off: *off,
+                        len: *len,
+                    });
+                }
+                Ok(())
+            }
+            Op::PoolFree { dev, ptr } => {
+                self.slot_mut(*dev)?.pool.free(*ptr);
+                Ok(())
+            }
+            Op::Launch {
+                dev,
+                kernel,
+                launch,
+                args,
+                ticket,
+            } => {
+                let slot = self.slot_mut(*dev)?;
+                let Some(d) = slot.dev.as_mut() else {
+                    return Err(HostError::Map(ME::Misuse("launch on a device with no image")));
+                };
+                // Whether the host watchdog (not the plan/config budget)
+                // is the binding fuel constraint — decides if a plain
+                // FuelExhausted trap is really a watchdog trip.
+                let base_fuel = d
+                    .fault_plan()
+                    .and_then(|p| p.fuel_limit)
+                    .unwrap_or(d.config.max_steps);
+                let wd_binding = d.watchdog_fuel().is_some_and(|w| w <= base_fuel);
+                let wd_fuel = d.watchdog_fuel().unwrap_or(0);
+                let res = d.launch(kernel, *launch, args);
+                if let Ok(m) = &res {
+                    slot.executed_cycles += m.cycles;
+                    slot.launches += 1;
+                }
+                let trap = res.as_ref().err().cloned();
+                // Every attempt records its outcome; the last one wins —
+                // after a successful retry the ticket holds the metrics.
+                if let Some(t) = self.tickets.get_mut(ticket.0 as usize) {
+                    *t = Some(res);
+                }
+                match trap {
+                    None => {
+                        if journaling {
+                            self.slot_mut(*dev)?.journal.push(JEffect::Launch {
+                                kernel: kernel.clone(),
+                                launch: *launch,
+                                args: args.clone(),
+                                ticket: *ticket,
+                            });
+                        }
+                        Ok(())
+                    }
+                    // A stall (and a fuel trap the watchdog caused) is the
+                    // host watchdog's typed error; everything else aborts
+                    // the drain as before: remaining operations (including
+                    // result readbacks) stay queued, exactly as the direct
+                    // harness stops at a failed `Device::launch`.
+                    Some(e) => match e.kind {
+                        TrapKind::Stalled { fuel } => Err(HostError::Watchdog {
+                            kernel: kernel.clone(),
+                            fuel,
+                        }),
+                        TrapKind::FuelExhausted if wd_binding => Err(HostError::Watchdog {
+                            kernel: kernel.clone(),
+                            fuel: wd_fuel,
+                        }),
+                        _ => Err(HostError::Exec(e)),
+                    },
+                }
+            }
+            // Host-only operations never reach the recovery dispatch.
+            Op::Record(_) | Op::Wait(_) | Op::Callback(_) => Ok(()),
+        }
+    }
+
+    // ---- recovery -------------------------------------------------------
+
+    /// Run a device op under the armed [`RecoveryPolicy`]: transient
+    /// errors back off (modeled cycles) and retry in place; `DeviceLost`
+    /// fails over to a replacement device and replays the journal;
+    /// program errors surface unchanged.
+    fn run_recoverable(&mut self, op: &Op) -> Result<(), HostError> {
+        let Some(policy) = self.recovery.clone() else {
+            return self.try_op(op);
+        };
+        let mut transient_attempts: u32 = 0;
+        loop {
+            let e = match self.try_op(op) {
+                Ok(()) => return Ok(()),
+                Err(e) => e,
+            };
+            match e.class() {
+                ErrorClass::Transient if transient_attempts < policy.transient_retries => {
+                    transient_attempts += 1;
+                    self.rmetrics.retries += 1;
+                    if matches!(e, HostError::Watchdog { .. }) {
+                        self.rmetrics.watchdog_trips += 1;
+                    }
+                    self.rmetrics.backoff_cycles += policy.backoff_cycles(transient_attempts);
+                }
+                ErrorClass::Permanent if !matches!(e, HostError::FleetLost { .. }) => {
+                    let Some(dev) = op_device(op) else {
+                        return Err(e);
+                    };
+                    // `?` surfaces budget exhaustion / replay divergence;
+                    // on success the loop retries the op on the fresh
+                    // device with a reset transient budget.
+                    self.failover(dev, &policy)?;
+                    transient_attempts = 0;
+                }
+                _ => return Err(e),
+            }
+        }
+    }
+
+    /// Replace the lost device in slot `dev`: quarantine the dead one,
+    /// bind a fresh vGPU of the same image (host-wide fault plan only —
+    /// the replacement models healthy hardware, so the slot's chaos
+    /// campaign is not re-armed), and replay the journal so present
+    /// table, pool, and already-translated kernel arguments stay valid
+    /// verbatim. When the failover budget is spent the slot is retired
+    /// instead and the loss surfaces (typed, never a panic).
+    fn failover(&mut self, dev: usize, policy: &RecoveryPolicy) -> Result<(), HostError> {
+        self.rmetrics.quarantines += 1;
+        if self.rmetrics.failovers >= u64::from(policy.max_failovers) {
+            let devices = self.slots.len();
+            let slot = self.slot_mut(dev)?;
+            slot.quarantined = true;
+            slot.dev = None;
+            if self.slots.iter().all(|s| s.quarantined) {
+                return Err(HostError::FleetLost { devices });
+            }
+            return Err(HostError::Exec(ExecError {
+                kind: TrapKind::DeviceLost,
+                team: 0,
+                thread: 0,
+                func: "<failover budget exhausted>".to_string(),
+            }));
+        }
+        self.rmetrics.failovers += 1;
+
+        let slot_img = self.slots.get(dev).and_then(|s| s.image);
+        let Some(img) = slot_img else {
+            return Err(HostError::Replay("failover on a slot with no image".to_string()));
+        };
+        let out = self
+            .images
+            .get(img.0 as usize)
+            .ok_or(HostError::UnknownImage(img.0))?
+            .clone();
+        let mut d = Device::load(out.module.clone(), self.dev_cfg.clone());
+        if let Some(w) = self.worker_threads {
+            d.set_worker_threads(w);
+        }
+        if let Some(p) = &self.fault_plan {
+            d.set_fault_plan(p.clone());
+        }
+        d.set_watchdog_fuel(self.watchdog_fuel);
+        let slot = self.slot_mut(dev)?;
+        slot.dev = Some(d);
+        slot.device_plan = None;
+        // Replay rebuilds these from the journal; resetting first keeps
+        // the recovered totals identical to a clean run's.
+        slot.executed_cycles = 0;
+        slot.launches = 0;
+        self.replay_journal(dev)
+    }
+
+    /// Re-execute the slot's journal on its (fresh) device. Determinism
+    /// does the heavy lifting: bump allocation reproduces every pointer
+    /// (asserted), and the interpreter reproduces every byte and metric.
+    /// Any divergence is a typed [`HostError::Replay`].
+    fn replay_journal(&mut self, dev: usize) -> Result<(), HostError> {
+        let effects = self
+            .slots
+            .get(dev)
+            .map(|s| s.journal.effects.clone())
+            .unwrap_or_default();
+        for eff in effects {
+            self.rmetrics.replayed_ops += 1;
+            match eff {
+                JEffect::Grow { size, at } => {
+                    let p = self.loaded_dev(dev)?.alloc(size);
+                    if p != at {
+                        return Err(HostError::Replay(format!(
+                            "replayed alloc({size}) returned {p:?}, journal recorded {at:?}"
+                        )));
+                    }
+                }
+                JEffect::Zero { ptr, len } => {
+                    self.loaded_dev(dev)?
+                        .write_bytes(ptr, &vec![0u8; len as usize])
+                        .map_err(|e| HostError::Replay(format!("zero-fill diverged: {e}")))?;
+                }
+                JEffect::Write { ptr, bytes } => {
+                    self.loaded_dev(dev)?
+                        .write_bytes(ptr, &bytes)
+                        .map_err(|e| HostError::Replay(format!("write diverged: {e}")))?;
+                }
+                JEffect::Launch {
+                    kernel,
+                    launch,
+                    args,
+                    ticket,
+                } => {
+                    let slot = self.slot_mut(dev)?;
+                    let Some(d) = slot.dev.as_mut() else {
+                        return Err(HostError::Replay("replay on an empty slot".to_string()));
+                    };
+                    let res = d.launch(&kernel, launch, &args);
+                    match res {
+                        Ok(m) => {
+                            slot.executed_cycles += m.cycles;
+                            slot.launches += 1;
+                            if let Some(t) = self.tickets.get_mut(ticket.0 as usize) {
+                                *t = Some(Ok(m));
+                            }
+                        }
+                        // Journaled launches all completed originally; a
+                        // trap on replay is a broken invariant, not a
+                        // recoverable fault.
+                        Err(e) => {
+                            return Err(HostError::Replay(format!(
+                                "journaled launch @{kernel} trapped on replay: {e}"
+                            )))
+                        }
+                    }
+                }
+                JEffect::ReadBack { src, buf, off, len } => {
+                    let bytes = self
+                        .loaded_dev(dev)?
+                        .read_bytes(src, len as usize)
+                        .map_err(|e| HostError::Replay(format!("readback diverged: {e}")))?;
+                    let b = self
+                        .bufs
+                        .get_mut(buf.0 as usize)
+                        .ok_or(HostError::UnknownBuffer(buf.0))?;
+                    b[off as usize..(off + len) as usize].copy_from_slice(&bytes);
+                }
+            }
         }
         Ok(())
     }
@@ -708,23 +1006,82 @@ impl Host {
         }
     }
 
-    /// Arm a fault plan on every current and future device.
+    /// Arm a fault plan on every current and future device (merged with
+    /// any per-slot plan from [`Host::set_device_faults`]).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
         for s in &mut self.slots {
             if let Some(d) = s.dev.as_mut() {
-                d.set_fault_plan(plan.clone());
+                if let Some(p) = effective_plan(&self.fault_plan, &s.device_plan) {
+                    d.set_fault_plan(p);
+                }
             }
         }
-        self.fault_plan = Some(plan);
     }
 
     pub fn clear_fault_plan(&mut self) {
         self.fault_plan = None;
         for s in &mut self.slots {
             if let Some(d) = s.dev.as_mut() {
-                d.clear_fault_plan();
+                match effective_plan(&None, &s.device_plan) {
+                    Some(p) => d.set_fault_plan(p),
+                    None => d.clear_fault_plan(),
+                }
             }
         }
+    }
+
+    /// Arm a fault plan scoped to device slot `dev` only — how a chaos
+    /// campaign kills one device of a fleet. Merged over the host-wide
+    /// plan; applied to the slot's device now (if one is bound) and at
+    /// every future bind. Failover replacements are *not* re-armed: the
+    /// replacement models healthy hardware.
+    pub fn set_device_faults(&mut self, dev: usize, plan: FaultPlan) -> Result<(), HostError> {
+        let global = self.fault_plan.clone();
+        let slot = self.slot_mut(dev)?;
+        slot.device_plan = Some(plan);
+        if let Some(d) = slot.dev.as_mut() {
+            if let Some(p) = effective_plan(&global, &slot.device_plan) {
+                d.set_fault_plan(p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Arm (or disarm) the host launch watchdog on every current and
+    /// future device: a kernel that exceeds `fuel` modeled steps trips a
+    /// typed [`HostError::Watchdog`] instead of consuming the drain.
+    pub fn set_watchdog_fuel(&mut self, fuel: Option<u64>) {
+        self.watchdog_fuel = fuel;
+        for s in &mut self.slots {
+            if let Some(d) = s.dev.as_mut() {
+                d.set_watchdog_fuel(fuel);
+            }
+        }
+    }
+
+    /// Enable (`Some`) or disable (`None`) the recovery layer. Enabling
+    /// turns on op journaling, transient retries with seeded backoff, and
+    /// `DeviceLost` failover; disabled (the default) the host behaves
+    /// exactly as the PR 5 runtime. Set before enqueuing — the journal
+    /// only records while recovery is armed.
+    pub fn set_recovery(&mut self, policy: Option<RecoveryPolicy>) {
+        self.recovery = policy;
+    }
+
+    /// Everything the recovery layer did so far.
+    pub fn recovery_metrics(&self) -> &RecoveryMetrics {
+        &self.rmetrics
+    }
+
+    /// Whether slot `i` has been retired by the recovery layer.
+    pub fn quarantined(&self, i: usize) -> bool {
+        self.slots.get(i).is_some_and(|s| s.quarantined)
+    }
+
+    /// Slots still eligible for scheduling (fleet size after degradation).
+    pub fn live_devices(&self) -> usize {
+        self.slots.iter().filter(|s| !s.quarantined).count()
     }
 
     // ---- internals ------------------------------------------------------
@@ -765,5 +1122,38 @@ fn step_err(e: MapStepError) -> HostError {
     match e {
         MapStepError::Map(m) => HostError::Map(m),
         MapStepError::Exec(x) => HostError::Exec(x),
+    }
+}
+
+/// The device slot a stream operation touches (`None` for host-only ops).
+fn op_device(op: &Op) -> Option<usize> {
+    match op {
+        Op::MemcpyTo { dev, .. }
+        | Op::MemcpyFrom { dev, .. }
+        | Op::PoolFree { dev, .. }
+        | Op::Launch { dev, .. } => Some(*dev),
+        Op::Record(_) | Op::Wait(_) | Op::Callback(_) => None,
+    }
+}
+
+/// Merge the host-wide fault plan with a slot-scoped one: sites of both
+/// fire; the slot plan's fuel/heap overrides win when set.
+fn effective_plan(global: &Option<FaultPlan>, device: &Option<FaultPlan>) -> Option<FaultPlan> {
+    match (global, device) {
+        (None, None) => None,
+        (Some(g), None) => Some(g.clone()),
+        (None, Some(d)) => Some(d.clone()),
+        (Some(g), Some(d)) => {
+            let mut p = g.clone();
+            p.sites.extend(d.sites.iter().cloned());
+            p.device_sites.extend(d.device_sites.iter().copied());
+            if d.fuel_limit.is_some() {
+                p.fuel_limit = d.fuel_limit;
+            }
+            if d.heap_limit.is_some() {
+                p.heap_limit = d.heap_limit;
+            }
+            Some(p)
+        }
     }
 }

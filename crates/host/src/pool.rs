@@ -85,6 +85,12 @@ impl DevicePool {
         self.free.insert(at, block);
     }
 
+    /// Size of the live block at `ptr`, if the pool handed it out — how
+    /// the journal learns the byte count of a `Grow`/`Zero` effect.
+    pub fn block_size(&self, ptr: DevPtr) -> Option<u64> {
+        self.live.get(&ptr.0).copied()
+    }
+
     /// Bytes currently handed out. Zero once every mapping has been
     /// released — the present-table property test's no-leak invariant.
     pub fn in_use(&self) -> u64 {

@@ -1,8 +1,9 @@
 //! Multi-device scheduling: device slots, kernel-image registry, and
 //! launch-placement policies.
 
-use nzomp_vgpu::Device;
+use nzomp_vgpu::{Device, FaultPlan};
 
+use crate::journal::OpJournal;
 use crate::map::PresentTable;
 use crate::pool::DevicePool;
 
@@ -24,7 +25,7 @@ pub enum SchedPolicy {
 /// One registered virtual GPU plus its host-side shadow state. The
 /// device itself is created lazily when an image is first placed on the
 /// slot; re-placing a different image resets the device (fresh memory)
-/// and with it the present table and pool.
+/// and with it the present table, pool, and journal.
 pub(crate) struct DeviceSlot {
     pub dev: Option<Device>,
     pub image: Option<ImageId>,
@@ -37,6 +38,18 @@ pub(crate) struct DeviceSlot {
     pub executed_cycles: u64,
     /// Launches executed on this device.
     pub launches: u64,
+    /// The slot is retired: its device was lost and the failover budget
+    /// is exhausted. The scheduler never places work here; only an
+    /// explicit `bind_image` revives it.
+    pub quarantined: bool,
+    /// A fault plan scoped to *this* slot's device (chaos campaigns),
+    /// merged over the host-wide plan at bind. Deliberately not re-armed
+    /// on a failover replacement — the replacement models healthy
+    /// hardware.
+    pub device_plan: Option<FaultPlan>,
+    /// Redo log of every device-state effect since the image was bound —
+    /// what failover replays onto a replacement device.
+    pub journal: OpJournal,
 }
 
 impl DeviceSlot {
@@ -49,23 +62,117 @@ impl DeviceSlot {
             pending: 0,
             executed_cycles: 0,
             launches: 0,
+            quarantined: false,
+            device_plan: None,
+            journal: OpJournal::new(),
         }
     }
 }
 
-/// Pick a device for the next launch. `slots` is never empty.
-pub(crate) fn pick_device(policy: SchedPolicy, slots: &[DeviceSlot], rr_next: &mut usize) -> usize {
+/// Pick a device for the next launch, skipping quarantined slots. `None`
+/// iff every slot is quarantined — the caller surfaces
+/// [`crate::HostError::FleetLost`].
+pub(crate) fn pick_device(
+    policy: SchedPolicy,
+    slots: &[DeviceSlot],
+    rr_next: &mut usize,
+) -> Option<usize> {
     match policy {
         SchedPolicy::RoundRobin => {
-            let d = *rr_next % slots.len();
-            *rr_next = (*rr_next + 1) % slots.len();
-            d
+            let n = slots.len();
+            for k in 0..n {
+                let d = (*rr_next + k) % n;
+                if !slots[d].quarantined {
+                    *rr_next = (d + 1) % n;
+                    return Some(d);
+                }
+            }
+            None
         }
         SchedPolicy::LeastLoaded => slots
             .iter()
             .enumerate()
+            .filter(|(_, s)| !s.quarantined)
             .min_by_key(|(i, s)| (s.pending, s.executed_cycles, *i))
-            .map(|(i, _)| i)
-            .unwrap_or(0),
+            .map(|(i, _)| i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> Vec<DeviceSlot> {
+        (0..n).map(|_| DeviceSlot::new()).collect()
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_by_cycles_then_index() {
+        let mut slots = fleet(3);
+        // Same pending everywhere: the cycle tie-break decides.
+        slots[0].executed_cycles = 500;
+        slots[1].executed_cycles = 100;
+        slots[2].executed_cycles = 100;
+        let mut rr = 0;
+        assert_eq!(
+            pick_device(SchedPolicy::LeastLoaded, &slots, &mut rr),
+            Some(1),
+            "equal cycles resolve to the lowest index"
+        );
+        // Pending dominates cycles.
+        slots[1].pending = 2;
+        slots[2].pending = 2;
+        assert_eq!(
+            pick_device(SchedPolicy::LeastLoaded, &slots, &mut rr),
+            Some(0),
+            "fewest pending wins even with the most cycles"
+        );
+        // Full tie: lowest index.
+        let slots = fleet(4);
+        assert_eq!(pick_device(SchedPolicy::LeastLoaded, &slots, &mut rr), Some(0));
+    }
+
+    #[test]
+    fn quarantined_slots_are_never_picked() {
+        let mut slots = fleet(3);
+        slots[1].quarantined = true;
+        let mut rr = 0;
+        // Round-robin skips slot 1 but keeps rotating over the survivors.
+        let picks: Vec<_> = (0..4)
+            .map(|_| pick_device(SchedPolicy::RoundRobin, &slots, &mut rr))
+            .collect();
+        assert_eq!(picks, vec![Some(0), Some(2), Some(0), Some(2)]);
+        // Least-loaded ignores the quarantined slot even when it looks
+        // idle.
+        slots[0].pending = 9;
+        slots[2].pending = 9;
+        let mut rr = 0;
+        assert_eq!(
+            pick_device(SchedPolicy::LeastLoaded, &slots, &mut rr),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn all_quarantined_is_none_not_a_panic() {
+        let mut slots = fleet(2);
+        slots[0].quarantined = true;
+        slots[1].quarantined = true;
+        let mut rr = 0;
+        assert_eq!(pick_device(SchedPolicy::RoundRobin, &slots, &mut rr), None);
+        assert_eq!(pick_device(SchedPolicy::LeastLoaded, &slots, &mut rr), None);
+    }
+
+    #[test]
+    fn round_robin_preserves_rotation_without_quarantine() {
+        let slots = fleet(3);
+        let mut rr = 0;
+        let picks: Vec<_> = (0..6)
+            .map(|_| pick_device(SchedPolicy::RoundRobin, &slots, &mut rr))
+            .collect();
+        assert_eq!(
+            picks,
+            vec![Some(0), Some(1), Some(2), Some(0), Some(1), Some(2)]
+        );
     }
 }

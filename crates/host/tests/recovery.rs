@@ -1,0 +1,318 @@
+//! The recovery contract of the offload host runtime: transient faults
+//! retry to a clean result, stalls trip a typed watchdog, device loss
+//! fails over to a replacement vGPU whose journal replay reproduces the
+//! clean run bit-for-bit, and a shrinking fleet degrades gracefully down
+//! to a typed `FleetLost` — never a panic, never a wrong answer.
+
+mod common;
+
+use common::{input, quick, scale_add_app, scale_add_expected};
+use nzomp::BuildConfig;
+use nzomp_host::{Host, HostError, RecoveryPolicy, RegionArg};
+use nzomp_vgpu::device::Launch;
+use nzomp_vgpu::{DeviceFaultKind, DeviceFaultSite, FaultPlan, RtVal, TrapKind};
+
+const N: usize = 64;
+
+fn launch() -> Launch {
+    Launch {
+        teams: 4,
+        threads_per_team: 16,
+        dyn_smem_bytes: 0,
+    }
+}
+
+fn region_args() -> Vec<RegionArg> {
+    vec![
+        RegionArg::To(nzomp_host::f64_bytes(&input(N))),
+        RegionArg::From(8 * N as u64),
+        RegionArg::Scalar(RtVal::I(N as i64)),
+    ]
+}
+
+fn device_plan(sites: &[(u64, DeviceFaultKind)]) -> FaultPlan {
+    FaultPlan {
+        device_sites: sites
+            .iter()
+            .map(|&(after_ops, kind)| DeviceFaultSite { after_ops, kind })
+            .collect(),
+        ..FaultPlan::default()
+    }
+}
+
+fn host(n_devices: usize) -> Host {
+    let mut h = Host::new(quick(), n_devices);
+    h.set_worker_threads(1);
+    h
+}
+
+/// Everything observable about one region run on device 0.
+fn run_clean() -> (Vec<u64>, nzomp_vgpu::KernelMetrics, Vec<u8>) {
+    let mut h = host(1);
+    let img = h
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    let s = h.stream();
+    let region = h.enqueue_region(&[s], img, "k", launch(), region_args()).unwrap();
+    h.sync().unwrap();
+    (
+        h.buf_bits(region.bufs[1].unwrap()).unwrap(),
+        h.take_metrics(region.ticket).unwrap(),
+        h.device(region.device).unwrap().global_bytes().to_vec(),
+    )
+}
+
+/// A one-shot memcpy fault under recovery retries to a result
+/// bit-identical to the clean run.
+#[test]
+fn transient_memcpy_fault_retries_to_clean_result() {
+    let clean = run_clean();
+    let mut h = host(1);
+    h.set_recovery(Some(RecoveryPolicy::default()));
+    let img = h
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    h.bind_image(0, img).unwrap();
+    h.set_device_faults(0, device_plan(&[(0, DeviceFaultKind::MemcpyFail)]))
+        .unwrap();
+    let s = h.stream();
+    let region = h.enqueue_region(&[s], img, "k", launch(), region_args()).unwrap();
+    h.sync().unwrap();
+
+    let m = h.recovery_metrics();
+    assert_eq!(m.retries, 1, "exactly one transient retry");
+    assert_eq!(m.failovers, 0);
+    assert!(m.backoff_cycles > 0, "retry charged modeled backoff");
+    assert_eq!(h.buf_bits(region.bufs[1].unwrap()).unwrap(), clean.0);
+    assert_eq!(h.take_metrics(region.ticket).unwrap(), clean.1);
+    assert_eq!(h.device(0).unwrap().global_bytes(), clean.2.as_slice());
+}
+
+/// A stalled launch trips the typed watchdog; under recovery the retry
+/// (the stall site is one-shot) completes the region cleanly.
+#[test]
+fn stalled_launch_trips_watchdog_and_retries() {
+    // Without recovery: the stall surfaces as HostError::Watchdog.
+    let mut h = host(1);
+    let img = h
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    h.bind_image(0, img).unwrap();
+    h.set_device_faults(0, device_plan(&[(0, DeviceFaultKind::StallLaunch)]))
+        .unwrap();
+    let s = h.stream();
+    h.enqueue_region(&[s], img, "k", launch(), region_args()).unwrap();
+    match h.sync() {
+        Err(HostError::Watchdog { kernel, fuel }) => {
+            assert_eq!(kernel, "k");
+            assert!(fuel > 0);
+        }
+        other => panic!("expected a watchdog trip, got {other:?}"),
+    }
+
+    // With recovery: retried to the clean result.
+    let clean = run_clean();
+    let mut h = host(1);
+    h.set_recovery(Some(RecoveryPolicy::default()));
+    let img = h
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    h.bind_image(0, img).unwrap();
+    h.set_device_faults(0, device_plan(&[(0, DeviceFaultKind::StallLaunch)]))
+        .unwrap();
+    let s = h.stream();
+    let region = h.enqueue_region(&[s], img, "k", launch(), region_args()).unwrap();
+    h.sync().unwrap();
+    let m = h.recovery_metrics();
+    assert_eq!(m.watchdog_trips, 1);
+    assert_eq!(m.retries, 1);
+    assert_eq!(h.buf_bits(region.bufs[1].unwrap()).unwrap(), clean.0);
+}
+
+/// A genuinely runaway kernel (fuel exceeded under a binding host
+/// watchdog) is a watchdog trip too — and exhausts the retry budget
+/// instead of consuming the drain forever.
+#[test]
+fn runaway_kernel_exhausts_watchdog_retries() {
+    let mut h = host(1);
+    h.set_watchdog_fuel(Some(10));
+    h.set_recovery(Some(RecoveryPolicy::default()));
+    let img = h
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    let s = h.stream();
+    h.enqueue_region(&[s], img, "k", launch(), region_args()).unwrap();
+    match h.sync() {
+        Err(HostError::Watchdog { fuel, .. }) => assert_eq!(fuel, 10),
+        other => panic!("expected a watchdog trip, got {other:?}"),
+    }
+    let m = h.recovery_metrics();
+    assert_eq!(
+        m.retries,
+        u64::from(RecoveryPolicy::default().transient_retries),
+        "the full transient budget was spent before surfacing"
+    );
+    assert_eq!(m.watchdog_trips, m.retries);
+}
+
+/// Device loss mid-drain: the host quarantines the dead device, binds a
+/// replacement, replays the journal, and finishes with outputs, metrics,
+/// and a device global-memory image bit-identical to the clean run.
+#[test]
+fn device_loss_fails_over_and_replays_bit_identically() {
+    let clean = run_clean();
+    let mut h = host(1);
+    h.set_recovery(Some(RecoveryPolicy::default()));
+    let img = h
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    h.bind_image(0, img).unwrap();
+    // after_ops=1: the input upload (op 0) completes; the launch (op 1)
+    // hits the loss — the journal already holds allocations and the
+    // upload.
+    h.set_device_faults(0, device_plan(&[(1, DeviceFaultKind::Lost)]))
+        .unwrap();
+    let s = h.stream();
+    let region = h.enqueue_region(&[s], img, "k", launch(), region_args()).unwrap();
+    h.sync().unwrap();
+
+    let m = h.recovery_metrics();
+    assert_eq!(m.failovers, 1);
+    assert_eq!(m.quarantines, 1);
+    assert!(m.replayed_ops >= 3, "allocs + upload replayed, got {}", m.replayed_ops);
+    assert_eq!(h.buf_bits(region.bufs[1].unwrap()).unwrap(), clean.0, "output bits");
+    assert_eq!(h.take_metrics(region.ticket).unwrap(), clean.1, "kernel metrics");
+    assert_eq!(
+        h.device(0).unwrap().global_bytes(),
+        clean.2.as_slice(),
+        "device global-memory image"
+    );
+    assert_eq!(
+        h.buf_f64(region.bufs[1].unwrap()).unwrap(),
+        scale_add_expected(&input(N))
+    );
+    assert!(!h.quarantined(0), "the slot carries the replacement, not a tombstone");
+}
+
+/// When the last device dies with no failover budget, the outcome is the
+/// typed `FleetLost` — and stays that way for later regions.
+#[test]
+fn all_devices_lost_is_typed_fleet_loss() {
+    let mut h = host(1);
+    h.set_eager(true);
+    h.set_recovery(Some(RecoveryPolicy {
+        max_failovers: 0,
+        ..RecoveryPolicy::default()
+    }));
+    let img = h
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    h.bind_image(0, img).unwrap();
+    h.set_device_faults(0, device_plan(&[(0, DeviceFaultKind::Lost)]))
+        .unwrap();
+    let s = h.stream();
+    match h.enqueue_region(&[s], img, "k", launch(), region_args()) {
+        Err(HostError::FleetLost { devices }) => assert_eq!(devices, 1),
+        other => panic!("expected fleet loss, got {other:?}"),
+    }
+    assert_eq!(h.live_devices(), 0);
+    // Every later placement fails the same typed way.
+    match h.enqueue_region(&[s], img, "k", launch(), region_args()) {
+        Err(HostError::FleetLost { devices }) => assert_eq!(devices, 1),
+        other => panic!("expected fleet loss, got {other:?}"),
+    }
+}
+
+/// With a second healthy device, losing the first (budget spent) degrades
+/// the fleet: the loss surfaces once, the slot is quarantined, and the
+/// scheduler routes every subsequent region to the survivor.
+#[test]
+fn quarantined_device_is_excluded_and_fleet_degrades() {
+    let mut h = host(2);
+    h.set_eager(true);
+    h.set_recovery(Some(RecoveryPolicy {
+        max_failovers: 0,
+        ..RecoveryPolicy::default()
+    }));
+    let img = h
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    h.bind_image(0, img).unwrap();
+    h.set_device_faults(0, device_plan(&[(0, DeviceFaultKind::Lost)]))
+        .unwrap();
+    let s = h.stream();
+    // Round-robin places the first region on device 0 — which dies.
+    match h.enqueue_region(&[s], img, "k", launch(), region_args()) {
+        Err(HostError::Exec(e)) => assert_eq!(e.kind, TrapKind::DeviceLost),
+        other => panic!("expected the surfaced device loss, got {other:?}"),
+    }
+    assert!(h.quarantined(0));
+    assert_eq!(h.live_devices(), 1);
+    // The degraded fleet keeps serving — every region lands on device 1
+    // and produces the reference result.
+    for _ in 0..3 {
+        let region = h.enqueue_region(&[s], img, "k", launch(), region_args()).unwrap();
+        assert_eq!(region.device, 1, "quarantined device scheduled");
+        assert_eq!(
+            h.buf_f64(region.bufs[1].unwrap()).unwrap(),
+            scale_add_expected(&input(N))
+        );
+    }
+}
+
+/// With recovery disabled the runtime behaves exactly as before this
+/// subsystem existed: the first device fault aborts the drain as a typed
+/// error, nothing retries, nothing is journaled.
+#[test]
+fn recovery_disabled_surfaces_faults_unchanged() {
+    let mut h = host(1);
+    let img = h
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    h.bind_image(0, img).unwrap();
+    h.set_device_faults(0, device_plan(&[(0, DeviceFaultKind::Lost)]))
+        .unwrap();
+    let s = h.stream();
+    h.enqueue_region(&[s], img, "k", launch(), region_args()).unwrap();
+    match h.sync() {
+        Err(HostError::Exec(e)) => assert_eq!(e.kind, TrapKind::DeviceLost),
+        other => panic!("expected the raw device loss, got {other:?}"),
+    }
+    let m = h.recovery_metrics();
+    assert_eq!(*m, nzomp_host::RecoveryMetrics::default(), "no recovery activity");
+}
+
+/// The recovered path reproduces the clean run under both scheduling
+/// policies and several fleet sizes — the single-region shape of the
+/// chaos suite's claim, asserted here with explicit seeds.
+#[test]
+fn failover_is_bit_identical_across_policies_and_fleets() {
+    let clean = run_clean();
+    for policy in [nzomp_host::SchedPolicy::RoundRobin, nzomp_host::SchedPolicy::LeastLoaded] {
+        for devices in [1usize, 2, 4] {
+            let mut h = host(devices);
+            h.set_policy(policy);
+            h.set_recovery(Some(RecoveryPolicy::default()));
+            let img = h
+                .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+                .unwrap();
+            // Kill whichever device the scheduler will pick first (both
+            // policies start at index 0 on an idle fleet).
+            h.bind_image(0, img).unwrap();
+            h.set_device_faults(0, device_plan(&[(1, DeviceFaultKind::Lost)]))
+                .unwrap();
+            let s = h.stream();
+            let region = h.enqueue_region(&[s], img, "k", launch(), region_args()).unwrap();
+            assert_eq!(region.device, 0);
+            h.sync().unwrap();
+            assert_eq!(
+                h.buf_bits(region.bufs[1].unwrap()).unwrap(),
+                clean.0,
+                "policy {policy:?} devices {devices}"
+            );
+            assert_eq!(h.take_metrics(region.ticket).unwrap(), clean.1);
+            assert_eq!(h.device(0).unwrap().global_bytes(), clean.2.as_slice());
+            assert_eq!(h.recovery_metrics().failovers, 1);
+        }
+    }
+}

@@ -130,6 +130,50 @@ fn dependency_cycle_is_typed_deadlock() {
     }
 }
 
+/// Deadlock detection fires only after every possible op has run: work
+/// ahead of (and beside) the blocked wait completes first, and the
+/// blocked-stream count reflects exactly the streams still stuck.
+#[test]
+fn deadlock_is_detected_after_partial_progress() {
+    let mut host = Host::new(quick(), 1);
+    let a = host.stream();
+    let b = host.stream();
+    let never = host.event();
+    let order: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+    let (o1, o2) = (order.clone(), order.clone());
+    // Stream a runs one callback, then blocks forever; stream b drains
+    // fully.
+    host.callback(a, move || o1.borrow_mut().push("a")).unwrap();
+    host.wait(a, never).unwrap();
+    host.callback(a, || unreachable!("behind a permanently blocked wait")).unwrap();
+    host.callback(b, move || o2.borrow_mut().push("b")).unwrap();
+    match host.sync() {
+        Err(HostError::Stream(StreamError::Deadlock { blocked_streams })) => {
+            assert_eq!(blocked_streams, 1, "only stream a is stuck")
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+    assert_eq!(*order.borrow(), ["a", "b"], "runnable work completed first");
+}
+
+/// The eager executor has no queue to park a wait in: an unsignaled wait
+/// is an immediate single-stream deadlock, while a signaled one passes.
+#[test]
+fn eager_wait_deadlocks_immediately_unless_signaled() {
+    let mut host = Host::new(quick(), 1);
+    host.set_eager(true);
+    let s = host.stream();
+    let ev = host.event();
+    match host.wait(s, ev) {
+        Err(HostError::Stream(StreamError::Deadlock { blocked_streams })) => {
+            assert_eq!(blocked_streams, 1)
+        }
+        other => panic!("expected immediate deadlock, got {other:?}"),
+    }
+    host.record(s, ev).unwrap();
+    host.wait(s, ev).unwrap();
+}
+
 /// Unknown handles are typed errors.
 #[test]
 fn unknown_handles_are_typed() {

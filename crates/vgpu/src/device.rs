@@ -5,7 +5,7 @@ use nzomp_ir::{Module, Space, Ty};
 
 use crate::cost::{CostModel, DeviceConfig};
 use crate::error::{ExecError, TrapKind};
-use crate::faults::FaultPlan;
+use crate::faults::{DeviceFaultKind, FaultPlan};
 use crate::gmem::{apply_effects, GlobalMem};
 use crate::interp::{Counters, GlobalLayout, HeapState, TeamExec};
 use crate::memory::{DevPtr, Region};
@@ -113,6 +113,18 @@ pub struct Device {
     /// Sanitizer outcome of the most recent launch (kept even when the
     /// launch trapped).
     last_san: Option<LaunchSan>,
+    /// Host-visible device operations performed (memcpys + launches) —
+    /// the trigger clock of [`crate::faults::DeviceFaultSite`]s. Reset
+    /// when a plan is (re-)armed so seeded campaigns reproduce.
+    dev_ops: u64,
+    /// One consumed flag per armed `device_sites` entry.
+    dev_sites_fired: Vec<bool>,
+    /// The device vanished (a [`DeviceFaultKind::Lost`] site fired):
+    /// every further memcpy/launch returns [`TrapKind::DeviceLost`].
+    lost: bool,
+    /// Host-imposed launch watchdog: caps the fuel budget of every launch
+    /// at `min(watchdog, plan-or-config budget)`. `None` in production.
+    watchdog_fuel: Option<u64>,
 }
 
 impl Device {
@@ -213,6 +225,10 @@ impl Device {
             suppress_shared,
             release_fns,
             last_san: None,
+            dev_ops: 0,
+            dev_sites_fired: Vec::new(),
+            lost: false,
+            watchdog_fuel: None,
         }
     }
 
@@ -282,17 +298,121 @@ impl Device {
 
     /// Arm a fault-injection plan; every subsequent launch executes under
     /// it until [`Device::clear_fault_plan`]. Empty plans disarm.
+    ///
+    /// (Re-)arming resets the device-fault clock: the op counter, the
+    /// consumed-site flags, and the `lost` latch — a test hook that makes
+    /// seeded campaigns replayable on one device. A real host never
+    /// resurrects hardware this way; it binds a replacement device.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.dev_ops = 0;
+        self.lost = false;
+        self.dev_sites_fired = vec![false; plan.device_sites.len()];
         self.faults = if plan.is_empty() { None } else { Some(plan) };
     }
 
     pub fn clear_fault_plan(&mut self) {
         self.faults = None;
+        self.dev_ops = 0;
+        self.lost = false;
+        self.dev_sites_fired.clear();
     }
 
     /// The armed fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// Arm (or disarm with `None`) a host launch watchdog: every launch's
+    /// fuel budget becomes `min(watchdog, plan-or-config budget)`, so a
+    /// runaway kernel traps within a host-chosen step bound instead of
+    /// the device default. The host runtime (`nzomp-host`) maps the
+    /// resulting budget trap to its typed `Watchdog` error.
+    pub fn set_watchdog_fuel(&mut self, fuel: Option<u64>) {
+        self.watchdog_fuel = fuel;
+    }
+
+    pub fn watchdog_fuel(&self) -> Option<u64> {
+        self.watchdog_fuel
+    }
+
+    /// Whether the device has been lost to a [`DeviceFaultKind::Lost`]
+    /// site. Lost devices fail every memcpy/launch with
+    /// [`TrapKind::DeviceLost`].
+    pub fn is_lost(&self) -> bool {
+        self.lost
+    }
+
+    /// The fuel budget the next launch will run under: the watchdog cap,
+    /// the armed plan's override, or the device default — whichever binds.
+    fn effective_fuel(&self) -> u64 {
+        let base = self
+            .faults
+            .as_ref()
+            .and_then(|p| p.fuel_limit)
+            .unwrap_or(self.config.max_steps);
+        match self.watchdog_fuel {
+            Some(w) => w.min(base),
+            None => base,
+        }
+    }
+
+    /// Device-fault poll, run at the entry of every host-visible device
+    /// operation (memcpy, launch) *before* it mutates anything — faulted
+    /// ops are atomic: they either complete or leave no trace. Returns
+    /// the trap to raise, if a site fires (or the device is already
+    /// lost). With no plan armed this is two always-false branches.
+    fn poll_device_fault(&mut self, is_launch: bool) -> Option<TrapKind> {
+        if self.lost {
+            return Some(TrapKind::DeviceLost);
+        }
+        let plan = self.faults.as_ref()?;
+        if plan.device_sites.is_empty() {
+            return None;
+        }
+        let op = self.dev_ops;
+        self.dev_ops += 1;
+        // First unconsumed site whose trigger index has passed and whose
+        // kind applies to this op class fires; `Lost` applies to every
+        // class and latches.
+        for (i, site) in plan.device_sites.iter().enumerate() {
+            if self.dev_sites_fired.get(i).copied().unwrap_or(true) || site.after_ops > op {
+                continue;
+            }
+            let applies = match site.kind {
+                DeviceFaultKind::Lost => true,
+                DeviceFaultKind::StallLaunch => is_launch,
+                DeviceFaultKind::MemcpyFail => !is_launch,
+            };
+            if !applies {
+                continue;
+            }
+            self.dev_sites_fired[i] = true;
+            return Some(match site.kind {
+                DeviceFaultKind::Lost => {
+                    self.lost = true;
+                    TrapKind::DeviceLost
+                }
+                DeviceFaultKind::StallLaunch => TrapKind::Stalled {
+                    fuel: self.effective_fuel(),
+                },
+                DeviceFaultKind::MemcpyFail => TrapKind::MemcpyFault,
+            });
+        }
+        None
+    }
+
+    /// Poll wrapper for the host memcpy primitives: same synthetic
+    /// `<host read>` / `<host write>` context as [`host_oob`].
+    fn poll_memcpy_fault(&mut self, op: &str) -> Result<(), ExecError> {
+        match self.poll_device_fault(false) {
+            Some(kind) => Err(ExecError {
+                kind,
+                team: 0,
+                thread: 0,
+                func: format!("<host {op}>"),
+            }),
+            None => Ok(()),
+        }
     }
 
     /// Host-side allocation in device global memory.
@@ -367,6 +487,7 @@ impl Device {
     /// host runtime (`nzomp-host`), which moves opaque byte images rather
     /// than typed slices.
     pub fn write_bytes(&mut self, ptr: DevPtr, data: &[u8]) -> Result<(), ExecError> {
+        self.poll_memcpy_fault("write")?;
         let off = ptr.offset() as usize;
         let end = off.checked_add(data.len()).ok_or_else(|| host_oob("write"))?;
         if end > self.global.bytes.len() {
@@ -377,8 +498,10 @@ impl Device {
     }
 
     /// Raw device→host memcpy; typed out-of-bounds error instead of a
-    /// panic.
-    pub fn read_bytes(&self, ptr: DevPtr, len: usize) -> Result<Vec<u8>, ExecError> {
+    /// panic. `&mut` because the device-fault clock ticks on every
+    /// host-visible transfer, even reads.
+    pub fn read_bytes(&mut self, ptr: DevPtr, len: usize) -> Result<Vec<u8>, ExecError> {
+        self.poll_memcpy_fault("read")?;
         let off = ptr.offset() as usize;
         let end = off.checked_add(len).ok_or_else(|| host_oob("read"))?;
         if end > self.global.bytes.len() {
@@ -435,6 +558,14 @@ impl Device {
         launch: Launch,
         args: &[RtVal],
     ) -> Result<KernelMetrics, ExecError> {
+        if let Some(kind) = self.poll_device_fault(true) {
+            return Err(ExecError {
+                kind,
+                team: 0,
+                thread: 0,
+                func: kernel.to_string(),
+            });
+        }
         let func_ref = self.module.find_func(kernel).ok_or_else(|| ExecError {
             kind: TrapKind::BadLaunch(format!("no kernel @{kernel}")),
             team: 0,
@@ -481,14 +612,11 @@ impl Device {
             .teams_per_sm(regs, launch.threads_per_team, shared_total.max(1));
         let wave_size = self.config.wave_size(tps);
 
-        // Fault plans can shrink the step budget and the device heap for
-        // this launch; the heap limit is restored afterwards (even on a
-        // trap) so one faulted launch does not poison the next.
-        let mut fuel = self
-            .faults
-            .as_ref()
-            .and_then(|p| p.fuel_limit)
-            .unwrap_or(self.config.max_steps);
+        // Fault plans and the host watchdog can shrink the step budget,
+        // and fault plans the device heap, for this launch; the heap
+        // limit is restored afterwards (even on a trap) so one faulted
+        // launch does not poison the next.
+        let mut fuel = self.effective_fuel();
         let saved_heap_limit = self.heap.limit;
         if let Some(budget) = self.faults.as_ref().and_then(|p| p.heap_limit) {
             self.heap.limit = (self.global.len() as u64).saturating_add(budget);

@@ -40,6 +40,24 @@ pub enum TrapKind {
     /// module loaded directly onto a device degrades to this typed error
     /// instead of aborting the process.
     MalformedIr(String),
+    /// The device vanished mid-operation (injected by a
+    /// [`crate::faults::DeviceFaultKind::Lost`] site, modeling a GPU
+    /// falling off the bus / an Xid-style fatal fault). Once lost, every
+    /// subsequent host-visible operation on the device returns this trap
+    /// until a fresh device replaces it — recovery is the host runtime's
+    /// job (`nzomp-host`), never the interpreter's.
+    DeviceLost,
+    /// The launch made no progress within its watchdog fuel budget — the
+    /// device-level symptom a host launch watchdog converts into a typed
+    /// `Watchdog` host error. Injected by
+    /// [`crate::faults::DeviceFaultKind::StallLaunch`]; carries the fuel
+    /// budget that was in effect so the reproducer is in the message.
+    Stalled { fuel: u64 },
+    /// A transient host<->device memcpy failure (injected by
+    /// [`crate::faults::DeviceFaultKind::MemcpyFail`]): the transfer did
+    /// not happen, device memory is unchanged, and — faults being
+    /// one-shot — an immediate retry succeeds.
+    MemcpyFault,
     /// The sanitizer found data races / divergent barriers and strict
     /// mode (`NZOMP_SANITIZE=strict`) promotes findings to a trap after
     /// the (otherwise clean) launch completes. The reports remain
@@ -73,6 +91,12 @@ impl fmt::Display for TrapKind {
             TrapKind::BadFree => write!(f, "free() of unknown pointer"),
             TrapKind::BadLaunch(m) => write!(f, "bad launch: {m}"),
             TrapKind::MalformedIr(m) => write!(f, "malformed IR reached the interpreter: {m}"),
+            TrapKind::DeviceLost => write!(f, "device lost"),
+            TrapKind::Stalled { fuel } => write!(
+                f,
+                "kernel stalled: watchdog fired after {fuel} steps without completion"
+            ),
+            TrapKind::MemcpyFault => write!(f, "transient memcpy failure"),
             TrapKind::SanitizerViolation { races, divergences } => write!(
                 f,
                 "sanitizer reported {races} data race(s) and {divergences} barrier divergence(s)"

@@ -34,6 +34,37 @@ pub enum FaultAction {
     DropBarrierArrival,
 }
 
+/// A device-scoped fault class: unlike [`FaultAction`]s, which target a
+/// thread *inside* a launch, these hit the host-visible device operations
+/// themselves (memcpys and launches) — the failure modes a real
+/// heterogeneous fleet loses nodes to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeviceFaultKind {
+    /// The device vanishes: the triggering operation (and every later
+    /// one) returns [`crate::TrapKind::DeviceLost`]. Permanent for this
+    /// device — only replacing it helps.
+    Lost,
+    /// The next launch at or after the trigger stalls: it returns
+    /// [`crate::TrapKind::Stalled`] carrying the fuel budget in effect,
+    /// without mutating device memory. One-shot — a retry runs clean.
+    StallLaunch,
+    /// The next host<->device memcpy at or after the trigger fails with
+    /// [`crate::TrapKind::MemcpyFault`] before moving any bytes.
+    /// One-shot — a retry succeeds.
+    MemcpyFail,
+}
+
+/// One device-scoped fault: fires at the first *applicable* device
+/// operation (memcpy or launch, see [`DeviceFaultKind`]) whose index —
+/// counted from 0 across the device's lifetime (or last plan re-arm) —
+/// is at least `after_ops`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeviceFaultSite {
+    /// Trigger at the first applicable op with index >= `after_ops`.
+    pub after_ops: u64,
+    pub kind: DeviceFaultKind,
+}
+
 /// One injected fault: a (team, thread, step) coordinate plus an action.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultSite {
@@ -66,6 +97,11 @@ pub struct FaultPlan {
     /// Override the device heap budget in bytes (smaller = provoke
     /// [`crate::TrapKind::OutOfMemory`] in allocating kernels).
     pub heap_limit: Option<u64>,
+    /// Device-scoped faults (lost device, stalled launch, failed memcpy)
+    /// aimed at host-visible device operations rather than kernel
+    /// threads. Consumed-site state lives on the [`crate::Device`] (reset
+    /// on every re-arm), so the plan itself stays shareable read-only.
+    pub device_sites: Vec<DeviceFaultSite>,
 }
 
 impl FaultPlan {
@@ -76,7 +112,10 @@ impl FaultPlan {
 
     /// True if the plan has no effect on execution.
     pub fn is_empty(&self) -> bool {
-        self.sites.is_empty() && self.fuel_limit.is_none() && self.heap_limit.is_none()
+        self.sites.is_empty()
+            && self.fuel_limit.is_none()
+            && self.heap_limit.is_none()
+            && self.device_sites.is_empty()
     }
 
     /// Derive a plan from a seed for a launch of `teams × threads`.
@@ -138,6 +177,40 @@ impl FaultPlan {
             sites,
             fuel_limit,
             heap_limit,
+            device_sites: Vec::new(),
+        }
+    }
+
+    /// Derive a *device-level* fault campaign from a seed: 1–2
+    /// [`DeviceFaultSite`]s with trigger indices biased to land inside a
+    /// single target region's handful of memcpys and launches, mixing
+    /// lost devices, stalled launches, and transient memcpy failures
+    /// evenly. Thread-level sites and budget overrides stay empty, so the
+    /// plan perturbs nothing but the device operations themselves.
+    ///
+    /// The derivation is a pure function of `seed` (SplitMix64), so a
+    /// chaos campaign is a one-line reproducer — the same discipline as
+    /// [`FaultPlan::from_seed`].
+    pub fn device_campaign(seed: u64) -> FaultPlan {
+        let mut s = Mix(seed ^ 0xdead_dec1_ce50_0002);
+        let nsites = 1 + (s.next() % 2) as usize;
+        let mut device_sites = Vec::with_capacity(nsites);
+        for _ in 0..nsites {
+            // A single region performs only a handful of device ops
+            // (uploads, one launch, readback); `% 4` keeps nearly every
+            // site live so chaos campaigns actually exercise recovery.
+            let after_ops = s.next() % 4;
+            let kind = match s.next() % 3 {
+                0 => DeviceFaultKind::Lost,
+                1 => DeviceFaultKind::StallLaunch,
+                _ => DeviceFaultKind::MemcpyFail,
+            };
+            device_sites.push(DeviceFaultSite { after_ops, kind });
+        }
+        FaultPlan {
+            seed,
+            device_sites,
+            ..FaultPlan::default()
         }
     }
 
@@ -186,6 +259,25 @@ mod tests {
     }
 
     #[test]
+    fn device_campaign_is_deterministic_and_device_scoped() {
+        let mut kinds = std::collections::HashSet::new();
+        for seed in 0..200u64 {
+            let a = FaultPlan::device_campaign(seed);
+            let b = FaultPlan::device_campaign(seed);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            assert!(!a.is_empty(), "device sites must make the plan non-empty");
+            assert!(a.sites.is_empty() && a.fuel_limit.is_none() && a.heap_limit.is_none());
+            assert!((1..=2).contains(&a.device_sites.len()));
+            for site in &a.device_sites {
+                assert!(site.after_ops < 4);
+                kinds.insert(site.kind);
+            }
+        }
+        // All three fault classes appear across 200 seeds.
+        assert_eq!(kinds.len(), 3, "a fault kind never derived: {kinds:?}");
+    }
+
+    #[test]
     fn different_seeds_usually_differ() {
         let distinct: std::collections::HashSet<String> = (0..64u64)
             .map(|s| format!("{:?}", FaultPlan::from_seed(s, 2, 8).sites))
@@ -217,8 +309,7 @@ mod tests {
                     action: FaultAction::Trap(crate::TrapKind::NullDeref),
                 },
             ],
-            fuel_limit: None,
-            heap_limit: None,
+            ..FaultPlan::default()
         };
         let s = plan.sites_for(1, 2);
         assert_eq!(s.len(), 2);

@@ -41,7 +41,7 @@ pub mod value;
 pub use cost::{CostModel, DeviceConfig};
 pub use device::Device;
 pub use error::{ExecError, TrapKind};
-pub use faults::{FaultAction, FaultPlan, FaultSite};
+pub use faults::{DeviceFaultKind, DeviceFaultSite, FaultAction, FaultPlan, FaultSite};
 pub use memory::{DevPtr, Segment};
 pub use metrics::KernelMetrics;
 pub use sanitize::{AccessKind, AccessSite, DivergenceReport, RaceReport, SanReport};

@@ -56,6 +56,7 @@ fn trap_site_fires_identically_on_relaunch() {
         }],
         fuel_limit: None,
         heap_limit: None,
+        device_sites: vec![],
     });
     let launch = Launch::new(1, 4);
     let args = [RtVal::P(pa), RtVal::P(po)];
@@ -81,6 +82,7 @@ fn corrupt_load_refires_on_relaunch() {
         }],
         fuel_limit: None,
         heap_limit: None,
+        device_sites: vec![],
     });
     let launch = Launch::new(1, 4);
     let args = [RtVal::P(pa), RtVal::P(po)];
@@ -112,6 +114,7 @@ fn fuel_limit_resets_between_launches() {
         sites: vec![],
         fuel_limit: Some(80),
         heap_limit: None,
+        device_sites: vec![],
     });
     let launch = Launch::new(1, 4);
     let args = [RtVal::P(pa), RtVal::P(po)];

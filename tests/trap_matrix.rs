@@ -5,7 +5,9 @@
 
 use nzomp_ir::{ExecMode, FuncBuilder, Function, Global, Init, Module, Operand, Space, Ty};
 use nzomp_vgpu::device::Launch;
-use nzomp_vgpu::{Device, DeviceConfig, ExecError, RtVal, TrapKind};
+use nzomp_vgpu::{
+    Device, DeviceConfig, DeviceFaultKind, DeviceFaultSite, ExecError, FaultPlan, RtVal, TrapKind,
+};
 
 struct Case {
     name: &'static str,
@@ -224,6 +226,37 @@ fn malformed_ir() -> (Device, Launch, Vec<RtVal>) {
     (default_dev(m), Launch::new(1, 1), vec![])
 }
 
+fn device_fault_plan(sites: &[(u64, DeviceFaultKind)]) -> FaultPlan {
+    FaultPlan {
+        device_sites: sites
+            .iter()
+            .map(|&(after_ops, kind)| DeviceFaultSite { after_ops, kind })
+            .collect(),
+        ..FaultPlan::default()
+    }
+}
+
+fn device_lost() -> (Device, Launch, Vec<RtVal>) {
+    let m = kernel_module("lost", vec![], |_| {});
+    let mut dev = default_dev(m);
+    dev.set_fault_plan(device_fault_plan(&[(0, DeviceFaultKind::Lost)]));
+    (dev, Launch::new(1, 1), vec![])
+}
+
+fn stalled() -> (Device, Launch, Vec<RtVal>) {
+    let m = kernel_module("stall", vec![], |_| {});
+    // Pin the step budget so the Display's fuel figure is exact.
+    let mut dev = Device::load(
+        m,
+        DeviceConfig {
+            max_steps: 1_000,
+            ..DeviceConfig::default()
+        },
+    );
+    dev.set_fault_plan(device_fault_plan(&[(0, DeviceFaultKind::StallLaunch)]));
+    (dev, Launch::new(1, 1), vec![])
+}
+
 #[test]
 fn every_trap_kind_has_exact_error_and_display() {
     let cases = vec![
@@ -389,6 +422,29 @@ fn every_trap_kind_has_exact_error_and_display() {
             display: "trap in team 0 thread 0 (@mal): malformed IR reached the interpreter: \
                       phi %2 in @mal bb2 missing incoming for bb0",
         },
+        Case {
+            name: "device_lost",
+            setup: device_lost,
+            expect: ExecError {
+                kind: TrapKind::DeviceLost,
+                team: 0,
+                thread: 0,
+                func: "lost".into(),
+            },
+            display: "trap in team 0 thread 0 (@lost): device lost",
+        },
+        Case {
+            name: "stalled",
+            setup: stalled,
+            expect: ExecError {
+                kind: TrapKind::Stalled { fuel: 1_000 },
+                team: 0,
+                thread: 0,
+                func: "stall".into(),
+            },
+            display: "trap in team 0 thread 0 (@stall): kernel stalled: watchdog fired after \
+                      1000 steps without completion",
+        },
     ];
 
     for case in cases {
@@ -451,6 +507,103 @@ fn host_memcpy_errors_are_typed() {
     assert_eq!(r64.kind, TrapKind::OutOfBounds);
     let r32 = dev.read_i32(far, 1).unwrap_err();
     assert_eq!(r32.kind, TrapKind::OutOfBounds);
+}
+
+/// A transient memcpy fault is typed, carries the `<host ...>` context,
+/// and — being one-shot — clears on the immediate retry with device
+/// memory untouched.
+#[test]
+fn memcpy_fault_is_typed_and_one_shot() {
+    let m = kernel_module("k", vec![], |_| {});
+    let mut dev = default_dev(m);
+    let p = dev.alloc(16);
+    // Op clock: write(0) faults, read(1) verifies, write(2) retries,
+    // read(3) faults, read(4) verifies.
+    dev.set_fault_plan(device_fault_plan(&[
+        (0, DeviceFaultKind::MemcpyFail),
+        (3, DeviceFaultKind::MemcpyFail),
+    ]));
+    // Write: first attempt faults, retry lands.
+    let e = dev.write_bytes(p, &[7u8; 16]).unwrap_err();
+    assert_eq!(e.kind, TrapKind::MemcpyFault);
+    assert_eq!(
+        e.to_string(),
+        "trap in team 0 thread 0 (@<host write>): transient memcpy failure"
+    );
+    assert_eq!(
+        dev.read_bytes(p, 16).unwrap(),
+        vec![0u8; 16],
+        "the faulted transfer left device memory untouched"
+    );
+    dev.write_bytes(p, &[7u8; 16]).unwrap();
+    // Read: the second site fires on the read path with its own context.
+    let e = dev.read_bytes(p, 16).unwrap_err();
+    assert_eq!(e.kind, TrapKind::MemcpyFault);
+    assert_eq!(
+        e.to_string(),
+        "trap in team 0 thread 0 (@<host read>): transient memcpy failure"
+    );
+    assert_eq!(dev.read_bytes(p, 16).unwrap(), vec![7u8; 16]);
+}
+
+/// Device loss latches: every host-visible operation after the fault
+/// returns `DeviceLost` until a plan is re-armed (the test hook that
+/// makes seeded campaigns replayable — production replaces the device).
+#[test]
+fn device_loss_latches_until_replan() {
+    let m = kernel_module("k", vec![], |_| {});
+    let mut dev = default_dev(m);
+    let p = dev.alloc(8);
+    dev.set_fault_plan(device_fault_plan(&[(0, DeviceFaultKind::Lost)]));
+    assert!(!dev.is_lost());
+    assert_eq!(dev.write_bytes(p, &[1; 8]).unwrap_err().kind, TrapKind::DeviceLost);
+    assert!(dev.is_lost());
+    assert_eq!(dev.read_bytes(p, 8).unwrap_err().kind, TrapKind::DeviceLost);
+    assert_eq!(
+        dev.launch("k", Launch::new(1, 1), &[]).unwrap_err().kind,
+        TrapKind::DeviceLost
+    );
+    // Re-arming resets the device-fault clock and resurrects the device.
+    dev.set_fault_plan(FaultPlan::default());
+    assert!(!dev.is_lost());
+    dev.write_bytes(p, &[1; 8]).unwrap();
+    dev.launch("k", Launch::new(1, 1), &[]).unwrap();
+}
+
+/// Seeded device campaigns reproduce: the same seed produces the same
+/// typed error at the same operation index on a fresh device — the PR 1
+/// matrix discipline extended to device-scoped faults.
+#[test]
+fn device_campaigns_reproduce_from_seed() {
+    let m = kernel_module("k", vec![], |_| {});
+    // One run = a fixed op sequence; record each op's outcome kind.
+    let trace = |seed: u64| -> Vec<String> {
+        let mut dev = Device::load(m.clone(), DeviceConfig::default());
+        let p = dev.alloc(32);
+        dev.set_fault_plan(FaultPlan::device_campaign(seed));
+        let mut t = Vec::new();
+        for i in 0..6 {
+            let r: Result<(), ExecError> = match i % 3 {
+                0 => dev.write_bytes(p, &[i as u8; 32]).map(|_| ()),
+                1 => dev.launch("k", Launch::new(1, 1), &[]).map(|_| ()),
+                _ => dev.read_bytes(p, 32).map(|_| ()),
+            };
+            t.push(match r {
+                Ok(()) => "ok".to_string(),
+                Err(e) => e.to_string(),
+            });
+        }
+        t
+    };
+    let mut faulted = 0;
+    for seed in 0..50u64 {
+        let a = trace(seed);
+        assert_eq!(a, trace(seed), "seed {seed} diverged across runs");
+        if a.iter().any(|s| s != "ok") {
+            faulted += 1;
+        }
+    }
+    assert!(faulted > 25, "campaigns barely fire ({faulted}/50)");
 }
 
 /// The typed `CompileError` surfaces malformed modules at link time with a

@@ -2,6 +2,7 @@
 
 use crate::inst::{Inst, InstId, Term};
 use crate::types::Ty;
+use crate::value::Operand;
 
 /// Dense index of a basic block within its function.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -143,5 +144,70 @@ impl Function {
     /// Number of instructions currently listed in blocks (live code size).
     pub fn live_inst_count(&self) -> usize {
         self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Is the instruction arena in *normal form*: exactly the live
+    /// instructions, stored in block-traversal order? Normal form is what
+    /// the textual format can represent losslessly — the parser produces
+    /// it, and `parse(print(f)) == f` holds exactly iff `f` is normalized
+    /// (see [`Function::renumber`] and `docs/ir-format.md`).
+    pub fn is_normalized(&self) -> bool {
+        let mut next = 0u32;
+        for b in &self.blocks {
+            for &iid in &b.insts {
+                if iid.0 != next {
+                    return false;
+                }
+                next += 1;
+            }
+        }
+        next as usize == self.insts.len()
+    }
+
+    /// Rewrite the instruction arena into normal form: dense ids in
+    /// block-traversal order, dead (unlisted) entries dropped, every
+    /// operand remapped. Returns whether anything changed. Transformation
+    /// passes leave holes and out-of-order entries behind; renumbering is
+    /// how a module becomes exactly representable in the text format.
+    pub fn renumber(&mut self) -> bool {
+        if self.is_normalized() {
+            return false;
+        }
+        let mut order: Vec<InstId> = Vec::with_capacity(self.insts.len());
+        for b in &self.blocks {
+            order.extend_from_slice(&b.insts);
+        }
+        let mut map: Vec<Option<InstId>> = vec![None; self.insts.len()];
+        for (new, old) in order.iter().enumerate() {
+            map[old.index()] = Some(InstId(new as u32));
+        }
+        // A malformed module may reference an unlisted (dead) instruction;
+        // leave such operands unchanged rather than abort — the verifier is
+        // the place that reports them.
+        let remap = |op: Operand| -> Operand {
+            match op {
+                Operand::Inst(i) => match map.get(i.index()).copied().flatten() {
+                    Some(n) => Operand::Inst(n),
+                    None => op,
+                },
+                other => other,
+            }
+        };
+        let mut insts: Vec<Inst> = Vec::with_capacity(order.len());
+        for old in &order {
+            let mut inst = self.insts[old.index()].clone();
+            inst.map_operands(remap);
+            insts.push(inst);
+        }
+        let mut next = 0u32;
+        for b in &mut self.blocks {
+            for iid in &mut b.insts {
+                *iid = InstId(next);
+                next += 1;
+            }
+            b.term.map_operands(remap);
+        }
+        self.insts = insts;
+        true
     }
 }

@@ -40,6 +40,8 @@ pub use func::{Block, BlockId, FnAttrs, Function, Linkage};
 pub use global::{Global, GlobalId, Init};
 pub use inst::{AtomicOp, BinOp, CastKind, Inst, InstId, Intrinsic, Pred, Term, UnOp};
 pub use module::{ExecMode, Kernel, LaunchDims, Module};
+pub use parser::{parse_module, parse_module_strict, ParseError};
+pub use printer::{fmt_f64, print_function, print_module, FORMAT_VERSION};
 pub use types::{Space, Ty};
 pub use value::Operand;
 pub use verify::{verify_function, verify_module, VerifyError};

@@ -139,6 +139,24 @@ impl Module {
         self.funcs.iter().map(|f| f.live_inst_count()).sum()
     }
 
+    /// Are all function bodies in normal form (dense instruction arenas in
+    /// block order)? See [`Function::is_normalized`].
+    pub fn is_normalized(&self) -> bool {
+        self.funcs.iter().all(Function::is_normalized)
+    }
+
+    /// Renumber every function into normal form ([`Function::renumber`]).
+    /// After this, `parse(print(m)) == m` holds *exactly* — the round-trip
+    /// contract of the versioned text format (`docs/ir-format.md`).
+    /// Returns whether any function changed.
+    pub fn renumber(&mut self) -> bool {
+        let mut changed = false;
+        for f in &mut self.funcs {
+            changed |= f.renumber();
+        }
+        changed
+    }
+
     /// Mark every non-kernel definition internal (paper §IV-A1 performs
     /// aggressive internalization; we model the effect directly since the
     /// whole image is one module after linking). Returns whether any

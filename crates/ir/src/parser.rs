@@ -1,9 +1,20 @@
-//! Parser for the textual IR format produced by [`crate::printer`].
+//! Parser for the versioned textual IR format produced by [`crate::printer`].
 //!
-//! Round-trip property: for any module `m`, `parse(print(m))` is
-//! semantically equivalent to `m` (instruction ids are renumbered densely,
-//! so the *text* re-normalizes after one round trip). Useful for file-based
-//! test cases, debugging dumps, and diffing optimizer stages.
+//! Round-trip contract (see `docs/ir-format.md`): for any module `m` in
+//! *normal form* (dense instruction arenas in block order — see
+//! [`crate::Module::renumber`]), `parse(print(m)) == m` holds as exact
+//! structural equality. For modules that are not normalized (transformation
+//! passes leave arena holes behind), `parse(print(m))` equals the
+//! normalized `m` — the text format cannot represent dead arena entries.
+//!
+//! Two entry points:
+//! * [`parse_module`] — lenient: accepts input with or without the
+//!   `; nzomp-ir vN` header (but rejects a header with the wrong version).
+//! * [`parse_module_strict`] — the on-disk `.nzir` contract: the first
+//!   non-blank line must be the version header.
+//!
+//! Errors carry the 1-based line, and where the offending token is known,
+//! the 1-based column.
 
 use std::collections::HashMap;
 
@@ -11,19 +22,30 @@ use crate::func::{Block, BlockId, FnAttrs, Function, Linkage};
 use crate::global::{Global, Init};
 use crate::inst::{AtomicOp, BinOp, CastKind, Inst, InstId, Intrinsic, Pred, Term, UnOp};
 use crate::module::{ExecMode, FuncRef, Module};
+use crate::printer::FORMAT_VERSION;
 use crate::types::{Space, Ty};
 use crate::value::{Operand, PhiIncoming};
 
-/// Parse error with line context.
+/// Parse error with line (and, when the offending token is known, column)
+/// context. `col == 0` means "column unknown".
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     pub line: usize,
+    pub col: usize,
     pub message: String,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        if self.col > 0 {
+            write!(
+                f,
+                "parse error at line {}, col {}: {}",
+                self.line, self.col, self.message
+            )
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -31,14 +53,69 @@ impl std::error::Error for ParseError {}
 
 type PResult<T> = Result<T, ParseError>;
 
-fn err<T>(line: usize, message: impl Into<String>) -> PResult<T> {
-    Err(ParseError {
-        line,
-        message: message.into(),
-    })
+/// Per-line parse context: the 1-based line number plus the raw line text.
+/// Every token the parser handles is a subslice of `raw`, so a column can
+/// be recovered from pointer arithmetic — no separate span plumbing.
+#[derive(Clone, Copy)]
+struct Cx<'a> {
+    line: usize,
+    raw: &'a str,
 }
 
-fn parse_ty(s: &str, line: usize) -> PResult<Ty> {
+impl<'a> Cx<'a> {
+    fn new(line: usize, raw: &'a str) -> Cx<'a> {
+        Cx { line, raw }
+    }
+
+    /// 1-based column of `tok` within the raw line, or 0 when `tok` is not
+    /// a subslice of it.
+    fn col_of(&self, tok: &str) -> usize {
+        let raw_start = self.raw.as_ptr() as usize;
+        let raw_end = raw_start + self.raw.len();
+        let tok_start = tok.as_ptr() as usize;
+        if tok_start >= raw_start && tok_start + tok.len() <= raw_end {
+            tok_start - raw_start + 1
+        } else {
+            0
+        }
+    }
+
+    /// Error without a column.
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            line: self.line,
+            col: 0,
+            message: message.into(),
+        })
+    }
+
+    /// Error anchored at the offending token.
+    fn err_at<T>(&self, tok: &str, message: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            line: self.line,
+            col: self.col_of(tok),
+            message: message.into(),
+        })
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: 0,
+            message: message.into(),
+        }
+    }
+
+    fn error_at(&self, tok: &str, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: self.col_of(tok),
+            message: message.into(),
+        }
+    }
+}
+
+fn parse_ty(s: &str, cx: &Cx<'_>) -> PResult<Ty> {
     match s {
         "i1" => Ok(Ty::I1),
         "i8" => Ok(Ty::I8),
@@ -46,17 +123,17 @@ fn parse_ty(s: &str, line: usize) -> PResult<Ty> {
         "i64" => Ok(Ty::I64),
         "f64" => Ok(Ty::F64),
         "ptr" => Ok(Ty::Ptr),
-        other => err(line, format!("unknown type {other:?}")),
+        other => cx.err_at(other, format!("unknown type {other:?}")),
     }
 }
 
-fn parse_space(s: &str, line: usize) -> PResult<Space> {
+fn parse_space(s: &str, cx: &Cx<'_>) -> PResult<Space> {
     match s {
         "global" => Ok(Space::Global),
         "shared" => Ok(Space::Shared),
         "local" => Ok(Space::Local),
         "constant" => Ok(Space::Constant),
-        other => err(line, format!("unknown space {other:?}")),
+        other => cx.err_at(other, format!("unknown space {other:?}")),
     }
 }
 
@@ -173,58 +250,69 @@ fn split_args(s: &str) -> Vec<&str> {
 }
 
 /// Parse one operand token like `%5`, `%arg0`, `i64 -3`, `f64 2.5`, `@name`.
-fn parse_raw_op(tok: &str, line: usize) -> PResult<RawOp> {
+fn parse_raw_op(tok: &str, cx: &Cx<'_>) -> PResult<RawOp> {
     let tok = tok.trim();
     if let Some(rest) = tok.strip_prefix("%arg") {
         return rest
             .parse::<u32>()
             .map(RawOp::Param)
-            .or_else(|_| err(line, format!("bad param {tok:?}")));
+            .or_else(|_| cx.err_at(tok, format!("bad param {tok:?}")));
     }
     if let Some(rest) = tok.strip_prefix('%') {
         return rest
             .parse::<u32>()
             .map(RawOp::Inst)
-            .or_else(|_| err(line, format!("bad value id {tok:?}")));
+            .or_else(|_| cx.err_at(tok, format!("bad value id {tok:?}")));
     }
     if let Some(rest) = tok.strip_prefix('@') {
         return Ok(RawOp::Symbol(rest.to_string()));
     }
     if let Some((ty_s, val)) = tok.split_once(' ') {
-        let ty = parse_ty(ty_s, line)?;
+        let ty = parse_ty(ty_s, cx)?;
         if ty == Ty::F64 {
-            let v = parse_f64(val.trim(), line)?;
+            let v = parse_f64(val.trim(), cx)?;
             return Ok(RawOp::ConstF(v));
         }
         let v = val
             .trim()
             .parse::<i64>()
-            .or_else(|_| err(line, format!("bad int constant {val:?}")))?;
+            .or_else(|_| cx.err_at(val.trim(), format!("bad int constant {val:?}")))?;
         return Ok(RawOp::ConstI(v, ty));
     }
-    err(line, format!("cannot parse operand {tok:?}"))
+    cx.err_at(tok, format!("cannot parse operand {tok:?}"))
 }
 
-fn parse_f64(s: &str, line: usize) -> PResult<f64> {
+/// Parse an f64 literal. Inverse of [`crate::printer::fmt_f64`]: accepts
+/// `inf`/`-inf`, a `nan:0xBITS` bit pattern (exact, payload-preserving),
+/// the legacy bare `NaN` (maps to the canonical quiet NaN), and any decimal
+/// literal Rust's float parser accepts (shortest-exact decimals round-trip
+/// bit-for-bit, including `-0.0` and subnormals).
+fn parse_f64(s: &str, cx: &Cx<'_>) -> PResult<f64> {
+    if let Some(hex) = s.strip_prefix("nan:0x") {
+        let bits = u64::from_str_radix(hex, 16)
+            .or_else(|_| cx.err_at(s, format!("bad NaN bit pattern {s:?}")))?;
+        let v = f64::from_bits(bits);
+        if !v.is_nan() {
+            return cx.err_at(s, format!("{s:?} is not a NaN bit pattern"));
+        }
+        return Ok(v);
+    }
     match s {
         "NaN" => Ok(f64::NAN),
         "inf" => Ok(f64::INFINITY),
         "-inf" => Ok(f64::NEG_INFINITY),
         _ => s
             .parse::<f64>()
-            .or_else(|_| err(line, format!("bad float constant {s:?}"))),
+            .or_else(|_| cx.err_at(s, format!("bad float constant {s:?}"))),
     }
 }
 
-fn parse_block_ref(tok: &str, line: usize) -> PResult<BlockId> {
-    tok.trim()
-        .strip_prefix("bb")
+fn parse_block_ref(tok: &str, cx: &Cx<'_>) -> PResult<BlockId> {
+    let tok = tok.trim();
+    tok.strip_prefix("bb")
         .and_then(|n| n.parse::<u32>().ok())
         .map(BlockId)
-        .ok_or(ParseError {
-            line,
-            message: format!("bad block reference {tok:?}"),
-        })
+        .ok_or_else(|| cx.error_at(tok, format!("bad block reference {tok:?}")))
 }
 
 /// A parsed instruction before operand resolution.
@@ -253,7 +341,7 @@ enum RawBody {
 }
 
 /// Parse the right-hand side of an instruction line.
-fn parse_inst_body(s: &str, line: usize) -> PResult<RawBody> {
+fn parse_inst_body(s: &str, cx: &Cx<'_>) -> PResult<RawBody> {
     let s = s.trim();
     // Intrinsics: `name(args)`.
     for (name, intr) in INTRINSICS {
@@ -261,7 +349,7 @@ fn parse_inst_body(s: &str, line: usize) -> PResult<RawBody> {
             if let Some(inner) = rest.trim().strip_prefix('(').and_then(|r| r.strip_suffix(')')) {
                 let args = split_args(inner)
                     .into_iter()
-                    .map(|a| parse_raw_op(a, line))
+                    .map(|a| parse_raw_op(a, cx))
                     .collect::<PResult<Vec<_>>>()?;
                 return Ok(RawBody::Intr(*intr, args));
             }
@@ -270,10 +358,10 @@ fn parse_inst_body(s: &str, line: usize) -> PResult<RawBody> {
     if let Some(rest) = s.strip_prefix("load ") {
         let (ty_s, ptr) = rest
             .split_once(',')
-            .ok_or_else(|| ParseError { line, message: "load needs `ty, ptr`".into() })?;
+            .ok_or_else(|| cx.error_at(rest, "load needs `ty, ptr`"))?;
         return Ok(RawBody::Load(
-            parse_ty(ty_s.trim(), line)?,
-            parse_raw_op(ptr, line)?,
+            parse_ty(ty_s.trim(), cx)?,
+            parse_raw_op(ptr, cx)?,
         ));
     }
     if let Some(rest) = s.strip_prefix("store ") {
@@ -281,130 +369,130 @@ fn parse_inst_body(s: &str, line: usize) -> PResult<RawBody> {
         // (constants), so split at the LAST comma.
         let comma = rest
             .rfind(',')
-            .ok_or_else(|| ParseError { line, message: "store needs `,`".into() })?;
+            .ok_or_else(|| cx.error_at(rest, "store needs `,`"))?;
         let (head, ptr) = rest.split_at(comma);
         let ptr = &ptr[1..];
         let (ty_s, value) = head
             .trim()
             .split_once(' ')
-            .ok_or_else(|| ParseError { line, message: "store needs `ty value`".into() })?;
+            .ok_or_else(|| cx.error_at(head, "store needs `ty value`"))?;
         return Ok(RawBody::Store(
-            parse_ty(ty_s, line)?,
-            parse_raw_op(value, line)?,
-            parse_raw_op(ptr, line)?,
+            parse_ty(ty_s, cx)?,
+            parse_raw_op(value, cx)?,
+            parse_raw_op(ptr, cx)?,
         ));
     }
     if let Some(rest) = s.strip_prefix("ptradd ") {
         let (a, b) = rest
             .split_once(',')
-            .ok_or_else(|| ParseError { line, message: "ptradd needs 2 args".into() })?;
-        return Ok(RawBody::PtrAdd(parse_raw_op(a, line)?, parse_raw_op(b, line)?));
+            .ok_or_else(|| cx.error_at(rest, "ptradd needs 2 args"))?;
+        return Ok(RawBody::PtrAdd(parse_raw_op(a, cx)?, parse_raw_op(b, cx)?));
     }
     if let Some(rest) = s.strip_prefix("alloca ") {
         let size = rest
             .trim()
             .parse::<u64>()
-            .or_else(|_| err(line, "bad alloca size"))?;
+            .or_else(|_| cx.err_at(rest.trim(), "bad alloca size"))?;
         return Ok(RawBody::Alloca(size));
     }
     if let Some(rest) = s.strip_prefix("call ") {
         let (retty_s, rest) = rest
             .split_once(' ')
-            .ok_or_else(|| ParseError { line, message: "call needs ret type".into() })?;
+            .ok_or_else(|| cx.error_at(rest, "call needs ret type"))?;
         let ret = if retty_s == "void" {
             None
         } else {
-            Some(parse_ty(retty_s, line)?)
+            Some(parse_ty(retty_s, cx)?)
         };
         let open = rest
             .find('(')
-            .ok_or_else(|| ParseError { line, message: "call needs `(`".into() })?;
-        let callee = parse_raw_op(&rest[..open], line)?;
+            .ok_or_else(|| cx.error_at(rest, "call needs `(`"))?;
+        let callee = parse_raw_op(&rest[..open], cx)?;
         let inner = rest[open + 1..]
             .strip_suffix(')')
-            .ok_or_else(|| ParseError { line, message: "call needs `)`".into() })?;
+            .ok_or_else(|| cx.error_at(rest, "call needs `)`"))?;
         let args = split_args(inner)
             .into_iter()
-            .map(|a| parse_raw_op(a, line))
+            .map(|a| parse_raw_op(a, cx))
             .collect::<PResult<Vec<_>>>()?;
         return Ok(RawBody::Call(ret, callee, args));
     }
     if let Some(rest) = s.strip_prefix("select.") {
         let (ty_s, rest) = rest
             .split_once(' ')
-            .ok_or_else(|| ParseError { line, message: "select needs type".into() })?;
-        let ty = parse_ty(ty_s, line)?;
+            .ok_or_else(|| cx.error_at(rest, "select needs type"))?;
+        let ty = parse_ty(ty_s, cx)?;
         let args = split_args(rest);
         if args.len() != 3 {
-            return err(line, "select needs 3 operands");
+            return cx.err_at(rest, "select needs 3 operands");
         }
         return Ok(RawBody::Select(
             ty,
-            parse_raw_op(args[0], line)?,
-            parse_raw_op(args[1], line)?,
-            parse_raw_op(args[2], line)?,
+            parse_raw_op(args[0], cx)?,
+            parse_raw_op(args[1], cx)?,
+            parse_raw_op(args[2], cx)?,
         ));
     }
     if let Some(rest) = s.strip_prefix("cmp.") {
         let (pred_s, rest) = rest
             .split_once('.')
-            .ok_or_else(|| ParseError { line, message: "cmp needs pred.ty".into() })?;
+            .ok_or_else(|| cx.error_at(rest, "cmp needs pred.ty"))?;
         let pred = parse_pred(pred_s)
-            .ok_or_else(|| ParseError { line, message: format!("bad predicate {pred_s:?}") })?;
+            .ok_or_else(|| cx.error_at(pred_s, format!("bad predicate {pred_s:?}")))?;
         let (ty_s, rest) = rest
             .split_once(' ')
-            .ok_or_else(|| ParseError { line, message: "cmp needs type".into() })?;
+            .ok_or_else(|| cx.error_at(rest, "cmp needs type"))?;
         let args = split_args(rest);
         if args.len() != 2 {
-            return err(line, "cmp needs 2 operands");
+            return cx.err_at(rest, "cmp needs 2 operands");
         }
         return Ok(RawBody::Cmp(
             pred,
-            parse_ty(ty_s, line)?,
-            parse_raw_op(args[0], line)?,
-            parse_raw_op(args[1], line)?,
+            parse_ty(ty_s, cx)?,
+            parse_raw_op(args[0], cx)?,
+            parse_raw_op(args[1], cx)?,
         ));
     }
     if let Some(rest) = s.strip_prefix("atomic.") {
         let (op_s, rest) = rest
             .split_once('.')
-            .ok_or_else(|| ParseError { line, message: "atomic needs op.ty".into() })?;
+            .ok_or_else(|| cx.error_at(rest, "atomic needs op.ty"))?;
         let op = parse_atomic_op(op_s)
-            .ok_or_else(|| ParseError { line, message: format!("bad atomic op {op_s:?}") })?;
+            .ok_or_else(|| cx.error_at(op_s, format!("bad atomic op {op_s:?}")))?;
         let (ty_s, rest) = rest
             .split_once(' ')
-            .ok_or_else(|| ParseError { line, message: "atomic needs type".into() })?;
+            .ok_or_else(|| cx.error_at(rest, "atomic needs type"))?;
         let args = split_args(rest);
         if args.len() != 2 {
-            return err(line, "atomic needs 2 operands");
+            return cx.err_at(rest, "atomic needs 2 operands");
         }
         return Ok(RawBody::Atomic(
             op,
-            parse_ty(ty_s, line)?,
-            parse_raw_op(args[0], line)?,
-            parse_raw_op(args[1], line)?,
+            parse_ty(ty_s, cx)?,
+            parse_raw_op(args[0], cx)?,
+            parse_raw_op(args[1], cx)?,
         ));
     }
     if let Some(rest) = s.strip_prefix("cas.") {
         let (ty_s, rest) = rest
             .split_once(' ')
-            .ok_or_else(|| ParseError { line, message: "cas needs type".into() })?;
+            .ok_or_else(|| cx.error_at(rest, "cas needs type"))?;
         let args = split_args(rest);
         if args.len() != 3 {
-            return err(line, "cas needs 3 operands");
+            return cx.err_at(rest, "cas needs 3 operands");
         }
         return Ok(RawBody::Cas(
-            parse_ty(ty_s, line)?,
-            parse_raw_op(args[0], line)?,
-            parse_raw_op(args[1], line)?,
-            parse_raw_op(args[2], line)?,
+            parse_ty(ty_s, cx)?,
+            parse_raw_op(args[0], cx)?,
+            parse_raw_op(args[1], cx)?,
+            parse_raw_op(args[2], cx)?,
         ));
     }
     if let Some(rest) = s.strip_prefix("phi ") {
         let (ty_s, rest) = rest
             .split_once(' ')
-            .ok_or_else(|| ParseError { line, message: "phi needs type".into() })?;
-        let ty = parse_ty(ty_s, line)?;
+            .ok_or_else(|| cx.error_at(rest, "phi needs type"))?;
+        let ty = parse_ty(ty_s, cx)?;
         let mut incomings = Vec::new();
         for part in rest.split("],") {
             let part = part.trim().trim_start_matches('[').trim_end_matches(']');
@@ -413,8 +501,8 @@ fn parse_inst_body(s: &str, line: usize) -> PResult<RawBody> {
             }
             let (bb, val) = part
                 .split_once(':')
-                .ok_or_else(|| ParseError { line, message: "phi incoming needs `bb: val`".into() })?;
-            incomings.push((parse_block_ref(bb, line)?, parse_raw_op(val, line)?));
+                .ok_or_else(|| cx.error_at(part, "phi incoming needs `bb: val`"))?;
+            incomings.push((parse_block_ref(bb, cx)?, parse_raw_op(val, cx)?));
         }
         return Ok(RawBody::Phi(ty, incomings));
     }
@@ -423,36 +511,36 @@ fn parse_inst_body(s: &str, line: usize) -> PResult<RawBody> {
         if let Some(kind) = parse_cast_kind(head) {
             let (arg, to) = rest
                 .rsplit_once(" to ")
-                .ok_or_else(|| ParseError { line, message: "cast needs `to <ty>`".into() })?;
+                .ok_or_else(|| cx.error_at(rest, "cast needs `to <ty>`"))?;
             return Ok(RawBody::Cast(
                 kind,
-                parse_ty(to.trim(), line)?,
-                parse_raw_op(arg, line)?,
+                parse_ty(to.trim(), cx)?,
+                parse_raw_op(arg, cx)?,
             ));
         }
         if let Some((op_s, ty_s)) = head.split_once('.') {
-            let ty = parse_ty(ty_s, line)?;
+            let ty = parse_ty(ty_s, cx)?;
             let args = split_args(rest);
             if let Some(op) = parse_bin_op(op_s) {
                 if args.len() != 2 {
-                    return err(line, "binary op needs 2 operands");
+                    return cx.err_at(rest, "binary op needs 2 operands");
                 }
                 return Ok(RawBody::Bin(
                     op,
                     ty,
-                    parse_raw_op(args[0], line)?,
-                    parse_raw_op(args[1], line)?,
+                    parse_raw_op(args[0], cx)?,
+                    parse_raw_op(args[1], cx)?,
                 ));
             }
             if let Some(op) = parse_un_op(op_s) {
                 if args.len() != 1 {
-                    return err(line, "unary op needs 1 operand");
+                    return cx.err_at(rest, "unary op needs 1 operand");
                 }
-                return Ok(RawBody::Un(op, ty, parse_raw_op(args[0], line)?));
+                return Ok(RawBody::Un(op, ty, parse_raw_op(args[0], cx)?));
             }
         }
     }
-    err(line, format!("cannot parse instruction {s:?}"))
+    cx.err_at(s, format!("unknown opcode: cannot parse instruction {s:?}"))
 }
 
 enum RawTerm {
@@ -463,7 +551,7 @@ enum RawTerm {
     Unreachable,
 }
 
-fn parse_term(s: &str, line: usize) -> PResult<Option<RawTerm>> {
+fn parse_term(s: &str, cx: &Cx<'_>) -> PResult<Option<RawTerm>> {
     let s = s.trim();
     if s == "unreachable" {
         return Ok(Some(RawTerm::Unreachable));
@@ -472,41 +560,43 @@ fn parse_term(s: &str, line: usize) -> PResult<Option<RawTerm>> {
         return Ok(Some(RawTerm::RetVoid));
     }
     if let Some(rest) = s.strip_prefix("ret ") {
-        return Ok(Some(RawTerm::Ret(parse_raw_op(rest, line)?)));
+        return Ok(Some(RawTerm::Ret(parse_raw_op(rest, cx)?)));
     }
     if let Some(rest) = s.strip_prefix("br ") {
         let args = split_args(rest);
         return match args.len() {
-            1 => Ok(Some(RawTerm::Br(parse_block_ref(args[0], line)?))),
+            1 => Ok(Some(RawTerm::Br(parse_block_ref(args[0], cx)?))),
             3 => Ok(Some(RawTerm::CondBr(
-                parse_raw_op(args[0], line)?,
-                parse_block_ref(args[1], line)?,
-                parse_block_ref(args[2], line)?,
+                parse_raw_op(args[0], cx)?,
+                parse_block_ref(args[1], cx)?,
+                parse_block_ref(args[2], cx)?,
             ))),
-            _ => err(line, "br needs 1 or 3 arguments"),
+            _ => cx.err_at(rest, "br needs 1 or 3 arguments"),
         };
     }
     Ok(None)
 }
 
 struct RawFunc {
+    /// Line of the `define`/`declare` (for duplicate-symbol reporting).
+    line: usize,
     name: String,
     params: Vec<Ty>,
     ret: Option<Ty>,
     attrs: FnAttrs,
     linkage: Linkage,
-    /// Blocks: (id, instructions, terminator).
-    blocks: Vec<(BlockId, Vec<RawInst>, RawTerm)>,
+    /// Blocks: (id, instructions, terminator, terminator line).
+    blocks: Vec<(BlockId, Vec<RawInst>, RawTerm, usize)>,
     is_decl: bool,
 }
 
 /// Parse a function header like
 /// `define internal i64 @f(i64 %arg0, ptr %arg1) [noinline] {`.
-fn parse_header(line_s: &str, line: usize, decl: bool) -> PResult<RawFunc> {
+fn parse_header(line_s: &str, cx: &Cx<'_>, decl: bool) -> PResult<RawFunc> {
     let mut rest = line_s.trim();
     rest = match rest.strip_prefix(if decl { "declare" } else { "define" }) {
         Some(r) => r.trim(),
-        None => return err(line, "expected `define` or `declare`"),
+        None => return cx.err("expected `define` or `declare`"),
     };
     let linkage = if let Some(r) = rest.strip_prefix("internal ") {
         rest = r;
@@ -516,28 +606,28 @@ fn parse_header(line_s: &str, line: usize, decl: bool) -> PResult<RawFunc> {
     };
     let (ret_s, r) = rest
         .split_once(' ')
-        .ok_or_else(|| ParseError { line, message: "missing return type".into() })?;
+        .ok_or_else(|| cx.error_at(rest, "malformed header: missing return type"))?;
     let ret = if ret_s == "void" {
         None
     } else {
-        Some(parse_ty(ret_s, line)?)
+        Some(parse_ty(ret_s, cx)?)
     };
     let r = r.trim();
     let at = r
         .strip_prefix('@')
-        .ok_or_else(|| ParseError { line, message: "missing @name".into() })?;
+        .ok_or_else(|| cx.error_at(r, "malformed header: missing @name"))?;
     let open = at
         .find('(')
-        .ok_or_else(|| ParseError { line, message: "missing `(`".into() })?;
+        .ok_or_else(|| cx.error_at(at, "malformed header: missing `(`"))?;
     let name = at[..open].to_string();
     let close = at
         .find(')')
-        .ok_or_else(|| ParseError { line, message: "missing `)`".into() })?;
+        .ok_or_else(|| cx.error_at(at, "malformed header: missing `)`"))?;
     let params = split_args(&at[open + 1..close])
         .into_iter()
         .map(|p| {
             let ty_s = p.split_whitespace().next().unwrap_or(p);
-            parse_ty(ty_s, line)
+            parse_ty(ty_s, cx)
         })
         .collect::<PResult<Vec<_>>>()?;
     let tail = &at[close + 1..];
@@ -551,12 +641,13 @@ fn parse_header(line_s: &str, line: usize, decl: bool) -> PResult<RawFunc> {
                     "always_inline" => attrs.always_inline = true,
                     "noinline" => attrs.no_inline = true,
                     "read_none" => attrs.read_none = true,
-                    other => return err(line, format!("unknown attribute {other:?}")),
+                    other => return cx.err_at(a, format!("unknown attribute {other:?}")),
                 }
             }
         }
     }
     Ok(RawFunc {
+        line: cx.line,
         name,
         params,
         ret,
@@ -567,21 +658,64 @@ fn parse_header(line_s: &str, line: usize, decl: bool) -> PResult<RawFunc> {
     })
 }
 
-/// Parse a full module from the printer's format.
+/// Lenient parse: the `; nzomp-ir vN` header is optional (a *wrong*
+/// version is still rejected). Use [`parse_module_strict`] for on-disk
+/// `.nzir` files.
 pub fn parse_module(text: &str) -> PResult<Module> {
+    parse_module_inner(text, false)
+}
+
+/// Strict parse of the on-disk `.nzir` format: the first non-blank line
+/// must be the `; nzomp-ir v1` version header.
+pub fn parse_module_strict(text: &str) -> PResult<Module> {
+    parse_module_inner(text, true)
+}
+
+fn parse_module_inner(text: &str, strict: bool) -> PResult<Module> {
     let mut module_name = String::from("parsed");
     let mut globals: Vec<(usize, String)> = Vec::new();
-    let mut kernels: Vec<(String, ExecMode)> = Vec::new();
+    let mut kernels: Vec<(usize, String, ExecMode)> = Vec::new();
     let mut funcs: Vec<RawFunc> = Vec::new();
     let mut cur: Option<RawFunc> = None;
     let mut cur_block: Option<(BlockId, Vec<RawInst>)> = None;
+    let mut saw_any = false;
+    let mut saw_header = false;
 
     for (idx, raw_line) in text.lines().enumerate() {
         let ln = idx + 1;
+        let cx = Cx::new(ln, raw_line);
         let line_s = raw_line.trim();
         if line_s.is_empty() {
             continue;
         }
+        if let Some(rest) = line_s.strip_prefix("; nzomp-ir ") {
+            let tok = rest.trim();
+            match tok.strip_prefix('v').and_then(|n| n.parse::<u32>().ok()) {
+                Some(v) if v == FORMAT_VERSION => {
+                    if saw_any {
+                        return cx.err("version header must be the first line");
+                    }
+                    saw_header = true;
+                    saw_any = true;
+                    continue;
+                }
+                Some(v) => {
+                    return cx.err_at(
+                        tok,
+                        format!("unsupported format version v{v} (this parser reads v{FORMAT_VERSION})"),
+                    );
+                }
+                None => {
+                    return cx.err_at(tok, format!("malformed version header {tok:?}"));
+                }
+            }
+        }
+        if strict && !saw_header {
+            return cx.err(format!(
+                "strict mode: first line must be the `; nzomp-ir v{FORMAT_VERSION}` header"
+            ));
+        }
+        saw_any = true;
         if let Some(rest) = line_s.strip_prefix("; module ") {
             module_name = rest.trim().to_string();
             continue;
@@ -589,13 +723,13 @@ pub fn parse_module(text: &str) -> PResult<Module> {
         if let Some(rest) = line_s.strip_prefix("; kernel @") {
             let (name, mode) = rest
                 .split_once(" mode=")
-                .ok_or_else(|| ParseError { line: ln, message: "kernel needs mode".into() })?;
+                .ok_or_else(|| cx.error_at(rest, "kernel needs mode"))?;
             let mode = match mode.trim() {
                 "Generic" => ExecMode::Generic,
                 "Spmd" => ExecMode::Spmd,
-                other => return err(ln, format!("unknown exec mode {other:?}")),
+                other => return cx.err_at(other, format!("unknown exec mode {other:?}")),
             };
-            kernels.push((name.trim().to_string(), mode));
+            kernels.push((ln, name.trim().to_string(), mode));
             continue;
         }
         if line_s.starts_with(';') {
@@ -606,22 +740,24 @@ pub fn parse_module(text: &str) -> PResult<Module> {
             continue;
         }
         if line_s.starts_with("declare ") {
-            funcs.push(parse_header(line_s, ln, true)?);
+            funcs.push(parse_header(line_s, &cx, true)?);
             continue;
         }
         if line_s.starts_with("define ") {
-            cur = Some(parse_header(line_s.trim_end_matches('{').trim(), ln, false)?);
+            if cur.is_some() {
+                return cx.err("nested `define` (missing `}`?)");
+            }
+            cur = Some(parse_header(line_s.trim_end_matches('{').trim(), &cx, false)?);
             continue;
         }
         if line_s == "}" {
-            let mut f = cur
-                .take()
-                .ok_or_else(|| ParseError { line: ln, message: "stray `}`".into() })?;
+            let mut f = cur.take().ok_or_else(|| cx.error("stray `}`"))?;
             if let Some((bid, insts)) = cur_block.take() {
-                return err(
-                    ln,
-                    format!("bb{} has no terminator ({} insts)", bid.0, insts.len()),
-                );
+                return cx.err(format!(
+                    "bb{} has no terminator ({} insts)",
+                    bid.0,
+                    insts.len()
+                ));
             }
             f.is_decl = false;
             funcs.push(f);
@@ -630,24 +766,25 @@ pub fn parse_module(text: &str) -> PResult<Module> {
         if let Some(rest) = line_s.strip_suffix(':') {
             // Block label.
             if let Some((bid, insts)) = cur_block.take() {
-                return err(
-                    ln,
-                    format!("bb{} not terminated before new label ({} insts)", bid.0, insts.len()),
-                );
+                return cx.err(format!(
+                    "bb{} not terminated before new label ({} insts)",
+                    bid.0,
+                    insts.len()
+                ));
             }
-            cur_block = Some((parse_block_ref(rest, ln)?, Vec::new()));
+            cur_block = Some((parse_block_ref(rest, &cx)?, Vec::new()));
             continue;
         }
         // Inside a block: instruction or terminator.
         let Some(f) = cur.as_mut() else {
-            return err(ln, format!("unexpected line outside function: {line_s:?}"));
+            return cx.err(format!("unexpected line outside function: {line_s:?}"));
         };
         let Some((bid, insts)) = cur_block.as_mut() else {
-            return err(ln, "instruction outside a block");
+            return cx.err("instruction outside a block");
         };
-        if let Some(term) = parse_term(line_s, ln)? {
+        if let Some(term) = parse_term(line_s, &cx)? {
             let done = std::mem::take(insts);
-            f.blocks.push((*bid, done, term));
+            f.blocks.push((*bid, done, term, ln));
             cur_block = None;
             continue;
         }
@@ -655,12 +792,12 @@ pub fn parse_module(text: &str) -> PResult<Module> {
         let (result, body_s) = if line_s.starts_with('%') {
             let (lhs, rhs) = line_s
                 .split_once('=')
-                .ok_or_else(|| ParseError { line: ln, message: "expected `=`".into() })?;
+                .ok_or_else(|| cx.error("expected `=`"))?;
             let id = lhs
                 .trim()
                 .strip_prefix('%')
                 .and_then(|n| n.parse::<u32>().ok())
-                .ok_or_else(|| ParseError { line: ln, message: "bad result id".into() })?;
+                .ok_or_else(|| cx.error_at(lhs.trim(), "bad result id"))?;
             (Some(id), rhs.trim())
         } else {
             (None, line_s)
@@ -668,33 +805,38 @@ pub fn parse_module(text: &str) -> PResult<Module> {
         insts.push(RawInst {
             line: ln,
             result,
-            body: parse_inst_body(body_s, ln)?,
+            body: parse_inst_body(body_s, &cx)?,
         });
     }
     if cur.is_some() {
-        return err(text.lines().count(), "unterminated function");
+        return Err(ParseError {
+            line: text.lines().count(),
+            col: 0,
+            message: "unterminated function".into(),
+        });
     }
 
     build_module(module_name, globals, kernels, funcs)
 }
 
 fn parse_global_line(ln: usize, s: &str) -> PResult<Global> {
+    let cx = Cx::new(ln, s);
     // `@name = space [N x i8] const? init=... linkage=...`
     let Some(rest) = s.strip_prefix('@') else {
-        return err(ln, "global must start with `@`");
+        return cx.err("global must start with `@`");
     };
     let (name, rest) = rest
         .split_once('=')
-        .ok_or_else(|| ParseError { line: ln, message: "global needs `=`".into() })?;
+        .ok_or_else(|| cx.error("global needs `=`"))?;
     let toks: Vec<&str> = rest.split_whitespace().collect();
     if toks.len() < 4 {
-        return err(ln, "malformed global");
+        return cx.err("malformed global");
     }
-    let space = parse_space(toks[0], ln)?;
+    let space = parse_space(toks[0], &cx)?;
     let size = toks[1]
         .trim_start_matches('[')
         .parse::<u64>()
-        .or_else(|_| err(ln, "bad global size"))?;
+        .or_else(|_| cx.err_at(toks[1], "bad global size"))?;
     let mut constant = false;
     let mut init = Init::Zero;
     let mut linkage = Linkage::Internal;
@@ -705,21 +847,21 @@ fn parse_global_line(ln: usize, s: &str) -> PResult<Global> {
             init = if v == "zero" {
                 Init::Zero
             } else if let Some(n) = v.strip_prefix("i64:") {
-                Init::I64(n.parse::<i64>().or_else(|_| err(ln, "bad i64 init"))?)
+                Init::I64(n.parse::<i64>().or_else(|_| cx.err_at(t, "bad i64 init"))?)
             } else if let Some(h) = v.strip_prefix("hex:") {
                 let bytes = (0..h.len() / 2)
                     .map(|i| u8::from_str_radix(&h[2 * i..2 * i + 2], 16))
                     .collect::<Result<Vec<u8>, _>>()
-                    .or_else(|_| err(ln, "bad hex init"))?;
+                    .or_else(|_| cx.err_at(t, "bad hex init"))?;
                 Init::Bytes(bytes)
             } else {
-                return err(ln, format!("bad init {v:?}"));
+                return cx.err_at(t, format!("bad init {v:?}"));
             };
         } else if let Some(l) = t.strip_prefix("linkage=") {
             linkage = match l {
                 "internal" => Linkage::Internal,
                 "external" => Linkage::External,
-                other => return err(ln, format!("bad linkage {other:?}")),
+                other => return cx.err_at(t, format!("bad linkage {other:?}")),
             };
         }
     }
@@ -736,12 +878,45 @@ fn parse_global_line(ln: usize, s: &str) -> PResult<Global> {
 fn build_module(
     name: String,
     globals: Vec<(usize, String)>,
-    kernels: Vec<(String, ExecMode)>,
+    kernels: Vec<(usize, String, ExecMode)>,
     raw_funcs: Vec<RawFunc>,
 ) -> PResult<Module> {
     let mut m = Module::new(name);
-    for (ln, g) in globals {
-        let g = parse_global_line(ln, &g)?;
+    // Duplicate-symbol detection: `@name` must be unambiguous — the printer
+    // emits one flat symbol namespace shared by globals and functions.
+    let mut symbols: HashMap<&str, (&'static str, usize)> = HashMap::new();
+    let mut parsed_globals = Vec::with_capacity(globals.len());
+    for (ln, g) in &globals {
+        let g = parse_global_line(*ln, g)?;
+        parsed_globals.push((*ln, g));
+    }
+    for (ln, g) in &parsed_globals {
+        if let Some((kind, first)) = symbols.get(g.name.as_str()) {
+            return Err(ParseError {
+                line: *ln,
+                col: 0,
+                message: format!(
+                    "duplicate symbol @{}: already defined as a {kind} at line {first}",
+                    g.name
+                ),
+            });
+        }
+        symbols.insert(g.name.as_str(), ("global", *ln));
+    }
+    for rf in &raw_funcs {
+        if let Some((kind, first)) = symbols.get(rf.name.as_str()) {
+            return Err(ParseError {
+                line: rf.line,
+                col: 0,
+                message: format!(
+                    "duplicate symbol @{}: already defined as a {kind} at line {first}",
+                    rf.name
+                ),
+            });
+        }
+        symbols.insert(rf.name.as_str(), ("function", rf.line));
+    }
+    for (_, g) in parsed_globals {
         m.add_global(g);
     }
     // Pre-create all function shells so symbols resolve.
@@ -773,13 +948,21 @@ fn build_module(
         if rf.is_decl {
             continue;
         }
-        // Phase 1: allocate dense InstIds for every printed result id.
+        // Phase 1: allocate dense InstIds for every instruction in printed
+        // order — value results and void instructions alike. This is what
+        // makes the parser reproduce a normalized module's arena exactly.
         let mut id_map: HashMap<u32, InstId> = HashMap::new();
         let mut next: u32 = 0;
-        for (_bid, insts, _t) in &rf.blocks {
+        for (_bid, insts, _t, _tl) in &rf.blocks {
             for ri in insts {
                 if let Some(r) = ri.result {
-                    id_map.insert(r, InstId(next));
+                    if id_map.insert(r, InstId(next)).is_some() {
+                        return Err(ParseError {
+                            line: ri.line,
+                            col: 0,
+                            message: format!("duplicate result id %{r}"),
+                        });
+                    }
                 }
                 next += 1;
             }
@@ -788,6 +971,7 @@ fn build_module(
             Ok(match op {
                 RawOp::Inst(n) => Operand::Inst(*id_map.get(n).ok_or(ParseError {
                     line,
+                    col: 0,
                     message: format!("unknown value %{n}"),
                 })?),
                 RawOp::Param(p) => Operand::Param(*p),
@@ -799,7 +983,11 @@ fn build_module(
                     } else if let Some(f) = func_by_name.get(s) {
                         Operand::Func(*f)
                     } else {
-                        return err(line, format!("unknown symbol @{s}"));
+                        return Err(ParseError {
+                            line,
+                            col: 0,
+                            message: format!("unknown symbol @{s}"),
+                        });
                     }
                 }
             })
@@ -808,10 +996,10 @@ fn build_module(
         // Phase 2: build blocks. Block ids in the text may be sparse (the
         // printer emits every block including empty unreachable ones), so
         // size the vector to the max id.
-        let max_bid = rf.blocks.iter().map(|(b, _, _)| b.0).max().unwrap_or(0);
+        let max_bid = rf.blocks.iter().map(|(b, _, _, _)| b.0).max().unwrap_or(0);
         let mut blocks: Vec<Block> = (0..=max_bid).map(|_| Block::new()).collect();
         let mut insts: Vec<Inst> = Vec::new();
-        for (bid, rinsts, rterm) in &rf.blocks {
+        for (bid, rinsts, rterm, term_line) in &rf.blocks {
             let mut list = Vec::with_capacity(rinsts.len());
             for ri in rinsts {
                 let inst = match &ri.body {
@@ -904,12 +1092,12 @@ fn build_module(
             let term = match rterm {
                 RawTerm::Br(b) => Term::Br(*b),
                 RawTerm::CondBr(c, t, f) => Term::CondBr {
-                    cond: resolve(c, 0)?,
+                    cond: resolve(c, *term_line)?,
                     if_true: *t,
                     if_false: *f,
                 },
                 RawTerm::RetVoid => Term::Ret(None),
-                RawTerm::Ret(v) => Term::Ret(Some(resolve(v, 0)?)),
+                RawTerm::Ret(v) => Term::Ret(Some(resolve(v, *term_line)?)),
                 RawTerm::Unreachable => Term::Unreachable,
             };
             blocks[bid.index()] = Block {
@@ -922,10 +1110,12 @@ fn build_module(
         f.insts = insts;
     }
 
-    for (kname, mode) in kernels {
-        let fr = m
-            .find_func(&kname)
-            .ok_or_else(|| ParseError { line: 0, message: format!("kernel @{kname} not defined") })?;
+    for (kline, kname, mode) in kernels {
+        let fr = m.find_func(&kname).ok_or(ParseError {
+            line: kline,
+            col: 0,
+            message: format!("kernel @{kname} not defined"),
+        })?;
         m.add_kernel(fr, mode);
     }
     Ok(m)

@@ -1,4 +1,9 @@
-//! Textual dump of modules/functions (for debugging, tests and remarks).
+//! Textual printer for the versioned on-disk IR format (`.nzir`).
+//!
+//! The format is specified in `docs/ir-format.md`. [`print_module`] emits a
+//! `; nzomp-ir vN` header ([`FORMAT_VERSION`]); [`crate::parser`] is its
+//! exact inverse: `parse(print(m)) == m` (structural equality) for every
+//! module in normal form (see [`crate::Module::renumber`]).
 
 use std::fmt::Write;
 
@@ -7,12 +12,35 @@ use crate::inst::{Inst, InstId, Intrinsic, Term};
 use crate::module::Module;
 use crate::value::Operand;
 
+/// Version of the on-disk text format this printer emits. Bumped on any
+/// change that alters the printed bytes of an existing module; the parser
+/// accepts exactly this version (see `docs/ir-format.md` for the
+/// stability guarantees).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Exact f64 literal: every bit pattern round-trips through
+/// [`crate::parser`]. Finite values use Rust's shortest-exact decimal
+/// representation (which preserves `-0.0` and subnormals); infinities
+/// print as `inf`/`-inf`; NaNs print their full bit pattern, because a
+/// decimal literal cannot carry a NaN payload or sign.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        format!("nan:0x{:016x}", v.to_bits())
+    } else if v == f64::INFINITY {
+        "inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-inf".to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
 fn fmt_operand(m: Option<&Module>, op: Operand) -> String {
     match op {
         Operand::Inst(i) => format!("%{}", i.0),
         Operand::Param(p) => format!("%arg{p}"),
         Operand::ConstI(v, ty) => format!("{ty} {v}"),
-        Operand::ConstF(v) => format!("f64 {v:?}"),
+        Operand::ConstF(v) => format!("f64 {}", fmt_f64(v)),
         Operand::Global(g) => match m {
             Some(m) => format!("@{}", m.global(g).name),
             None => format!("@g{}", g.0),
@@ -152,7 +180,12 @@ pub fn print_function(m: Option<&Module>, f: &Function) -> String {
         ""
     };
     if f.is_declaration() {
-        let _ = writeln!(s, "declare {ret} @{}({}){attrs}", f.name, params.join(", "));
+        let _ = writeln!(
+            s,
+            "declare {linkage}{ret} @{}({}){attrs}",
+            f.name,
+            params.join(", ")
+        );
         return s;
     }
     let _ = writeln!(
@@ -172,9 +205,10 @@ pub fn print_function(m: Option<&Module>, f: &Function) -> String {
     s
 }
 
-/// Print an entire module.
+/// Print an entire module in the versioned on-disk format.
 pub fn print_module(m: &Module) -> String {
     let mut s = String::new();
+    let _ = writeln!(s, "; nzomp-ir v{FORMAT_VERSION}");
     let _ = writeln!(s, "; module {}", m.name);
     for g in &m.globals {
         let c = if g.constant { " const" } else { "" };

@@ -8,7 +8,13 @@ use crate::types::Ty;
 /// A use of an SSA value: either the result of an instruction, a function
 /// parameter, or an immediate constant. `Operand` is `Copy` so rewriting
 /// passes can freely replace uses.
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// Equality is *bitwise* for float constants (`NaN == NaN`,
+/// `0.0 != -0.0`): the printer/parser round-trip contract
+/// (`parse(print(m)) == m`, see `docs/ir-format.md`) needs module equality
+/// to be an equivalence relation over every representable constant, which
+/// IEEE `==` is not.
+#[derive(Clone, Copy, Debug)]
 pub enum Operand {
     /// Result of instruction `InstId` in the same function.
     Inst(InstId),
@@ -22,6 +28,21 @@ pub enum Operand {
     Global(GlobalId),
     /// Address of a function (for indirect calls / outlined parallel bodies).
     Func(crate::module::FuncRef),
+}
+
+impl PartialEq for Operand {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Operand::Inst(a), Operand::Inst(b)) => a == b,
+            (Operand::Param(a), Operand::Param(b)) => a == b,
+            (Operand::ConstI(a, at), Operand::ConstI(b, bt)) => a == b && at == bt,
+            // Bitwise: distinguishes -0.0 from 0.0 and makes NaN reflexive.
+            (Operand::ConstF(a), Operand::ConstF(b)) => a.to_bits() == b.to_bits(),
+            (Operand::Global(a), Operand::Global(b)) => a == b,
+            (Operand::Func(a), Operand::Func(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 impl Operand {

@@ -1,0 +1,123 @@
+//! Exact f64 literal round-trips: every representable bit pattern must
+//! survive print → parse bit-for-bit (NaN payloads, signed zero, infinities,
+//! subnormals). This is what makes the corpus differential suite able to
+//! assert bit-identical results across optimization variants.
+
+use nzomp_ir::parser::parse_module;
+use nzomp_ir::printer::{fmt_f64, print_module};
+use nzomp_ir::{ExecMode, FuncBuilder, Module, Operand, Ty};
+
+/// Build a one-kernel module that stores `v` as an f64 constant.
+fn module_with_const(v: f64) -> Module {
+    let mut m = Module::new("fp");
+    let mut b = FuncBuilder::new("k", vec![Ty::Ptr], None);
+    b.store(Ty::F64, b.param(0), Operand::f64(v));
+    b.ret(None);
+    let k = m.add_function(b.finish());
+    m.add_kernel(k, ExecMode::Spmd);
+    m
+}
+
+/// Extract the stored constant's bits back out of a parsed module.
+fn stored_bits(m: &Module) -> u64 {
+    for f in &m.funcs {
+        for inst in &f.insts {
+            if let nzomp_ir::Inst::Store {
+                value: Operand::ConstF(v),
+                ..
+            } = inst
+            {
+                return v.to_bits();
+            }
+        }
+    }
+    panic!("no f64 store found");
+}
+
+fn assert_bits_roundtrip(v: f64) {
+    let m = module_with_const(v);
+    let text = print_module(&m);
+    let m2 = parse_module(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    assert_eq!(
+        stored_bits(&m2),
+        v.to_bits(),
+        "bits changed for {} (printed as {:?})",
+        v,
+        fmt_f64(v)
+    );
+    // And the module as a whole is structurally equal (bitwise f64 eq).
+    assert_eq!(m2, m);
+}
+
+#[test]
+fn nan_payloads_roundtrip_exactly() {
+    assert_bits_roundtrip(f64::NAN);
+    // Negative quiet NaN.
+    assert_bits_roundtrip(f64::from_bits(0xfff8_0000_0000_0000));
+    // Signalling NaN with a payload.
+    assert_bits_roundtrip(f64::from_bits(0x7ff0_0000_dead_beef));
+    // All-ones NaN.
+    assert_bits_roundtrip(f64::from_bits(0xffff_ffff_ffff_ffff));
+}
+
+#[test]
+fn infinities_roundtrip() {
+    assert_bits_roundtrip(f64::INFINITY);
+    assert_bits_roundtrip(f64::NEG_INFINITY);
+}
+
+#[test]
+fn signed_zero_roundtrips() {
+    assert_bits_roundtrip(0.0);
+    assert_bits_roundtrip(-0.0);
+    assert_ne!(fmt_f64(0.0), fmt_f64(-0.0), "-0.0 must print distinctly");
+}
+
+#[test]
+fn subnormals_roundtrip() {
+    assert_bits_roundtrip(f64::MIN_POSITIVE); // smallest normal
+    assert_bits_roundtrip(f64::from_bits(1)); // smallest subnormal
+    assert_bits_roundtrip(f64::from_bits(0x000f_ffff_ffff_ffff)); // largest subnormal
+    assert_bits_roundtrip(-f64::from_bits(1));
+}
+
+#[test]
+fn shortest_exact_decimals_roundtrip() {
+    assert_bits_roundtrip(1.0000000000000002); // 1.0 + ulp
+    assert_bits_roundtrip(0.1); // classic non-representable decimal
+    assert_bits_roundtrip(f64::MAX);
+    assert_bits_roundtrip(f64::MIN);
+    assert_bits_roundtrip(std::f64::consts::PI);
+    assert_bits_roundtrip(1e308);
+    assert_bits_roundtrip(-1e-308);
+}
+
+#[test]
+fn fmt_f64_formats() {
+    assert_eq!(fmt_f64(f64::INFINITY), "inf");
+    assert_eq!(fmt_f64(f64::NEG_INFINITY), "-inf");
+    assert_eq!(fmt_f64(-0.0), "-0.0");
+    assert!(fmt_f64(f64::NAN).starts_with("nan:0x"), "{}", fmt_f64(f64::NAN));
+    assert_eq!(fmt_f64(f64::from_bits(0x7ff0_0000_dead_beef)), "nan:0x7ff00000deadbeef");
+}
+
+#[test]
+fn nan_bit_pattern_syntax_is_validated() {
+    // A nan:0x literal whose bits are not a NaN must be rejected.
+    let text = "define void @k(ptr %arg0) {\nbb0:\n  store f64 f64 nan:0x3ff0000000000000, %arg0\n  ret void\n}\n";
+    assert!(parse_module(text).is_err());
+    // Malformed hex too.
+    let text = "define void @k(ptr %arg0) {\nbb0:\n  store f64 f64 nan:0xzz, %arg0\n  ret void\n}\n";
+    assert!(parse_module(text).is_err());
+    // A valid payload parses to those exact bits.
+    let text = "define void @k(ptr %arg0) {\nbb0:\n  store f64 f64 nan:0x7ff80000000000ff, %arg0\n  ret void\n}\n";
+    let m = parse_module(text).expect("valid NaN literal");
+    assert_eq!(stored_bits(&m), 0x7ff8_0000_0000_00ff);
+}
+
+#[test]
+fn legacy_bare_nan_still_parses() {
+    let text = "define void @k(ptr %arg0) {\nbb0:\n  store f64 f64 NaN, %arg0\n  ret void\n}\n";
+    let m = parse_module(text).expect("legacy NaN");
+    assert!(f64::from_bits(stored_bits(&m)).is_nan());
+}

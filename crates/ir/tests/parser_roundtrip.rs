@@ -5,15 +5,25 @@ use nzomp_ir::parser::parse_module;
 use nzomp_ir::printer::print_module;
 use nzomp_ir::{ExecMode, FuncBuilder, Global, Init, Module, Operand, Space, Ty};
 
-/// After one normalization (ids densify), printing is a fixpoint.
+/// The exact round-trip contract: `parse(print(m))` equals the normalized
+/// `m` structurally, and is itself a fixed point of the round-trip.
 fn assert_roundtrip(m: &Module) {
+    let mut norm = m.clone();
+    norm.renumber();
     let t1 = print_module(m);
     let m2 = parse_module(&t1).unwrap_or_else(|e| panic!("{e}\n--- text ---\n{t1}"));
     nzomp_ir::verify_module(&m2).unwrap_or_else(|e| panic!("{e}\n--- text ---\n{t1}"));
+    assert_eq!(m2, norm, "parse(print(m)) != normalized m\n--- text ---\n{t1}");
+    // A parsed module is normalized, so it round-trips exactly.
     let t2 = print_module(&m2);
     let m3 = parse_module(&t2).expect("reparse");
-    let t3 = print_module(&m3);
-    assert_eq!(t2, t3, "printing not a fixpoint after normalization");
+    assert_eq!(m3, m2, "parse(print(m2)) != m2 for normalized m2");
+    assert_eq!(t2, print_module(&m3), "printing not a fixpoint");
+    // Strict mode accepts printer output (it always carries the header).
+    assert_eq!(
+        nzomp_ir::parse_module_strict(&t1).expect("strict parse of printer output"),
+        norm
+    );
     // Structure is preserved.
     assert_eq!(m.funcs.len(), m2.funcs.len());
     assert_eq!(m.globals.len(), m2.globals.len());

@@ -1,0 +1,175 @@
+//! Printer edge cases: shapes that exercise the corners of the text format.
+//! Every one must round-trip exactly (`parse(print(m)) == normalized m`).
+
+use nzomp_ir::parser::parse_module;
+use nzomp_ir::printer::print_module;
+use nzomp_ir::{
+    ExecMode, FuncBuilder, Function, Global, Init, Module, Operand, Space, Ty,
+};
+
+fn assert_exact_roundtrip(m: &Module) {
+    let mut norm = m.clone();
+    norm.renumber();
+    let text = print_module(m);
+    let m2 = parse_module(&text).unwrap_or_else(|e| panic!("{e}\n--- text ---\n{text}"));
+    assert_eq!(m2, norm, "--- text ---\n{text}");
+}
+
+#[test]
+fn empty_unreachable_blocks_roundtrip() {
+    let mut m = Module::new("edge");
+    let mut b = FuncBuilder::new("k", vec![], None);
+    b.ret(None);
+    let mut f = b.finish();
+    // Two trailing empty blocks (as left behind by CFG transforms): no
+    // instructions, `unreachable` terminator.
+    f.add_block();
+    f.add_block();
+    let k = m.add_function(f);
+    m.add_kernel(k, ExecMode::Spmd);
+    assert_exact_roundtrip(&m);
+    let text = print_module(&m);
+    assert!(text.contains("bb1:\n  unreachable"), "{text}");
+    assert!(text.contains("bb2:\n  unreachable"), "{text}");
+}
+
+#[test]
+fn declaration_only_module_roundtrips() {
+    let mut m = Module::new("decls");
+    m.add_function(Function::declaration("ext0", vec![], None));
+    m.add_function(Function::declaration(
+        "ext1",
+        vec![Ty::Ptr, Ty::I64],
+        Some(Ty::I64),
+    ));
+    let mut d = Function::declaration("ext2", vec![Ty::F64], Some(Ty::F64));
+    d.attrs.always_inline = true;
+    d.attrs.read_none = true;
+    m.add_function(d);
+    // Internal linkage on a declaration must survive too (internalize()
+    // marks runtime decls internal before optimization).
+    let mut d = Function::declaration("ext3", vec![], None);
+    d.linkage = nzomp_ir::Linkage::Internal;
+    m.add_function(d);
+    assert_exact_roundtrip(&m);
+    let text = print_module(&m);
+    assert!(text.contains("declare internal void @ext3()"), "{text}");
+    assert!(!text.contains("define"), "{text}");
+}
+
+#[test]
+fn globals_in_every_address_space_roundtrip() {
+    let mut m = Module::new("spaces");
+    m.add_global(Global::new("g_global", Space::Global, 128, Init::Zero));
+    m.add_global(Global::new("g_shared", Space::Shared, 64, Init::I64(42)));
+    m.add_global(Global::new("g_local", Space::Local, 16, Init::Zero));
+    m.add_global(Global::constant(
+        "g_constant",
+        Space::Constant,
+        4,
+        Init::Bytes(vec![1, 2, 3, 4]),
+    ));
+    // External-linkage global as well.
+    let mut g = Global::new("g_ext", Space::Global, 8, Init::Zero);
+    g.linkage = nzomp_ir::Linkage::External;
+    m.add_global(g);
+    assert_exact_roundtrip(&m);
+    let text = print_module(&m);
+    for needle in [
+        "@g_global = global [128 x i8] init=zero",
+        "@g_shared = shared [64 x i8] init=i64:42",
+        "@g_local = local [16 x i8] init=zero",
+        "@g_constant = constant [4 x i8] const init=hex:01020304",
+        "linkage=external",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn phi_with_many_incoming_edges_roundtrips() {
+    let mut m = Module::new("phis");
+    let mut b = FuncBuilder::new("k", vec![Ty::I64], Some(Ty::I64));
+    let b1 = b.new_block();
+    let b2 = b.new_block();
+    let b3 = b.new_block();
+    let b4 = b.new_block();
+    let merge = b.new_block();
+    let c1 = b.icmp_eq(b.param(0), Operand::i64(1));
+    b.cond_br(c1, b1, b2);
+    b.switch_to(b2);
+    let c2 = b.icmp_eq(b.param(0), Operand::i64(2));
+    b.cond_br(c2, b3, b4);
+    for blk in [b1, b3, b4] {
+        b.switch_to(blk);
+        b.br(merge);
+    }
+    b.switch_to(merge);
+    // Four incoming edges — more than the common two-way join.
+    let p = b.phi(
+        Ty::I64,
+        vec![
+            (b1, Operand::i64(10)),
+            (b3, Operand::i64(30)),
+            (b4, Operand::i64(40)),
+        ],
+    );
+    b.ret(Some(p));
+    let k = m.add_function(b.finish());
+    m.add_kernel(k, ExecMode::Spmd);
+    nzomp_ir::verify_module(&m).unwrap();
+    assert_exact_roundtrip(&m);
+    let text = print_module(&m);
+    assert!(
+        text.contains("phi i64 [bb1: i64 10], [bb3: i64 30], [bb4: i64 40]"),
+        "{text}"
+    );
+}
+
+#[test]
+fn kernel_modes_and_module_name_roundtrip() {
+    let mut m = Module::new("two kernels");
+    for (name, mode) in [("kg", ExecMode::Generic), ("ks", ExecMode::Spmd)] {
+        let mut b = FuncBuilder::new(name, vec![], None);
+        b.ret(None);
+        let k = m.add_function(b.finish());
+        m.add_kernel(k, mode);
+    }
+    assert_exact_roundtrip(&m);
+    let text = print_module(&m);
+    assert!(text.contains("; kernel @kg mode=Generic"), "{text}");
+    assert!(text.contains("; kernel @ks mode=Spmd"), "{text}");
+    assert!(text.contains("; module two kernels"), "{text}");
+}
+
+#[test]
+fn non_normalized_module_parses_to_normal_form() {
+    // A function with arena holes (simulating what DCE leaves behind): the
+    // printed text densifies ids, so parse(print(m)) == m.renumber()ed.
+    let mut b = FuncBuilder::new("k", vec![Ty::Ptr], None);
+    let t = b.thread_id();
+    let dead = b.add(t, Operand::i64(9));
+    let live = b.add(t, Operand::i64(1));
+    b.store(Ty::I64, b.param(0), live);
+    b.ret(None);
+    let mut f = b.finish();
+    // Remove the dead add from its block but leave the arena entry.
+    let Operand::Inst(dead_id) = dead else {
+        panic!()
+    };
+    for blk in &mut f.blocks {
+        blk.insts.retain(|&i| i != dead_id);
+    }
+    let mut m = Module::new("holes");
+    let k = m.add_function(f);
+    m.add_kernel(k, ExecMode::Spmd);
+    assert!(!m.is_normalized());
+    let text = print_module(&m);
+    let parsed = parse_module(&text).unwrap();
+    assert!(parsed.is_normalized());
+    let mut norm = m.clone();
+    assert!(norm.renumber());
+    assert_eq!(parsed, norm);
+    // renumber() is idempotent.
+    assert!(!norm.renumber());
+}

@@ -1,0 +1,206 @@
+//! Corpus conventions and the differential execution harness shared by the
+//! `corpus_suite` / `ir_fuzz` tests and the `ir_fuzz` bench binary.
+//!
+//! A corpus file (`tests/corpus/*.nzir`) is the strict versioned text
+//! format: a `; nzomp-ir vN` header, then (for generated kernels) a
+//! `; launch ...` metadata comment the runner uses to re-launch the kernel.
+//! Two families:
+//! * `gen-<seed>.nzir` — exactly `generate(seed)` printed; reproducible
+//!   from the file name alone.
+//! * `proxy-<name>.nzir` — the linked, unoptimized module of a real proxy
+//!   (replayed through the proxy's own `prepare()`).
+//!
+//! Bless flow (like the goldens): `NZOMP_BLESS=1 cargo test -q --test
+//! corpus_suite` rewrites every file; the suite fails if a file drifts
+//! from its generator.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+
+use crate::gen::{generate, GenModule, LaunchMeta};
+use nzomp_ir::printer::print_module;
+use nzomp_ir::Module;
+use nzomp_opt::{optimize_module, Ablation, PassOptions};
+use nzomp_proxies::quick_device;
+use nzomp_vgpu::device::Launch;
+use nzomp_vgpu::{DevPtr, Device, ExecError, KernelMetrics, RtVal};
+
+/// The pinned seeds behind `gen-<seed>.nzir`. Twenty edge-case kernels;
+/// together with the five proxy exports the corpus holds 25 entries.
+pub const GEN_SEEDS: [u64; 20] = [
+    1000, 1001, 1002, 1003, 1004, 1005, 1006, 1007, 1008, 1009, 1010, 1011, 1012, 1013, 1014,
+    1015, 1016, 1017, 1018, 1019,
+];
+
+/// Worker-thread axes every corpus kernel is replayed on.
+pub const WORKER_AXES: [usize; 2] = [1, 8];
+
+pub fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// The on-disk text of a generated corpus entry: printed module with the
+/// launch metadata comment spliced in right after the version header.
+pub fn gen_corpus_text(g: &GenModule) -> String {
+    let printed = print_module(&g.module);
+    match printed.split_once('\n') {
+        Some((header, rest)) => format!("{header}\n{}\n{rest}", g.launch_comment()),
+        None => printed,
+    }
+}
+
+/// `(slug, options)` for all nine pipeline variants (none, baseline, full,
+/// and each Fig. 13 ablation) — the same matrix the goldens pin.
+pub fn all_variants() -> Vec<(String, PassOptions)> {
+    let mut v = vec![
+        ("none".to_string(), PassOptions::none()),
+        ("baseline".to_string(), PassOptions::baseline()),
+        ("full".to_string(), PassOptions::full()),
+    ];
+    for ab in Ablation::ALL {
+        let slug = match ab {
+            Ablation::Fsaa => "no-fsaa",
+            Ablation::ReachDom => "no-reach-dom",
+            Ablation::AssumedContent => "no-assumed-content",
+            Ablation::InvariantProp => "no-invariant-prop",
+            Ablation::AlignedExec => "no-aligned-exec",
+            Ablation::BarrierElim => "no-barrier-elim",
+        };
+        v.push((slug.to_string(), PassOptions::full_without(ab)));
+    }
+    v
+}
+
+/// The cheap two-variant matrix the checked-in corpus is replayed under.
+pub fn corpus_variants() -> Vec<(String, PassOptions)> {
+    vec![
+        ("none".to_string(), PassOptions::none()),
+        ("full".to_string(), PassOptions::full()),
+    ]
+}
+
+/// Everything observable about one generated-kernel launch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOutcome {
+    pub result: Result<KernelMetrics, ExecError>,
+    /// Raw bits of the output region (`out_slots` 8-byte words).
+    pub out_bits: Vec<u64>,
+    /// Full device global-memory image.
+    pub global: Vec<u8>,
+    /// Sanitizer verdict `(races, divergences)` — must be `(0, 0)`.
+    pub san_counts: (u64, u64),
+}
+
+/// Launch a generated kernel once with the sanitizer armed and capture the
+/// outcome. Returns `Err` on harness-level failures (bad meta, read OOB).
+pub fn run_generated(m: &Module, meta: LaunchMeta, workers: usize) -> Result<RunOutcome, String> {
+    let mut dev = Device::load(m.clone(), quick_device());
+    dev.set_sanitize(true);
+    dev.set_worker_threads(workers);
+    let buf = dev.alloc(meta.buf_bytes);
+    let result = dev.launch(
+        "k",
+        Launch::new(meta.teams, meta.threads),
+        &[RtVal::P(buf)],
+    );
+    let out_bits = if result.is_ok() {
+        dev.read_f64(DevPtr(buf.0 + meta.out_off), meta.out_slots)
+            .map_err(|e| format!("reading out region: {e}"))?
+            .iter()
+            .map(|v| v.to_bits())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Ok(RunOutcome {
+        result,
+        out_bits,
+        global: dev.global_bytes().to_vec(),
+        san_counts: dev.sanitizer_counts(),
+    })
+}
+
+/// The full differential contract for one generated module:
+///
+/// 1. it verifies;
+/// 2. `parse(print(m)) == m` exactly (strict mode);
+/// 3. under every optimization variant it still verifies, never traps, and
+///    the sanitizer stays clean;
+/// 4. within a variant, every worker count produces the *identical*
+///    outcome — output bits, metrics, and the entire global image;
+/// 5. across variants, the output bits agree (metrics and non-output
+///    memory may legitimately differ — optimization removes work).
+///
+/// Returns a description of the first divergence, or `Ok(())`.
+pub fn differential_check(
+    g: &GenModule,
+    variants: &[(String, PassOptions)],
+    workers: &[usize],
+) -> Result<(), String> {
+    let name = &g.module.name;
+    nzomp_ir::verify_module(&g.module).map_err(|e| format!("{name}: verify: {e}"))?;
+    let text = print_module(&g.module);
+    let back =
+        nzomp_ir::parse_module_strict(&text).map_err(|e| format!("{name}: reparse: {e}"))?;
+    if back != g.module {
+        return Err(format!("{name}: parse(print(m)) != m"));
+    }
+    let meta = LaunchMeta {
+        teams: g.teams,
+        threads: g.threads,
+        buf_bytes: g.buf_bytes,
+        out_off: g.out_off,
+        out_slots: g.out_slots,
+    };
+    let mut baseline_bits: Option<(String, Vec<u64>)> = None;
+    for (slug, opts) in variants {
+        let mut vm = g.module.clone();
+        let _remarks = optimize_module(&mut vm, opts);
+        nzomp_ir::verify_module(&vm)
+            .map_err(|e| format!("{name} [{slug}]: verify after opt: {e}"))?;
+        let mut first: Option<(usize, RunOutcome)> = None;
+        for &w in workers {
+            let o = run_generated(&vm, meta, w)?;
+            if o.san_counts != (0, 0) {
+                return Err(format!(
+                    "{name} [{slug}] @{w} workers: sanitizer reported {:?}",
+                    o.san_counts
+                ));
+            }
+            if let Err(e) = &o.result {
+                return Err(format!("{name} [{slug}] @{w} workers: trapped: {e}"));
+            }
+            match &first {
+                None => first = Some((w, o)),
+                Some((w0, o0)) => {
+                    if o0 != &o {
+                        return Err(format!(
+                            "{name} [{slug}]: outcome diverges between {w0} and {w} workers"
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some((_, o)) = first {
+            match &baseline_bits {
+                None => baseline_bits = Some((slug.clone(), o.out_bits)),
+                Some((s0, bits)) => {
+                    if bits != &o.out_bits {
+                        return Err(format!(
+                            "{name}: output bits diverge between [{s0}] and [{slug}]"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience used by the fuzz bench bin and smoke tests: run the whole
+/// contract for a seed on the default axes.
+pub fn fuzz_one(seed: u64, variants: &[(String, PassOptions)]) -> Result<(), String> {
+    let g = generate(seed);
+    differential_check(&g, variants, &WORKER_AXES)
+}

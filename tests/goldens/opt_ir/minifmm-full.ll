@@ -1,8 +1,9 @@
+; nzomp-ir v1
 ; module minifmm
 ; kernel @fmm_p2p_kernel mode=Spmd
-declare i64 @omp_get_team_num() [always_inline,read_none]
-declare i64 @omp_get_num_threads()
-declare i64 @omp_get_thread_num()
+declare internal i64 @omp_get_team_num() [always_inline,read_none]
+declare internal i64 @omp_get_num_threads()
+declare internal i64 @omp_get_thread_num()
 define internal f64 @p2p_leaf_omp(i64 %arg0, i64 %arg1, i64 %arg2, i64 %arg3, ptr %arg4, ptr %arg5, ptr %arg6, ptr %arg7, ptr %arg8, i64 %arg9) [noinline] {
 bb0:
   %35 = alloca 8
@@ -141,15 +142,15 @@ bb26:
 bb27:
   unreachable
 }
-declare i64 @__kmpc_target_init(i64 %arg0)
-declare void @__kmpc_target_deinit(i64 %arg0)
-declare i64 @omp_get_num_teams() [always_inline,read_none]
-declare void @fmm_p2p_kernel.omp_outlined.wsloop.7(i64 %arg0, ptr %arg1)
-declare void @__kmpc_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2, i64 %arg3)
-declare void @fmm_p2p_kernel.omp_outlined.parallel.8(ptr %arg0)
-declare ptr @__kmpc_alloc_shared(i64 %arg0) [noinline]
-declare void @__kmpc_free_shared(ptr %arg0, i64 %arg1) [noinline]
-declare void @__kmpc_parallel_51(ptr %arg0, ptr %arg1)
+declare internal i64 @__kmpc_target_init(i64 %arg0)
+declare internal void @__kmpc_target_deinit(i64 %arg0)
+declare internal i64 @omp_get_num_teams() [always_inline,read_none]
+declare internal void @fmm_p2p_kernel.omp_outlined.wsloop.7(i64 %arg0, ptr %arg1)
+declare internal void @__kmpc_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2, i64 %arg3)
+declare internal void @fmm_p2p_kernel.omp_outlined.parallel.8(ptr %arg0)
+declare internal ptr @__kmpc_alloc_shared(i64 %arg0) [noinline]
+declare internal void @__kmpc_free_shared(ptr %arg0, i64 %arg1) [noinline]
+declare internal void @__kmpc_parallel_51(ptr %arg0, ptr %arg1)
 define void @fmm_p2p_kernel(ptr %arg0, ptr %arg1, ptr %arg2, ptr %arg3, ptr %arg4, ptr %arg5, ptr %arg6, ptr %arg7, ptr %arg8, i64 %arg9, i64 %arg10) {
 bb0:
   %11 = alloca 96
@@ -420,12 +421,12 @@ bb80:
 bb81:
   unreachable
 }
-declare void @__nzomp_trace() [always_inline]
-declare void @__nzomp_assert(i1 %arg0) [always_inline]
-declare void @__kmpc_syncthreads_aligned() [aligned_barrier,no_call_asm,noinline]
-declare void @__kmpc_barrier() [always_inline]
-declare i64 @omp_get_level()
-declare void @__kmpc_parallel_spmd(ptr %arg0, ptr %arg1)
-declare void @__kmpc_worker_loop()
-declare void @__kmpc_distribute_parallel_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)
-declare void @__kmpc_distribute_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)
+declare internal void @__nzomp_trace() [always_inline]
+declare internal void @__nzomp_assert(i1 %arg0) [always_inline]
+declare internal void @__kmpc_syncthreads_aligned() [aligned_barrier,no_call_asm,noinline]
+declare internal void @__kmpc_barrier() [always_inline]
+declare internal i64 @omp_get_level()
+declare internal void @__kmpc_parallel_spmd(ptr %arg0, ptr %arg1)
+declare internal void @__kmpc_worker_loop()
+declare internal void @__kmpc_distribute_parallel_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)
+declare internal void @__kmpc_distribute_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)

@@ -1,9 +1,10 @@
+; nzomp-ir v1
 ; module rsbench
 ; kernel @rs_lookup_kernel mode=Spmd
-declare void @rs_lookup_kernel.omp_outlined.body.0(i64 %arg0, ptr %arg1)
-declare i64 @__kmpc_target_init(i64 %arg0)
-declare void @__kmpc_target_deinit(i64 %arg0)
-declare void @__kmpc_distribute_parallel_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)
+declare internal void @rs_lookup_kernel.omp_outlined.body.0(i64 %arg0, ptr %arg1)
+declare internal i64 @__kmpc_target_init(i64 %arg0)
+declare internal void @__kmpc_target_deinit(i64 %arg0)
+declare internal void @__kmpc_distribute_parallel_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)
 define void @rs_lookup_kernel(ptr %arg0, ptr %arg1, ptr %arg2, i64 %arg3, i64 %arg4, i64 %arg5, i64 %arg6) {
 bb0:
   %174 = alloca 8
@@ -204,19 +205,19 @@ bb66:
 bb67:
   unreachable
 }
-declare void @__nzomp_trace() [always_inline]
-declare void @__nzomp_assert(i1 %arg0) [always_inline]
-declare void @__kmpc_syncthreads_aligned() [aligned_barrier,no_call_asm,noinline]
-declare void @__kmpc_barrier() [always_inline]
-declare i64 @omp_get_thread_num()
-declare i64 @omp_get_num_threads()
-declare i64 @omp_get_level()
-declare i64 @omp_get_team_num() [always_inline,read_none]
-declare i64 @omp_get_num_teams() [always_inline,read_none]
-declare ptr @__kmpc_alloc_shared(i64 %arg0) [noinline]
-declare void @__kmpc_free_shared(ptr %arg0, i64 %arg1) [noinline]
-declare void @__kmpc_parallel_51(ptr %arg0, ptr %arg1)
-declare void @__kmpc_parallel_spmd(ptr %arg0, ptr %arg1)
-declare void @__kmpc_worker_loop()
-declare void @__kmpc_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2, i64 %arg3)
-declare void @__kmpc_distribute_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)
+declare internal void @__nzomp_trace() [always_inline]
+declare internal void @__nzomp_assert(i1 %arg0) [always_inline]
+declare internal void @__kmpc_syncthreads_aligned() [aligned_barrier,no_call_asm,noinline]
+declare internal void @__kmpc_barrier() [always_inline]
+declare internal i64 @omp_get_thread_num()
+declare internal i64 @omp_get_num_threads()
+declare internal i64 @omp_get_level()
+declare internal i64 @omp_get_team_num() [always_inline,read_none]
+declare internal i64 @omp_get_num_teams() [always_inline,read_none]
+declare internal ptr @__kmpc_alloc_shared(i64 %arg0) [noinline]
+declare internal void @__kmpc_free_shared(ptr %arg0, i64 %arg1) [noinline]
+declare internal void @__kmpc_parallel_51(ptr %arg0, ptr %arg1)
+declare internal void @__kmpc_parallel_spmd(ptr %arg0, ptr %arg1)
+declare internal void @__kmpc_worker_loop()
+declare internal void @__kmpc_for_static_loop(ptr %arg0, ptr %arg1, i64 %arg2, i64 %arg3)
+declare internal void @__kmpc_distribute_static_loop(ptr %arg0, ptr %arg1, i64 %arg2)

@@ -1,0 +1,63 @@
+//! Structured IR fuzzing: the seeded generator drives the exact
+//! round-trip contract over hundreds of modules, proves per-module feature
+//! coverage, and runs the full differential matrix (every pipeline variant
+//! × worker counts) on a fixed seed range.
+
+use nzomp_integration::corpus::{all_variants, fuzz_one, WORKER_AXES};
+use nzomp_integration::gen::{all_labels, coverage_labels, generate};
+use nzomp_ir::parser::parse_module_strict;
+use nzomp_ir::printer::print_module;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `parse(print(m)) == m` exactly, for 512 generated modules per run.
+    /// Generated modules are normalized, so equality is structural and
+    /// bit-exact (float constants compare by bit pattern).
+    #[test]
+    fn roundtrip_exact_over_generated_modules(seed in any::<u64>()) {
+        let g = generate(seed);
+        prop_assert!(g.module.is_normalized(), "generator must emit normal form");
+        nzomp_ir::verify_module(&g.module)
+            .unwrap_or_else(|e| panic!("seed {seed}: verify: {e}"));
+        let text = print_module(&g.module);
+        let back = parse_module_strict(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse: {e}\n{text}"));
+        prop_assert_eq!(&back, &g.module, "seed {} round-trip mismatch", seed);
+    }
+}
+
+/// Coverage is structural: every module contains every instruction
+/// variant, operator, predicate, intrinsic, terminator, address space,
+/// init form, linkage, and exec mode — regardless of seed.
+#[test]
+fn every_generated_module_covers_every_variant() {
+    let want = all_labels();
+    for seed in 0..32u64 {
+        let g = generate(seed);
+        let got = coverage_labels(&g.module);
+        let missing: Vec<_> = want.difference(&got).collect();
+        assert!(
+            missing.is_empty(),
+            "seed {seed}: generator missed feature(s): {missing:?}"
+        );
+    }
+}
+
+/// The differential matrix on a fixed seed range: parse → verify →
+/// optimize under all nine pipeline variants → execute at 1 and 8 workers.
+/// Within a variant every worker count must produce an identical outcome
+/// (output bits, metrics, the entire global image); across variants the
+/// output bits must agree; the sanitizer must stay clean everywhere.
+#[test]
+fn differential_matrix_on_fixed_seeds() {
+    let variants = all_variants();
+    for seed in 0..12u64 {
+        if let Err(e) = fuzz_one(seed, &variants) {
+            panic!("differential failure: {e}");
+        }
+    }
+    // Axes sanity: the contract above really did run both worker counts.
+    assert_eq!(WORKER_AXES, [1, 8]);
+}

@@ -6,6 +6,9 @@
 //! observable about the launch — so the differential tests (PR 1) and the
 //! parallel-determinism tests compare outcomes through the same lens.
 
+pub mod corpus;
+pub mod gen;
+
 use nzomp::BuildConfig;
 use nzomp_host::{Host, HostError, StreamId};
 use nzomp_proxies::{build_for_config, compile_for_config, quick_device, HostShape, Proxy};

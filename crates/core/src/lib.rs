@@ -25,7 +25,9 @@ pub mod report;
 
 pub use config::BuildConfig;
 pub use pipeline::{compile, module_fingerprint, CompileCache, CompileError, CompileOutput};
-pub use report::{compile_stats_table, ConfigRow, RecoveryRow, SanitizerRow, ScalingRow};
+pub use report::{
+    compile_stats_table, ConfigRow, ExecTierRow, RecoveryRow, SanitizerRow, ScalingRow,
+};
 
 pub use nzomp_front as front;
 pub use nzomp_ir as ir;

@@ -108,6 +108,68 @@ pub fn scaling_table(rows: &[ScalingRow]) -> String {
     s
 }
 
+/// One measured point of an execution-tier sweep: the tier name
+/// (`"interp"` / `"bytecode"`), total wall time, and the per-launch
+/// instruction / dispatch counters — which must be *identical* across
+/// tiers (bit-identity contract); only `wall_ns` may differ.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecTierRow {
+    pub tier: String,
+    pub wall_ns: u128,
+    /// Dynamic instruction count of the measured launches.
+    pub instructions: u64,
+    /// Backend dispatch steps (one per fuel unit) of the measured launches.
+    pub dispatched: u64,
+}
+
+/// Speedup of each tier over the `interp` row (higher is better); same
+/// NaN-free policy as [`scaling_speedups`].
+pub fn exec_tier_speedups(rows: &[ExecTierRow]) -> Vec<(String, Option<f64>)> {
+    let base = rows
+        .iter()
+        .find(|r| r.tier == "interp")
+        .map(|r| r.wall_ns)
+        .filter(|&t| t > 0);
+    rows.iter()
+        .map(|r| {
+            let speedup = match base {
+                Some(b) if r.wall_ns > 0 => Some(b as f64 / r.wall_ns as f64),
+                _ => None,
+            };
+            (r.tier.clone(), speedup)
+        })
+        .collect()
+}
+
+/// Render an execution-tier sweep as an aligned ASCII table with speedup
+/// bars (1.0x = 10 chars), one row per tier.
+pub fn exec_tier_table(rows: &[ExecTierRow]) -> String {
+    let rel = exec_tier_speedups(rows);
+    let mut s = format!(
+        "{:>10} | {:>12} | {:>14} | {:>14} | {:>8}\n",
+        "tier", "wall time", "instructions", "dispatched", "speedup"
+    );
+    for (row, (_, speedup)) in rows.iter().zip(rel) {
+        let time = format_time(row.wall_ns as f64 / 1e6);
+        match speedup {
+            Some(v) => s.push_str(&format!(
+                "{:>10} | {:>12} | {:>14} | {:>14} | {:>7.2}x {}\n",
+                row.tier,
+                time,
+                row.instructions,
+                row.dispatched,
+                v,
+                bar(v, 10.0)
+            )),
+            None => s.push_str(&format!(
+                "{:>10} | {:>12} | {:>14} | {:>14} | {:>8}\n",
+                row.tier, time, row.instructions, row.dispatched, "n/a"
+            )),
+        }
+    }
+    s
+}
+
 /// One proxy's sanitizer-overhead measurement: verdict counts plus the
 /// wall time of a plain and a sanitized launch of the same binary.
 #[derive(Clone, Debug, PartialEq)]
@@ -438,6 +500,47 @@ mod tests {
         let table = scaling_table(&rows);
         assert!(table.contains("workers"), "{table}");
         assert!(table.contains("2.00x"), "{table}");
+        assert_eq!(table.lines().count(), 3, "{table}");
+    }
+
+    fn tier_row(tier: &str, wall_ns: u128) -> ExecTierRow {
+        ExecTierRow {
+            tier: tier.into(),
+            wall_ns,
+            instructions: 1_000,
+            dispatched: 1_200,
+        }
+    }
+
+    #[test]
+    fn exec_tier_speedups_relative_to_interp() {
+        let rows = [tier_row("interp", 6_000), tier_row("bytecode", 1_000)];
+        let rel = exec_tier_speedups(&rows);
+        assert_eq!(rel[0], ("interp".into(), Some(1.0)));
+        assert_eq!(rel[1], ("bytecode".into(), Some(6.0)));
+    }
+
+    #[test]
+    fn exec_tier_speedups_never_divide_by_zero() {
+        // No interp baseline at all.
+        assert_eq!(
+            exec_tier_speedups(&[tier_row("bytecode", 5)]),
+            vec![("bytecode".into(), None)]
+        );
+        // Degenerate zero timings on either side of the ratio.
+        let rows = [tier_row("interp", 0), tier_row("bytecode", 7)];
+        assert!(exec_tier_speedups(&rows).iter().all(|(_, s)| s.is_none()));
+        let rows = [tier_row("interp", 7), tier_row("bytecode", 0)];
+        assert_eq!(exec_tier_speedups(&rows)[1], ("bytecode".into(), None));
+    }
+
+    #[test]
+    fn exec_tier_table_renders_every_row() {
+        let rows = [tier_row("interp", 5_000_000), tier_row("bytecode", 1_000_000)];
+        let table = exec_tier_table(&rows);
+        assert!(table.contains("tier"), "{table}");
+        assert!(table.contains("dispatched"), "{table}");
+        assert!(table.contains("5.00x"), "{table}");
         assert_eq!(table.lines().count(), 3, "{table}");
     }
 }

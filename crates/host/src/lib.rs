@@ -41,7 +41,7 @@ use nzomp::{BuildConfig, CompileCache, CompileOutput};
 use nzomp_ir::Module;
 use nzomp_vgpu::device::Launch;
 use nzomp_vgpu::memory::DevPtr;
-use nzomp_vgpu::{Device, DeviceConfig, ExecError, FaultPlan, KernelMetrics, RtVal};
+use nzomp_vgpu::{Device, DeviceConfig, ExecError, ExecTier, FaultPlan, KernelMetrics, RtVal};
 
 pub use error::{ErrorClass, HostError, MapError, StreamError};
 pub use map::{BufId, MapKind, MapSpec, PresentTable};
@@ -139,6 +139,12 @@ pub struct Host {
     eager: bool,
     ops_executed: u64,
     worker_threads: Option<usize>,
+    /// Execution tier pinned on every current and future device (`None` =
+    /// each device's own `NZOMP_EXEC_TIER` resolution). Pinning matters
+    /// for recovery: journal replay and failover re-execution happen on
+    /// replacement devices, which must run the same tier as the original
+    /// so replayed launches are bit-identical.
+    exec_tier: Option<ExecTier>,
     fault_plan: Option<FaultPlan>,
 
     /// `Some` enables the recovery layer (journaling, retries, failover);
@@ -169,6 +175,7 @@ impl Host {
             eager: false,
             ops_executed: 0,
             worker_threads: None,
+            exec_tier: None,
             fault_plan: None,
             recovery: None,
             rmetrics: RecoveryMetrics::default(),
@@ -237,6 +244,7 @@ impl Host {
             .clone();
         let global = self.fault_plan.clone();
         let workers = self.worker_threads;
+        let tier = self.exec_tier;
         let watchdog = self.watchdog_fuel;
         let slot = self
             .slots
@@ -248,6 +256,9 @@ impl Host {
         let mut d = Device::load(out.module.clone(), self.dev_cfg.clone());
         if let Some(w) = workers {
             d.set_worker_threads(w);
+        }
+        if let Some(t) = tier {
+            d.set_exec_tier(t);
         }
         if let Some(p) = effective_plan(&global, &slot.device_plan) {
             d.set_fault_plan(p);
@@ -848,6 +859,9 @@ impl Host {
         if let Some(w) = self.worker_threads {
             d.set_worker_threads(w);
         }
+        if let Some(t) = self.exec_tier {
+            d.set_exec_tier(t);
+        }
         if let Some(p) = &self.fault_plan {
             d.set_fault_plan(p.clone());
         }
@@ -1002,6 +1016,20 @@ impl Host {
         for s in &mut self.slots {
             if let Some(d) = s.dev.as_mut() {
                 d.set_worker_threads(n);
+            }
+        }
+    }
+
+    /// Pin the execution tier of every current and future device
+    /// (overrides `NZOMP_EXEC_TIER` resolution in `Device::load`). The
+    /// pin survives failover: replacement devices — and therefore journal
+    /// replays — run the same tier as the device they replace, keeping
+    /// recovery bit-identical to the original execution.
+    pub fn set_exec_tier(&mut self, tier: ExecTier) {
+        self.exec_tier = Some(tier);
+        for s in &mut self.slots {
+            if let Some(d) = s.dev.as_mut() {
+                d.set_exec_tier(tier);
             }
         }
     }

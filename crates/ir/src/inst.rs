@@ -42,6 +42,7 @@ pub enum BinOp {
 }
 
 impl BinOp {
+    #[inline]
     pub fn is_float(self) -> bool {
         matches!(
             self,

@@ -25,6 +25,7 @@ pub enum Ty {
 
 impl Ty {
     /// Width in bytes when stored to memory.
+    #[inline]
     pub fn size(self) -> u64 {
         match self {
             Ty::I1 | Ty::I8 => 1,
@@ -38,6 +39,7 @@ impl Ty {
         matches!(self, Ty::I1 | Ty::I8 | Ty::I32 | Ty::I64)
     }
 
+    #[inline]
     pub fn is_float(self) -> bool {
         matches!(self, Ty::F64)
     }

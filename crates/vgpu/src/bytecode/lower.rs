@@ -1,0 +1,677 @@
+//! IR → bytecode lowering.
+//!
+//! Lowering never fails: malformed shapes (the ones the verifier rejects
+//! but a hand-built module can still carry) are embedded as trap ops or
+//! trap operands that reproduce the interpreter's exact `MalformedIr`
+//! message at the exact execution point where the interpreter would meet
+//! them. That keeps the malformed-IR trap-message pins — and every other
+//! differential suite — valid across tiers.
+//!
+//! Static direct-call checks (missing target, declaration, arity) are the
+//! one class the interpreter performs per execution that lowering resolves
+//! eagerly; since the outcome cannot depend on runtime state, the lowered
+//! [`Op::TrapInst`] fires identically.
+
+use std::collections::HashMap;
+
+use nzomp_ir::inst::{Inst, InstId, Intrinsic, Term};
+use nzomp_ir::{BlockId, Function, Module, Operand, Ty};
+
+use crate::error::TrapKind;
+use crate::exec::{malformed, used_results, GlobalLayout};
+use crate::memory::DevPtr;
+use crate::value::RtVal;
+
+use super::{BcFunc, BcModule, Edge, FuncMeta, Op, Src};
+
+/// Lower every function of `module`. `layout` resolves global operands to
+/// their device addresses (fixed at device load, like the layout itself).
+pub(crate) fn lower_module(module: &Module, layout: &GlobalLayout) -> BcModule {
+    let meta = module
+        .funcs
+        .iter()
+        .map(|f| FuncMeta {
+            name: f.name.clone(),
+            params: f.params.len() as u32,
+            is_decl: f.is_declaration(),
+            runtime: f.name.starts_with("__kmpc") || f.name.starts_with("omp_"),
+        })
+        .collect();
+    let funcs = module
+        .funcs
+        .iter()
+        .map(|f| lower_func(module, layout, f))
+        .collect();
+    BcModule { funcs, meta }
+}
+
+struct FnLowerer<'m> {
+    module: &'m Module,
+    layout: &'m GlobalLayout,
+    func: &'m Function,
+    /// Value slot per arena instruction (0 = dead-result scratch).
+    slot_of: Vec<u32>,
+    used: Vec<bool>,
+    ops: Vec<Op>,
+    locs: Vec<(u32, u32)>,
+    traps: Vec<TrapKind>,
+    edges: Vec<Edge>,
+    /// `(edge index, from block, target block)` fixups resolved once every
+    /// block's op offset is known.
+    pending: Vec<(usize, BlockId, BlockId)>,
+    /// First post-phi op offset per block.
+    block_start: Vec<u32>,
+    /// Interned immediate operands as `(slot, value)`; each gets a
+    /// dedicated value slot (pre-filled at frame setup) so operands stay
+    /// plain `Src::Reg` reads. `const_of` dedups by (tag, bits).
+    consts: Vec<(u32, RtVal)>,
+    const_of: HashMap<(u8, i64), u32>,
+    /// Next free value slot (instruction results first, then consts).
+    n_slots: u32,
+}
+
+fn lower_func(module: &Module, layout: &GlobalLayout, func: &Function) -> BcFunc {
+    if func.blocks.is_empty() {
+        // Declaration (or stripped body): executing it meets the
+        // interpreter's missing-entry-block trap on the first step.
+        let t = malformed(format!("frame in @{} references missing bb0", func.name));
+        return BcFunc {
+            ops: vec![Op::TrapBare { t: 0 }],
+            locs: vec![(0, 0)],
+            edges: Vec::new(),
+            traps: vec![t],
+            consts: Vec::new(),
+            n_slots: 1,
+            entry: 0,
+        };
+    }
+
+    let used = used_results(func);
+    let mut slot_of = vec![0u32; func.insts.len()];
+    let mut n_slots = 1u32; // slot 0: shared dead-result scratch
+    for (i, &u) in used.iter().enumerate() {
+        if u {
+            slot_of[i] = n_slots;
+            n_slots += 1;
+        }
+    }
+
+    let mut lw = FnLowerer {
+        module,
+        layout,
+        func,
+        slot_of,
+        used,
+        ops: Vec::new(),
+        locs: Vec::new(),
+        traps: Vec::new(),
+        edges: Vec::new(),
+        pending: Vec::new(),
+        block_start: Vec::new(),
+        consts: Vec::new(),
+        const_of: HashMap::new(),
+        n_slots,
+    };
+
+    for (bi, block) in func.blocks.iter().enumerate() {
+        let b = bi as u32;
+        // Leading phis are materialized by incoming edges; the block body
+        // starts at the first entry that is not a live leading phi.
+        let mut body_start = 0usize;
+        while body_start < block.insts.len() {
+            let iid = block.insts[body_start];
+            match func.insts.get(iid.index()) {
+                Some(inst) if inst.is_phi() => body_start += 1,
+                _ => break,
+            }
+        }
+        lw.block_start.push(lw.ops.len() as u32);
+        let mut terminated = false;
+        for idx in body_start..block.insts.len() {
+            let iid = block.insts[idx];
+            match func.insts.get(iid.index()) {
+                None => {
+                    // Listed instruction missing from the arena: trap
+                    // before any instruction accounting (the interpreter's
+                    // step fails its arena lookup pre-charge).
+                    let t = lw.add_trap(malformed(format!(
+                        "bb{} in @{} lists missing inst %{}",
+                        b, func.name, iid.0
+                    )));
+                    lw.emit(Op::TrapBare { t }, (b, iid.0));
+                    terminated = true;
+                    break;
+                }
+                Some(inst) if inst.is_phi() => {
+                    let t = lw.add_trap(malformed("phi executed directly (phi after non-phi)"));
+                    lw.emit(Op::TrapInst { t }, (b, iid.0));
+                    terminated = true;
+                    break;
+                }
+                Some(inst) => {
+                    if lw.lower_inst(b, iid, inst) {
+                        terminated = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !terminated {
+            lw.lower_term(b, &block.term);
+        }
+    }
+
+    // Function entry: direct entry starts at instruction index 0, *before*
+    // any leading phi — stepping onto a live phi is the interpreter's
+    // phi-executed-directly trap, charged as an instruction.
+    let entry = match func.blocks[0].insts.first() {
+        Some(&iid0) => match func.insts.get(iid0.index()) {
+            Some(inst) if inst.is_phi() => {
+                let pc = lw.ops.len() as u32;
+                let t = lw.add_trap(malformed("phi executed directly (phi after non-phi)"));
+                lw.emit(Op::TrapInst { t }, (0, iid0.0));
+                pc
+            }
+            // Missing arena entries fall through to the body's listing
+            // trap at block_start; plain instructions start the body.
+            _ => lw.block_start[0],
+        },
+        None => lw.block_start[0],
+    };
+
+    // Resolve branch targets and phi moves now that every block's op
+    // offset is known.
+    let pending = std::mem::take(&mut lw.pending);
+    for (ei, from, target) in pending {
+        let edge = lw.resolve_edge(from, target);
+        if let Some(slot) = lw.edges.get_mut(ei) {
+            *slot = edge;
+        }
+    }
+
+    validated(BcFunc {
+        ops: lw.ops,
+        locs: lw.locs,
+        edges: lw.edges,
+        traps: lw.traps,
+        consts: lw.consts,
+        n_slots: lw.n_slots,
+        entry,
+    })
+}
+
+/// Validation gate for the dispatch loop's unchecked register file: every
+/// `Src::Reg` index, every destination slot, and every interned-constant
+/// slot a function can name must be in range. `getv` / `setv` rely on
+/// this to skip per-access bounds checks — verify once at lowering,
+/// dispatch unchecked. The lowerer above never produces an out-of-range
+/// index; the gate makes the dispatch loop's soundness independent of
+/// that claim. A function that fails is replaced by a trap-only body
+/// (never observed in practice).
+fn validated(f: BcFunc) -> BcFunc {
+    let n_slots = f.n_slots;
+    let src_ok = |s: &Src| match *s {
+        Src::Reg(i) => i < n_slots,
+        // Bounds-checked at dispatch (arity varies; traps are lazy).
+        Src::Arg(_) | Src::Trap(_) => true,
+    };
+    let dst_ok = |d: u32| d < n_slots;
+    let op_ok = |op: &Op| match op {
+        Op::Bin { a, b, dst, .. } | Op::Cmp { a, b, dst, .. } | Op::PtrAdd { a, b, dst } => {
+            src_ok(a) && src_ok(b) && dst_ok(*dst)
+        }
+        Op::Un { a, dst, .. } | Op::Cast { a, dst, .. } | Op::Load { p: a, dst, .. } => {
+            src_ok(a) && dst_ok(*dst)
+        }
+        Op::Select { c, t, f, dst } => src_ok(c) && src_ok(t) && src_ok(f) && dst_ok(*dst),
+        Op::Store { p, v, .. } => src_ok(p) && src_ok(v),
+        Op::Alloca { dst, .. } => dst_ok(*dst),
+        Op::Call { args, ret_dst, .. } => {
+            args.iter().all(src_ok) && ret_dst.is_none_or(dst_ok)
+        }
+        Op::CallInd {
+            callee,
+            args,
+            ret_dst,
+        } => src_ok(callee) && args.iter().all(src_ok) && ret_dst.is_none_or(dst_ok),
+        Op::Atomic { p, v, dst, .. } => src_ok(p) && src_ok(v) && dst_ok(*dst),
+        Op::Cas { p, e, n, dst, .. } => {
+            src_ok(p) && src_ok(e) && src_ok(n) && dst_ok(*dst)
+        }
+        Op::ThreadId { dst } | Op::TeamId { dst } | Op::BlockDim { dst } | Op::GridDim { dst } => {
+            dst_ok(*dst)
+        }
+        Op::Malloc { size, dst } => src_ok(size) && dst_ok(*dst),
+        Op::Free { p } => src_ok(p),
+        Op::CondBr { c, .. } => src_ok(c),
+        Op::Assume { c } => c.as_ref().is_none_or(src_ok),
+        Op::Ret { v } => v.as_ref().is_none_or(src_ok),
+        Op::Barrier { .. } | Op::Br { .. } | Op::TrapBare { .. } | Op::TrapInst { .. } => true,
+    };
+    let n_ops = f.ops.len() as u32;
+    let n_edges = f.edges.len() as u32;
+    let edges_ok = f.edges.iter().all(|e| match e {
+        Edge::Go { pc, moves } => {
+            *pc < n_ops && moves.iter().all(|(d, s)| dst_ok(*d) && src_ok(s))
+        }
+        Edge::Trap(_) => true,
+    });
+    // The op fetch is unchecked too, so `pc` must never be able to reach
+    // `ops.len()`: the entry and every branch target are in range, every
+    // edge index resolves, and the final op never falls through (each
+    // block ends with a terminator, so sequential execution always meets
+    // a jump, return or trap before running off the end).
+    let eix_ok = |e: u32| e < n_edges;
+    let flow_ok = |op: &Op| match op {
+        Op::Br { edge } => eix_ok(*edge),
+        Op::CondBr { t, f, .. } => eix_ok(*t) && eix_ok(*f),
+        _ => true,
+    };
+    let end_ok = matches!(
+        f.ops.last(),
+        Some(Op::Br { .. } | Op::CondBr { .. } | Op::Ret { .. })
+            | Some(Op::TrapBare { .. } | Op::TrapInst { .. })
+    );
+    let consts_ok = f.consts.iter().all(|(slot, _)| *slot < n_slots);
+    if n_slots > 0
+        && f.entry < n_ops
+        && end_ok
+        && edges_ok
+        && consts_ok
+        && f.ops.iter().all(|o| op_ok(o) && flow_ok(o))
+    {
+        return f;
+    }
+    let t = malformed("bytecode validation failed: value index out of range");
+    BcFunc {
+        ops: vec![Op::TrapBare { t: 0 }],
+        locs: vec![(0, 0)],
+        edges: Vec::new(),
+        traps: vec![t],
+        consts: Vec::new(),
+        n_slots: 1,
+        entry: 0,
+    }
+}
+
+impl<'m> FnLowerer<'m> {
+    fn emit(&mut self, op: Op, loc: (u32, u32)) {
+        self.ops.push(op);
+        self.locs.push(loc);
+    }
+
+    fn add_trap(&mut self, k: TrapKind) -> u32 {
+        self.traps.push(k);
+        (self.traps.len() - 1) as u32
+    }
+
+    /// Allocate an edge slot for `from → target`, resolved after layout.
+    fn new_edge(&mut self, from: BlockId, target: BlockId) -> u32 {
+        let ei = self.edges.len();
+        self.edges.push(Edge::Go {
+            pc: 0,
+            moves: Box::new([]),
+        });
+        self.pending.push((ei, from, target));
+        ei as u32
+    }
+
+    /// Intern an immediate into a dedicated value slot (dedup by tag +
+    /// bits); frame setup pre-fills it, so the operand is a plain `Reg`.
+    fn cnum(&mut self, v: RtVal) -> Src {
+        let key = (
+            match v {
+                RtVal::I(_) => 0u8,
+                RtVal::F(_) => 1,
+                RtVal::P(_) => 2,
+            },
+            v.to_bits(),
+        );
+        let next = self.n_slots;
+        let slot = *self.const_of.entry(key).or_insert(next);
+        if slot == next {
+            self.consts.push((slot, v));
+            self.n_slots += 1;
+        }
+        Src::Reg(slot)
+    }
+
+    /// Pre-translate one operand (the interpreter's `eval`, done once).
+    fn src(&mut self, op: Operand) -> Src {
+        match op {
+            Operand::Inst(i) => {
+                if i.index() < self.slot_of.len() {
+                    Src::Reg(self.slot_of[i.index()])
+                } else {
+                    let t = self.add_trap(malformed(format!(
+                        "operand references missing inst %{}",
+                        i.0
+                    )));
+                    Src::Trap(t)
+                }
+            }
+            Operand::Param(p) => Src::Arg(p),
+            Operand::ConstI(v, ty) => self.cnum(if ty == Ty::Ptr {
+                RtVal::P(DevPtr(v as u64))
+            } else {
+                RtVal::I(v)
+            }),
+            Operand::ConstF(v) => self.cnum(RtVal::F(v)),
+            Operand::Global(g) => match self.layout.addr_of.get(g.index()) {
+                Some(&p) => self.cnum(RtVal::P(p)),
+                None => {
+                    let t = self.add_trap(malformed(format!(
+                        "operand references missing global {}",
+                        g.0
+                    )));
+                    Src::Trap(t)
+                }
+            },
+            Operand::Func(f) => self.cnum(RtVal::P(DevPtr::func(f.0))),
+        }
+    }
+
+    fn srcs(&mut self, args: &[Operand]) -> Box<[Src]> {
+        args.iter().map(|a| self.src(*a)).collect()
+    }
+
+    /// Lower one instruction. Returns `true` when the op unconditionally
+    /// traps (the rest of the block is unreachable).
+    fn lower_inst(&mut self, b: u32, iid: InstId, inst: &Inst) -> bool {
+        let loc = (b, iid.0);
+        let dst = self.slot_of.get(iid.index()).copied().unwrap_or(0);
+        match inst {
+            Inst::Bin { op, lhs, rhs, .. } => {
+                let a = self.src(*lhs);
+                let bb = self.src(*rhs);
+                self.emit(Op::Bin { op: *op, a, b: bb, dst }, loc);
+            }
+            Inst::Un { op, arg, .. } => {
+                let a = self.src(*arg);
+                self.emit(Op::Un { op: *op, a, dst }, loc);
+            }
+            Inst::Cast { kind, to, arg } => {
+                let a = self.src(*arg);
+                self.emit(
+                    Op::Cast {
+                        kind: *kind,
+                        to: *to,
+                        a,
+                        dst,
+                    },
+                    loc,
+                );
+            }
+            Inst::Cmp { pred, ty, lhs, rhs } => {
+                let a = self.src(*lhs);
+                let bb = self.src(*rhs);
+                self.emit(
+                    Op::Cmp {
+                        pred: *pred,
+                        float: ty.is_float(),
+                        a,
+                        b: bb,
+                        dst,
+                    },
+                    loc,
+                );
+            }
+            Inst::Select {
+                cond,
+                if_true,
+                if_false,
+                ..
+            } => {
+                let c = self.src(*cond);
+                let t = self.src(*if_true);
+                let f = self.src(*if_false);
+                self.emit(Op::Select { c, t, f, dst }, loc);
+            }
+            Inst::Load { ty, ptr } => {
+                let p = self.src(*ptr);
+                self.emit(Op::Load { ty: *ty, p, dst }, loc);
+            }
+            Inst::Store { ty, ptr, value } => {
+                let p = self.src(*ptr);
+                let v = self.src(*value);
+                self.emit(Op::Store { ty: *ty, p, v }, loc);
+            }
+            Inst::PtrAdd { base, offset } => {
+                let a = self.src(*base);
+                let bb = self.src(*offset);
+                self.emit(Op::PtrAdd { a, b: bb, dst }, loc);
+            }
+            Inst::Alloca { size } => {
+                self.emit(
+                    Op::Alloca {
+                        size: (*size + 7) & !7,
+                        dst,
+                    },
+                    loc,
+                );
+            }
+            Inst::Call { callee, args, ret } => {
+                let ret_dst = ret.is_some().then_some(dst);
+                match callee {
+                    Operand::Func(f) => {
+                        // Static checks — the interpreter performs these
+                        // before charging call cost or evaluating args, so
+                        // an eager trap op is observationally identical.
+                        let Some(g) = self.module.funcs.get(f.0 as usize) else {
+                            let t = self.add_trap(TrapKind::BadIndirectCall);
+                            self.emit(Op::TrapInst { t }, loc);
+                            return true;
+                        };
+                        if g.is_declaration() {
+                            let t = self.add_trap(TrapKind::UnresolvedCall(g.name.clone()));
+                            self.emit(Op::TrapInst { t }, loc);
+                            return true;
+                        }
+                        if g.params.len() != args.len() {
+                            let t = self.add_trap(TrapKind::BadLaunch(format!(
+                                "call of @{} with {} args (expects {})",
+                                g.name,
+                                args.len(),
+                                g.params.len()
+                            )));
+                            self.emit(Op::TrapInst { t }, loc);
+                            return true;
+                        }
+                        let runtime =
+                            g.name.starts_with("__kmpc") || g.name.starts_with("omp_");
+                        let args = self.srcs(args);
+                        self.emit(
+                            Op::Call {
+                                target: f.0,
+                                args,
+                                ret_dst,
+                                runtime,
+                            },
+                            loc,
+                        );
+                    }
+                    other => {
+                        let callee = self.src(*other);
+                        let args = self.srcs(args);
+                        self.emit(
+                            Op::CallInd {
+                                callee,
+                                args,
+                                ret_dst,
+                            },
+                            loc,
+                        );
+                    }
+                }
+            }
+            Inst::Atomic { op, ty, ptr, value } => {
+                let p = self.src(*ptr);
+                let v = self.src(*value);
+                let used = self.used.get(iid.index()).copied().unwrap_or(true);
+                self.emit(
+                    Op::Atomic {
+                        op: *op,
+                        ty: *ty,
+                        p,
+                        v,
+                        dst,
+                        used,
+                    },
+                    loc,
+                );
+            }
+            Inst::Cas {
+                ty,
+                ptr,
+                expected,
+                new,
+            } => {
+                let p = self.src(*ptr);
+                let e = self.src(*expected);
+                let n = self.src(*new);
+                self.emit(
+                    Op::Cas {
+                        ty: *ty,
+                        p,
+                        e,
+                        n,
+                        dst,
+                    },
+                    loc,
+                );
+            }
+            Inst::Intr { intr, args } => match intr {
+                Intrinsic::ThreadId => self.emit(Op::ThreadId { dst }, loc),
+                Intrinsic::BlockId => self.emit(Op::TeamId { dst }, loc),
+                Intrinsic::BlockDim => self.emit(Op::BlockDim { dst }, loc),
+                Intrinsic::GridDim => self.emit(Op::GridDim { dst }, loc),
+                Intrinsic::AlignedBarrier => self.emit(Op::Barrier { aligned: true }, loc),
+                Intrinsic::Barrier => self.emit(Op::Barrier { aligned: false }, loc),
+                Intrinsic::Assume(()) => {
+                    // A missing operand traps only when assume checking is
+                    // on — the dispatch loop decides, like the interpreter.
+                    let c = args.first().map(|a| self.src(*a));
+                    self.emit(Op::Assume { c }, loc);
+                }
+                Intrinsic::AssertFail => {
+                    let t = self.add_trap(TrapKind::AssertFail);
+                    self.emit(Op::TrapInst { t }, loc);
+                    return true;
+                }
+                Intrinsic::Malloc => match args.first() {
+                    None => {
+                        let t =
+                            self.add_trap(malformed("malloc intrinsic with no operand"));
+                        self.emit(Op::TrapInst { t }, loc);
+                        return true;
+                    }
+                    Some(a) => {
+                        let size = self.src(*a);
+                        self.emit(Op::Malloc { size, dst }, loc);
+                    }
+                },
+                Intrinsic::Free => match args.first() {
+                    None => {
+                        let t = self.add_trap(malformed("free intrinsic with no operand"));
+                        self.emit(Op::TrapInst { t }, loc);
+                        return true;
+                    }
+                    Some(a) => {
+                        let p = self.src(*a);
+                        self.emit(Op::Free { p }, loc);
+                    }
+                },
+            },
+            Inst::Phi { .. } => {
+                // Callers filter phis; defensive parity with the
+                // interpreter's direct-phi trap.
+                let t = self.add_trap(malformed("phi executed directly (phi after non-phi)"));
+                self.emit(Op::TrapInst { t }, loc);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn lower_term(&mut self, b: u32, term: &Term) {
+        let from = BlockId(b);
+        match term {
+            Term::Br(t) => {
+                let edge = self.new_edge(from, *t);
+                self.emit(Op::Br { edge }, (b, 0));
+            }
+            Term::CondBr {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                let c = self.src(*cond);
+                let t = self.new_edge(from, *if_true);
+                let f = self.new_edge(from, *if_false);
+                self.emit(Op::CondBr { c, t, f }, (b, 0));
+            }
+            Term::Ret(v) => {
+                let v = v.as_ref().map(|op| self.src(*op));
+                self.emit(Op::Ret { v }, (b, 0));
+            }
+            Term::Unreachable => {
+                // Terminator-position trap: no instruction accounting.
+                let t = self.add_trap(TrapKind::AssertFail);
+                self.emit(Op::TrapBare { t }, (b, 0));
+            }
+        }
+    }
+
+    /// Resolve `from → target`: branch offset plus the phi parallel-move
+    /// list, reproducing the interpreter's jump scan (including where in
+    /// the scan each malformed shape traps).
+    fn resolve_edge(&mut self, from: BlockId, target: BlockId) -> Edge {
+        let Some(block) = self.func.blocks.get(target.index()) else {
+            let t = self.add_trap(malformed(format!(
+                "branch in @{} targets missing bb{}",
+                self.func.name, target.0
+            )));
+            return Edge::Trap(t);
+        };
+        let mut moves: Vec<(u32, Src)> = Vec::new();
+        for &iid in &block.insts {
+            match self.func.insts.get(iid.index()) {
+                None => {
+                    let t = self.add_trap(malformed(format!(
+                        "bb{} in @{} lists missing inst %{}",
+                        target.0, self.func.name, iid.0
+                    )));
+                    moves.push((0, Src::Trap(t)));
+                    break;
+                }
+                Some(Inst::Phi { incomings, .. }) => {
+                    match incomings.iter().find(|i| i.pred == from) {
+                        None => {
+                            let t = self.add_trap(malformed(format!(
+                                "phi %{} in @{} bb{} missing incoming for bb{}",
+                                iid.0, self.func.name, target.0, from.0
+                            )));
+                            moves.push((0, Src::Trap(t)));
+                            break;
+                        }
+                        Some(inc) => {
+                            let s = self.src(inc.value);
+                            let slot = self.slot_of.get(iid.index()).copied().unwrap_or(0);
+                            moves.push((slot, s));
+                        }
+                    }
+                }
+                Some(_) => break,
+            }
+        }
+        let pc = self
+            .block_start
+            .get(target.index())
+            .copied()
+            .unwrap_or_default();
+        Edge::Go {
+            pc,
+            moves: moves.into_boxed_slice(),
+        }
+    }
+}

@@ -1,13 +1,17 @@
 //! The device: module loading, host-side memory management, kernel launch.
 
+use std::sync::Arc;
+
 use nzomp_ir::analysis::liveness;
 use nzomp_ir::{Module, Space, Ty};
 
+use crate::bytecode::{lower_module, BcModule};
 use crate::cost::{CostModel, DeviceConfig};
 use crate::error::{ExecError, TrapKind};
+use crate::exec::{ExecTier, TeamEngine};
 use crate::faults::{DeviceFaultKind, FaultPlan};
 use crate::gmem::{apply_effects, GlobalMem};
-use crate::interp::{Counters, GlobalLayout, HeapState, TeamExec};
+use crate::interp::{Counters, GlobalLayout, HeapState};
 use crate::memory::{DevPtr, Region};
 use crate::memory::Segment;
 use crate::metrics::KernelMetrics;
@@ -39,6 +43,21 @@ fn resolve_workers(config_value: u32) -> usize {
         .and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// Resolve the execution tier from `NZOMP_EXEC_TIER` (`interp` or
+/// `bytecode`); default is the reference interpreter. An explicit
+/// [`Device::set_exec_tier`] call overrides the load-time resolution,
+/// mirroring [`resolve_workers`].
+fn resolve_exec_tier() -> ExecTier {
+    match std::env::var("NZOMP_EXEC_TIER")
+        .ok()
+        .as_deref()
+        .map(str::trim)
+    {
+        Some(v) if v.eq_ignore_ascii_case("bytecode") => ExecTier::Bytecode,
+        _ => ExecTier::Interp,
+    }
 }
 
 /// Resolve `(sanitize, strict)`: an explicit config opt-in wins;
@@ -125,6 +144,15 @@ pub struct Device {
     /// Host-imposed launch watchdog: caps the fuel budget of every launch
     /// at `min(watchdog, plan-or-config budget)`. `None` in production.
     watchdog_fuel: Option<u64>,
+    /// Execution tier for subsequent launches. Resolved at load from
+    /// `NZOMP_EXEC_TIER`; [`Device::set_exec_tier`] overrides. Both tiers
+    /// are bit-identical in every observable (memory image, metrics,
+    /// traps, sanitizer verdicts) — see `docs/exec-tiers.md`.
+    tier: ExecTier,
+    /// Lazily lowered bytecode image. A pure function of the loaded
+    /// module and the fixed global layout, so it is computed at most once
+    /// per device and never invalidated.
+    bc: Option<Arc<BcModule>>,
 }
 
 impl Device {
@@ -229,7 +257,30 @@ impl Device {
             dev_sites_fired: Vec::new(),
             lost: false,
             watchdog_fuel: None,
+            tier: resolve_exec_tier(),
+            bc: None,
         }
+    }
+
+    /// Select the execution tier for subsequent launches (overrides the
+    /// load-time `NZOMP_EXEC_TIER` resolution). Switching tiers never
+    /// changes any observable launch outcome.
+    pub fn set_exec_tier(&mut self, tier: ExecTier) {
+        self.tier = tier;
+    }
+
+    pub fn exec_tier(&self) -> ExecTier {
+        self.tier
+    }
+
+    /// The bytecode image for the loaded module, lowering it on first use.
+    fn ensure_bytecode(&mut self) -> Arc<BcModule> {
+        if let Some(bc) = &self.bc {
+            return Arc::clone(bc);
+        }
+        let bc = Arc::new(lower_module(&self.module, &self.layout));
+        self.bc = Some(Arc::clone(&bc));
+        bc
     }
 
     /// Set the number of host worker threads used to execute the teams of
@@ -625,10 +676,27 @@ impl Device {
         // (both execution paths), stored on the device even when the
         // launch traps — reports must survive the error return.
         let mut lsan: Option<LaunchSan> = self.sanitize.then(LaunchSan::default);
+        // Tier selection: the bytecode image (lowered once per device) is
+        // threaded to every team engine of this launch; `None` selects the
+        // reference interpreter.
+        let bc_arc = match self.tier {
+            ExecTier::Bytecode => Some(self.ensure_bytecode()),
+            ExecTier::Interp => None,
+        };
+        let bc = bc_arc.as_deref();
         let outcome = if self.workers <= 1 || launch.teams <= 1 {
-            self.run_teams_sequential(func_ref.0, launch, shared_total, args, &mut fuel, &mut lsan)
+            self.run_teams_sequential(
+                bc,
+                func_ref.0,
+                launch,
+                shared_total,
+                args,
+                &mut fuel,
+                &mut lsan,
+            )
         } else {
             self.run_teams_parallel(
+                bc,
                 func_ref.0,
                 launch,
                 shared_total,
@@ -700,6 +768,7 @@ impl Device {
             cycles: cycles_total,
             time_ms,
             instructions: counters.instructions,
+            dispatched: counters.dispatched,
             barriers: counters.barriers,
             global_accesses: counters.global_accesses,
             shared_accesses: counters.shared_accesses,
@@ -720,6 +789,7 @@ impl Device {
     #[allow(clippy::too_many_arguments)]
     fn run_teams_sequential(
         &mut self,
+        bc: Option<&BcModule>,
         kernel_idx: u32,
         launch: Launch,
         shared_total: u64,
@@ -731,7 +801,8 @@ impl Device {
         let mut team_mem_cycles = Vec::with_capacity(launch.teams as usize);
         let mut totals = Counters::default();
         for team in 0..launch.teams {
-            let mut exec = TeamExec::new(
+            let mut exec = TeamEngine::new(
+                bc,
                 &self.module,
                 &self.cost,
                 self.config.check_assumes,
@@ -788,6 +859,7 @@ impl Device {
     #[allow(clippy::too_many_arguments)]
     fn run_teams_parallel(
         &mut self,
+        bc: Option<&BcModule>,
         kernel_idx: u32,
         launch: Launch,
         shared_total: u64,
@@ -803,6 +875,7 @@ impl Device {
         for wave in teams.chunks(wave_size.max(1)) {
             let ctx = WaveCtx {
                 module: &self.module,
+                bc,
                 cost: &self.cost,
                 layout: &self.layout,
                 constant: &self.constant,
@@ -848,7 +921,8 @@ impl Device {
                     // so its sanitizer verdict carries over unchanged.
                     (run.result, run.counters, run.steps, run.san)
                 } else {
-                    let mut exec = TeamExec::new(
+                    let mut exec = TeamEngine::new(
+                        bc,
                         &self.module,
                         &self.cost,
                         self.config.check_assumes,

@@ -1,85 +1,30 @@
-//! The team interpreter: executes all threads of one team with
-//! run-to-synchronization-point scheduling.
+//! The tree-walking team interpreter — the reference [`ExecBackend`].
 //!
 //! Threads run in thread-id order until they hit a barrier, finish, or
-//! trap. When every live thread waits at a barrier the barrier releases:
-//! all waiting threads' cycle counters are aligned to the maximum plus the
-//! barrier cost (a barrier is a time synchronization too). This scheduling
-//! is deterministic and, because threads only communicate through memory at
-//! synchronization points in well-formed OpenMP/CUDA programs, it preserves
-//! the semantics of the programs the paper evaluates.
+//! trap (the scheduling itself lives in [`crate::exec::TeamExec`]). This
+//! backend steps IR instructions directly: each step resolves the current
+//! frame, block and instruction and dispatches on the instruction kind.
+//! It is deliberately simple — the semantic reference the bytecode tier
+//! (`crate::bytecode`) must match bit for bit; see `docs/exec-tiers.md`.
 
-use std::collections::HashMap;
+use nzomp_ir::inst::{Inst, InstId, Intrinsic, Term, UnOp};
+use nzomp_ir::{BlockId, Function, Operand, Ty};
 
-use nzomp_ir::inst::{BinOp, CastKind, Inst, InstId, Intrinsic, Pred, Term, UnOp};
-use nzomp_ir::{BlockId, Function, Module, Operand, Ty};
-
-use crate::cost::CostModel;
 use crate::error::TrapKind;
-use crate::faults::{FaultAction, FaultPlan, FaultSite};
-use crate::gmem::{combine_atomic, rtval_from_bits, GlobalMem};
-use crate::memory::{DevPtr, Region, Segment};
-use crate::sanitize::{AccessKind, BarrierArrival, IrLoc, TeamSan};
+use crate::exec::{malformed, ExecBackend};
+use crate::gmem::{combine_atomic, GlobalMem};
+use crate::memory::{DevPtr, Segment};
+use crate::ops::{corrupt_value, exec_bin, exec_cast, exec_cmp, exec_un};
+use crate::sanitize::{AccessKind, IrLoc};
 use crate::value::RtVal;
 
-/// Typed error for states only reachable through IR the verifier rejects
-/// (or interpreter-invariant violations). Never a process abort.
-fn malformed(msg: impl Into<String>) -> TrapKind {
-    TrapKind::MalformedIr(msg.into())
-}
-
-/// Where each module global lives on the device.
-#[derive(Clone, Debug, Default)]
-pub struct GlobalLayout {
-    /// Encoded base address per `GlobalId` index.
-    pub addr_of: Vec<DevPtr>,
-    /// Bytes of statically allocated shared memory per team.
-    pub shared_size: u64,
-    /// Bytes of the global segment occupied by global-space globals.
-    pub global_static_size: u64,
-    /// Bytes of the constant segment.
-    pub const_size: u64,
-}
-
-/// Device-heap allocator state (bump allocation into the global region).
-#[derive(Debug, Default)]
-pub struct HeapState {
-    pub live_allocs: HashMap<u64, u64>, // offset -> size
-    pub limit: u64,
-}
-
-/// Event counters aggregated into [`crate::KernelMetrics`].
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct Counters {
-    pub instructions: u64,
-    pub barriers: u64,
-    pub global_accesses: u64,
-    pub shared_accesses: u64,
-    pub local_accesses: u64,
-    pub device_mallocs: u64,
-    pub runtime_calls: u64,
-    pub flops: u64,
-}
-
-impl Counters {
-    /// Accumulate another team's counters. Plain integer sums, so the
-    /// total is independent of accumulation order — a prerequisite for
-    /// parallel execution reporting the exact sequential metrics.
-    pub fn add(&mut self, other: &Counters) {
-        self.instructions += other.instructions;
-        self.barriers += other.barriers;
-        self.global_accesses += other.global_accesses;
-        self.shared_accesses += other.shared_accesses;
-        self.local_accesses += other.local_accesses;
-        self.device_mallocs += other.device_mallocs;
-        self.runtime_calls += other.runtime_calls;
-        self.flops += other.flops;
-    }
-}
+// Re-exported so pre-seam paths (`crate::interp::TeamExec` etc.) keep
+// working; the definitions moved to the backend-agnostic `crate::exec`.
+pub use crate::exec::{Counters, GlobalLayout, HeapState, Status, TeamExec, ThreadCtx};
 
 /// One call frame.
 #[derive(Debug)]
-struct Frame {
+pub struct Frame {
     func: u32,
     block: BlockId,
     inst_idx: usize,
@@ -91,138 +36,61 @@ struct Frame {
     local_base: u64,
 }
 
-/// Thread run state.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Status {
-    Running,
-    AtBarrier { aligned: bool },
-    Done,
-}
+/// The tree-walking interpreter backend (unit — all state lives in the
+/// [`TeamExec`] and the per-thread [`Frame`]s).
+pub struct InterpBackend;
 
-/// One hardware thread.
-#[derive(Debug)]
-pub struct ThreadCtx {
-    pub tid: u32,
-    frames: Vec<Frame>,
-    pub status: Status,
-    pub cycles: u64,
-    /// Cycles of actual work (never overwritten by barrier synchronization,
-    /// unlike `cycles`); denominator of the team memory fraction.
-    pub busy_cycles: u64,
-    /// Portion of the busy cycles spent on memory operations — the part
-    /// occupancy can hide (see the latency model in `Device::launch`).
-    pub mem_cycles: u64,
-    local: Region,
-    local_top: u64,
-    /// Instructions this thread has executed (drives fault triggers).
-    steps: u64,
-    /// Injected faults aimed at this thread, sorted by trigger step;
-    /// `fault_idx` is the next one to fire.
-    faults: Vec<FaultSite>,
-    fault_idx: usize,
-    /// Step count at which the next fault fires (`u64::MAX` = never) —
-    /// the only word the hot loop compares when injection is disabled.
-    next_fault_step: u64,
-    /// Armed by [`FaultAction::CorruptLoad`]: XOR mask for the next load.
-    corrupt_next_load: Option<u64>,
-    /// Armed by [`FaultAction::DropBarrierArrival`]: skip the next barrier.
-    drop_next_barrier: bool,
-    /// IR site of the barrier this thread is waiting at (recorded only
-    /// when the sanitizer is armed; feeds the divergence check).
-    barrier_site: Option<IrLoc>,
-}
+impl<'a> ExecBackend<'a> for InterpBackend {
+    type Frame = Frame;
 
-impl Default for ThreadCtx {
-    fn default() -> Self {
-        ThreadCtx {
-            tid: 0,
-            frames: Vec::new(),
-            status: Status::Done,
-            cycles: 0,
-            busy_cycles: 0,
-            mem_cycles: 0,
-            local: Region::default(),
-            local_top: 0,
-            steps: 0,
-            faults: Vec::new(),
-            fault_idx: 0,
-            next_fault_step: u64::MAX,
-            corrupt_next_load: None,
-            drop_next_barrier: false,
-            barrier_site: None,
-        }
+    fn kernel_frame(
+        exec: &TeamExec<'a, Self>,
+        kernel: u32,
+        args: &[RtVal],
+    ) -> Result<Frame, TrapKind> {
+        let Some(func) = exec.module.funcs.get(kernel as usize) else {
+            return Err(malformed(format!("kernel index {kernel} out of range")));
+        };
+        Ok(Frame {
+            func: kernel,
+            block: BlockId::ENTRY,
+            inst_idx: 0,
+            regs: vec![RtVal::I(0); func.insts.len()],
+            args: args.to_vec(),
+            ret_dst: None,
+            local_base: 0,
+        })
     }
-}
 
-/// Executes one team to completion.
-///
-/// All team-local state — thread contexts, shared memory, the cycle/event
-/// counters, the remaining fuel, and (in buffered mode) the copy-on-write
-/// overlay of global memory — is *owned*, so a `TeamExec` built over a
-/// [`GlobalMem::Buffered`] view is `Send` and can run on a worker thread;
-/// the shared borrows (`module`, `cost`, `layout`, `constant`, `faults`,
-/// and the buffered view's wave-start base image) are all `Sync`.
-pub struct TeamExec<'a> {
-    pub module: &'a Module,
-    pub cost: &'a CostModel,
-    pub check_assumes: bool,
-    pub team_id: u32,
-    pub num_teams: u32,
-    pub nthreads: u32,
-    pub shared: Region,
-    pub layout: &'a GlobalLayout,
-    /// Global-memory view: write-through (sequential) or snapshot-and-log
-    /// (parallel). See [`crate::gmem`].
-    pub global: GlobalMem<'a>,
-    pub constant: &'a Region,
-    /// Event counters for this team alone; the device sums them.
-    pub counters: Counters,
-    /// Remaining step budget. The device threads the leftover into the
-    /// next team (sequential) or reconciles budgets at the wave merge
-    /// (parallel).
-    pub fuel: u64,
-    /// Active fault-injection plan (`None` in production runs; the hot
-    /// loop then degenerates to one always-false integer compare).
-    pub faults: Option<&'a FaultPlan>,
-    /// Data-race/divergence sanitizer state (`None` in production runs;
-    /// every hook then degenerates to one pointer test — the same
-    /// zero-cost-when-disabled shape as `faults`).
-    san: Option<Box<TeamSan>>,
-    threads: Vec<ThreadCtx>,
-    /// Per-function cache of which instruction results are referenced by
-    /// any operand — computed lazily, only consulted by buffered global
-    /// atomics to decide whether their observed old value needs merge
-    /// validation (a dead result cannot steer behavior).
-    result_used: HashMap<u32, Vec<bool>>,
-}
-
-/// Which instruction results of `func` are referenced by at least one
-/// operand (instructions, phi incomings, or block terminators).
-fn used_results(func: &Function) -> Vec<bool> {
-    let mut used = vec![false; func.insts.len()];
-    let mut mark = |ops: Vec<Operand>| {
-        for op in ops {
-            if let Operand::Inst(i) = op {
-                if let Some(u) = used.get_mut(i.index()) {
-                    *u = true;
-                }
+    fn run_thread(
+        exec: &mut TeamExec<'a, Self>,
+        thread: &mut ThreadCtx<Frame>,
+    ) -> Result<(), TrapKind> {
+        while thread.status == Status::Running {
+            if exec.fuel == 0 {
+                return Err(TrapKind::FuelExhausted);
             }
+            exec.fuel -= 1;
+            // Fault hook: a single compare against a sentinel when no
+            // injection targets this thread.
+            if thread.steps >= thread.next_fault_step {
+                exec.trigger_faults(thread)?;
+            }
+            thread.steps += 1;
+            exec.counters.dispatched += 1;
+            exec.step(thread)?;
         }
-    };
-    for inst in &func.insts {
-        mark(inst.operands());
+        Ok(())
     }
-    for block in &func.blocks {
-        mark(block.term.operands());
-    }
-    used
 }
 
-impl<'a> TeamExec<'a> {
+impl<'a> TeamExec<'a, InterpBackend> {
+    /// Build a team executor on the reference interpreter (the historical
+    /// constructor; tier selection goes through `exec::TeamEngine`).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
-        module: &'a Module,
-        cost: &'a CostModel,
+        module: &'a nzomp_ir::Module,
+        cost: &'a crate::cost::CostModel,
         check_assumes: bool,
         team_id: u32,
         num_teams: u32,
@@ -230,256 +98,62 @@ impl<'a> TeamExec<'a> {
         shared_size: u64,
         layout: &'a GlobalLayout,
         global: GlobalMem<'a>,
-        constant: &'a Region,
+        constant: &'a crate::memory::Region,
         fuel: u64,
-        faults: Option<&'a FaultPlan>,
-    ) -> TeamExec<'a> {
-        TeamExec {
+        faults: Option<&'a crate::faults::FaultPlan>,
+    ) -> TeamExec<'a, InterpBackend> {
+        TeamExec::with_backend(
+            InterpBackend,
             module,
             cost,
             check_assumes,
             team_id,
             num_teams,
             nthreads,
-            shared: Region::with_size(shared_size as usize),
+            shared_size,
             layout,
             global,
             constant,
-            counters: Counters::default(),
             fuel,
             faults,
-            san: None,
-            threads: Vec::new(),
-            result_used: HashMap::new(),
-        }
+        )
     }
 
-    /// Arm the data-race & barrier-divergence sanitizer for this team.
-    pub fn set_sanitizer(&mut self, san: Option<Box<TeamSan>>) {
-        self.san = san;
+    fn cur_func(&self, thread: &ThreadCtx<Frame>) -> Result<&'a Function, TrapKind> {
+        let Some(f) = thread.frames.last() else {
+            return Err(malformed("live thread has no frame"));
+        };
+        let m: &'a nzomp_ir::Module = self.module;
+        m.funcs
+            .get(f.func as usize)
+            .ok_or_else(|| malformed(format!("frame references missing function {}", f.func)))
     }
 
-    /// Detach the sanitizer state. Called before `into_outcome` so the
-    /// reports survive even a trapping run.
-    pub fn take_sanitizer(&mut self) -> Option<Box<TeamSan>> {
-        self.san.take()
-    }
-
-    /// Sanitizer hook: mirror one executed memory access into the shadow.
+    /// Sanitizer hook at an instruction: compute the [`IrLoc`] from the
+    /// live frame and forward. Free (one pointer test) when disarmed.
     #[inline]
-    fn san_record(&mut self, thread: &ThreadCtx, iid: InstId, kind: AccessKind, p: DevPtr, size: u64) {
-        let Some(san) = self.san.as_deref_mut() else { return };
+    fn san_at(
+        &mut self,
+        thread: &ThreadCtx<Frame>,
+        iid: InstId,
+        kind: AccessKind,
+        p: DevPtr,
+        size: u64,
+    ) {
+        if !self.san_armed() {
+            return;
+        }
         let Some(frame) = thread.frames.last() else { return };
         let loc = IrLoc {
             func: frame.func,
             block: frame.block.0,
             inst: iid.0,
         };
-        san.record_access(self.module, thread.tid, kind, loc, p.segment(), p.offset(), size);
-    }
-
-    /// Whether instruction `iid` of function `func_idx` has a live result.
-    /// Lazily computes (and caches) the per-function used-result map;
-    /// unknown functions or out-of-range ids answer `true` (conservative:
-    /// validate).
-    fn result_is_used(&mut self, func_idx: u32, iid: InstId) -> bool {
-        let module = self.module;
-        let used = self.result_used.entry(func_idx).or_insert_with(|| {
-            module
-                .funcs
-                .get(func_idx as usize)
-                .map(used_results)
-                .unwrap_or_default()
-        });
-        used.get(iid.index()).copied().unwrap_or(true)
-    }
-
-    /// Tear down into `(counters, fuel_left, global view)` — what the
-    /// parallel engine needs from a finished team.
-    pub fn into_outcome(self) -> (Counters, u64, GlobalMem<'a>) {
-        (self.counters, self.fuel, self.global)
-    }
-
-    /// Run the kernel function with `args` on every thread of the team.
-    /// Returns `(team_cycles, mem_cycles)`: `team_cycles` is the slowest
-    /// thread's total; `mem_cycles` is the memory share of the team's
-    /// critical path, estimated work-weighted as
-    /// `team_cycles * Σ mem_i / Σ cycles_i` (robust against irregular
-    /// per-thread work and barrier-synchronized counters).
-    pub fn run(&mut self, kernel: u32, args: &[RtVal]) -> Result<(u64, u64), (TrapKind, u32)> {
-        let Some(func) = self.module.funcs.get(kernel as usize) else {
-            return Err((malformed(format!("kernel index {kernel} out of range")), 0));
-        };
-        self.threads = (0..self.nthreads)
-            .map(|tid| {
-                let frame = Frame {
-                    func: kernel,
-                    block: BlockId::ENTRY,
-                    inst_idx: 0,
-                    regs: vec![RtVal::I(0); func.insts.len()],
-                    args: args.to_vec(),
-                    ret_dst: None,
-                    local_base: 0,
-                };
-                let faults = self
-                    .faults
-                    .map(|p| p.sites_for(self.team_id, tid))
-                    .unwrap_or_default();
-                let next_fault_step = faults.first().map_or(u64::MAX, |s| s.after_steps);
-                ThreadCtx {
-                    tid,
-                    frames: vec![frame],
-                    status: Status::Running,
-                    faults,
-                    next_fault_step,
-                    ..ThreadCtx::default()
-                }
-            })
-            .collect();
-
-        loop {
-            let mut progressed = false;
-            for t in 0..self.threads.len() {
-                if self.threads[t].status == Status::Running {
-                    progressed = true;
-                    let mut thread = std::mem::take(&mut self.threads[t]);
-                    let r = self.run_thread(&mut thread);
-                    let tid = thread.tid;
-                    self.threads[t] = thread;
-                    if let Err(kind) = r {
-                        return Err((kind, tid));
-                    }
-                }
-            }
-            let live: Vec<usize> = (0..self.threads.len())
-                .filter(|&t| self.threads[t].status != Status::Done)
-                .collect();
-            if live.is_empty() {
-                break;
-            }
-            let all_waiting = live
-                .iter()
-                .all(|&t| matches!(self.threads[t].status, Status::AtBarrier { .. }));
-            if all_waiting {
-                // An *aligned* barrier promises that every thread of the
-                // team reaches it; if some threads already exited, that
-                // promise is broken (miscompile or bad user code) — trap.
-                let any_done = self.threads.iter().any(|t| t.status == Status::Done);
-                let any_aligned_wait = live.iter().any(|&t| {
-                    matches!(
-                        self.threads[t].status,
-                        Status::AtBarrier { aligned: true }
-                    )
-                });
-                if any_done && any_aligned_wait {
-                    if self.san.is_some() {
-                        let waiting = self.barrier_arrivals(&live);
-                        let done = self.threads.len() - live.len();
-                        if let Some(san) = self.san.as_deref_mut() {
-                            san.on_aligned_subset(self.module, &waiting, done);
-                        }
-                    }
-                    return Err((TrapKind::BarrierDeadlock, self.threads[live[0]].tid));
-                }
-                // Release the barrier: synchronize cycle counters.
-                let aligned = live.iter().all(|&t| {
-                    matches!(
-                        self.threads[t].status,
-                        Status::AtBarrier { aligned: true }
-                    )
-                });
-                let cost = if aligned {
-                    self.cost.barrier_aligned
-                } else {
-                    self.cost.barrier_unaligned
-                };
-                // Sanitizer: check arrival uniformity, then open a new
-                // barrier epoch (every release synchronizes the live
-                // threads, aligned or not).
-                if self.san.is_some() {
-                    let arrivals = self.barrier_arrivals(&live);
-                    if let Some(san) = self.san.as_deref_mut() {
-                        san.on_barrier_release(self.module, &arrivals);
-                    }
-                }
-                let max_cycles = live
-                    .iter()
-                    .map(|&t| self.threads[t].cycles)
-                    .max()
-                    .unwrap_or(0);
-                for &t in &live {
-                    self.threads[t].cycles = max_cycles + cost;
-                    self.threads[t].busy_cycles += cost;
-                    self.threads[t].status = Status::Running;
-                }
-                self.counters.barriers += 1;
-            } else if !progressed {
-                // Some threads wait forever: mismatched barrier.
-                return Err((TrapKind::BarrierDeadlock, self.threads[live[0]].tid));
-            }
-        }
-        let max_cycles = self.threads.iter().map(|t| t.cycles).max().unwrap_or(0);
-        let sum_busy: u64 = self.threads.iter().map(|t| t.busy_cycles).sum();
-        let sum_mem: u64 = self.threads.iter().map(|t| t.mem_cycles).sum();
-        let mem = if sum_busy == 0 {
-            0
-        } else {
-            (max_cycles as f64 * (sum_mem as f64 / sum_busy as f64).min(1.0)) as u64
-        };
-        Ok((max_cycles, mem))
-    }
-
-    /// Run one thread until it blocks, finishes, or traps.
-    fn run_thread(&mut self, thread: &mut ThreadCtx) -> Result<(), TrapKind> {
-        while thread.status == Status::Running {
-            if self.fuel == 0 {
-                return Err(TrapKind::FuelExhausted);
-            }
-            self.fuel -= 1;
-            // Fault hook: a single compare against a sentinel when no
-            // injection targets this thread.
-            if thread.steps >= thread.next_fault_step {
-                self.trigger_faults(thread)?;
-            }
-            thread.steps += 1;
-            self.step(thread)?;
-        }
-        Ok(())
-    }
-
-    /// Fire every pending fault whose trigger step has been reached.
-    fn trigger_faults(&mut self, thread: &mut ThreadCtx) -> Result<(), TrapKind> {
-        while let Some(site) = thread.faults.get(thread.fault_idx) {
-            if site.after_steps > thread.steps {
-                break;
-            }
-            let action = site.action.clone();
-            thread.fault_idx += 1;
-            match action {
-                FaultAction::Trap(kind) => {
-                    thread.next_fault_step = next_trigger(thread);
-                    return Err(kind);
-                }
-                FaultAction::CorruptLoad { xor } => thread.corrupt_next_load = Some(xor),
-                FaultAction::DropBarrierArrival => thread.drop_next_barrier = true,
-            }
-        }
-        thread.next_fault_step = next_trigger(thread);
-        Ok(())
-    }
-
-    fn cur_func(&self, thread: &ThreadCtx) -> Result<&'a Function, TrapKind> {
-        let Some(f) = thread.frames.last() else {
-            return Err(malformed("live thread has no frame"));
-        };
-        let m: &'a Module = self.module;
-        m.funcs
-            .get(f.func as usize)
-            .ok_or_else(|| malformed(format!("frame references missing function {}", f.func)))
+        self.san_record(thread.tid, loc, kind, p, size);
     }
 
     /// Execute one instruction or the block terminator.
-    fn step(&mut self, thread: &mut ThreadCtx) -> Result<(), TrapKind> {
+    fn step(&mut self, thread: &mut ThreadCtx<Frame>) -> Result<(), TrapKind> {
         let func = self.cur_func(thread)?;
         let Some(frame) = thread.frames.last() else {
             return Err(malformed("live thread has no frame"));
@@ -508,7 +182,7 @@ impl<'a> TeamExec<'a> {
         self.exec_inst(thread, iid, inst)
     }
 
-    fn eval(&self, thread: &ThreadCtx, op: Operand) -> Result<RtVal, TrapKind> {
+    fn eval(&self, thread: &ThreadCtx<Frame>, op: Operand) -> Result<RtVal, TrapKind> {
         let Some(frame) = thread.frames.last() else {
             return Err(malformed("operand evaluated with no frame"));
         };
@@ -536,7 +210,7 @@ impl<'a> TeamExec<'a> {
         })
     }
 
-    fn set_reg(&self, thread: &mut ThreadCtx, id: InstId, v: RtVal) -> Result<(), TrapKind> {
+    fn set_reg(&self, thread: &mut ThreadCtx<Frame>, id: InstId, v: RtVal) -> Result<(), TrapKind> {
         let Some(frame) = thread.frames.last_mut() else {
             return Err(malformed("register written with no frame"));
         };
@@ -547,76 +221,11 @@ impl<'a> TeamExec<'a> {
         Ok(())
     }
 
-    // ---- memory ----------------------------------------------------------
-
-    fn mem_read(&mut self, thread: &ThreadCtx, ptr: DevPtr, size: u64) -> Result<i64, TrapKind> {
-        match ptr.segment() {
-            Segment::Null => Err(TrapKind::NullDeref),
-            Segment::Global => {
-                self.counters.global_accesses += 1;
-                self.global.read(ptr.offset(), size)
-            }
-            Segment::Shared => {
-                self.counters.shared_accesses += 1;
-                self.shared.read(ptr.offset(), size)
-            }
-            Segment::Local => {
-                if ptr.owner() != thread.tid {
-                    return Err(TrapKind::CrossThreadLocalAccess {
-                        owner: ptr.owner(),
-                        accessor: thread.tid,
-                    });
-                }
-                self.counters.local_accesses += 1;
-                thread.local.read(ptr.offset(), size)
-            }
-            Segment::Constant => self.constant.read(ptr.offset(), size),
-            Segment::Func => Err(TrapKind::OutOfBounds),
-        }
-    }
-
-    fn mem_write(
-        &mut self,
-        thread: &mut ThreadCtx,
-        ptr: DevPtr,
-        size: u64,
-        value: i64,
-    ) -> Result<(), TrapKind> {
-        match ptr.segment() {
-            Segment::Null => Err(TrapKind::NullDeref),
-            Segment::Global => {
-                self.counters.global_accesses += 1;
-                self.global.write(ptr.offset(), size, value)
-            }
-            Segment::Shared => {
-                self.counters.shared_accesses += 1;
-                self.shared.write(ptr.offset(), size, value)
-            }
-            Segment::Local => {
-                if ptr.owner() != thread.tid {
-                    return Err(TrapKind::CrossThreadLocalAccess {
-                        owner: ptr.owner(),
-                        accessor: thread.tid,
-                    });
-                }
-                self.counters.local_accesses += 1;
-                thread.local.write(ptr.offset(), size, value)
-            }
-            Segment::Constant => Err(TrapKind::OutOfBounds),
-            Segment::Func => Err(TrapKind::OutOfBounds),
-        }
-    }
-
-    fn load_typed(&mut self, thread: &ThreadCtx, ptr: DevPtr, ty: Ty) -> Result<RtVal, TrapKind> {
-        let bits = self.mem_read(thread, ptr, ty.size())?;
-        Ok(rtval_from_bits(bits, ty))
-    }
-
     // ---- instruction dispatch ---------------------------------------------
 
     fn exec_inst(
         &mut self,
-        thread: &mut ThreadCtx,
+        thread: &mut ThreadCtx<Frame>,
         iid: InstId,
         inst: &Inst,
     ) -> Result<(), TrapKind> {
@@ -631,10 +240,10 @@ impl<'a> TeamExec<'a> {
         }
 
         match inst {
-            Inst::Bin { op, ty, lhs, rhs } => {
+            Inst::Bin { op, lhs, rhs, .. } => {
                 let a = self.eval(thread, *lhs)?;
                 let b = self.eval(thread, *rhs)?;
-                let v = self.exec_bin(*op, *ty, a, b)?;
+                let v = exec_bin(*op, a, b)?;
                 if op.is_float() {
                     self.counters.flops += 1;
                     thread.cycles += self.cost.fp;
@@ -645,9 +254,9 @@ impl<'a> TeamExec<'a> {
                 }
                 self.set_reg(thread, iid, v)?;
             }
-            Inst::Un { op, ty, arg } => {
+            Inst::Un { op, arg, .. } => {
                 let a = self.eval(thread, *arg)?;
-                let v = exec_un(*op, *ty, a);
+                let v = exec_un(*op, a);
                 match op {
                     UnOp::Sqrt | UnOp::Sin | UnOp::Cos | UnOp::Exp | UnOp::Log => {
                         self.counters.flops += 1;
@@ -673,7 +282,7 @@ impl<'a> TeamExec<'a> {
             Inst::Cmp { pred, ty, lhs, rhs } => {
                 let a = self.eval(thread, *lhs)?;
                 let b = self.eval(thread, *rhs)?;
-                let v = exec_cmp(*pred, *ty, a, b);
+                let v = exec_cmp(*pred, ty.is_float(), a, b);
                 thread.cycles += self.cost.alu;
                 thread.busy_cycles += self.cost.alu;
                 self.set_reg(thread, iid, RtVal::I(v as i64))?;
@@ -701,7 +310,7 @@ impl<'a> TeamExec<'a> {
                 thread.busy_cycles += c;
                 thread.mem_cycles += c;
                 let mut v = self.load_typed(thread, p, *ty)?;
-                self.san_record(thread, iid, AccessKind::Read, p, ty.size());
+                self.san_at(thread, iid, AccessKind::Read, p, ty.size());
                 if let Some(xor) = thread.corrupt_next_load.take() {
                     v = corrupt_value(v, xor, *ty);
                 }
@@ -715,7 +324,7 @@ impl<'a> TeamExec<'a> {
                 thread.busy_cycles += c;
                 thread.mem_cycles += c;
                 self.mem_write(thread, p, ty.size(), v.to_bits())?;
-                self.san_record(thread, iid, AccessKind::Write, p, ty.size());
+                self.san_at(thread, iid, AccessKind::Write, p, ty.size());
             }
             Inst::PtrAdd { base, offset } => {
                 let b = self.eval(thread, *base)?.as_ptr();
@@ -767,7 +376,7 @@ impl<'a> TeamExec<'a> {
                     self.mem_write(thread, p, ty.size(), new.to_bits())?;
                     self.set_reg(thread, iid, old)?;
                 }
-                self.san_record(thread, iid, AccessKind::Atomic, p, ty.size());
+                self.san_at(thread, iid, AccessKind::Atomic, p, ty.size());
             }
             Inst::Cas {
                 ty,
@@ -796,7 +405,7 @@ impl<'a> TeamExec<'a> {
                     }
                     self.set_reg(thread, iid, old)?;
                 }
-                self.san_record(thread, iid, AccessKind::Atomic, p, ty.size());
+                self.san_at(thread, iid, AccessKind::Atomic, p, ty.size());
             }
             Inst::Intr { intr, args } => {
                 self.exec_intr(thread, iid, *intr, args)?;
@@ -811,68 +420,9 @@ impl<'a> TeamExec<'a> {
         Ok(())
     }
 
-    fn exec_bin(&self, op: BinOp, ty: Ty, a: RtVal, b: RtVal) -> Result<RtVal, TrapKind> {
-        if op.is_float() {
-            let (x, y) = (a.as_f(), b.as_f());
-            let v = match op {
-                BinOp::FAdd => x + y,
-                BinOp::FSub => x - y,
-                BinOp::FMul => x * y,
-                BinOp::FDiv => x / y,
-                BinOp::FMin => x.min(y),
-                BinOp::FMax => x.max(y),
-                _ => unreachable!(),
-            };
-            return Ok(RtVal::F(v));
-        }
-        let (x, y) = (a.as_i(), b.as_i());
-        let v = match op {
-            BinOp::Add => x.wrapping_add(y),
-            BinOp::Sub => x.wrapping_sub(y),
-            BinOp::Mul => x.wrapping_mul(y),
-            BinOp::SDiv => {
-                if y == 0 {
-                    return Err(TrapKind::DivByZero);
-                }
-                x.wrapping_div(y)
-            }
-            BinOp::SRem => {
-                if y == 0 {
-                    return Err(TrapKind::DivByZero);
-                }
-                x.wrapping_rem(y)
-            }
-            BinOp::UDiv => {
-                if y == 0 {
-                    return Err(TrapKind::DivByZero);
-                }
-                ((x as u64) / (y as u64)) as i64
-            }
-            BinOp::URem => {
-                if y == 0 {
-                    return Err(TrapKind::DivByZero);
-                }
-                ((x as u64) % (y as u64)) as i64
-            }
-            BinOp::And => x & y,
-            BinOp::Or => x | y,
-            BinOp::Xor => x ^ y,
-            BinOp::Shl => x.wrapping_shl(y as u32 & 63),
-            BinOp::LShr => ((x as u64).wrapping_shr(y as u32 & 63)) as i64,
-            BinOp::AShr => x.wrapping_shr(y as u32 & 63),
-            BinOp::SMin => x.min(y),
-            BinOp::SMax => x.max(y),
-            _ => unreachable!(),
-        };
-        // Pointer-typed Bin results keep pointer-ness through PtrCast only;
-        // plain int arithmetic suffices here.
-        let _ = ty;
-        Ok(RtVal::I(v))
-    }
-
     fn exec_call(
         &mut self,
-        thread: &mut ThreadCtx,
+        thread: &mut ThreadCtx<Frame>,
         iid: InstId,
         callee: Operand,
         args: &[Operand],
@@ -916,16 +466,7 @@ impl<'a> TeamExec<'a> {
             .iter()
             .map(|a| self.eval(thread, *a))
             .collect::<Result<_, _>>()?;
-        if let Some(san) = self.san.as_deref_mut() {
-            // Allocator release: the freed range's shadow is retired
-            // (ownership transfer — see `sanitize::REGION_RELEASE_FNS`).
-            if san.is_release_fn(target) {
-                if let (Some(&RtVal::P(p)), Some(&RtVal::I(sz))) = (argv.first(), argv.get(1)) {
-                    let aligned = (sz.max(0) as u64).next_multiple_of(8);
-                    san.on_region_release(p.segment(), p.offset(), aligned);
-                }
-            }
-        }
+        self.san_on_call(target, &argv);
         let frame = Frame {
             func: target,
             block: BlockId::ENTRY,
@@ -941,7 +482,7 @@ impl<'a> TeamExec<'a> {
 
     fn exec_intr(
         &mut self,
-        thread: &mut ThreadCtx,
+        thread: &mut ThreadCtx<Frame>,
         iid: InstId,
         intr: Intrinsic,
         args: &[Operand],
@@ -970,7 +511,7 @@ impl<'a> TeamExec<'a> {
                     // deadlock (or a divergent-arrival trap) downstream.
                     thread.drop_next_barrier = false;
                 } else {
-                    if self.san.is_some() {
+                    if self.san_armed() {
                         thread.barrier_site = thread.frames.last().map(|f| IrLoc {
                             func: f.func,
                             block: f.block.0,
@@ -984,7 +525,7 @@ impl<'a> TeamExec<'a> {
                 if thread.drop_next_barrier {
                     thread.drop_next_barrier = false;
                 } else {
-                    if self.san.is_some() {
+                    if self.san_armed() {
                         thread.barrier_site = thread.frames.last().map(|f| IrLoc {
                             func: f.func,
                             block: f.block.0,
@@ -1015,23 +556,7 @@ impl<'a> TeamExec<'a> {
                 thread.busy_cycles += self.cost.malloc;
                 thread.mem_cycles += self.cost.malloc;
                 self.counters.device_mallocs += 1;
-                let off = {
-                    // Heap offsets depend on every prior allocation, so
-                    // malloc cannot be buffered: signal the engine to
-                    // re-run this team in direct mode (where this branch
-                    // applies as-is).
-                    let GlobalMem::Direct { region, heap } = &mut self.global else {
-                        return Err(TrapKind::ParallelBailout);
-                    };
-                    let aligned = (size + 7) & !7;
-                    let off = region.len() as u64;
-                    if off + aligned > heap.limit {
-                        return Err(TrapKind::OutOfMemory);
-                    }
-                    region.grow_to((off + aligned) as usize);
-                    heap.live_allocs.insert(off, aligned);
-                    off
-                };
+                let off = self.heap_alloc(size)?;
                 self.set_reg(thread, iid, RtVal::P(DevPtr::global(off as u32)))?;
             }
             Intrinsic::Free => {
@@ -1042,18 +567,13 @@ impl<'a> TeamExec<'a> {
                 if p.is_null() {
                     return Ok(());
                 }
-                let GlobalMem::Direct { heap, .. } = &mut self.global else {
-                    return Err(TrapKind::ParallelBailout);
-                };
-                if heap.live_allocs.remove(&p.offset()).is_none() {
-                    return Err(TrapKind::BadFree);
-                }
+                self.heap_free(p)?;
             }
         }
         Ok(())
     }
 
-    fn step_term(&mut self, thread: &mut ThreadCtx, term: &Term) -> Result<(), TrapKind> {
+    fn step_term(&mut self, thread: &mut ThreadCtx<Frame>, term: &Term) -> Result<(), TrapKind> {
         match term {
             Term::Br(target) => self.jump(thread, *target),
             Term::CondBr {
@@ -1100,7 +620,7 @@ impl<'a> TeamExec<'a> {
 
     /// Transfer control to `target`, materializing its phi nodes with
     /// parallel-copy semantics.
-    fn jump(&mut self, thread: &mut ThreadCtx, target: BlockId) -> Result<(), TrapKind> {
+    fn jump(&mut self, thread: &mut ThreadCtx<Frame>, target: BlockId) -> Result<(), TrapKind> {
         let func = self.cur_func(thread)?;
         let Some(frame) = thread.frames.last() else {
             return Err(malformed("branch with no frame"));
@@ -1153,112 +673,4 @@ impl<'a> TeamExec<'a> {
         self.counters.instructions += phi_count as u64;
         Ok(())
     }
-
-    /// Arrival snapshot of the given live (waiting) threads, for the
-    /// sanitizer's divergence checks.
-    fn barrier_arrivals(&self, live: &[usize]) -> Vec<BarrierArrival> {
-        live.iter()
-            .map(|&t| {
-                let th = &self.threads[t];
-                BarrierArrival {
-                    tid: th.tid,
-                    aligned: matches!(th.status, Status::AtBarrier { aligned: true }),
-                    site: th.barrier_site,
-                }
-            })
-            .collect()
-    }
-
-    /// Final per-thread cycle counts (after `run`).
-    pub fn thread_cycles(&self) -> Vec<u64> {
-        self.threads.iter().map(|t| t.cycles).collect()
-    }
 }
-
-/// Step count of the thread's next pending fault (`u64::MAX` = never).
-fn next_trigger(thread: &ThreadCtx) -> u64 {
-    thread
-        .faults
-        .get(thread.fault_idx)
-        .map_or(u64::MAX, |s| s.after_steps)
-}
-
-/// Apply a [`FaultAction::CorruptLoad`] mask, keeping the value's type
-/// (the same bit-reinterpretation rule `load_typed` uses).
-fn corrupt_value(v: RtVal, xor: u64, ty: Ty) -> RtVal {
-    let bits = (v.to_bits() as u64) ^ xor;
-    match ty {
-        Ty::F64 => RtVal::F(f64::from_bits(bits)),
-        Ty::Ptr => RtVal::P(DevPtr(bits)),
-        _ => RtVal::I(bits as i64),
-    }
-}
-
-fn exec_un(op: UnOp, ty: Ty, a: RtVal) -> RtVal {
-    let _ = ty;
-    match op {
-        UnOp::Neg => RtVal::I(a.as_i().wrapping_neg()),
-        UnOp::Not => RtVal::I(!a.as_i()),
-        UnOp::FNeg => RtVal::F(-a.as_f()),
-        UnOp::FAbs => RtVal::F(a.as_f().abs()),
-        UnOp::Sqrt => RtVal::F(a.as_f().sqrt()),
-        UnOp::Sin => RtVal::F(a.as_f().sin()),
-        UnOp::Cos => RtVal::F(a.as_f().cos()),
-        UnOp::Exp => RtVal::F(a.as_f().exp()),
-        UnOp::Log => RtVal::F(a.as_f().ln()),
-    }
-}
-
-fn exec_cast(kind: CastKind, to: Ty, a: RtVal) -> RtVal {
-    match kind {
-        CastKind::IntCast => RtVal::I(match to {
-            Ty::I1 => a.as_i() & 1,
-            Ty::I8 => a.as_i() as i8 as i64,
-            Ty::I32 => a.as_i() as i32 as i64,
-            _ => a.as_i(),
-        }),
-        CastKind::ZExtCast => RtVal::I(match to {
-            Ty::I1 => a.as_i() & 1,
-            Ty::I8 => a.as_i() & 0xff,
-            Ty::I32 => a.as_i() & 0xffff_ffff,
-            _ => a.as_i(),
-        }),
-        CastKind::SiToFp => RtVal::F(a.as_i() as f64),
-        CastKind::FpToSi => RtVal::I(a.as_f() as i64),
-        CastKind::PtrCast => {
-            if to == Ty::Ptr {
-                RtVal::P(DevPtr(a.as_i() as u64))
-            } else {
-                RtVal::I(a.as_ptr().0 as i64)
-            }
-        }
-    }
-}
-
-fn exec_cmp(pred: Pred, ty: Ty, a: RtVal, b: RtVal) -> bool {
-    if ty.is_float() {
-        let (x, y) = (a.as_f(), b.as_f());
-        return match pred {
-            Pred::Eq => x == y,
-            Pred::Ne => x != y,
-            Pred::Slt | Pred::Ult => x < y,
-            Pred::Sle | Pred::Ule => x <= y,
-            Pred::Sgt | Pred::Ugt => x > y,
-            Pred::Sge | Pred::Uge => x >= y,
-        };
-    }
-    let (x, y) = (a.to_bits(), b.to_bits());
-    match pred {
-        Pred::Eq => x == y,
-        Pred::Ne => x != y,
-        Pred::Slt => x < y,
-        Pred::Sle => x <= y,
-        Pred::Sgt => x > y,
-        Pred::Sge => x >= y,
-        Pred::Ult => (x as u64) < (y as u64),
-        Pred::Ule => (x as u64) <= (y as u64),
-        Pred::Ugt => (x as u64) > (y as u64),
-        Pred::Uge => (x as u64) >= (y as u64),
-    }
-}
-

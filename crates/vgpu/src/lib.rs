@@ -26,20 +26,24 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+mod bytecode;
 pub mod cost;
 pub mod device;
 pub mod error;
+pub mod exec;
 pub mod faults;
 pub mod gmem;
 pub mod interp;
 pub mod memory;
 pub mod metrics;
+mod ops;
 mod par;
 pub mod sanitize;
 pub mod value;
 
 pub use cost::{CostModel, DeviceConfig};
 pub use device::Device;
+pub use exec::ExecTier;
 pub use error::{ExecError, TrapKind};
 pub use faults::{DeviceFaultKind, DeviceFaultSite, FaultAction, FaultPlan, FaultSite};
 pub use memory::{DevPtr, Segment};

@@ -72,6 +72,7 @@ impl DevPtr {
         DevPtr::new(Segment::Func, 0, index)
     }
 
+    #[inline]
     pub fn segment(self) -> Segment {
         match self.0 >> 56 {
             TAG_NULL => Segment::Null,
@@ -84,20 +85,24 @@ impl DevPtr {
         }
     }
 
+    #[inline]
     pub fn offset(self) -> u64 {
         self.0 & 0xffff_ffff
     }
 
+    #[inline]
     pub fn owner(self) -> u32 {
         ((self.0 >> 32) & 0xff_ffff) as u32
     }
 
+    #[inline]
     pub fn is_null(self) -> bool {
         self.0 == 0
     }
 
     /// Pointer arithmetic preserves tag and owner. Negative offsets wrap
     /// within the 32-bit offset field (out-of-bounds is caught on access).
+    #[inline]
     pub fn add_bytes(self, delta: i64) -> DevPtr {
         let off = (self.offset() as i64).wrapping_add(delta) as u64 & 0xffff_ffff;
         DevPtr((self.0 & !0xffff_ffffu64) | off)

@@ -30,6 +30,10 @@ pub struct KernelMetrics {
 
     /// Dynamic instruction count over all threads.
     pub instructions: u64,
+    /// Backend dispatch steps over all threads (one per fuel unit). Equal
+    /// across execution tiers by contract: one bytecode op per interpreter
+    /// step.
+    pub dispatched: u64,
     /// Barriers executed (per-thread arrivals are counted once per release).
     pub barriers: u64,
     /// Loads+stores by space.

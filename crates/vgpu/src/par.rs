@@ -30,11 +30,13 @@ use std::sync::Mutex;
 
 use nzomp_ir::Module;
 
+use crate::bytecode::BcModule;
 use crate::cost::CostModel;
 use crate::error::TrapKind;
+use crate::exec::TeamEngine;
 use crate::faults::FaultPlan;
 use crate::gmem::{BufferedGlobal, GlobalEffect, GlobalMem};
-use crate::interp::{Counters, GlobalLayout, TeamExec};
+use crate::interp::{Counters, GlobalLayout};
 use crate::memory::Region;
 use crate::sanitize::TeamSan;
 use crate::value::RtVal;
@@ -43,6 +45,10 @@ use crate::value::RtVal;
 /// pool for the duration of a wave.
 pub(crate) struct WaveCtx<'a> {
     pub module: &'a Module,
+    /// Lowered bytecode when the launch runs on the bytecode tier
+    /// (`None` = interpreter tier). Wave execution is backend-agnostic;
+    /// both tiers produce bit-identical runs.
+    pub bc: Option<&'a BcModule>,
     pub cost: &'a CostModel,
     pub layout: &'a GlobalLayout,
     pub constant: &'a Region,
@@ -90,7 +96,8 @@ impl TeamRun {
 /// Run one team against a fresh snapshot of `master` with its own fuel
 /// budget, returning the merge-ready outcome.
 fn run_one_team(ctx: &WaveCtx<'_>, master: &Region, team: u32, fuel: u64) -> TeamRun {
-    let mut exec = TeamExec::new(
+    let mut exec = TeamEngine::new(
+        ctx.bc,
         ctx.module,
         ctx.cost,
         ctx.check_assumes,

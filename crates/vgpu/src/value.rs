@@ -13,6 +13,7 @@ pub enum RtVal {
 }
 
 impl RtVal {
+    #[inline]
     pub fn as_i(self) -> i64 {
         match self {
             RtVal::I(v) => v,
@@ -21,6 +22,7 @@ impl RtVal {
         }
     }
 
+    #[inline]
     pub fn as_f(self) -> f64 {
         match self {
             RtVal::F(v) => v,
@@ -29,6 +31,7 @@ impl RtVal {
         }
     }
 
+    #[inline]
     pub fn as_ptr(self) -> DevPtr {
         match self {
             RtVal::P(p) => p,
@@ -37,11 +40,13 @@ impl RtVal {
         }
     }
 
+    #[inline]
     pub fn as_bool(self) -> bool {
         self.as_i() != 0
     }
 
     /// Bit pattern for storing to memory.
+    #[inline]
     pub fn to_bits(self) -> i64 {
         match self {
             RtVal::I(v) => v,

@@ -24,7 +24,7 @@ use nzomp_ir::Module;
 use nzomp_opt::{optimize_module, Ablation, PassOptions};
 use nzomp_proxies::quick_device;
 use nzomp_vgpu::device::Launch;
-use nzomp_vgpu::{DevPtr, Device, ExecError, KernelMetrics, RtVal};
+use nzomp_vgpu::{DevPtr, Device, ExecError, ExecTier, KernelMetrics, RtVal};
 
 /// The pinned seeds behind `gen-<seed>.nzir`. Twenty edge-case kernels;
 /// together with the five proxy exports the corpus holds 25 entries.
@@ -35,6 +35,12 @@ pub const GEN_SEEDS: [u64; 20] = [
 
 /// Worker-thread axes every corpus kernel is replayed on.
 pub const WORKER_AXES: [usize; 2] = [1, 8];
+
+/// Execution-tier axes: every corpus kernel is replayed on the reference
+/// interpreter and on the bytecode tier, and the outcomes must be
+/// bit-identical — output bits, the whole global image, traps, metrics
+/// (including fuel-equivalent dispatch counts), and sanitizer verdicts.
+pub const EXEC_TIERS: [ExecTier; 2] = [ExecTier::Interp, ExecTier::Bytecode];
 
 pub fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
@@ -94,10 +100,16 @@ pub struct RunOutcome {
 
 /// Launch a generated kernel once with the sanitizer armed and capture the
 /// outcome. Returns `Err` on harness-level failures (bad meta, read OOB).
-pub fn run_generated(m: &Module, meta: LaunchMeta, workers: usize) -> Result<RunOutcome, String> {
+pub fn run_generated(
+    m: &Module,
+    meta: LaunchMeta,
+    workers: usize,
+    tier: ExecTier,
+) -> Result<RunOutcome, String> {
     let mut dev = Device::load(m.clone(), quick_device());
     dev.set_sanitize(true);
     dev.set_worker_threads(workers);
+    dev.set_exec_tier(tier);
     let buf = dev.alloc(meta.buf_bytes);
     let result = dev.launch(
         "k",
@@ -127,8 +139,10 @@ pub fn run_generated(m: &Module, meta: LaunchMeta, workers: usize) -> Result<Run
 /// 2. `parse(print(m)) == m` exactly (strict mode);
 /// 3. under every optimization variant it still verifies, never traps, and
 ///    the sanitizer stays clean;
-/// 4. within a variant, every worker count produces the *identical*
-///    outcome — output bits, metrics, and the entire global image;
+/// 4. within a variant, every worker count *and every execution tier*
+///    produces the *identical* outcome — output bits, metrics (including
+///    the per-step dispatch count, i.e. fuel), and the entire global
+///    image;
 /// 5. across variants, the output bits agree (metrics and non-output
 ///    memory may legitimately differ — optimization removes work).
 ///
@@ -159,25 +173,28 @@ pub fn differential_check(
         let _remarks = optimize_module(&mut vm, opts);
         nzomp_ir::verify_module(&vm)
             .map_err(|e| format!("{name} [{slug}]: verify after opt: {e}"))?;
-        let mut first: Option<(usize, RunOutcome)> = None;
-        for &w in workers {
-            let o = run_generated(&vm, meta, w)?;
-            if o.san_counts != (0, 0) {
-                return Err(format!(
-                    "{name} [{slug}] @{w} workers: sanitizer reported {:?}",
-                    o.san_counts
-                ));
-            }
-            if let Err(e) = &o.result {
-                return Err(format!("{name} [{slug}] @{w} workers: trapped: {e}"));
-            }
-            match &first {
-                None => first = Some((w, o)),
-                Some((w0, o0)) => {
-                    if o0 != &o {
-                        return Err(format!(
-                            "{name} [{slug}]: outcome diverges between {w0} and {w} workers"
-                        ));
+        let mut first: Option<(String, RunOutcome)> = None;
+        for &tier in &EXEC_TIERS {
+            for &w in workers {
+                let axis = format!("{tier:?}/{w}w");
+                let o = run_generated(&vm, meta, w, tier)?;
+                if o.san_counts != (0, 0) {
+                    return Err(format!(
+                        "{name} [{slug}] @{axis}: sanitizer reported {:?}",
+                        o.san_counts
+                    ));
+                }
+                if let Err(e) = &o.result {
+                    return Err(format!("{name} [{slug}] @{axis}: trapped: {e}"));
+                }
+                match &first {
+                    None => first = Some((axis, o)),
+                    Some((a0, o0)) => {
+                        if o0 != &o {
+                            return Err(format!(
+                                "{name} [{slug}]: outcome diverges between {a0} and {axis}"
+                            ));
+                        }
                     }
                 }
             }

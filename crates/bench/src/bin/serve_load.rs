@@ -1,0 +1,271 @@
+//! Multi-tenant serving load bench: a seeded open-loop generator drives
+//! `nzomp-serve` with a large mixed request stream — clean kernels,
+//! deterministic div-by-zero faults, and a quota-starved tenant whose
+//! bursts draw typed rejections — across a multi-device fleet, then
+//! reports per-tenant and aggregate p50/p99 latency plus saturation
+//! throughput, all in modeled cycles.
+//!
+//! Everything runs through the trace-replay path, which doubles as the
+//! determinism gate: the recorded trace is replayed twice and the two
+//! snapshots — every outcome, every tenant's session memory image, all
+//! service metrics, the compile-cache counters — must be bit-identical,
+//! or the bench fails. Because time is modeled, the percentiles are
+//! replayable too: the same trace yields the same p50/p99 on any
+//! machine, any worker count, and either execution tier.
+//!
+//! ```text
+//! cargo run --release -p nzomp-bench --bin serve_load [REQUESTS] [DEVICES] [TENANTS]
+//! ```
+//!
+//! Defaults: 100000 requests, 4 devices, 8 tenants (CI smokes a small
+//! request count). Exits non-zero on any determinism or sanity failure.
+
+use std::process::ExitCode;
+use std::rc::Rc;
+use std::time::Instant;
+
+use nzomp::report::{percentile, serve_table};
+use nzomp::BuildConfig;
+use nzomp_front::{spmd_kernel_for, RuntimeFlavor};
+use nzomp_ir::{Module, Operand, Ty};
+use nzomp_serve::trace::{replay, Replayed, Trace, TraceOp};
+use nzomp_serve::{Outcome, ReqArg, RequestSpec, ServeConfig, TenantConfig};
+use nzomp_vgpu::device::Launch;
+use nzomp_vgpu::{DeviceConfig, RtVal};
+
+const N: usize = 16;
+const SEED: u64 = 0x5e12_7e5d;
+
+/// Deterministic xorshift64* — the bench's only entropy source, so the
+/// generated trace is a pure function of the seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+fn scale_app() -> Rc<Module> {
+    let mut m = Module::new("serve_load_scale");
+    spmd_kernel_for(
+        &mut m,
+        RuntimeFlavor::Modern,
+        "k",
+        &[Ty::Ptr, Ty::Ptr, Ty::I64],
+        |_b, p| p[2],
+        |_m, b, iv, p| {
+            let pa = b.gep(p[0], iv, 8);
+            let x = b.load(Ty::F64, pa);
+            let two = b.fmul(x, Operand::f64(2.0));
+            let i_f = b.si_to_fp(iv);
+            let v = b.fadd(two, i_f);
+            let po = b.gep(p[1], iv, 8);
+            b.store(Ty::F64, po, v);
+        },
+    );
+    Rc::new(m)
+}
+
+fn div_app() -> Rc<Module> {
+    let mut m = Module::new("serve_load_div");
+    spmd_kernel_for(
+        &mut m,
+        RuntimeFlavor::Modern,
+        "d",
+        &[Ty::Ptr, Ty::I64, Ty::I64],
+        |_b, p| p[2],
+        |_m, b, iv, p| {
+            let q = b.sdiv(iv, p[1]);
+            let po = b.gep(p[0], iv, 8);
+            b.store(Ty::I64, po, q);
+        },
+    );
+    Rc::new(m)
+}
+
+fn launch() -> Launch {
+    Launch { teams: 1, threads_per_team: 16, dyn_smem_bytes: 0 }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let requests: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let devices: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let tenants: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    println!("serve_load: {requests} requests, {devices} devices, {tenants} tenants, seed {SEED:#x}");
+
+    let scale = scale_app();
+    let div = div_app();
+    let inp = Rc::new(nzomp_host::f64_bytes(
+        &(0..N).map(|i| i as f64 * 0.5 - 3.0).collect::<Vec<_>>(),
+    ));
+    let footprint = 8 * N as u64 * 2;
+
+    // ---- seeded open-loop trace generation ------------------------------
+    let mut rng = Rng(SEED);
+    let mut trace = Trace::new();
+    for i in 0..tenants {
+        // The last tenant is quota-starved (one request footprint) so a
+        // slice of the stream draws typed quota rejections under load.
+        let cfg = if i == tenants - 1 {
+            TenantConfig::new(footprint, usize::MAX)
+        } else {
+            TenantConfig::default()
+        };
+        trace.push(TraceOp::Tenant { name: format!("t{i}"), cfg });
+    }
+    let mut at = 0u64;
+    let mut submit_times = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        // Open loop: arrivals advance the modeled clock independently of
+        // completions, so the fleet saturates under the configured rate.
+        at += rng.next() % 40;
+        let tenant = (rng.next() % tenants as u64) as u32;
+        let spec = if rng.next() % 10 == 0 {
+            // ~10% faulting: div-by-zero on every lane.
+            RequestSpec {
+                module: div.clone(),
+                config: BuildConfig::NewRtNoAssumptions,
+                kernel: "d".into(),
+                launch: launch(),
+                args: vec![
+                    ReqArg::Out(8 * N as u64),
+                    ReqArg::Scalar(RtVal::I(0)),
+                    ReqArg::Scalar(RtVal::I(N as i64)),
+                ],
+            }
+        } else {
+            RequestSpec {
+                module: scale.clone(),
+                config: BuildConfig::NewRtNoAssumptions,
+                kernel: "k".into(),
+                launch: launch(),
+                args: vec![
+                    ReqArg::In(inp.clone()),
+                    ReqArg::Out(8 * N as u64),
+                    ReqArg::Scalar(RtVal::I(N as i64)),
+                ],
+            }
+        };
+        submit_times.push(at);
+        trace.push(TraceOp::Submit { at, tenant, spec });
+    }
+    trace.push(TraceOp::Drain);
+
+    let mut cfg = ServeConfig::new(devices);
+    cfg.dev_cfg = DeviceConfig { check_assumes: false, ..DeviceConfig::default() };
+    cfg.global_max_in_flight = devices * 8;
+    cfg.seed = SEED;
+
+    // ---- run + replay determinism gate ----------------------------------
+    let t0 = Instant::now();
+    let one = match replay(&trace, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("FAIL: trace replay errored: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run_wall = t0.elapsed();
+    let t1 = Instant::now();
+    let two = match replay(&trace, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("FAIL: second replay errored: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let replay_wall = t1.elapsed();
+    if one != two {
+        println!("FAIL: trace replay is not bit-identical");
+        report_divergence(&one, &two);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "replay gate: PASS ({} outcomes bit-identical; run {:.2?}, replay {:.2?})",
+        one.outcomes.len(),
+        run_wall,
+        replay_wall
+    );
+
+    // ---- sanity: the stream exercised every outcome class ---------------
+    let m = &one.metrics;
+    if m.submitted != requests as u64 {
+        println!("FAIL: submitted {} of {requests} requests", m.submitted);
+        return ExitCode::FAILURE;
+    }
+    if m.completed == 0 || m.faulted == 0 {
+        println!("FAIL: degenerate mix (completed {}, faulted {})", m.completed, m.faulted);
+        return ExitCode::FAILURE;
+    }
+    if requests >= 1000 && m.rejected() == 0 {
+        println!("FAIL: no typed rejections — the stream never hit a limit");
+        return ExitCode::FAILURE;
+    }
+    // Single-flight: two distinct modules ever compiled, everything else
+    // cache hits.
+    let (hits, misses) = one.compile;
+    if misses != 2 {
+        println!("FAIL: expected 2 compile misses (2 modules), got {misses} ({hits} hits)");
+        return ExitCode::FAILURE;
+    }
+
+    // ---- report ----------------------------------------------------------
+    let mut latencies: Vec<u64> = one
+        .outcomes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, o)| match o {
+            Some(Outcome::Completed { finished, .. }) => {
+                Some(finished.saturating_sub(*submit_times.get(i)?))
+            }
+            _ => None,
+        })
+        .collect();
+    latencies.sort_unstable();
+    println!("\n{}", serve_table(&one.rows));
+    println!(
+        "outcomes: {} completed, {} faulted, {} rejected ({} quota / {} backlog / {} saturated)",
+        m.completed, m.faulted, m.rejected(), m.rejected_quota, m.rejected_backlog, m.rejected_saturated
+    );
+    println!("compile cache: {hits} hits, {misses} misses (single-flight across all tenants)");
+    let p50 = percentile(&latencies, 50.0).unwrap_or(0);
+    let p99 = percentile(&latencies, 99.0).unwrap_or(0);
+    println!("latency (modeled cycles): p50 {p50}, p99 {p99}, max {}", latencies.last().copied().unwrap_or(0));
+    println!(
+        "saturation throughput: {:.1} completed requests / Mcycle over a {} cycle makespan",
+        m.throughput_per_mcycle().unwrap_or(0.0),
+        m.makespan_cycles
+    );
+    println!(
+        "wall: {:.2?} total ({:.1} req/s)",
+        run_wall + replay_wall,
+        2.0 * requests as f64 / (run_wall + replay_wall).as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}
+
+/// On a gate failure, point at the first diverging component.
+fn report_divergence(a: &Replayed, b: &Replayed) {
+    if a.metrics != b.metrics {
+        println!("  metrics diverged:\n    {:?}\n    {:?}", a.metrics, b.metrics);
+    }
+    if a.compile != b.compile {
+        println!("  compile counters diverged: {:?} vs {:?}", a.compile, b.compile);
+    }
+    if a.session_images != b.session_images {
+        println!("  session images diverged");
+    }
+    for (i, (x, y)) in a.outcomes.iter().zip(&b.outcomes).enumerate() {
+        if x != y {
+            println!("  first outcome divergence at request {i}:\n    {x:?}\n    {y:?}");
+            break;
+        }
+    }
+}

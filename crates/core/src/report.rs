@@ -294,6 +294,96 @@ pub fn recovery_table(rows: &[RecoveryRow]) -> String {
     s
 }
 
+/// One tenant's record of a multi-tenant serving run: per-outcome counts,
+/// latency percentiles in modeled cycles, and the peak device-memory
+/// footprint the tenant's quota saw.
+///
+/// Plain data on purpose (same rule as [`RecoveryRow`]): the core crate
+/// cannot depend on the serving layer, so `nzomp-serve` and the
+/// `serve_load` bench fill these fields from their own metrics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeRow {
+    pub tenant: String,
+    pub submitted: u64,
+    pub completed: u64,
+    pub faulted: u64,
+    pub rejected_quota: u64,
+    pub rejected_backlog: u64,
+    pub rejected_saturated: u64,
+    /// Median completed-request latency in modeled cycles.
+    pub p50_cycles: u64,
+    /// 99th-percentile completed-request latency in modeled cycles.
+    pub p99_cycles: u64,
+    /// Peak device bytes charged against the tenant's quota.
+    pub peak_bytes: u64,
+}
+
+impl ServeRow {
+    /// Total typed rejections (quota + backlog + saturation).
+    pub fn rejected(&self) -> u64 {
+        self.rejected_quota + self.rejected_backlog + self.rejected_saturated
+    }
+}
+
+/// Nearest-rank percentile of a **sorted ascending** latency series.
+/// `None` when the series is empty or `p` is outside `(0, 100]` — the
+/// same no-NaN/no-panic policy as [`relative_performance`].
+pub fn percentile(sorted: &[u64], p: f64) -> Option<u64> {
+    if sorted.is_empty() || !(p > 0.0 && p <= 100.0) {
+        return None;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted.get(rank.max(1) - 1).copied()
+}
+
+/// Render a serving run as an aligned ASCII table: one row per tenant
+/// with outcome counts, latency percentiles, and peak quota footprint,
+/// followed by a totals line (percentile columns show `-` in the totals
+/// row — percentiles do not sum).
+pub fn serve_table(rows: &[ServeRow]) -> String {
+    let mut s = format!(
+        "{:<10} | {:>9} | {:>9} | {:>7} | {:>5} | {:>7} | {:>5} | {:>10} | {:>10} | {:>10}\n",
+        "tenant", "submitted", "completed", "faulted", "quota", "backlog", "sat", "p50 cyc", "p99 cyc", "peak B"
+    );
+    let mut total = ServeRow { tenant: "total".into(), ..ServeRow::default() };
+    for row in rows {
+        s.push_str(&format!(
+            "{:<10} | {:>9} | {:>9} | {:>7} | {:>5} | {:>7} | {:>5} | {:>10} | {:>10} | {:>10}\n",
+            row.tenant,
+            row.submitted,
+            row.completed,
+            row.faulted,
+            row.rejected_quota,
+            row.rejected_backlog,
+            row.rejected_saturated,
+            row.p50_cycles,
+            row.p99_cycles,
+            row.peak_bytes,
+        ));
+        total.submitted += row.submitted;
+        total.completed += row.completed;
+        total.faulted += row.faulted;
+        total.rejected_quota += row.rejected_quota;
+        total.rejected_backlog += row.rejected_backlog;
+        total.rejected_saturated += row.rejected_saturated;
+        total.peak_bytes += row.peak_bytes;
+    }
+    s.push_str(&format!(
+        "{:<10} | {:>9} | {:>9} | {:>7} | {:>5} | {:>7} | {:>5} | {:>10} | {:>10} | {:>10}\n",
+        total.tenant,
+        total.submitted,
+        total.completed,
+        total.faulted,
+        total.rejected_quota,
+        total.rejected_backlog,
+        total.rejected_saturated,
+        "-",
+        "-",
+        total.peak_bytes,
+    ));
+    s
+}
+
 /// Render a compile-time profile (one `optimize_module` run) as an aligned
 /// ASCII table: per-pass runs, changed verdicts, wall time and cumulative
 /// IR deltas, followed by the analysis-cache counters — the `-ftime-report`
@@ -458,6 +548,63 @@ mod tests {
         // header + 2 rows + totals
         assert_eq!(table.lines().count(), 4, "{table}");
         assert!(table.lines().last().unwrap().contains("47/48"), "{table}");
+    }
+
+    #[test]
+    fn serve_table_renders_rows_and_totals() {
+        let rows = [
+            ServeRow {
+                tenant: "t0".into(),
+                submitted: 100,
+                completed: 80,
+                faulted: 5,
+                rejected_quota: 10,
+                rejected_backlog: 4,
+                rejected_saturated: 1,
+                p50_cycles: 1_200,
+                p99_cycles: 9_000,
+                peak_bytes: 4_096,
+            },
+            ServeRow {
+                tenant: "t1".into(),
+                submitted: 50,
+                completed: 50,
+                faulted: 0,
+                rejected_quota: 0,
+                rejected_backlog: 0,
+                rejected_saturated: 0,
+                p50_cycles: 800,
+                p99_cycles: 800,
+                peak_bytes: 1_024,
+            },
+        ];
+        assert_eq!(rows[0].rejected(), 15);
+        assert_eq!(rows[1].rejected(), 0);
+        let table = serve_table(&rows);
+        assert!(table.contains("t0"), "{table}");
+        assert!(table.contains("9000"), "{table}");
+        // header + 2 rows + totals
+        assert_eq!(table.lines().count(), 4, "{table}");
+        let totals = table.lines().last().unwrap();
+        assert!(totals.contains("150"), "{table}");
+        assert!(totals.contains("130"), "{table}");
+        assert!(totals.contains("5120"), "{table}");
+        // Percentiles never sum: the totals row shows dashes instead.
+        assert!(totals.contains('-'), "{table}");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_and_total_on_empty_or_bad_p() {
+        let s = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&s, 50.0), Some(50));
+        assert_eq!(percentile(&s, 99.0), Some(100));
+        assert_eq!(percentile(&s, 100.0), Some(100));
+        assert_eq!(percentile(&s, 1.0), Some(10));
+        assert_eq!(percentile(&[42], 50.0), Some(42));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&s, 0.0), None);
+        assert_eq!(percentile(&s, 101.0), None);
+        assert_eq!(percentile(&s, f64::NAN), None);
     }
 
     #[test]

@@ -119,6 +119,52 @@ pub struct Region {
     pub bufs: Vec<Option<BufId>>,
 }
 
+/// Per-device slice of a [`HostStats`] snapshot: the load signals the
+/// scheduler keys on plus pool and transfer counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Launches executed on this device.
+    pub launches: u64,
+    /// Simulated cycles of every launch executed here.
+    pub executed_cycles: u64,
+    /// Launches enqueued but not yet drained.
+    pub pending_launches: u64,
+    /// Device-touching stream ops queued but not yet drained.
+    pub queued_ops: u64,
+    /// Retired by the recovery layer.
+    pub quarantined: bool,
+    /// Fresh pool allocations on this device.
+    pub pool_allocs: u64,
+    /// Pool blocks served by reuse (zero-filled) instead of fresh allocs.
+    pub pool_reuse_hits: u64,
+    /// Bytes currently mapped on this device.
+    pub pool_in_use: u64,
+    /// Host→device transfers issued.
+    pub transfers_to: u64,
+    /// Device→host transfers issued.
+    pub transfers_from: u64,
+}
+
+/// Consolidated host-runtime observability snapshot from [`Host::stats`]:
+/// the public stats surface for layers above the host (`nzomp-serve`, the
+/// load bench) — compile cache, recovery work, and per-device state in
+/// one place.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HostStats {
+    /// Compilations served from the compile cache.
+    pub compile_hits: u64,
+    /// Compilations that ran the real pipeline.
+    pub compile_misses: u64,
+    /// Distinct compiled images held by the cache.
+    pub images: usize,
+    /// Everything the recovery layer did so far.
+    pub recovery: RecoveryMetrics,
+    /// Total stream operations executed (eager + drained).
+    pub ops_executed: u64,
+    /// One entry per device slot, in fleet order.
+    pub devices: Vec<DeviceStats>,
+}
+
 /// The offload host runtime: device fleet, image registry, host buffers,
 /// streams, events, and launch tickets.
 pub struct Host {
@@ -420,6 +466,28 @@ impl Host {
         Ok(())
     }
 
+    /// Read `len` device bytes of a mapped host range without exiting the
+    /// map — the non-destructive readback a serving layer needs for
+    /// tenant-visible session state (a `from` exit would release the
+    /// entry). The range must be present on device `dev`.
+    pub fn read_present(
+        &mut self,
+        dev: usize,
+        buf: BufId,
+        off: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, HostError> {
+        let devices = self.slots.len();
+        let ptr = self
+            .slots
+            .get(dev)
+            .ok_or(HostError::NoDevice { device: dev, devices })?
+            .table
+            .lookup(buf, off)
+            .map_err(HostError::Map)?;
+        Ok(self.loaded_dev(dev)?.read_bytes(ptr, len as usize)?)
+    }
+
     /// Device address of a mapped host location (diagnostics, tests).
     pub fn dev_addr(&self, dev: usize, buf: BufId, off: u64) -> Result<DevPtr, HostError> {
         let devices = self.slots.len();
@@ -476,6 +544,15 @@ impl Host {
         Ok(ticket)
     }
 
+    /// Pick the device the scheduler would place the next launch on,
+    /// advancing round-robin state. Skips quarantined slots; `None` iff
+    /// the whole fleet is quarantined. Public so drivers layered above
+    /// the host (the `nzomp-serve` admission engine) can reuse the
+    /// placement policies instead of reimplementing them.
+    pub fn pick_device(&mut self) -> Option<usize> {
+        pick_device(self.policy, &self.slots, &mut self.rr_next)
+    }
+
     /// Enqueue a whole `#pragma omp target` region: the scheduler picks a
     /// device (per [`SchedPolicy`]), the image is bound, buffers are
     /// registered and mapped in argument order (so device memory layout
@@ -495,11 +572,9 @@ impl Host {
         };
         // Quarantined slots are excluded; an empty live fleet is the typed
         // terminal outcome of graceful degradation.
-        let dev = pick_device(self.policy, &self.slots, &mut self.rr_next).ok_or(
-            HostError::FleetLost {
-                devices: self.slots.len(),
-            },
-        )?;
+        let dev = self.pick_device().ok_or(HostError::FleetLost {
+            devices: self.slots.len(),
+        })?;
         self.bind_image(dev, img)?;
 
         let mut kargs = Vec::with_capacity(args.len());
@@ -593,6 +668,13 @@ impl Host {
                 let Some(op) = self.streams[si].pop_front() else {
                     continue;
                 };
+                // The op leaves the queue whether or not it succeeds —
+                // mirror that in the per-device backlog counter.
+                if let Some(d) = op_device(&op) {
+                    if let Some(slot) = self.slots.get_mut(d) {
+                        slot.queued_ops = slot.queued_ops.saturating_sub(1);
+                    }
+                }
                 self.execute_op(op)?;
                 cursor = (si + 1) % n;
                 progressed = true;
@@ -615,11 +697,19 @@ impl Host {
         if self.eager {
             return self.execute_op(op);
         }
+        let dev = op_device(&op);
         let q = self
             .streams
             .get_mut(s.0 as usize)
             .ok_or(HostError::Stream(SE::UnknownStream(s.0)))?;
         q.push_back(op);
+        // Count the queued device work so LeastLoaded placement sees the
+        // backlog committed to each device, not just enqueued launches.
+        if let Some(d) = dev {
+            if let Some(slot) = self.slots.get_mut(d) {
+                slot.queued_ops += 1;
+            }
+        }
         Ok(())
     }
 
@@ -1007,6 +1097,37 @@ impl Host {
     /// Total stream operations executed (eager + drained).
     pub fn ops_executed(&self) -> u64 {
         self.ops_executed
+    }
+
+    /// One consolidated snapshot of everything the host runtime counts:
+    /// compile-cache hits/misses, the recovery layer's work, and the
+    /// per-device load/pool/transfer state that was previously internal.
+    /// This is the stats surface `nzomp-serve` and the load bench report
+    /// from, so neither reaches into crate internals.
+    pub fn stats(&self) -> HostStats {
+        HostStats {
+            compile_hits: self.cache.hits,
+            compile_misses: self.cache.misses,
+            images: self.cache.len(),
+            recovery: self.rmetrics.clone(),
+            ops_executed: self.ops_executed,
+            devices: self
+                .slots
+                .iter()
+                .map(|s| DeviceStats {
+                    launches: s.launches,
+                    executed_cycles: s.executed_cycles,
+                    pending_launches: s.pending,
+                    queued_ops: s.queued_ops,
+                    quarantined: s.quarantined,
+                    pool_allocs: s.pool.device_allocs,
+                    pool_reuse_hits: s.pool.reuse_hits,
+                    pool_in_use: s.pool.in_use(),
+                    transfers_to: s.table.transfers_to,
+                    transfers_from: s.table.transfers_from,
+                })
+                .collect(),
+        }
     }
 
     /// Pin the worker-thread count of every current and future device

@@ -17,8 +17,9 @@ pub enum SchedPolicy {
     /// Strict rotation over the fleet.
     #[default]
     RoundRobin,
-    /// The device with the fewest pending launches (ties: lowest index;
-    /// second tie-break: least simulated cycles executed so far).
+    /// The device with the fewest pending launches (ties broken by the
+    /// least queued-but-undrained stream work, then by least simulated
+    /// cycles executed so far, then by lowest index).
     LeastLoaded,
 }
 
@@ -33,6 +34,12 @@ pub(crate) struct DeviceSlot {
     pub pool: DevicePool,
     /// Launches enqueued but not yet executed (LeastLoaded's signal).
     pub pending: u64,
+    /// Device-touching stream operations (memcpys, frees, launches)
+    /// queued but not yet drained. `pending` alone misses the transfer
+    /// work already committed to a device, so placement under concurrent
+    /// enqueue used to send a launch to a device with a deep memcpy
+    /// backlog; LeastLoaded now breaks `pending` ties on this count.
+    pub queued_ops: u64,
     /// Simulated cycles of every launch executed on this device — the
     /// per-device makespan input of the multi-device scaling model.
     pub executed_cycles: u64,
@@ -60,6 +67,7 @@ impl DeviceSlot {
             table: PresentTable::new(),
             pool: DevicePool::new(),
             pending: 0,
+            queued_ops: 0,
             executed_cycles: 0,
             launches: 0,
             quarantined: false,
@@ -93,7 +101,7 @@ pub(crate) fn pick_device(
             .iter()
             .enumerate()
             .filter(|(_, s)| !s.quarantined)
-            .min_by_key(|(i, s)| (s.pending, s.executed_cycles, *i))
+            .min_by_key(|(i, s)| (s.pending, s.queued_ops, s.executed_cycles, *i))
             .map(|(i, _)| i),
     }
 }
@@ -130,6 +138,43 @@ mod tests {
         // Full tie: lowest index.
         let slots = fleet(4);
         assert_eq!(pick_device(SchedPolicy::LeastLoaded, &slots, &mut rr), Some(0));
+    }
+
+    /// The satellite fix: queued-but-undrained stream work (transfers,
+    /// frees) counts toward a device's load, not just enqueued launches
+    /// and completed cycles. The full corrected tie-break order is
+    /// `pending > queued_ops > executed_cycles > index`.
+    #[test]
+    fn least_loaded_counts_queued_stream_work() {
+        let mut rr = 0;
+        let mut slots = fleet(3);
+        // No launches pending anywhere, but slot 0 has a deep memcpy
+        // backlog: a fresh enqueue must avoid it.
+        slots[0].queued_ops = 6;
+        slots[1].queued_ops = 2;
+        slots[2].queued_ops = 2;
+        assert_eq!(
+            pick_device(SchedPolicy::LeastLoaded, &slots, &mut rr),
+            Some(1),
+            "queued stream work breaks the pending tie; equal backlogs fall to index"
+        );
+        // Queued work dominates executed cycles (history never outranks
+        // committed-but-undrained work)...
+        slots[1].executed_cycles = 9_999;
+        slots[2].queued_ops = 3;
+        assert_eq!(
+            pick_device(SchedPolicy::LeastLoaded, &slots, &mut rr),
+            Some(1),
+            "least queued work wins regardless of cycle history"
+        );
+        // ...but pending launches dominate queued transfer work.
+        slots[1].pending = 1;
+        slots[2].pending = 1;
+        assert_eq!(
+            pick_device(SchedPolicy::LeastLoaded, &slots, &mut rr),
+            Some(0),
+            "fewest pending launches still outranks everything"
+        );
     }
 
     #[test]

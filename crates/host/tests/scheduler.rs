@@ -192,3 +192,76 @@ fn pool_reuses_across_regions() {
     assert_eq!(reuse, 10, "two blocks reused per later region");
     assert_eq!(in_use, 0, "everything released");
 }
+
+/// The corrected LeastLoaded signal end-to-end: a device with no pending
+/// launches but a deep queued-transfer backlog is *not* the least-loaded
+/// device. Before the fix, placement keyed only on pending launches and
+/// completed cycles, so a fresh region landed on top of the backlog.
+#[test]
+fn least_loaded_sees_queued_transfer_backlog() {
+    let mut host = Host::new(quick(), 2);
+    host.set_worker_threads(1);
+    host.set_policy(SchedPolicy::LeastLoaded);
+    let img = host
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    let s = host.stream();
+
+    // Queue transfer work on device 0 without any launch: pending stays
+    // 0, but the memcpys sit undrained in the stream.
+    host.bind_image(0, img).unwrap();
+    let buf = host.register_f64(&input(N));
+    host.data_enter(
+        s,
+        0,
+        &[nzomp_host::MapSpec::whole(buf, 8 * N as u64, nzomp_host::MapKind::To)],
+    )
+    .unwrap();
+    assert_eq!(host.stats().devices[0].queued_ops, 1, "backlog visible in stats");
+
+    // The next region must avoid the backlogged device even though both
+    // devices tie on pending launches and executed cycles.
+    let region = host
+        .enqueue_region(&[s], img, "k", launch(), region_args())
+        .unwrap();
+    assert_eq!(region.device, 1, "placement avoids the queued backlog");
+    host.sync().unwrap();
+    assert_eq!(host.stats().devices[0].queued_ops, 0, "drain clears the backlog");
+    assert_eq!(host.stats().devices[1].queued_ops, 0);
+}
+
+/// `Host::stats` mirrors the per-accessor counters in one snapshot — the
+/// public surface the serving layer reports from.
+#[test]
+fn stats_snapshot_matches_individual_accessors() {
+    let mut host = Host::new(quick(), 2);
+    host.set_worker_threads(1);
+    let img = host
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    let _ = host
+        .load_image(scale_add_app(), BuildConfig::NewRtNoAssumptions)
+        .unwrap();
+    let s = host.stream();
+    host.enqueue_region(&[s], img, "k", launch(), region_args())
+        .unwrap();
+    host.sync().unwrap();
+
+    let stats = host.stats();
+    assert_eq!((stats.compile_hits, stats.compile_misses), host.compile_stats());
+    assert_eq!(stats.compile_hits, 1, "re-registration hit the cache");
+    assert_eq!(stats.images, 1);
+    assert_eq!(stats.devices.len(), 2);
+    assert_eq!(stats.devices[0].launches, host.device_launches(0));
+    assert_eq!(stats.devices[0].executed_cycles, host.device_cycles(0));
+    let (allocs, reuse, in_use) = host.pool_stats(0);
+    assert_eq!(stats.devices[0].pool_allocs, allocs);
+    assert_eq!(stats.devices[0].pool_reuse_hits, reuse);
+    assert_eq!(stats.devices[0].pool_in_use, in_use);
+    let (to, from) = host.transfer_counts(0);
+    assert_eq!(stats.devices[0].transfers_to, to);
+    assert_eq!(stats.devices[0].transfers_from, from);
+    assert_eq!(&stats.recovery, host.recovery_metrics());
+    assert!(!stats.devices.iter().any(|d| d.quarantined));
+    assert_eq!(stats.ops_executed, host.ops_executed());
+}

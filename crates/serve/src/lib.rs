@@ -1,0 +1,863 @@
+//! `nzomp-serve` — a multi-tenant offload service over [`nzomp_host`]:
+//! the front door that admits target-region requests from many
+//! concurrent tenants and drives them through one shared device fleet.
+//!
+//! The layer adds exactly what `nzomp-host` stops short of:
+//!
+//! * **per-tenant sessions** — namespaced buffer handles ([`SBuf`]) with
+//!   byte-granular device-memory quotas; a tenant can never name, read,
+//!   or collide with another tenant's memory ([`session`]);
+//! * **admission control** — bounded per-tenant and global in-flight
+//!   windows checked in a fixed order (saturation → backlog → quota), so
+//!   every refusal is a typed [`Outcome::Rejected`], never a panic, and
+//!   replays identically ([`outcome`]);
+//! * **fair, least-loaded placement** — a seeded rotating cursor picks
+//!   the next tenant; [`nzomp_host::Host::pick_device`] (the `sched.rs`
+//!   policies, quarantine-aware) picks the device;
+//! * **single-flight compilation** — every dispatch goes through the
+//!   host's fingerprint-keyed compile cache, so N tenants submitting the
+//!   same module cost exactly one pipeline run;
+//! * **deterministic replay** — the engine is a single-threaded
+//!   simulation over modeled cycles: a recorded request trace replays
+//!   bit-identically (outcomes, session memory images, metrics) across
+//!   runs, worker counts, and execution tiers ([`trace`]).
+//!
+//! Time is *modeled*: the serve clock advances only through request
+//! submit timestamps and kernel cycle counts, exactly like the host
+//! runtime's makespan model, which is what makes every decision — and
+//! therefore every latency percentile — replayable. See
+//! `docs/serving.md` for the architecture and the determinism argument.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod metrics;
+pub mod outcome;
+pub mod session;
+pub mod trace;
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use nzomp::report::{percentile, ServeRow};
+use nzomp::BuildConfig;
+use nzomp_host::{
+    BufId, Host, HostError, HostStats, ImageId, KArg, MapKind, MapSpec, SchedPolicy, StreamId,
+};
+use nzomp_ir::Module;
+use nzomp_vgpu::device::Launch;
+use nzomp_vgpu::{DeviceConfig, ExecTier, RtVal};
+
+pub use metrics::ServeMetrics;
+pub use outcome::{Outcome, RejectReason, ServeError};
+pub use session::TenantConfig;
+
+use session::{Session, SessionBuf};
+
+/// Handle of a registered tenant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+/// Handle of a submitted request — the index into [`Serve::outcomes`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReqId(pub u32);
+
+/// Handle of a session-mapped buffer. Carries its owner so cross-tenant
+/// references are structurally detectable before any host call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SBuf {
+    pub tenant: TenantId,
+    pub idx: u32,
+}
+
+/// One kernel argument of a request, in kernel-parameter order.
+#[derive(Clone, Debug)]
+pub enum ReqArg {
+    /// `map(to:)` input bytes. `Rc` so recorded traces share storage
+    /// with the live submission.
+    In(Rc<Vec<u8>>),
+    /// `map(from:)` output of this many bytes, returned in
+    /// [`Outcome::Completed`].
+    Out(u64),
+    /// `map(alloc:)` device-only scratch of this many bytes.
+    Scratch(u64),
+    /// A firstprivate scalar.
+    Scalar(RtVal),
+    /// A session buffer mapped `tofrom` for the request and left
+    /// device-resident afterwards — the tenant's persistent state.
+    Session(SBuf),
+}
+
+impl ReqArg {
+    /// Device bytes this argument charges against the tenant's quota at
+    /// admission. Session buffers were charged when mapped.
+    fn quota_bytes(&self) -> u64 {
+        match self {
+            ReqArg::In(b) => b.len() as u64,
+            ReqArg::Out(n) | ReqArg::Scratch(n) => *n,
+            ReqArg::Scalar(_) | ReqArg::Session(_) => 0,
+        }
+    }
+}
+
+/// One target-region request: which kernel of which module to run, with
+/// which arguments.
+#[derive(Clone, Debug)]
+pub struct RequestSpec {
+    pub module: Rc<Module>,
+    pub config: BuildConfig,
+    pub kernel: String,
+    pub launch: Launch,
+    pub args: Vec<ReqArg>,
+}
+
+/// Service-wide knobs fixed at construction.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Devices in the fleet.
+    pub devices: usize,
+    pub dev_cfg: DeviceConfig,
+    /// Placement policy over non-quarantined slots.
+    pub policy: SchedPolicy,
+    /// Queued + dispatched requests across every tenant — the global
+    /// backpressure window.
+    pub global_max_in_flight: usize,
+    /// Seeds the fairness cursor and the host's stream-drain schedule.
+    pub seed: u64,
+    /// Pin every device's worker-thread count (the `NZOMP_VGPU_THREADS`
+    /// axis); `None` leaves env resolution in charge.
+    pub worker_threads: Option<usize>,
+    /// Pin every device's execution tier (the `NZOMP_EXEC_TIER` axis).
+    pub exec_tier: Option<ExecTier>,
+}
+
+impl ServeConfig {
+    pub fn new(devices: usize) -> ServeConfig {
+        ServeConfig {
+            devices,
+            dev_cfg: DeviceConfig::default(),
+            policy: SchedPolicy::LeastLoaded,
+            global_max_in_flight: 64,
+            seed: 0x5e12_7e00,
+            worker_threads: None,
+            exec_tier: None,
+        }
+    }
+}
+
+/// A dispatched request awaiting its modeled completion: the prebuilt
+/// outcome plus what completing it must release.
+struct Active {
+    req: ReqId,
+    tenant: TenantId,
+    /// Quota bytes reserved at admission, released at completion.
+    bytes: u64,
+    submitted_at: u64,
+    outcome: Outcome,
+}
+
+/// The serving engine. Single-threaded and deterministic by
+/// construction: requests execute in admission order, time is modeled,
+/// and the only scheduling freedom — which tenant goes next, which
+/// device hosts it — is derived from the seed and the load counters.
+pub struct Serve {
+    host: Host,
+    cfg: ServeConfig,
+    sessions: Vec<Session>,
+    /// Admitted-but-undispatched specs by request id.
+    specs: Vec<Option<(TenantId, RequestSpec, u64, u64)>>,
+    outcomes: Vec<Option<Outcome>>,
+    /// Dispatched requests keyed by `(modeled finish cycle, dispatch
+    /// sequence)` — the deterministic completion order.
+    active: BTreeMap<(u64, u32), Active>,
+    seq: u32,
+    /// Modeled cycle each device becomes free.
+    dev_free: Vec<u64>,
+    /// Image currently bound per device (`None` until first dispatch).
+    dev_image: Vec<Option<ImageId>>,
+    /// Session buffers resident per device.
+    residents: Vec<Vec<SBuf>>,
+    /// Fair-share rotation cursor over tenants.
+    cursor: usize,
+    /// The serve clock, in modeled cycles.
+    clock: u64,
+    stream: StreamId,
+    metrics: ServeMetrics,
+}
+
+impl Serve {
+    pub fn new(cfg: ServeConfig) -> Serve {
+        let mut host = Host::new(cfg.dev_cfg.clone(), cfg.devices);
+        host.set_policy(cfg.policy);
+        host.set_drain_seed(cfg.seed);
+        if let Some(w) = cfg.worker_threads {
+            host.set_worker_threads(w);
+        }
+        if let Some(t) = cfg.exec_tier {
+            host.set_exec_tier(t);
+        }
+        let stream = host.stream();
+        let devices = cfg.devices;
+        Serve {
+            host,
+            sessions: Vec::new(),
+            specs: Vec::new(),
+            outcomes: Vec::new(),
+            active: BTreeMap::new(),
+            seq: 0,
+            dev_free: vec![0; devices],
+            dev_image: vec![None; devices],
+            residents: vec![Vec::new(); devices],
+            cursor: cfg.seed as usize,
+            clock: 0,
+            stream,
+            metrics: ServeMetrics::default(),
+            cfg,
+        }
+    }
+
+    // ---- tenants and sessions -------------------------------------------
+
+    /// Register a tenant with its quota and backlog limits.
+    pub fn add_tenant(&mut self, name: &str, cfg: TenantConfig) -> TenantId {
+        self.sessions.push(Session::new(name.to_string(), cfg));
+        TenantId((self.sessions.len() - 1) as u32)
+    }
+
+    pub fn num_tenants(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn session(&self, t: TenantId) -> Result<&Session, ServeError> {
+        self.sessions.get(t.0 as usize).ok_or(ServeError::UnknownTenant(t.0))
+    }
+
+    fn session_mut(&mut self, t: TenantId) -> Result<&mut Session, ServeError> {
+        self.sessions.get_mut(t.0 as usize).ok_or(ServeError::UnknownTenant(t.0))
+    }
+
+    /// Map persistent session state: host bytes the tenant's requests can
+    /// reference via [`ReqArg::Session`] across many submissions. Charged
+    /// against the quota until [`Serve::session_unmap`]. Device residency
+    /// is lazy — established by the first dispatched request that names
+    /// the buffer.
+    pub fn session_map(&mut self, t: TenantId, bytes: Vec<u8>) -> Result<SBuf, ServeError> {
+        let len = bytes.len() as u64;
+        let s = self.session(t)?;
+        if s.used_bytes.saturating_add(len) > s.cfg.mem_quota {
+            return Err(ServeError::SessionQuota {
+                tenant: t.0,
+                needed: len,
+                in_use: s.used_bytes,
+                quota: s.cfg.mem_quota,
+            });
+        }
+        let buf = self.host.register_bytes(bytes);
+        let s = self.session_mut(t)?;
+        s.charge(len);
+        s.bufs.push(SessionBuf { buf, len, resident: None, unmapped: false });
+        let idx = (s.bufs.len() - 1) as u32;
+        Ok(SBuf { tenant: t, idx })
+    }
+
+    fn sbuf_info(&self, caller: TenantId, sb: SBuf) -> Result<(BufId, u64, Option<usize>), ServeError> {
+        if sb.tenant != caller {
+            return Err(ServeError::CrossTenant { owner: sb.tenant.0, caller: caller.0 });
+        }
+        let s = self.session(caller)?;
+        match s.bufs.get(sb.idx as usize) {
+            Some(b) if !b.unmapped => Ok((b.buf, b.len, b.resident)),
+            _ => Err(ServeError::UnknownSession { tenant: caller.0, buf: sb.idx }),
+        }
+    }
+
+    /// Current bytes of a session buffer — the device copy when resident,
+    /// the host copy otherwise. Non-destructive (the map survives).
+    pub fn session_read(&mut self, t: TenantId, sb: SBuf) -> Result<Vec<u8>, ServeError> {
+        let (buf, len, resident) = self.sbuf_info(t, sb)?;
+        match resident {
+            Some(dev) => self
+                .host
+                .read_present(dev, buf, 0, len)
+                .map_err(|e| ServeError::Host(e.to_string())),
+            None => self
+                .host
+                .buf_bytes(buf)
+                .map(|b| b.to_vec())
+                .map_err(|e| ServeError::Host(e.to_string())),
+        }
+    }
+
+    /// Write back (if resident), unmap, and release the quota charge of a
+    /// session buffer.
+    pub fn session_unmap(&mut self, t: TenantId, sb: SBuf) -> Result<(), ServeError> {
+        let (buf, len, resident) = self.sbuf_info(t, sb)?;
+        if let Some(dev) = resident {
+            self.evict(dev, buf, len).map_err(|e| ServeError::Host(e.to_string()))?;
+            if let Some(r) = self.residents.get_mut(dev) {
+                r.retain(|x| *x != sb);
+            }
+        }
+        let s = self.session_mut(t)?;
+        s.release(len);
+        if let Some(b) = s.bufs.get_mut(sb.idx as usize) {
+            b.resident = None;
+            b.unmapped = true;
+        }
+        Ok(())
+    }
+
+    // ---- submission and admission ---------------------------------------
+
+    /// Submit at the current serve clock.
+    pub fn submit(&mut self, t: TenantId, spec: RequestSpec) -> Result<ReqId, ServeError> {
+        let now = self.clock;
+        self.submit_at(now, t, spec)
+    }
+
+    /// Submit a request at modeled cycle `at` (clamped forward to the
+    /// serve clock — time never rewinds). Admission checks run in fixed
+    /// order: global saturation, tenant backlog, tenant quota. The
+    /// returned id always gains exactly one [`Outcome`]; only API misuse
+    /// (unknown tenant, foreign session buffer) is an `Err`.
+    pub fn submit_at(&mut self, at: u64, t: TenantId, spec: RequestSpec) -> Result<ReqId, ServeError> {
+        // Control-plane validation first: a malformed request is a typed
+        // error, not an outcome.
+        self.session(t)?;
+        for a in &spec.args {
+            if let ReqArg::Session(sb) = a {
+                self.sbuf_info(t, *sb)?;
+            }
+        }
+        let now = at.max(self.clock);
+        self.advance(now);
+
+        let req = ReqId(self.outcomes.len() as u32);
+        self.outcomes.push(None);
+        self.specs.push(None);
+        self.metrics.submitted += 1;
+        if let Some(s) = self.sessions.get_mut(t.0 as usize) {
+            s.submitted += 1;
+        }
+
+        // 1. Global saturation.
+        let global_in_flight =
+            self.active.len() + self.sessions.iter().map(|s| s.queued.len()).sum::<usize>();
+        if global_in_flight >= self.cfg.global_max_in_flight {
+            return Ok(self.reject(
+                req,
+                t,
+                now,
+                RejectReason::Saturated { in_flight: global_in_flight, limit: self.cfg.global_max_in_flight },
+            ));
+        }
+        // 2. Tenant backlog.
+        let (in_flight, limit, used, quota) = {
+            let s = self.session(t)?;
+            (s.in_flight(), s.cfg.max_in_flight, s.used_bytes, s.cfg.mem_quota)
+        };
+        if in_flight >= limit {
+            return Ok(self.reject(req, t, now, RejectReason::TenantBacklog { in_flight, limit }));
+        }
+        // 3. Quota.
+        let needed: u64 = spec.args.iter().map(ReqArg::quota_bytes).sum();
+        if used.saturating_add(needed) > quota {
+            return Ok(self.reject(
+                req,
+                t,
+                now,
+                RejectReason::QuotaExceeded { needed, in_use: used, quota },
+            ));
+        }
+
+        self.metrics.admitted += 1;
+        if let Some(slot) = self.specs.get_mut(req.0 as usize) {
+            *slot = Some((t, spec, now, needed));
+        }
+        if let Some(s) = self.sessions.get_mut(t.0 as usize) {
+            s.charge(needed);
+            s.queued.push_back(req);
+        }
+        self.pump(now);
+        Ok(req)
+    }
+
+    fn reject(&mut self, req: ReqId, t: TenantId, at: u64, reason: RejectReason) -> ReqId {
+        match &reason {
+            RejectReason::Saturated { .. } => {
+                self.metrics.rejected_saturated += 1;
+                if let Some(s) = self.sessions.get_mut(t.0 as usize) {
+                    s.rejected_saturated += 1;
+                }
+            }
+            RejectReason::TenantBacklog { .. } => {
+                self.metrics.rejected_backlog += 1;
+                if let Some(s) = self.sessions.get_mut(t.0 as usize) {
+                    s.rejected_backlog += 1;
+                }
+            }
+            RejectReason::QuotaExceeded { .. } => {
+                self.metrics.rejected_quota += 1;
+                if let Some(s) = self.sessions.get_mut(t.0 as usize) {
+                    s.rejected_quota += 1;
+                }
+            }
+        }
+        if let Some(o) = self.outcomes.get_mut(req.0 as usize) {
+            *o = Some(Outcome::Rejected { at, reason });
+        }
+        req
+    }
+
+    // ---- the modeled-time engine ----------------------------------------
+
+    /// Retire every dispatched request whose modeled finish is ≤ `t`,
+    /// pumping the queues as device slots free up, then move the clock
+    /// to `t`.
+    fn advance(&mut self, t: u64) {
+        while let Some((&(fin, _), _)) = self.active.first_key_value() {
+            if fin > t {
+                break;
+            }
+            let Some(((fin, _), done)) = self.active.pop_first() else {
+                break;
+            };
+            self.clock = self.clock.max(fin);
+            self.complete(done);
+            let now = self.clock;
+            self.pump(now);
+        }
+        self.clock = self.clock.max(t);
+    }
+
+    fn complete(&mut self, done: Active) {
+        if let Some(s) = self.sessions.get_mut(done.tenant.0 as usize) {
+            s.release(done.bytes);
+            s.active = s.active.saturating_sub(1);
+            match &done.outcome {
+                Outcome::Completed { finished, .. } => {
+                    s.completed += 1;
+                    s.latencies.push(finished.saturating_sub(done.submitted_at));
+                    self.metrics.completed += 1;
+                }
+                Outcome::Faulted { .. } => {
+                    s.faulted += 1;
+                    self.metrics.faulted += 1;
+                }
+                Outcome::Rejected { .. } => {}
+            }
+        }
+        if let Some(o) = self.outcomes.get_mut(done.req.0 as usize) {
+            *o = Some(done.outcome);
+        }
+    }
+
+    /// Dispatch queued requests while device slots are free, rotating
+    /// fairly over tenants from the seeded cursor. With the whole fleet
+    /// quarantined every queued request faults out — typed, terminal,
+    /// and drain always terminates.
+    fn pump(&mut self, now: u64) {
+        let n = self.sessions.len();
+        if n == 0 {
+            return;
+        }
+        if self.host.live_devices() == 0 {
+            let queued: Vec<(TenantId, ReqId)> = self
+                .sessions
+                .iter_mut()
+                .enumerate()
+                .flat_map(|(t, s)| {
+                    s.queued.drain(..).map(move |r| (TenantId(t as u32), r)).collect::<Vec<_>>()
+                })
+                .collect();
+            for (t, r) in queued {
+                if let Some(s) = self.sessions.get_mut(t.0 as usize) {
+                    s.active += 1;
+                }
+                self.fault(r, t, None, now, "fleet lost: every device is quarantined".to_string());
+            }
+            return;
+        }
+        while self.active.len() < self.host.live_devices() {
+            let mut picked = None;
+            for k in 0..n {
+                let t = (self.cursor + k) % n;
+                if self.sessions.get(t).is_some_and(|s| !s.queued.is_empty()) {
+                    picked = Some(t);
+                    break;
+                }
+            }
+            let Some(t) = picked else { break };
+            self.cursor = (t + 1) % n;
+            let Some(req) = self.sessions.get_mut(t).and_then(|s| {
+                s.active += 1;
+                s.queued.pop_front()
+            }) else {
+                break;
+            };
+            self.dispatch(req, TenantId(t as u32), now);
+        }
+    }
+
+    /// Record a terminal fault for `req` as an immediately-retiring
+    /// active entry, so quota release and counters flow through the one
+    /// completion path.
+    fn fault(&mut self, req: ReqId, t: TenantId, device: Option<usize>, now: u64, error: String) {
+        let (submitted_at, bytes) = self
+            .specs
+            .get(req.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map_or((now, 0), |(_, _, at, b)| (*at, *b));
+        let seq = self.seq;
+        self.seq += 1;
+        self.active.insert(
+            (now, seq),
+            Active {
+                req,
+                tenant: t,
+                bytes,
+                submitted_at,
+                outcome: Outcome::Faulted { device, started: now, finished: now, error },
+            },
+        );
+    }
+
+    // ---- dispatch: the request's actual device work ---------------------
+
+    /// Run one admitted request end-to-end on the host runtime. Device
+    /// work executes *now* in admission order (which is what keeps the
+    /// engine deterministic); only the completion — quota release and
+    /// outcome publication — is deferred to the modeled finish cycle.
+    fn dispatch(&mut self, req: ReqId, t: TenantId, now: u64) {
+        let Some((_, spec, _, _)) = self.specs.get(req.0 as usize).and_then(|s| s.clone()) else {
+            self.fault(req, t, None, now, "internal: dispatched request has no spec".to_string());
+            return;
+        };
+        // Single-flight compile: the host cache keys on the module
+        // fingerprint + config, so every tenant after the first hits.
+        let img = match self.host.load_image((*spec.module).clone(), spec.config) {
+            Ok(i) => i,
+            Err(e) => {
+                self.fault(req, t, None, now, e.to_string());
+                return;
+            }
+        };
+        let Some(dev) = self.host.pick_device() else {
+            self.fault(req, t, None, now, "fleet lost: every device is quarantined".to_string());
+            return;
+        };
+        if let Err(e) = self.make_resident(dev, img) {
+            self.fault(req, t, Some(dev), now, e.to_string());
+            return;
+        }
+        match self.run_on_device(req, t, dev, &spec, now) {
+            Ok(()) => {}
+            Err(e) => self.fault(req, t, Some(dev), now, e.to_string()),
+        }
+    }
+
+    /// Ensure `dev` runs `img`, writing back and evicting every resident
+    /// session buffer first when the image changes (a rebind resets the
+    /// device's present table and memory).
+    fn make_resident(&mut self, dev: usize, img: ImageId) -> Result<(), HostError> {
+        if self.dev_image.get(dev).copied().flatten() == Some(img) && !self.host.quarantined(dev) {
+            return Ok(());
+        }
+        let residents = self.residents.get_mut(dev).map(std::mem::take).unwrap_or_default();
+        for sb in residents {
+            let Some((buf, len)) = self
+                .sessions
+                .get(sb.tenant.0 as usize)
+                .and_then(|s| s.bufs.get(sb.idx as usize))
+                .map(|b| (b.buf, b.len))
+            else {
+                continue;
+            };
+            self.evict(dev, buf, len)?;
+            if let Some(b) = self
+                .sessions
+                .get_mut(sb.tenant.0 as usize)
+                .and_then(|s| s.bufs.get_mut(sb.idx as usize))
+            {
+                b.resident = None;
+            }
+        }
+        self.host.bind_image(dev, img)?;
+        if let Some(slot) = self.dev_image.get_mut(dev) {
+            *slot = Some(img);
+        }
+        Ok(())
+    }
+
+    /// Write a resident buffer back to its host storage and unmap it.
+    fn evict(&mut self, dev: usize, buf: BufId, len: u64) -> Result<(), HostError> {
+        self.host.data_exit(self.stream, dev, &[MapSpec::whole(buf, len, MapKind::ToFrom)])?;
+        self.host.sync()?;
+        self.metrics.evictions += 1;
+        Ok(())
+    }
+
+    fn run_on_device(
+        &mut self,
+        req: ReqId,
+        t: TenantId,
+        dev: usize,
+        spec: &RequestSpec,
+        now: u64,
+    ) -> Result<(), HostError> {
+        // Migrate session arguments resident on another device first —
+        // residency is exclusive, and the writeback must complete before
+        // this device's entries fix the memory layout.
+        for a in &spec.args {
+            if let ReqArg::Session(sb) = a {
+                let Ok((buf, len, resident)) = self.sbuf_info(t, *sb) else { continue };
+                if let Some(d2) = resident {
+                    if d2 != dev {
+                        self.evict(d2, buf, len)?;
+                        self.metrics.evictions -= 1; // counted as a migration instead
+                        self.metrics.migrations += 1;
+                        if let Some(r) = self.residents.get_mut(d2) {
+                            r.retain(|x| x != sb);
+                        }
+                        if let Some(b) = self
+                            .sessions
+                            .get_mut(t.0 as usize)
+                            .and_then(|s| s.bufs.get_mut(sb.idx as usize))
+                        {
+                            b.resident = None;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Enter maps in kernel-argument order — device memory layout is
+        // part of the replay contract, exactly like `enqueue_region`.
+        let mut kargs: Vec<KArg> = Vec::with_capacity(spec.args.len());
+        let mut exits: Vec<MapSpec> = Vec::new();
+        let mut outs: Vec<(usize, BufId)> = Vec::new();
+        for (i, a) in spec.args.iter().enumerate() {
+            match a {
+                ReqArg::In(bytes) => {
+                    let len = bytes.len() as u64;
+                    let b = self.host.register_bytes((**bytes).clone());
+                    self.host.data_enter(self.stream, dev, &[MapSpec::whole(b, len, MapKind::To)])?;
+                    exits.push(MapSpec::whole(b, len, MapKind::Release));
+                    kargs.push(KArg::Buf(b));
+                }
+                ReqArg::Out(len) => {
+                    let b = self.host.register_zeros(*len);
+                    self.host.data_enter(self.stream, dev, &[MapSpec::whole(b, *len, MapKind::From)])?;
+                    exits.push(MapSpec::whole(b, *len, MapKind::From));
+                    outs.push((i, b));
+                    kargs.push(KArg::Buf(b));
+                }
+                ReqArg::Scratch(len) => {
+                    let b = self.host.register_zeros(*len);
+                    self.host.data_enter(self.stream, dev, &[MapSpec::whole(b, *len, MapKind::Alloc)])?;
+                    exits.push(MapSpec::whole(b, *len, MapKind::Release));
+                    kargs.push(KArg::Buf(b));
+                }
+                ReqArg::Scalar(v) => kargs.push(KArg::Val(*v)),
+                ReqArg::Session(sb) => {
+                    let Ok((buf, len, resident)) = self.sbuf_info(t, *sb) else {
+                        kargs.push(KArg::Val(RtVal::I(0)));
+                        continue;
+                    };
+                    if resident != Some(dev) {
+                        self.host
+                            .data_enter(self.stream, dev, &[MapSpec::whole(buf, len, MapKind::ToFrom)])?;
+                        if let Some(r) = self.residents.get_mut(dev) {
+                            r.push(*sb);
+                        }
+                        if let Some(b) = self
+                            .sessions
+                            .get_mut(t.0 as usize)
+                            .and_then(|s| s.bufs.get_mut(sb.idx as usize))
+                        {
+                            b.resident = Some(dev);
+                        }
+                    }
+                    kargs.push(KArg::Buf(buf));
+                }
+            }
+        }
+
+        // The device addresses behind each argument, captured while the
+        // maps are live — the isolation evidence in the outcome.
+        let arg_ptrs: Vec<Option<u64>> = kargs
+            .iter()
+            .map(|k| match k {
+                KArg::Buf(b) | KArg::BufAt(b, _) => self.host.dev_addr(dev, *b, 0).ok().map(|p| p.0),
+                KArg::Val(_) => None,
+            })
+            .collect();
+
+        let ticket = self.host.enqueue_launch(self.stream, dev, &spec.kernel, spec.launch, &kargs)?;
+        self.host.data_exit(self.stream, dev, &exits)?;
+
+        // Drain to completion. A trap aborts the drain with the rest of
+        // the request's ops still queued; keep draining so device memory
+        // is released and the streams are empty for the next dispatch —
+        // the first error is the request's fault.
+        let mut first_err: Option<String> = None;
+        let mut fuel = 0u32;
+        loop {
+            match self.host.sync() {
+                Ok(()) => break,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e.to_string());
+                    }
+                    fuel += 1;
+                    if fuel > 100_000 {
+                        break;
+                    }
+                }
+            }
+        }
+
+        let started = now.max(self.dev_free.get(dev).copied().unwrap_or(0));
+        let (submitted_at, bytes) = self
+            .specs
+            .get(req.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map_or((now, 0), |(_, _, at, b)| (*at, *b));
+        let outcome = match (self.host.take_metrics(ticket), first_err) {
+            (Ok(m), None) => {
+                let finished = started + m.cycles;
+                let outputs = outs
+                    .iter()
+                    .map(|(i, b)| (*i, self.host.buf_bytes(*b).map(|x| x.to_vec()).unwrap_or_default()))
+                    .collect();
+                Outcome::Completed {
+                    device: dev,
+                    started,
+                    finished,
+                    cycles: m.cycles,
+                    outputs,
+                    arg_ptrs,
+                }
+            }
+            (Ok(_), Some(e)) => {
+                Outcome::Faulted { device: Some(dev), started, finished: started, error: e }
+            }
+            (Err(e), first) => Outcome::Faulted {
+                device: Some(dev),
+                started,
+                finished: started,
+                error: first.unwrap_or_else(|| e.to_string()),
+            },
+        };
+        let finished = match &outcome {
+            Outcome::Completed { finished, .. } | Outcome::Faulted { finished, .. } => *finished,
+            Outcome::Rejected { at, .. } => *at,
+        };
+        if let Some(f) = self.dev_free.get_mut(dev) {
+            *f = finished;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.active.insert((finished, seq), Active { req, tenant: t, bytes, submitted_at, outcome });
+        Ok(())
+    }
+
+    // ---- draining and observability -------------------------------------
+
+    /// Run the engine until every admitted request has an outcome,
+    /// recording the makespan. Always terminates: every dispatch — clean,
+    /// trapped, or fleet-lost — retires through the active set.
+    pub fn drain(&mut self) {
+        loop {
+            if let Some((&(fin, _), _)) = self.active.first_key_value() {
+                self.advance(fin);
+                continue;
+            }
+            if self.sessions.iter().any(|s| !s.queued.is_empty()) {
+                let now = self.clock;
+                self.pump(now);
+                continue;
+            }
+            break;
+        }
+        self.metrics.makespan_cycles = self.clock;
+    }
+
+    /// The serve clock, in modeled cycles.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The outcome of a request — `None` while still queued or in flight.
+    pub fn outcome(&self, r: ReqId) -> Option<&Outcome> {
+        self.outcomes.get(r.0 as usize).and_then(|o| o.as_ref())
+    }
+
+    /// Every outcome slot, by request id.
+    pub fn outcomes(&self) -> &[Option<Outcome>] {
+        &self.outcomes
+    }
+
+    /// The host runtime's consolidated counters (compile cache,
+    /// recovery, per-device load) — the single-flight evidence.
+    pub fn host_stats(&self) -> HostStats {
+        self.host.stats()
+    }
+
+    /// `(hits, misses)` of the shared compile cache.
+    pub fn compile_stats(&self) -> (u64, u64) {
+        self.host.compile_stats()
+    }
+
+    /// Per-tenant report rows (sorted-latency percentiles, peak quota
+    /// footprint) for [`nzomp::report::serve_table`].
+    pub fn tenant_rows(&self) -> Vec<ServeRow> {
+        self.sessions
+            .iter()
+            .map(|s| {
+                let mut lat = s.latencies.clone();
+                lat.sort_unstable();
+                ServeRow {
+                    tenant: s.name.clone(),
+                    submitted: s.submitted,
+                    completed: s.completed,
+                    faulted: s.faulted,
+                    rejected_quota: s.rejected_quota,
+                    rejected_backlog: s.rejected_backlog,
+                    rejected_saturated: s.rejected_saturated,
+                    p50_cycles: percentile(&lat, 50.0).unwrap_or(0),
+                    p99_cycles: percentile(&lat, 99.0).unwrap_or(0),
+                    peak_bytes: s.peak_bytes,
+                }
+            })
+            .collect()
+    }
+
+    /// Tenant names in registration order.
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.sessions.iter().map(|s| s.name.clone()).collect()
+    }
+
+    /// Final bytes of every live session buffer of `t` — the per-tenant
+    /// device memory image the replay contract compares.
+    pub fn session_image(&mut self, t: TenantId) -> Result<Vec<(u32, Vec<u8>)>, ServeError> {
+        let live: Vec<u32> = self
+            .session(t)?
+            .bufs
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.unmapped)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut out = Vec::with_capacity(live.len());
+        for idx in live {
+            let bytes = self.session_read(t, SBuf { tenant: t, idx })?;
+            out.push((idx, bytes));
+        }
+        Ok(out)
+    }
+}

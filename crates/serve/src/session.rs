@@ -1,0 +1,109 @@
+//! Per-tenant session state: the namespaced present-table view, the
+//! byte-granular quota ledger, and the tenant's slice of every service
+//! counter.
+
+use std::collections::VecDeque;
+
+use nzomp_host::BufId;
+
+use crate::ReqId;
+
+/// Per-tenant limits fixed at registration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Device bytes the tenant may hold at once: session maps plus the
+    /// buffer footprint of every in-flight request.
+    pub mem_quota: u64,
+    /// Queued + dispatched requests the tenant may have at once.
+    pub max_in_flight: usize,
+}
+
+impl TenantConfig {
+    pub fn new(mem_quota: u64, max_in_flight: usize) -> TenantConfig {
+        TenantConfig { mem_quota, max_in_flight }
+    }
+}
+
+impl Default for TenantConfig {
+    /// Effectively unlimited — tests and benches tighten what they probe.
+    fn default() -> TenantConfig {
+        TenantConfig { mem_quota: u64::MAX, max_in_flight: usize::MAX }
+    }
+}
+
+/// One session-mapped buffer: host storage registered with the host
+/// runtime plus where (if anywhere) it currently lives on a device.
+pub(crate) struct SessionBuf {
+    pub buf: BufId,
+    pub len: u64,
+    /// Device index the buffer is currently mapped on. Residency is
+    /// lazy — established by the first dispatched request that names the
+    /// buffer — and exclusive: migrating writes back and unmaps first.
+    pub resident: Option<usize>,
+    pub unmapped: bool,
+}
+
+/// One tenant: quota ledger, session buffers, admission queue, and
+/// outcome counters. The namespace boundary is structural — a tenant's
+/// requests can only name `SBuf` handles this session issued, and the
+/// engine validates ownership before any host call.
+pub(crate) struct Session {
+    pub name: String,
+    pub cfg: TenantConfig,
+    /// Bytes currently charged: live session maps + in-flight request
+    /// reservations.
+    pub used_bytes: u64,
+    pub peak_bytes: u64,
+    pub bufs: Vec<SessionBuf>,
+    /// Admitted requests not yet dispatched, oldest first.
+    pub queued: VecDeque<ReqId>,
+    /// Dispatched requests whose modeled completion has not arrived.
+    pub active: usize,
+    pub submitted: u64,
+    pub completed: u64,
+    pub faulted: u64,
+    pub rejected_saturated: u64,
+    pub rejected_backlog: u64,
+    pub rejected_quota: u64,
+    /// Modeled submit→finish latency of every completed request, in
+    /// admission order (sorted only at report time).
+    pub latencies: Vec<u64>,
+}
+
+impl Session {
+    pub fn new(name: String, cfg: TenantConfig) -> Session {
+        Session {
+            name,
+            cfg,
+            used_bytes: 0,
+            peak_bytes: 0,
+            bufs: Vec::new(),
+            queued: VecDeque::new(),
+            active: 0,
+            submitted: 0,
+            completed: 0,
+            faulted: 0,
+            rejected_saturated: 0,
+            rejected_backlog: 0,
+            rejected_quota: 0,
+            latencies: Vec::new(),
+        }
+    }
+
+    /// Queued + dispatched — what the per-tenant backlog check limits.
+    pub fn in_flight(&self) -> usize {
+        self.queued.len() + self.active
+    }
+
+    /// Charge `bytes` against the quota, tracking the high-water mark.
+    pub fn charge(&mut self, bytes: u64) {
+        self.used_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.used_bytes);
+    }
+
+    /// Release a prior charge (never underflows — a release without a
+    /// matching charge is an engine bug we refuse to turn into a wrap).
+    pub fn release(&mut self, bytes: u64) {
+        self.used_bytes = self.used_bytes.saturating_sub(bytes);
+    }
+}

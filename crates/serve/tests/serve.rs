@@ -1,0 +1,474 @@
+//! Integration suite of the serving engine: admission order, typed
+//! rejections, fair rotation, single-flight compilation, fault
+//! isolation, session state, and the trace-replay determinism gate
+//! across worker counts and execution tiers.
+
+use std::rc::Rc;
+
+use nzomp::BuildConfig;
+use nzomp_front::{spmd_kernel_for, RuntimeFlavor};
+use nzomp_ir::{Module, Operand, Ty};
+use nzomp_serve::trace::{replay, Trace, TraceOp};
+use nzomp_serve::{
+    Outcome, RejectReason, ReqArg, RequestSpec, Serve, ServeConfig, ServeError, TenantConfig,
+    TenantId,
+};
+use nzomp_vgpu::device::Launch;
+use nzomp_vgpu::{DeviceConfig, ExecTier, RtVal};
+
+const N: usize = 32;
+
+fn quick() -> DeviceConfig {
+    DeviceConfig { check_assumes: false, ..DeviceConfig::default() }
+}
+
+fn launch() -> Launch {
+    Launch { teams: 2, threads_per_team: 16, dyn_smem_bytes: 0 }
+}
+
+/// `out[i] = a[i] * 2 + i` — the workspace's standard clean kernel.
+fn scale_app() -> Rc<Module> {
+    let mut m = Module::new("serve_scale");
+    spmd_kernel_for(
+        &mut m,
+        RuntimeFlavor::Modern,
+        "k",
+        &[Ty::Ptr, Ty::Ptr, Ty::I64],
+        |_b, p| p[2],
+        |_m, b, iv, p| {
+            let pa = b.gep(p[0], iv, 8);
+            let x = b.load(Ty::F64, pa);
+            let two = b.fmul(x, Operand::f64(2.0));
+            let i_f = b.si_to_fp(iv);
+            let v = b.fadd(two, i_f);
+            let po = b.gep(p[1], iv, 8);
+            b.store(Ty::F64, po, v);
+        },
+    );
+    Rc::new(m)
+}
+
+/// `out[i] = i / d` — integer division, so `d == 0` is a deterministic
+/// `DivByZero` trap on every lane.
+fn div_app() -> Rc<Module> {
+    let mut m = Module::new("serve_div");
+    spmd_kernel_for(
+        &mut m,
+        RuntimeFlavor::Modern,
+        "d",
+        &[Ty::Ptr, Ty::I64, Ty::I64],
+        |_b, p| p[2],
+        |_m, b, iv, p| {
+            let q = b.sdiv(iv, p[1]);
+            let po = b.gep(p[0], iv, 8);
+            b.store(Ty::I64, po, q);
+        },
+    );
+    Rc::new(m)
+}
+
+/// `state[i] += 1.0` — persistent session state the tenant accumulates
+/// into across requests.
+fn accum_app() -> Rc<Module> {
+    let mut m = Module::new("serve_accum");
+    spmd_kernel_for(
+        &mut m,
+        RuntimeFlavor::Modern,
+        "acc",
+        &[Ty::Ptr, Ty::I64],
+        |_b, p| p[1],
+        |_m, b, iv, p| {
+            let ps = b.gep(p[0], iv, 8);
+            let x = b.load(Ty::F64, ps);
+            let v = b.fadd(x, Operand::f64(1.0));
+            b.store(Ty::F64, ps, v);
+        },
+    );
+    Rc::new(m)
+}
+
+fn input(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i as f64) * 0.5 - 3.0).collect()
+}
+
+fn expected(input: &[f64]) -> Vec<f64> {
+    input.iter().enumerate().map(|(i, x)| x * 2.0 + i as f64).collect()
+}
+
+fn scale_req(module: &Rc<Module>, inp: Rc<Vec<u8>>) -> RequestSpec {
+    RequestSpec {
+        module: module.clone(),
+        config: BuildConfig::NewRtNoAssumptions,
+        kernel: "k".into(),
+        launch: launch(),
+        args: vec![
+            ReqArg::In(inp),
+            ReqArg::Out(8 * N as u64),
+            ReqArg::Scalar(RtVal::I(N as i64)),
+        ],
+    }
+}
+
+fn div_req(module: &Rc<Module>, divisor: i64) -> RequestSpec {
+    RequestSpec {
+        module: module.clone(),
+        config: BuildConfig::NewRtNoAssumptions,
+        kernel: "d".into(),
+        launch: launch(),
+        args: vec![
+            ReqArg::Out(8 * N as u64),
+            ReqArg::Scalar(RtVal::I(divisor)),
+            ReqArg::Scalar(RtVal::I(N as i64)),
+        ],
+    }
+}
+
+fn cfg(devices: usize) -> ServeConfig {
+    let mut c = ServeConfig::new(devices);
+    c.dev_cfg = quick();
+    c.worker_threads = Some(1);
+    c
+}
+
+#[test]
+fn completes_a_request_end_to_end() {
+    let mut serve = Serve::new(cfg(2));
+    let t = serve.add_tenant("t0", TenantConfig::default());
+    let app = scale_app();
+    let inp = Rc::new(nzomp_host::f64_bytes(&input(N)));
+    let r = serve.submit(t, scale_req(&app, inp)).unwrap();
+    serve.drain();
+    match serve.outcome(r) {
+        Some(Outcome::Completed { outputs, cycles, finished, started, .. }) => {
+            assert!(*cycles > 0 && finished > started);
+            let (idx, bytes) = &outputs[0];
+            assert_eq!(*idx, 1, "the Out arg is kernel parameter 1");
+            assert_eq!(nzomp_host::bytes_to_f64(bytes), expected(&input(N)));
+        }
+        o => panic!("expected completion, got {o:?}"),
+    }
+    let m = serve.metrics();
+    assert_eq!((m.submitted, m.admitted, m.completed, m.faulted), (1, 1, 1, 0));
+    assert!(m.makespan_cycles > 0);
+    // The quota reservation was fully released at completion.
+    assert_eq!(serve.tenant_rows()[0].peak_bytes, 8 * N as u64 * 2);
+}
+
+#[test]
+fn admission_checks_run_in_documented_order() {
+    // Saturation outranks backlog and quota: a request over all three
+    // limits reports Saturated.
+    let mut c = cfg(1);
+    c.global_max_in_flight = 1;
+    let mut serve = Serve::new(c);
+    let t = serve.add_tenant("t0", TenantConfig::new(8 * N as u64 * 2, 1));
+    let app = scale_app();
+    let inp = Rc::new(nzomp_host::f64_bytes(&input(N)));
+    let r0 = serve.submit(t, scale_req(&app, inp.clone())).unwrap();
+    let r1 = serve.submit(t, scale_req(&app, inp.clone())).unwrap();
+    assert!(matches!(
+        serve.outcome(r1),
+        Some(Outcome::Rejected { reason: RejectReason::Saturated { in_flight: 1, limit: 1 }, .. })
+    ));
+
+    // Backlog next: widen the global window, keep the tenant window at 1.
+    let mut c = cfg(1);
+    c.global_max_in_flight = 100;
+    let mut serve = Serve::new(c);
+    let t = serve.add_tenant("t0", TenantConfig::new(u64::MAX, 1));
+    let r0b = serve.submit(t, scale_req(&app, inp.clone())).unwrap();
+    let r1b = serve.submit(t, scale_req(&app, inp.clone())).unwrap();
+    assert!(matches!(
+        serve.outcome(r1b),
+        Some(Outcome::Rejected { reason: RejectReason::TenantBacklog { in_flight: 1, limit: 1 }, .. })
+    ));
+
+    // Quota last: wide windows, tight bytes.
+    let need = 8 * N as u64 * 2; // In + Out
+    let mut serve = Serve::new(cfg(1));
+    let t = serve.add_tenant("t0", TenantConfig::new(need + need / 2, 100));
+    let r0c = serve.submit(t, scale_req(&app, inp.clone())).unwrap();
+    let r1c = serve.submit(t, scale_req(&app, inp.clone())).unwrap();
+    match serve.outcome(r1c) {
+        Some(Outcome::Rejected { reason: RejectReason::QuotaExceeded { needed, in_use, quota }, .. }) => {
+            assert_eq!((*needed, *in_use, *quota), (need, need, need + need / 2));
+        }
+        o => panic!("expected quota rejection, got {o:?}"),
+    }
+
+    // Rejections never disturb the admitted work.
+    serve.drain();
+    assert!(serve.outcome(r0c).is_some_and(Outcome::is_completed));
+    let _ = (r0, r0b);
+}
+
+#[test]
+fn window_reopens_after_drain() {
+    let mut c = cfg(1);
+    c.global_max_in_flight = 1;
+    let mut serve = Serve::new(c);
+    let t = serve.add_tenant("t0", TenantConfig::default());
+    let app = scale_app();
+    let inp = Rc::new(nzomp_host::f64_bytes(&input(N)));
+    let r0 = serve.submit(t, scale_req(&app, inp.clone())).unwrap();
+    let r1 = serve.submit(t, scale_req(&app, inp.clone())).unwrap();
+    assert!(serve.outcome(r1).is_some_and(Outcome::is_rejected));
+    serve.drain();
+    // The in-flight window drained; the next request is admitted.
+    let r2 = serve.submit(t, scale_req(&app, inp)).unwrap();
+    serve.drain();
+    assert!(serve.outcome(r0).is_some_and(Outcome::is_completed));
+    assert!(serve.outcome(r2).is_some_and(Outcome::is_completed));
+    assert_eq!(serve.metrics().rejected_saturated, 1);
+}
+
+#[test]
+fn dispatch_rotates_fairly_over_tenants() {
+    let mut c = cfg(1);
+    c.seed = 0; // fairness cursor starts at tenant 0
+    let mut serve = Serve::new(c);
+    let a = serve.add_tenant("a", TenantConfig::default());
+    let b = serve.add_tenant("b", TenantConfig::default());
+    let app = scale_app();
+    let inp = Rc::new(nzomp_host::f64_bytes(&input(N)));
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        ids.push((0u32, serve.submit_at(0, a, scale_req(&app, inp.clone())).unwrap()));
+    }
+    for _ in 0..3 {
+        ids.push((1u32, serve.submit_at(0, b, scale_req(&app, inp.clone())).unwrap()));
+    }
+    serve.drain();
+    // Order the six requests by modeled start cycle: one device, so
+    // starts are distinct, and the rotation must alternate a b a b a b
+    // rather than clearing tenant a's backlog first.
+    let mut by_start: Vec<(u64, u32)> = ids
+        .iter()
+        .map(|(tenant, r)| match serve.outcome(*r) {
+            Some(Outcome::Completed { started, .. }) => (*started, *tenant),
+            o => panic!("expected completion, got {o:?}"),
+        })
+        .collect();
+    by_start.sort_unstable();
+    let order: Vec<u32> = by_start.iter().map(|(_, t)| *t).collect();
+    assert_eq!(order, vec![0, 1, 0, 1, 0, 1], "seeded rotation interleaves tenants");
+}
+
+#[test]
+fn single_flight_compile_dedup() {
+    // Six tenants submit the same module fingerprint: exactly one
+    // pipeline run, five cache hits.
+    let mut serve = Serve::new(cfg(2));
+    let app = scale_app();
+    let inp = Rc::new(nzomp_host::f64_bytes(&input(N)));
+    for i in 0..6 {
+        let t = serve.add_tenant(&format!("t{i}"), TenantConfig::default());
+        serve.submit(t, scale_req(&app, inp.clone())).unwrap();
+    }
+    serve.drain();
+    let stats = serve.host_stats();
+    assert_eq!((stats.compile_hits, stats.compile_misses), (5, 1));
+    assert_eq!(serve.metrics().completed, 6);
+    // A structurally identical module through a different Rc still
+    // single-flights — the cache keys on the fingerprint, not identity.
+    let t = serve.add_tenant("t6", TenantConfig::default());
+    serve.submit(t, scale_req(&scale_app(), inp)).unwrap();
+    serve.drain();
+    assert_eq!(serve.compile_stats(), (6, 1));
+}
+
+#[test]
+fn faults_are_typed_and_do_not_disturb_other_tenants() {
+    let mut serve = Serve::new(cfg(2));
+    let good = serve.add_tenant("good", TenantConfig::default());
+    let bad = serve.add_tenant("bad", TenantConfig::default());
+    let scale = scale_app();
+    let div = div_app();
+    let inp = Rc::new(nzomp_host::f64_bytes(&input(N)));
+    let rf = serve.submit(bad, div_req(&div, 0)).unwrap();
+    let rg = serve.submit(good, scale_req(&scale, inp.clone())).unwrap();
+    let rb2 = serve.submit(bad, div_req(&div, 3)).unwrap();
+    serve.drain();
+    match serve.outcome(rf) {
+        Some(Outcome::Faulted { device, error, .. }) => {
+            assert!(device.is_some());
+            assert!(error.contains("division by zero"), "unexpected error: {error}");
+        }
+        o => panic!("expected fault, got {o:?}"),
+    }
+    // The good tenant's request and the bad tenant's *next* request both
+    // complete: a trap poisons one request, not a device or a tenant.
+    match serve.outcome(rg) {
+        Some(Outcome::Completed { outputs, .. }) => {
+            assert_eq!(nzomp_host::bytes_to_f64(&outputs[0].1), expected(&input(N)));
+        }
+        o => panic!("expected completion, got {o:?}"),
+    }
+    match serve.outcome(rb2) {
+        Some(Outcome::Completed { outputs, .. }) => {
+            let vals = nzomp_host::bytes_to_bits(&outputs[0].1);
+            assert_eq!(vals[7], 7 / 3);
+        }
+        o => panic!("expected completion, got {o:?}"),
+    }
+    let m = serve.metrics();
+    assert_eq!((m.completed, m.faulted), (2, 1));
+}
+
+#[test]
+fn session_state_accumulates_across_requests() {
+    let mut serve = Serve::new(cfg(1));
+    let t = serve.add_tenant("t0", TenantConfig::default());
+    let app = accum_app();
+    let state = serve.session_map(t, vec![0u8; 8 * N]).unwrap();
+    let acc_req = || RequestSpec {
+        module: app.clone(),
+        config: BuildConfig::NewRtNoAssumptions,
+        kernel: "acc".into(),
+        launch: launch(),
+        args: vec![ReqArg::Session(state), ReqArg::Scalar(RtVal::I(N as i64))],
+    };
+    serve.submit(t, acc_req()).unwrap();
+    serve.submit(t, acc_req()).unwrap();
+    serve.drain();
+    assert_eq!(serve.metrics().completed, 2);
+    let bytes = serve.session_read(t, state).unwrap();
+    assert_eq!(nzomp_host::bytes_to_f64(&bytes), vec![2.0; N], "both increments persisted");
+    // Unmapping writes back and invalidates the handle.
+    serve.session_unmap(t, state).unwrap();
+    assert!(matches!(
+        serve.session_read(t, state),
+        Err(ServeError::UnknownSession { .. })
+    ));
+}
+
+#[test]
+fn cross_tenant_session_references_are_refused() {
+    let mut serve = Serve::new(cfg(1));
+    let a = serve.add_tenant("a", TenantConfig::default());
+    let b = serve.add_tenant("b", TenantConfig::default());
+    let sa = serve.session_map(a, vec![1u8; 64]).unwrap();
+    // Tenant b cannot read, unmap, or submit against a's buffer.
+    assert!(matches!(serve.session_read(b, sa), Err(ServeError::CrossTenant { owner: 0, caller: 1 })));
+    assert!(matches!(serve.session_unmap(b, sa), Err(ServeError::CrossTenant { .. })));
+    let spec = RequestSpec {
+        module: accum_app(),
+        config: BuildConfig::NewRtNoAssumptions,
+        kernel: "acc".into(),
+        launch: launch(),
+        args: vec![ReqArg::Session(sa), ReqArg::Scalar(RtVal::I(8))],
+    };
+    assert!(matches!(serve.submit(b, spec), Err(ServeError::CrossTenant { .. })));
+    // The refusal consumed nothing: a's state is intact and b admitted 0.
+    assert_eq!(serve.session_read(a, sa).unwrap(), vec![1u8; 64]);
+    assert_eq!(serve.metrics().submitted, 0);
+}
+
+#[test]
+fn session_maps_are_quota_charged() {
+    let mut serve = Serve::new(cfg(1));
+    let t = serve.add_tenant("t0", TenantConfig::new(100, 16));
+    let _s0 = serve.session_map(t, vec![0u8; 80]).unwrap();
+    match serve.session_map(t, vec![0u8; 40]) {
+        Err(ServeError::SessionQuota { needed: 40, in_use: 80, quota: 100, .. }) => {}
+        o => panic!("expected session quota error, got {o:?}"),
+    }
+}
+
+/// The tentpole determinism gate: one mixed trace — 8 tenants, 4
+/// devices, clean, faulting, and quota-rejected requests, session state —
+/// replays bit-identically across runs, worker counts {1, 8}, and both
+/// execution tiers.
+#[test]
+fn trace_replays_bit_identically_across_axes() {
+    let scale = scale_app();
+    let div = div_app();
+    let accum = accum_app();
+    let inp = Rc::new(nzomp_host::f64_bytes(&input(N)));
+
+    let mut trace = Trace::new();
+    for i in 0..8 {
+        // Tenant 4's backlog window and tenant 5's quota are only wide
+        // enough for one request in flight — their bursts draw typed
+        // backlog and quota rejections respectively.
+        let cfg = match i {
+            4 => TenantConfig::new(u64::MAX, 1),
+            5 => TenantConfig::new(8 * N as u64 * 2, 64),
+            _ => TenantConfig::default(),
+        };
+        trace.push(TraceOp::Tenant { name: format!("t{i}"), cfg });
+    }
+    // Tenants 0 and 1 carry session state.
+    trace.push(TraceOp::Map { tenant: 0, bytes: vec![0u8; 8 * N] });
+    trace.push(TraceOp::Map { tenant: 1, bytes: vec![0u8; 8 * N] });
+    let acc_spec = |tenant: u32| RequestSpec {
+        module: accum.clone(),
+        config: BuildConfig::NewRtNoAssumptions,
+        kernel: "acc".into(),
+        launch: launch(),
+        args: vec![
+            ReqArg::Session(nzomp_serve::SBuf { tenant: TenantId(tenant), idx: 0 }),
+            ReqArg::Scalar(RtVal::I(N as i64)),
+        ],
+    };
+    // Six same-timestamp bursts: all eight tenants submit at once, with
+    // extras that provably overrun each limit — tenant 4 doubles up past
+    // its backlog window, tenant 5 past its quota, and four tenant-6
+    // extras fill the global window so tenant 7's second request hits
+    // saturation. Tenant 3 trips div-by-zero faults on rounds 0 and 3.
+    for round in 0..6u64 {
+        let at = round * 150;
+        for tenant in 0..8u32 {
+            let spec = match (tenant, round % 2) {
+                (3, _) => div_req(&div, if round % 3 == 0 { 0 } else { 2 }),
+                (0, 0) => acc_spec(0),
+                (1, 1) => acc_spec(1),
+                _ => scale_req(&scale, inp.clone()),
+            };
+            trace.push(TraceOp::Submit { at, tenant, spec });
+            if tenant == 4 || tenant == 5 {
+                trace.push(TraceOp::Submit { at, tenant, spec: scale_req(&scale, inp.clone()) });
+            }
+        }
+        for tenant in [6, 6, 6, 6, 7] {
+            trace.push(TraceOp::Submit { at, tenant, spec: scale_req(&scale, inp.clone()) });
+        }
+    }
+    trace.push(TraceOp::Drain);
+
+    let base = {
+        let mut c = cfg(4);
+        c.global_max_in_flight = 12;
+        c
+    };
+    let one = replay(&trace, &base).unwrap();
+
+    // The trace exercised every outcome class, including all three
+    // typed rejection reasons.
+    assert!(one.metrics.completed > 0 && one.metrics.faulted > 0, "{:?}", one.metrics);
+    assert!(one.metrics.rejected_quota > 0, "{:?}", one.metrics);
+    assert!(one.metrics.rejected_backlog > 0, "{:?}", one.metrics);
+    assert!(one.metrics.rejected_saturated > 0, "{:?}", one.metrics);
+    // Session state survived the run and is part of the snapshot.
+    assert!(one.session_images[0][0].1.iter().any(|b| *b != 0));
+
+    // Same config, second run: bit-identical.
+    let two = replay(&trace, &base).unwrap();
+    assert_eq!(one, two, "same-config replay must be bit-identical");
+
+    // Worker-count axis.
+    let mut w8 = base.clone();
+    w8.worker_threads = Some(8);
+    assert_eq!(one, replay(&trace, &w8).unwrap(), "replay differs across worker counts");
+
+    // Exec-tier axis.
+    let mut interp = base.clone();
+    interp.exec_tier = Some(ExecTier::Interp);
+    let mut bytecode = base.clone();
+    bytecode.exec_tier = Some(ExecTier::Bytecode);
+    assert_eq!(
+        replay(&trace, &interp).unwrap(),
+        replay(&trace, &bytecode).unwrap(),
+        "replay differs across execution tiers"
+    );
+}

@@ -1,0 +1,259 @@
+//! Tenant-isolation suite of the serving layer (PR 9 satellite): two
+//! tenants mapping the same logical host range get disjoint device
+//! allocations and can never observe each other's bytes, and quota
+//! exhaustion in one tenant leaves every other tenant's in-flight work
+//! untouched. Runs — like the whole workspace — under both
+//! `NZOMP_VGPU_THREADS` axes and `NZOMP_EXEC_TIER=bytecode` in CI.
+
+use std::rc::Rc;
+
+use nzomp::BuildConfig;
+use nzomp_front::{spmd_kernel_for, RuntimeFlavor};
+use nzomp_ir::{Module, Operand, Ty};
+use nzomp_serve::trace::{replay, Trace, TraceOp};
+use nzomp_serve::{
+    Outcome, RejectReason, ReqArg, RequestSpec, SBuf, Serve, ServeConfig, TenantConfig, TenantId,
+};
+use nzomp_vgpu::device::Launch;
+use nzomp_vgpu::{DeviceConfig, RtVal};
+
+const N: usize = 24;
+
+fn quick() -> DeviceConfig {
+    DeviceConfig { check_assumes: false, ..DeviceConfig::default() }
+}
+
+fn launch() -> Launch {
+    Launch { teams: 2, threads_per_team: 12, dyn_smem_bytes: 0 }
+}
+
+/// `state[i] = (f64) c` — a writer whose output identifies its tenant.
+fn writer_app() -> Rc<Module> {
+    let mut m = Module::new("serve_writer");
+    spmd_kernel_for(
+        &mut m,
+        RuntimeFlavor::Modern,
+        "w",
+        &[Ty::Ptr, Ty::I64, Ty::I64],
+        |_b, p| p[2],
+        |_m, b, iv, p| {
+            let v = b.si_to_fp(p[1]);
+            let ps = b.gep(p[0], iv, 8);
+            b.store(Ty::F64, ps, v);
+        },
+    );
+    Rc::new(m)
+}
+
+/// `out[i] = a[i] * 2 + i` — the standard clean kernel.
+fn scale_app() -> Rc<Module> {
+    let mut m = Module::new("serve_iso_scale");
+    spmd_kernel_for(
+        &mut m,
+        RuntimeFlavor::Modern,
+        "k",
+        &[Ty::Ptr, Ty::Ptr, Ty::I64],
+        |_b, p| p[2],
+        |_m, b, iv, p| {
+            let pa = b.gep(p[0], iv, 8);
+            let x = b.load(Ty::F64, pa);
+            let two = b.fmul(x, Operand::f64(2.0));
+            let i_f = b.si_to_fp(iv);
+            let v = b.fadd(two, i_f);
+            let po = b.gep(p[1], iv, 8);
+            b.store(Ty::F64, po, v);
+        },
+    );
+    Rc::new(m)
+}
+
+fn write_req(module: &Rc<Module>, state: SBuf, value: i64) -> RequestSpec {
+    RequestSpec {
+        module: module.clone(),
+        config: BuildConfig::NewRtNoAssumptions,
+        kernel: "w".into(),
+        launch: launch(),
+        args: vec![
+            ReqArg::Session(state),
+            ReqArg::Scalar(RtVal::I(value)),
+            ReqArg::Scalar(RtVal::I(N as i64)),
+        ],
+    }
+}
+
+fn scale_req(module: &Rc<Module>, inp: Rc<Vec<u8>>) -> RequestSpec {
+    RequestSpec {
+        module: module.clone(),
+        config: BuildConfig::NewRtNoAssumptions,
+        kernel: "k".into(),
+        launch: launch(),
+        args: vec![
+            ReqArg::In(inp),
+            ReqArg::Out(8 * N as u64),
+            ReqArg::Scalar(RtVal::I(N as i64)),
+        ],
+    }
+}
+
+fn cfg(devices: usize) -> ServeConfig {
+    let mut c = ServeConfig::new(devices);
+    c.dev_cfg = quick();
+    c
+}
+
+/// Two tenants map byte-identical host ranges; the device allocations
+/// behind them are disjoint, and each tenant reads back only its own
+/// writes.
+#[test]
+fn same_host_range_maps_to_disjoint_device_memory() {
+    let mut serve = Serve::new(cfg(1));
+    let a = serve.add_tenant("a", TenantConfig::default());
+    let b = serve.add_tenant("b", TenantConfig::default());
+    // The same logical range: identical bytes, identical length.
+    let shared = vec![0u8; 8 * N];
+    let sa = serve.session_map(a, shared.clone()).unwrap();
+    let sb = serve.session_map(b, shared).unwrap();
+
+    let w = writer_app();
+    let ra = serve.submit(a, write_req(&w, sa, 7)).unwrap();
+    let rb = serve.submit(b, write_req(&w, sb, 9)).unwrap();
+    serve.drain();
+
+    // Both live on the one device simultaneously (same image, no
+    // eviction) at non-overlapping device addresses.
+    let ptr = |r| match serve.outcome(r) {
+        Some(Outcome::Completed { arg_ptrs, device, .. }) => {
+            assert_eq!(*device, 0);
+            arg_ptrs[0].unwrap()
+        }
+        o => panic!("expected completion, got {o:?}"),
+    };
+    let (pa, pb) = (ptr(ra), ptr(rb));
+    assert_ne!(pa, pb);
+    let len = 8 * N as u64;
+    assert!(
+        pa + len <= pb || pb + len <= pa,
+        "device ranges overlap: [{pa}, {}) vs [{pb}, {})",
+        pa + len,
+        pb + len
+    );
+
+    // Each tenant observes exactly its own writes — nothing leaked
+    // through the shared device.
+    let fa: Vec<f64> = serve
+        .session_read(a, sa)
+        .unwrap()
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect();
+    let fb: Vec<f64> = serve
+        .session_read(b, sb)
+        .unwrap()
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect();
+    assert_eq!(fa, vec![7.0; N]);
+    assert_eq!(fb, vec![9.0; N]);
+}
+
+/// Exhausting one tenant's quota rejects *that tenant's* overflow with a
+/// typed outcome while every other tenant's in-flight work runs to
+/// completion unchanged.
+#[test]
+fn quota_exhaustion_is_contained_to_the_offending_tenant() {
+    let mut serve = Serve::new(cfg(2));
+    let scale = scale_app();
+    let inp = Rc::new(nzomp_host::f64_bytes(
+        &(0..N).map(|i| i as f64 * 0.25).collect::<Vec<_>>(),
+    ));
+    let footprint = 8 * N as u64 * 2; // In + Out
+    let poor = serve.add_tenant("poor", TenantConfig::new(footprint, 16));
+    let rich = serve.add_tenant("rich", TenantConfig::default());
+
+    let p0 = serve.submit(poor, scale_req(&scale, inp.clone())).unwrap();
+    let r0 = serve.submit(rich, scale_req(&scale, inp.clone())).unwrap();
+    // Overflow the poor tenant while both in-flight requests are live.
+    let p1 = serve.submit(poor, scale_req(&scale, inp.clone())).unwrap();
+    let r1 = serve.submit(rich, scale_req(&scale, inp.clone())).unwrap();
+    serve.drain();
+
+    match serve.outcome(p1) {
+        Some(Outcome::Rejected { reason: RejectReason::QuotaExceeded { needed, in_use, quota }, .. }) => {
+            assert_eq!((*needed, *in_use, *quota), (footprint, footprint, footprint));
+        }
+        o => panic!("expected quota rejection, got {o:?}"),
+    }
+    // Everyone else — including the poor tenant's admitted request —
+    // completed with correct bytes.
+    let expect: Vec<f64> = (0..N).map(|i| (i as f64 * 0.25) * 2.0 + i as f64).collect();
+    for r in [p0, r0, r1] {
+        match serve.outcome(r) {
+            Some(Outcome::Completed { outputs, .. }) => {
+                assert_eq!(nzomp_host::bytes_to_f64(&outputs[0].1), expect);
+            }
+            o => panic!("expected completion, got {o:?}"),
+        }
+    }
+    let m = serve.metrics();
+    assert_eq!((m.completed, m.rejected_quota, m.faulted), (3, 1, 0));
+    // The poor tenant's quota ledger drained back to its session-free
+    // baseline — rejections and completions both release correctly.
+    assert_eq!(serve.tenant_rows()[0].peak_bytes, footprint);
+}
+
+/// Session images — each tenant's device memory — replay bit-identically
+/// together with outcomes and metrics, including when the engine pins
+/// different worker counts and execution tiers.
+#[test]
+fn tenant_memory_images_replay_bit_identically() {
+    let w = writer_app();
+    let scale = scale_app();
+    let inp = Rc::new(nzomp_host::f64_bytes(
+        &(0..N).map(|i| i as f64 - 4.0).collect::<Vec<_>>(),
+    ));
+
+    let mut trace = Trace::new();
+    for i in 0..4 {
+        trace.push(TraceOp::Tenant { name: format!("t{i}"), cfg: TenantConfig::default() });
+        trace.push(TraceOp::Map { tenant: i, bytes: vec![0u8; 8 * N] });
+    }
+    for (round, at) in [0u64, 90, 180].iter().enumerate() {
+        for tenant in 0..4u32 {
+            let state = SBuf { tenant: TenantId(tenant), idx: 0 };
+            let spec = if (tenant as usize + round) % 2 == 0 {
+                write_req(&w, state, (tenant as i64 + 1) * 10 + round as i64)
+            } else {
+                scale_req(&scale, inp.clone())
+            };
+            trace.push(TraceOp::Submit { at: *at, tenant, spec });
+        }
+    }
+    trace.push(TraceOp::Drain);
+
+    let base = cfg(2);
+    let one = replay(&trace, &base).unwrap();
+    let two = replay(&trace, &base).unwrap();
+    assert_eq!(one, two, "same-config replay diverged");
+    assert_eq!(one.session_images.len(), 4);
+    assert!(one.session_images.iter().all(|t| !t.is_empty()));
+
+    let mut w1 = base.clone();
+    w1.worker_threads = Some(1);
+    let mut w8 = base.clone();
+    w8.worker_threads = Some(8);
+    assert_eq!(
+        replay(&trace, &w1).unwrap(),
+        replay(&trace, &w8).unwrap(),
+        "session images diverged across worker counts"
+    );
+
+    let mut interp = base.clone();
+    interp.exec_tier = Some(nzomp_vgpu::ExecTier::Interp);
+    let mut bytecode = base.clone();
+    bytecode.exec_tier = Some(nzomp_vgpu::ExecTier::Bytecode);
+    assert_eq!(
+        replay(&trace, &interp).unwrap(),
+        replay(&trace, &bytecode).unwrap(),
+        "session images diverged across execution tiers"
+    );
+}
